@@ -1,0 +1,89 @@
+"""Ablations of the online strategy's design knobs (DESIGN.md ablation row).
+
+The thesis fixes several constants rather arbitrarily (the communication
+radius "could be any arbitrary constant number", the cube parameter can be
+``omega_c`` or ``omega*``, the done threshold is implicit).  These
+ablations quantify what those choices cost on a replacement-heavy workload:
+
+* cube parameter ``omega``: larger cubes mean more idle spares per cube but
+  longer replacement walks;
+* done threshold: declaring done earlier wastes residual energy but keeps a
+  safety margin;
+* provisioned capacity: sweeping it down locates the empirical breaking
+  point of the strategy, to compare against the theorem's ``38 * omega``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import JobSequence
+from repro.core.online import run_online
+from repro.vehicles.fleet import FleetConfig
+
+BURST = JobSequence.from_positions([(0, 0)] * 30)
+
+
+@pytest.mark.parametrize("omega", [2.0, 3.0, 5.0])
+def bench_ablation_cube_parameter(benchmark, omega):
+    result = benchmark.pedantic(
+        lambda: run_online(BURST, omega=omega, capacity=14.0),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "omega": omega,
+            "cube_side": int(-(-omega // 1)),
+            "feasible": result.feasible,
+            "replacements": result.replacements,
+            "messages": result.messages,
+            "max_vehicle_energy": result.max_vehicle_energy,
+            "total_travel": result.total_travel,
+        }
+    )
+    assert result.feasible
+
+
+@pytest.mark.parametrize("done_threshold", [1.5, 2.0, 4.0])
+def bench_ablation_done_threshold(benchmark, done_threshold):
+    config = FleetConfig(done_threshold=done_threshold)
+    result = benchmark.pedantic(
+        lambda: run_online(BURST, omega=3.0, capacity=14.0, config=config),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "done_threshold": done_threshold,
+            "feasible": result.feasible,
+            "replacements": result.replacements,
+            "max_vehicle_energy": result.max_vehicle_energy,
+        }
+    )
+    assert result.feasible
+
+
+@pytest.mark.parametrize("capacity", [8.0, 12.0, 20.0, 40.0])
+def bench_ablation_capacity_sweep(benchmark, capacity):
+    result = benchmark.pedantic(
+        lambda: run_online(BURST, omega=3.0, capacity=capacity),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "capacity": capacity,
+            "theorem_capacity": result.theorem_capacity,
+            "feasible": result.feasible,
+            "jobs_served": result.jobs_served,
+            "replacements": result.replacements,
+        }
+    )
+    # The theorem capacity is a guarantee; smaller capacities may or may not
+    # work -- the sweep records where the strategy actually breaks.
+    if capacity >= result.theorem_capacity:
+        assert result.feasible

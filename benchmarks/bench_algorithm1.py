@@ -1,0 +1,63 @@
+"""E6 -- Algorithm 1: approximation quality and linear-time scaling.
+
+Section 2.3 claims Algorithm 1 runs in time ``O(n^l)`` on an ``n x n``
+window and returns a ``2 (2*3^l + l)``-approximation of ``W_off``.  The
+benchmark times the algorithm across window sizes (the per-cell time should
+stay roughly flat) and checks the estimate always lands inside the proven
+approximation corridor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline import algorithm1, upper_bound_factor
+from repro.core.omega import omega_star_cubes
+from repro.grid.lattice import Box
+from repro.workloads.generators import random_uniform_demand
+
+WINDOW_SIDES = [16, 32, 64, 128]
+
+
+@pytest.mark.parametrize("side", WINDOW_SIDES)
+def bench_algorithm1_scaling(benchmark, rng, side):
+    window = Box.cube((0, 0), side)
+    # Keep the demand density constant so the workload grows with the window.
+    demand = random_uniform_demand(window, 2 * side * side // 10, rng)
+
+    result = benchmark(lambda: algorithm1(demand, window))
+
+    benchmark.extra_info.update(
+        {
+            "window_side": side,
+            "cells": side * side,
+            "estimate": result.estimate,
+            "terminal_cube_side": result.terminal_cube_side,
+            "early_exit": result.early_exit or "none",
+        }
+    )
+    assert result.estimate > 0
+
+
+@pytest.mark.parametrize("side", [16, 32])
+def bench_algorithm1_approximation(benchmark, rng, side):
+    window = Box.cube((0, 0), side)
+    demand = random_uniform_demand(window, 40 * side, rng)
+
+    result = benchmark(lambda: algorithm1(demand, window))
+
+    lower = omega_star_cubes(demand).omega
+    factor = upper_bound_factor(2)
+    benchmark.extra_info.update(
+        {
+            "window_side": side,
+            "estimate": result.estimate,
+            "omega_star_lower_bound": lower,
+            "estimate_over_lower_bound": result.estimate / max(lower, 1e-9),
+            "paper_approximation_factor": 2 * factor,
+        }
+    )
+    # The estimate upper-bounds W_off >= omega* and is within 2 * factor of
+    # W_off <= factor * omega* (doubling granularity adds at most another 2x).
+    assert result.estimate >= lower - 1e-9
+    assert result.estimate <= 4 * factor * max(lower, 1.0) + factor

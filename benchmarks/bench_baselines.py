@@ -1,0 +1,85 @@
+"""E13 -- Chapter 1 review: classical baselines vs the CMVRP.
+
+The thesis positions the CMVRP against the classical single-depot CVRP and
+the Transportation Problem.  This benchmark converts the paper scenarios
+into classical instances and reports both objectives side by side:
+
+* classical CVRP (Clarke--Wright / sweep / nearest-neighbor): total route
+  length from one central depot, and the max per-route energy it implies;
+* CMVRP (this paper): max per-vehicle energy with a vehicle at every
+  vertex (the audited Lemma 2.2.5 plan).
+
+The shape claim is the motivation of the thesis: with vehicles everywhere
+the min-max energy is far below what any single-depot fleet needs, because
+the depot fleet must pay the travel to reach distant customers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cvrp import (
+    CVRPInstance,
+    clarke_wright,
+    nearest_neighbor_routes,
+    sweep_routes,
+)
+from repro.baselines.transportation import transportation_problem
+from repro.core.offline import offline_bounds
+from repro.workloads.scenarios import paper_scenarios
+
+SCENARIOS = {
+    s.name: s for s in paper_scenarios(random_window=10, random_jobs=150)
+}
+SOLVERS = {
+    "clarke_wright": clarke_wright,
+    "sweep": sweep_routes,
+    "nearest_neighbor": nearest_neighbor_routes,
+}
+
+
+@pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+@pytest.mark.parametrize("scenario_name", ["square", "uniform", "clustered"])
+def bench_cvrp_vs_cmvrp(benchmark, scenario_name, solver_name):
+    demand = SCENARIOS[scenario_name].demand
+    bounds = offline_bounds(demand)
+    vehicle_capacity = max(2 * bounds.constructive_capacity, 10.0)
+    instance = CVRPInstance.from_demand_map(demand, capacity=vehicle_capacity)
+    solver = SOLVERS[solver_name]
+
+    solution = benchmark(lambda: solver(instance))
+
+    benchmark.extra_info.update(
+        {
+            "scenario": scenario_name,
+            "solver": solver_name,
+            "cvrp_total_route_length": solution.total_length(),
+            "cvrp_max_route_energy": solution.max_route_energy(),
+            "cmvrp_max_vehicle_energy": bounds.constructive_capacity,
+            "cmvrp_lower_bound": bounds.omega_star,
+        }
+    )
+    assert solution.is_feasible()
+    # The thesis's motivation: dispersing vehicles beats a central depot on
+    # the min-max energy objective.
+    assert bounds.constructive_capacity <= solution.max_route_energy() + 1e-9
+
+
+def bench_transportation_problem(benchmark, rng):
+    """The classical earth-mover LP on a supply/demand pair derived from a scenario."""
+    demand = SCENARIOS["clustered"].demand
+    # Supply: the same total mass spread uniformly over the demand's bounding box.
+    box = demand.bounding_box()
+    per_vertex = demand.total() / box.size
+    supplies = {point: per_vertex for point in box.points()}
+
+    result = benchmark(lambda: transportation_problem(supplies, demand.as_dict()))
+
+    benchmark.extra_info.update(
+        {
+            "total_mass": demand.total(),
+            "earth_mover_cost": result.cost,
+            "mean_transport_distance": result.cost / demand.total(),
+        }
+    )
+    assert result.cost >= 0

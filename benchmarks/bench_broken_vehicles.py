@@ -1,0 +1,68 @@
+"""E10 -- Chapter 4 / Theorem 4.1.1 / Figure 4.1: broken vehicles.
+
+The LP lower bound of Theorem 4.1.1 evaluates to ``2 r1`` on the Figure 4.1
+instance while the true requirement (executed as the single surviving
+vehicle's shuttle) is ``Theta(r1^2)``: the gap grows linearly with ``r1``.
+The benchmark sweeps ``r1``, times the bound computation, executes the
+shuttle, and asserts the widening gap -- the chapter's main message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.broken import (
+    broken_lower_bound,
+    figure41_actual_requirement,
+    figure41_instance,
+    figure41_lp_lower_bound,
+    simulate_single_vehicle_shuttle,
+)
+from repro.core.demand import DemandMap
+from repro.core.broken import LongevityMap
+
+
+@pytest.mark.parametrize("r1", [2, 4, 8, 16])
+def bench_figure41_gap(benchmark, r1):
+    instance = figure41_instance(r1, 3 * r1)
+
+    lp_bound = benchmark(lambda: figure41_lp_lower_bound(instance))
+
+    shuttle = simulate_single_vehicle_shuttle(instance.jobs, instance.point_k)
+    closed_form = figure41_actual_requirement(r1)
+    benchmark.extra_info.update(
+        {
+            "r1": r1,
+            "paper_lp_lower_bound": 2 * r1,
+            "measured_lp_lower_bound": lp_bound,
+            "paper_actual_requirement": closed_form,
+            "simulated_shuttle_energy": shuttle,
+            "gap_ratio": shuttle / lp_bound,
+        }
+    )
+    assert lp_bound == pytest.approx(2 * r1, rel=1e-6)
+    assert shuttle == pytest.approx(closed_form)
+    assert shuttle / lp_bound >= 0.9 * r1  # the gap grows linearly in r1
+
+
+def bench_healthy_fleet_matches_chapter2(benchmark, rng):
+    """With every longevity at 1 the Chapter 4 bound equals the Chapter 2 one."""
+    demand = DemandMap(
+        {
+            (int(x), int(y)): float(v)
+            for (x, y), v in zip(
+                rng.integers(0, 5, size=(6, 2)), rng.uniform(1, 10, size=6)
+            )
+        }
+    )
+    healthy = LongevityMap(default=1.0)
+
+    broken_value = benchmark(lambda: broken_lower_bound(demand, healthy))
+
+    from repro.core.omega import omega_star_exhaustive
+
+    plain = omega_star_exhaustive(demand).omega
+    benchmark.extra_info.update(
+        {"broken_model_bound": broken_value, "chapter2_bound": plain}
+    )
+    assert broken_value == pytest.approx(plain, rel=1e-6)

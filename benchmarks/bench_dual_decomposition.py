@@ -1,0 +1,56 @@
+"""E7 -- Figures 2.4 / 2.5: the Lemma 2.2.1 alpha -> h decomposition.
+
+Lemma 2.2.1 converts a vertex-weight profile ``alpha`` into nested subset
+weights ``h`` with the same LP objective; Figures 2.4 and 2.5 illustrate
+the level-set peeling.  The benchmark times the decomposition on random
+profiles and asserts the two invariants of the lemma: mass preservation
+(``sum h(T) |T| = sum alpha_i``) and objective equality for demands whose
+radius-r balls stay inside the profile's support.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.lp import alpha_objective, alpha_to_h, h_mass, h_objective
+
+
+def _alpha_profile(rng, side: int):
+    values = rng.random((side, side))
+    values /= values.sum()
+    return {
+        (int(x), int(y)): float(values[x, y])
+        for x in range(side)
+        for y in range(side)
+    }
+
+
+@pytest.mark.parametrize("side", [6, 10, 14])
+def bench_alpha_to_h(benchmark, rng, side):
+    alpha = _alpha_profile(rng, side)
+
+    h = benchmark(lambda: alpha_to_h(alpha))
+
+    # Interior demand points whose radius-1 ball stays inside the profile.
+    demand = DemandMap(
+        {
+            (x, y): 1.0 + ((x * 7 + y * 3) % 5)
+            for x in range(1, side - 1)
+            for y in range(1, side - 1)
+        }
+    )
+    alpha_value = alpha_objective(demand, 1, alpha)
+    h_value = h_objective(demand, 1, h)
+    benchmark.extra_info.update(
+        {
+            "profile_side": side,
+            "num_subsets": len(h),
+            "alpha_mass": sum(alpha.values()),
+            "h_mass": h_mass(h),
+            "lp_2_2_objective": alpha_value,
+            "lp_2_3_objective": h_value,
+        }
+    )
+    assert h_mass(h) == pytest.approx(sum(alpha.values()), rel=1e-9)
+    assert h_value == pytest.approx(alpha_value, rel=1e-9)

@@ -1,0 +1,57 @@
+"""E2 -- Example 2.1.2 / Figures 2.1(b), 2.2: demand d on every point of a line.
+
+The worked example predicts ``W = Theta(W2)`` with ``W2 (2 W2 + 1) = d``
+(a square-root law in d) and exhibits the explicit move-to-the-line
+strategy of Figure 2.2 using ``2 W2`` per vehicle.  The benchmark sweeps d,
+measures the library's bounds, and checks the sqrt scaling and the
+bounded ratio against ``W2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.offline import offline_bounds
+from repro.core.omega import example_line_bound
+from repro.workloads.generators import line_demand
+
+
+@pytest.mark.parametrize("per_point", [5.0, 20.0, 80.0])
+def bench_line_bounds(benchmark, per_point):
+    demand = line_demand(40, per_point)
+
+    bounds = benchmark(lambda: offline_bounds(demand))
+
+    w2 = example_line_bound(per_point)
+    benchmark.extra_info.update(
+        {
+            "per_point_demand": per_point,
+            "paper_W2": w2,
+            "measured_omega_star": bounds.omega_star,
+            "measured_plan_capacity": bounds.constructive_capacity,
+            "plan_over_W2": bounds.constructive_capacity / w2,
+        }
+    )
+    assert bounds.omega_star >= w2 / 4
+    assert bounds.constructive_capacity >= w2 - 1e-9
+    assert bounds.constructive_capacity <= 25 * w2 + 5
+
+
+def bench_line_sqrt_scaling(benchmark):
+    """Quadrupling the per-point demand roughly doubles the requirement."""
+
+    def sweep():
+        return {
+            d: offline_bounds(line_demand(40, d)).omega_star for d in (10.0, 40.0, 160.0)
+        }
+
+    results = benchmark(sweep)
+    benchmark.extra_info.update({f"omega_star_d_{k:g}": v for k, v in results.items()})
+    ratio_low = results[40.0] / results[10.0]
+    ratio_high = results[160.0] / results[40.0]
+    benchmark.extra_info["measured_growth_ratios"] = [ratio_low, ratio_high]
+    benchmark.extra_info["paper_predicted_ratio"] = 2.0
+    assert ratio_low == pytest.approx(2.0, rel=0.5)
+    assert ratio_high == pytest.approx(2.0, rel=0.5)

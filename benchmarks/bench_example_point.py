@@ -1,0 +1,52 @@
+"""E3 -- Example 2.1.3 / Figures 2.1(c), 2.3: all demand at a single point.
+
+The worked example predicts ``W = Theta(W3)`` with ``W3 (2 W3 + 1)^2 = d``
+(a cube-root law) and the Figure 2.3 strategy using ``3 W3`` per vehicle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline import offline_bounds
+from repro.core.omega import example_point_bound
+from repro.workloads.generators import point_demand
+
+
+@pytest.mark.parametrize("total", [64.0, 512.0, 4096.0])
+def bench_point_bounds(benchmark, total):
+    demand = point_demand(total)
+
+    bounds = benchmark(lambda: offline_bounds(demand))
+
+    w3 = example_point_bound(total)
+    benchmark.extra_info.update(
+        {
+            "burst_demand": total,
+            "paper_W3": w3,
+            "measured_omega_star": bounds.omega_star,
+            "measured_plan_capacity": bounds.constructive_capacity,
+            "plan_over_W3": bounds.constructive_capacity / w3,
+        }
+    )
+    assert bounds.omega_star >= w3 - 1e-9
+    assert bounds.omega_star <= 3 * w3 + 2
+    assert bounds.constructive_capacity <= 25 * w3 + 5
+
+
+def bench_point_cube_root_scaling(benchmark):
+    """Multiplying the burst by 8 roughly doubles the requirement."""
+
+    def sweep():
+        return {
+            d: offline_bounds(point_demand(d)).omega_star for d in (100.0, 800.0, 6400.0)
+        }
+
+    results = benchmark(sweep)
+    benchmark.extra_info.update({f"omega_star_d_{k:g}": v for k, v in results.items()})
+    ratio_low = results[800.0] / results[100.0]
+    ratio_high = results[6400.0] / results[800.0]
+    benchmark.extra_info["measured_growth_ratios"] = [ratio_low, ratio_high]
+    benchmark.extra_info["paper_predicted_ratio"] = 2.0
+    assert ratio_low == pytest.approx(2.0, rel=0.5)
+    assert ratio_high == pytest.approx(2.0, rel=0.5)

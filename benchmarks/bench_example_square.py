@@ -1,0 +1,59 @@
+"""E1 -- Example 2.1.1 / Figure 2.1(a): demand d on an a x a square.
+
+The worked example predicts the optimal capacity is ``Theta(W1)`` with
+``W1`` the root of ``W (2W + a)^2 = d a^2``, approaching ``d`` as the
+square grows.  The benchmark sweeps the square side and per-point demand,
+measures the library's lower bound ``omega*`` and the audited constructive
+capacity, and checks both stay within small constants of ``W1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline import offline_bounds, upper_bound_factor
+from repro.core.omega import example_square_bound
+from repro.workloads.generators import square_demand
+
+
+@pytest.mark.parametrize("side,per_point", [(4, 10.0), (8, 10.0), (8, 40.0), (16, 10.0)])
+def bench_square_bounds(benchmark, side, per_point):
+    demand = square_demand(side, per_point)
+
+    bounds = benchmark(lambda: offline_bounds(demand))
+
+    w1 = example_square_bound(side, per_point)
+    benchmark.extra_info.update(
+        {
+            "side": side,
+            "per_point_demand": per_point,
+            "paper_W1": w1,
+            "measured_omega_star": bounds.omega_star,
+            "measured_plan_capacity": bounds.constructive_capacity,
+            "plan_over_W1": bounds.constructive_capacity / w1,
+        }
+    )
+    # Shape checks: W1 lower-bounds any feasible capacity; the audited plan
+    # stays within the thesis's constant of the lower bound.
+    assert bounds.constructive_capacity >= w1 - 1e-9
+    assert bounds.constructive_capacity <= upper_bound_factor(2) * bounds.omega_star + 1e-6
+    assert bounds.omega_star <= per_point + 1e-9
+
+
+def bench_square_w_approaches_d(benchmark):
+    """As the square grows (a >> d), the requirement approaches d."""
+    per_point = 4.0
+
+    def sweep():
+        return {
+            side: offline_bounds(square_demand(side, per_point)).omega_star
+            for side in (4, 16, 64)
+        }
+
+    results = benchmark(sweep)
+    benchmark.extra_info.update({f"omega_star_side_{k}": v for k, v in results.items()})
+    benchmark.extra_info["per_point_demand"] = per_point
+    values = [results[4], results[16], results[64]]
+    assert values == sorted(values)
+    assert results[64] >= 0.6 * per_point
+    assert results[64] <= per_point + 1e-9

@@ -1,0 +1,90 @@
+"""E9 -- Section 3.2.5 scenarios 2/3: initiation failures and dead vehicles.
+
+Scenario 2: a done vehicle fails to start its diffusing computation.
+Scenario 3: a constant number of active vehicles die.  In both cases the
+monitoring loop (heartbeats + watch pointers) must still get every job
+served, at the cost of extra messages and a bounded number of extra
+replacements.  The benchmark runs both scenarios through the real protocol
+and records the recovery statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap, JobSequence
+from repro.core.online import run_online
+from repro.distsim.failures import FailurePlan
+from repro.vehicles.fleet import Fleet, FleetConfig
+
+
+def bench_scenario2_initiation_failure(benchmark):
+    jobs = JobSequence.from_positions([(0, 0)] * 20)
+    plan = FailurePlan()
+    plan.suppress_initiation((0, 0))
+
+    result = benchmark.pedantic(
+        lambda: run_online(
+            jobs,
+            omega=3.0,
+            capacity=8.0,
+            config=FleetConfig(monitoring=True),
+            failure_plan=plan,
+            recovery_rounds=4,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    benchmark.extra_info.update(
+        {
+            "scenario": "2 (done vehicle fails to initiate)",
+            "jobs_served": result.jobs_served,
+            "jobs_total": result.jobs_total,
+            "replacements": result.replacements,
+            "messages": result.messages,
+            "heartbeat_rounds": result.heartbeat_rounds,
+        }
+    )
+    assert result.feasible
+
+
+def _run_scenario3() -> Fleet:
+    demand = DemandMap({(0, 0): 12.0, (1, 1): 6.0})
+    config = FleetConfig(capacity=40.0, monitoring=True)
+    fleet = Fleet(demand, 3.0, config)
+    # Two active vehicles die before any job arrives (a constant number, as
+    # scenario 3 allows).
+    victims = list(fleet.registry.values())[:2]
+    for victim in victims:
+        fleet.crash_vehicle(victim)
+    unserved = 0
+    positions = [(0, 0)] * 12 + [(1, 1)] * 6
+    for position in positions:
+        served = fleet.deliver_job(position)
+        if not served:
+            for _ in range(4):
+                fleet.run_heartbeat_round()
+            served = fleet.retry_job(position)
+        if not served:
+            unserved += 1
+        fleet.run_heartbeat_round()
+    assert unserved == 0
+    return fleet
+
+
+def bench_scenario3_dead_vehicles(benchmark):
+    fleet = benchmark.pedantic(_run_scenario3, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "scenario": "3 (dead active vehicles)",
+            "jobs_unserved": fleet.stats.jobs_unserved,
+            "watch_initiations": fleet.stats.watch_initiations,
+            "replacements": fleet.stats.replacements,
+            "messages": fleet.messages_sent(),
+            "max_vehicle_energy": fleet.max_energy_used(),
+        }
+    )
+    assert fleet.stats.jobs_unserved == 0
+    assert fleet.stats.replacements >= 1

@@ -1,0 +1,73 @@
+"""E14 (extension) -- Chapter 6 future work: CMVRP on general graphs.
+
+Not a figure of the thesis but its explicitly stated open direction.  The
+benchmark checks that the graph generalization degenerates to the lattice
+answers on grid graphs (a consistency requirement for the extension to be
+meaningful) and reports the lower/upper gap on non-lattice topologies,
+which is the quantity the open problem asks about.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.omega import omega_star_exhaustive
+from repro.graphs import GraphMetric, graph_bounds, graph_omega_star
+
+TOPOLOGIES = {
+    "grid_6x6": nx.grid_2d_graph(6, 6),
+    "cycle_24": nx.cycle_graph(24),
+    "tree_depth3": nx.balanced_tree(2, 3),
+    "small_world": nx.connected_watts_strogatz_graph(30, 4, 0.2, seed=7),
+}
+
+
+def _demand_for(graph: nx.Graph) -> dict:
+    nodes = sorted(graph.nodes, key=str)
+    return {nodes[0]: 12.0, nodes[len(nodes) // 2]: 8.0, nodes[-1]: 5.0}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def bench_graph_bounds(benchmark, name):
+    metric = GraphMetric(TOPOLOGIES[name])
+    demand = _demand_for(TOPOLOGIES[name])
+
+    bounds = benchmark.pedantic(
+        lambda: graph_bounds(metric, demand, tolerance=0.05),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    benchmark.extra_info.update(
+        {
+            "topology": name,
+            "nodes": TOPOLOGIES[name].number_of_nodes(),
+            "omega_star_lower_bound": bounds.omega_star,
+            "transport_relaxation": bounds.transport_relaxation,
+            "greedy_upper_bound": bounds.greedy_capacity,
+            "gap": bounds.gap,
+        }
+    )
+    assert bounds.omega_star <= bounds.greedy_capacity + 0.1
+    assert bounds.transport_relaxation == pytest.approx(bounds.omega_star, rel=0.1)
+
+
+def bench_grid_graph_matches_lattice(benchmark):
+    """On a grid graph the generalization reproduces the lattice answer."""
+    graph = nx.grid_2d_graph(5, 5)
+    metric = GraphMetric(graph)
+    demand = {(2, 2): 9.0, (0, 0): 4.0}
+
+    graph_value = benchmark(lambda: graph_omega_star(metric, demand))
+
+    lattice_value = omega_star_exhaustive(DemandMap(demand)).omega
+    benchmark.extra_info.update(
+        {"graph_omega_star": graph_value, "lattice_omega_star": lattice_value}
+    )
+    # The finite 5x5 grid graph truncates neighborhoods at its border, so its
+    # omega can only be larger than (or equal to) the infinite-lattice value.
+    assert graph_value >= lattice_value - 1e-9
+    assert graph_value <= 3 * lattice_value + 1

@@ -1,0 +1,59 @@
+"""E4 -- Table 1 / LP (2.1)-(2.8) duality (Lemmas 2.2.2 and 2.2.3).
+
+The thesis's only table is the primal/dual LP template; its content is the
+chain of equivalences: the supply LP (2.1) equals its dual (2.4)/(2.5),
+equals the closed form ``max_T sum_T d / |N_r(T)|`` (Lemma 2.2.2), and the
+self-radius program (2.8) equals ``max_T omega_T`` (Lemma 2.2.3).  The
+benchmark times the three independent solution paths on the same instances
+and asserts they agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.flows import min_self_radius_capacity
+from repro.core.lp import dual_alpha_lp, lp_value_by_subsets, supply_radius_lp
+from repro.core.omega import omega_star_exhaustive
+from repro.grid.lattice import Box
+from repro.workloads.generators import random_uniform_demand
+
+RADII = [0, 1, 2]
+
+
+def _small_instance(rng) -> DemandMap:
+    # Small enough (at most 16 support points) for the exhaustive-subset
+    # closed form of Lemma 2.2.2 to be evaluated exactly.
+    return random_uniform_demand(Box.cube((0, 0), 4), 30, rng)
+
+
+@pytest.mark.parametrize("radius", RADII)
+def bench_primal_lp(benchmark, rng, radius):
+    demand = _small_instance(rng)
+    solution = benchmark(lambda: supply_radius_lp(demand, radius))
+    dual = dual_alpha_lp(demand, radius)
+    closed_form, _ = lp_value_by_subsets(demand, radius)
+    benchmark.extra_info.update(
+        {
+            "radius": radius,
+            "primal_value": solution.value,
+            "dual_value": dual.value,
+            "lemma_2_2_2_closed_form": closed_form,
+        }
+    )
+    assert solution.value == pytest.approx(dual.value, rel=1e-4)
+    assert solution.value == pytest.approx(closed_form, rel=1e-4)
+
+
+def bench_self_radius_program(benchmark, rng):
+    demand = random_uniform_demand(Box.cube((0, 0), 4), 25, rng)
+    flow_value = benchmark(lambda: min_self_radius_capacity(demand, tolerance=1e-3))
+    combinatorial = omega_star_exhaustive(demand).omega
+    benchmark.extra_info.update(
+        {
+            "program_2_8_value_flow_oracle": flow_value,
+            "max_T_omega_T_exhaustive": combinatorial,
+        }
+    )
+    assert flow_value == pytest.approx(combinatorial, rel=2e-2)

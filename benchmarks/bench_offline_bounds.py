@@ -1,0 +1,38 @@
+"""E5 -- Theorem 1.4.1 / Corollaries 2.2.6-2.2.7: the W_off sandwich.
+
+For every scenario of the paper suite, report the certified lower bound
+``omega*``, the audited constructive capacity (an explicit feasible W), and
+the worst-case upper bound ``(2*3^l + l) * omega*``; the shape claim is the
+ordering and the fact that the realized gap stays far below the analytic
+constant (20 in the plane).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline import offline_bounds, upper_bound_factor
+from repro.workloads.scenarios import paper_scenarios
+
+SCENARIOS = {s.name: s for s in paper_scenarios(random_window=12, random_jobs=250)}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def bench_offline_sandwich(benchmark, name):
+    demand = SCENARIOS[name].demand
+    bounds = benchmark(lambda: offline_bounds(demand))
+    benchmark.extra_info.update(
+        {
+            "scenario": name,
+            "omega_c": bounds.omega_c,
+            "omega_star": bounds.omega_star,
+            "constructive_capacity": bounds.constructive_capacity,
+            "theory_upper_bound": bounds.upper_bound,
+            "realized_gap": bounds.sandwich_ratio,
+            "paper_worst_case_gap": upper_bound_factor(2),
+        }
+    )
+    assert bounds.omega_c <= bounds.omega_star + 1e-9
+    assert bounds.omega_star <= bounds.constructive_capacity + 1e-9
+    assert bounds.constructive_capacity <= bounds.upper_bound + 1e-9
+    assert bounds.sandwich_ratio <= upper_bound_factor(2)

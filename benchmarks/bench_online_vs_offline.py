@@ -1,0 +1,87 @@
+"""E8 -- Theorem 1.4.2 / Figure 3.1 / Algorithm 2: online vs offline.
+
+The decentralized online strategy must serve every job with per-vehicle
+capacity ``(4 * 3^l + l) * omega_c`` and its measured per-vehicle energy
+must stay within that constant of the offline lower bound.  The benchmark
+runs the actual message-passing protocol (Phase I/II included) on the
+paper scenarios and on a replacement-heavy burst, recording energies,
+replacements and message counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.demand import JobSequence
+from repro.core.offline import online_upper_bound_factor
+from repro.core.online import run_online
+from repro.workloads.arrivals import random_arrivals
+from repro.workloads.scenarios import paper_scenarios
+
+SCENARIOS = {
+    s.name: s
+    for s in paper_scenarios(
+        square_side=5,
+        square_per_point=6.0,
+        line_length=12,
+        line_per_point=5.0,
+        point_total=60.0,
+        random_window=8,
+        random_jobs=80,
+    )
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def bench_online_scenarios(benchmark, name):
+    demand = SCENARIOS[name].demand
+    jobs = random_arrivals(demand, np.random.default_rng(17))
+
+    result = benchmark.pedantic(
+        lambda: run_online(jobs), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    factor = online_upper_bound_factor(2)
+    benchmark.extra_info.update(
+        {
+            "scenario": name,
+            "jobs": result.jobs_total,
+            "offline_lower_bound_omega_star": result.omega_star,
+            "provisioned_capacity": result.capacity,
+            "measured_max_vehicle_energy": result.max_vehicle_energy,
+            "online_over_offline": result.online_to_offline_ratio,
+            "paper_constant": factor,
+            "replacements": result.replacements,
+            "messages": result.messages,
+        }
+    )
+    assert result.feasible
+    assert result.max_vehicle_energy <= result.capacity + 1e-9
+    assert result.max_vehicle_energy <= factor * max(result.omega, result.omega_star) + 1e-9
+
+
+def bench_online_replacement_burst(benchmark):
+    """A tight-capacity burst that forces many Phase I/II replacements."""
+    jobs = JobSequence.from_positions([(0, 0)] * 40)
+
+    result = benchmark.pedantic(
+        lambda: run_online(jobs, omega=3.0, capacity=12.0),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    benchmark.extra_info.update(
+        {
+            "jobs": result.jobs_total,
+            "capacity": result.capacity,
+            "replacements": result.replacements,
+            "searches": result.searches,
+            "messages": result.messages,
+            "max_vehicle_energy": result.max_vehicle_energy,
+        }
+    )
+    assert result.feasible
+    assert result.replacements >= 2
+    assert result.messages > 0

@@ -1,0 +1,51 @@
+"""E11 -- Theorem 5.1.1: W_trans-off = Theta(W_off).
+
+Allowing inter-vehicle energy transfers never changes the *order* of the
+required capacity: the transfer-aware lower bound (derived from the
+geometric attrition series over squares) and the no-transfer
+characterization ``omega*`` stay within a constant factor across demand
+scales.  The benchmark sweeps the scale and records both quantities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.omega import omega_star_cubes
+from repro.core.transfer import transfer_lower_bound
+from repro.workloads.generators import square_demand
+
+
+@pytest.mark.parametrize("scale", [1.0, 8.0, 64.0])
+def bench_transfer_vs_offline(benchmark, scale):
+    demand = square_demand(6, 15.0 * scale)
+
+    with_transfer = benchmark(lambda: transfer_lower_bound(demand))
+
+    no_transfer = omega_star_cubes(demand).omega
+    benchmark.extra_info.update(
+        {
+            "demand_scale": scale,
+            "W_off_lower_bound_omega_star": no_transfer,
+            "W_trans_off_lower_bound": with_transfer,
+            "ratio_offline_over_transfer": no_transfer / with_transfer,
+        }
+    )
+    # Transfers never hurt, and help by at most a constant factor.
+    assert with_transfer <= no_transfer + 1e-9
+    assert no_transfer <= 10 * with_transfer
+
+
+def bench_transfer_ratio_stability(benchmark):
+    """The offline/transfer ratio stays flat as the demand grows 81x."""
+
+    def sweep():
+        ratios = []
+        for scale in (1.0, 9.0, 81.0):
+            demand = square_demand(6, 15.0 * scale)
+            ratios.append(omega_star_cubes(demand).omega / transfer_lower_bound(demand))
+        return ratios
+
+    ratios = benchmark(sweep)
+    benchmark.extra_info.update({"ratios_across_scales": ratios})
+    assert max(ratios) / min(ratios) <= 3.0

@@ -1,0 +1,77 @@
+"""E12 -- Section 5.2.1: high-capacity tanks on a line.
+
+With unbounded tanks a single collector sweeps the line, so
+``W_trans-off = Theta(avg_x d(x))`` under both accounting methods; the
+thesis gives exact closed forms.  The benchmark executes the schedule,
+bisects for the minimal feasible initial charge, and compares it with the
+closed forms and with the average demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.transfer import (
+    TransferAccounting,
+    line_tank_requirement,
+    simulate_line_collection,
+)
+
+
+def _minimal_charge(demands, accounting, a1=0.0, a2=0.0) -> float:
+    lo, hi = 0.0, max(1.0, max(demands))
+    while not simulate_line_collection(demands, hi, accounting=accounting, a1=a1, a2=a2).feasible:
+        hi *= 2.0
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if simulate_line_collection(demands, mid, accounting=accounting, a1=a1, a2=a2).feasible:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@pytest.mark.parametrize(
+    "accounting,a1,a2",
+    [(TransferAccounting.FIXED, 0.5, 0.0), (TransferAccounting.VARIABLE, 0.0, 0.05)],
+    ids=["fixed", "variable"],
+)
+def bench_line_tank_requirement(benchmark, accounting, a1, a2):
+    rng = np.random.default_rng(5)
+    demands = list(rng.uniform(0.0, 25.0, size=20))
+    average = sum(demands) / len(demands)
+
+    simulated = benchmark(lambda: _minimal_charge(demands, accounting, a1=a1, a2=a2))
+
+    predicted = line_tank_requirement(demands, accounting=accounting, a1=a1, a2=a2)
+    benchmark.extra_info.update(
+        {
+            "accounting": accounting.value,
+            "line_length": len(demands),
+            "average_demand": average,
+            "paper_closed_form": predicted,
+            "simulated_minimal_charge": simulated,
+        }
+    )
+    tolerance = 0.05 if accounting == TransferAccounting.FIXED else 0.25
+    assert simulated == pytest.approx(predicted, rel=tolerance)
+    # Theta(avg d): the requirement tracks the average, not the maximum.
+    assert simulated <= 3 * average + 5
+
+
+def bench_tank_requirement_scales_with_average(benchmark):
+    """Doubling every demand doubles the requirement (once demands dominate)."""
+
+    def sweep():
+        base = [30.0] * 24
+        doubled = [60.0] * 24
+        low = _minimal_charge(base, TransferAccounting.FIXED, a1=0.3)
+        high = _minimal_charge(doubled, TransferAccounting.FIXED, a1=0.3)
+        return low, high
+
+    low, high = benchmark(sweep)
+    benchmark.extra_info.update(
+        {"requirement_avg_30": low, "requirement_avg_60": high, "ratio": high / low}
+    )
+    assert high / low == pytest.approx(2.0, rel=0.15)

@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark corresponds to one experiment of DESIGN.md's per-experiment
+index (E1--E13); each records the quantities the paper's worked example or
+theorem predicts next to the measured ones via ``benchmark.extra_info`` so
+that ``--benchmark-json`` output carries the full comparison, and asserts
+the *shape* claims (who wins, how things scale) so a regression in the
+reproduction fails loudly even in benchmark mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by the randomized benchmarks."""
+    return np.random.default_rng(20080803)

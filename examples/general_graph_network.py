@@ -1,0 +1,91 @@
+"""CMVRP beyond the grid: a campus network modeled as a general graph.
+
+Chapter 6 of the thesis lists "results for graphs in general" as an open
+direction.  The library's :mod:`repro.graphs` subpackage carries the
+*offline* characterization over to arbitrary connected graphs: the
+``omega_T`` lower bound is graph-agnostic, the transport relaxation is a
+max-flow, and an audited greedy plan supplies the upper bound.
+
+This example builds a small "campus" (three dense buildings joined by
+corridors), puts bursty demand in two of them, and reports the bound
+ladder -- including the lower/upper gap that the thesis leaves open on
+general graphs.
+
+Run with::
+
+    python examples/general_graph_network.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis.report import Table
+from repro.graphs import GraphMetric, graph_bounds, graph_greedy_plan
+
+
+def build_campus() -> nx.Graph:
+    """Three 3x3 grid 'buildings' connected by 4-hop corridors."""
+    campus = nx.Graph()
+    buildings = {}
+    for name, offset in (("A", 0), ("B", 100), ("C", 200)):
+        block = nx.grid_2d_graph(3, 3)
+        relabeled = nx.relabel_nodes(block, {node: (name, node) for node in block})
+        campus.update(relabeled)
+        buildings[name] = [(name, node) for node in block]
+    # Corridors: A(2,1) -- hallway -- B(0,1), B(2,1) -- hallway -- C(0,1).
+    for left, right, tag in ((("A", (2, 1)), ("B", (0, 1)), "ab"), (("B", (2, 1)), ("C", (0, 1)), "bc")):
+        previous = left
+        for step in range(1, 4):
+            hall = (f"hall-{tag}", step)
+            campus.add_edge(previous, hall)
+            previous = hall
+        campus.add_edge(previous, right)
+    return campus
+
+
+def main() -> None:
+    campus = build_campus()
+    metric = GraphMetric(campus)
+    print(
+        f"Campus graph: {campus.number_of_nodes()} nodes, "
+        f"{campus.number_of_edges()} edges, diameter {metric.diameter():.0f}."
+    )
+
+    # Bursty workloads in buildings A and C; building B is quiet but its
+    # sensors are in range to help.
+    demand = {
+        ("A", (1, 1)): 20.0,
+        ("A", (0, 0)): 6.0,
+        ("C", (1, 1)): 14.0,
+        ("C", (2, 2)): 4.0,
+    }
+
+    bounds = graph_bounds(metric, demand, tolerance=0.05)
+    table = Table(
+        "Offline CMVRP bounds on the campus graph",
+        ["quantity", "value"],
+    )
+    table.add_row("omega* lower bound (graph analogue of Thm 1.4.1)", bounds.omega_star)
+    table.add_row("transport relaxation (program (2.8) on the graph)", bounds.transport_relaxation)
+    table.add_row("greedy audited upper bound", bounds.greedy_capacity)
+    table.add_row("upper/lower gap (open problem on general graphs)", bounds.gap)
+    print(table.render())
+
+    plan = graph_greedy_plan(metric, demand, bounds.greedy_capacity)
+    used = len(plan.routes)
+    print(
+        f"\nThe audited plan uses {used} of {campus.number_of_nodes()} sensors; "
+        f"max per-sensor energy {plan.max_vehicle_energy():.2f}."
+    )
+    print(
+        "On the lattice the thesis closes the gap with the cube partition; "
+        "no such partition exists here, which is exactly the open question "
+        "Chapter 6 raises."
+    )
+
+    assert plan.covers(demand)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Highway traffic sensing: the line example (Example 2.1.2, Figure 2.2).
+
+The thesis motivates the line-shaped demand with mobile vehicles detecting
+traffic flow on a highway: every point of a line segment requires ``d``
+units of service, and sensors parked in the plane around the highway must
+drive to it.  Example 2.1.2 shows the optimal capacity is ``Theta(W2)``
+with ``W2`` the root of ``W (2W + 1) = d`` -- i.e. it scales with the
+*square root* of the per-point demand because an entire two-dimensional
+strip of width ``W`` can reach the line.
+
+This example sweeps the per-point demand, compares the library's general
+bounds against the closed form, and runs the online protocol on one of the
+settings to confirm the decentralized strategy also lands within a
+constant of ``W2``.
+
+Run with::
+
+    python examples/highway_line_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import offline_bounds, run_online
+from repro.analysis.report import Table
+from repro.core.omega import example_line_bound
+from repro.workloads.arrivals import random_arrivals
+from repro.workloads.generators import line_demand
+
+
+def main() -> None:
+    highway_length = 30
+
+    sweep = Table(
+        "Example 2.1.2 -- demand d on every point of a line (highway)",
+        ["d per point", "W2 (closed form)", "omega* (library)", "plan max energy", "plan/W2"],
+    )
+    for per_point in (5.0, 10.0, 20.0, 40.0, 80.0):
+        demand = line_demand(highway_length, per_point)
+        bounds = offline_bounds(demand)
+        w2 = example_line_bound(per_point)
+        sweep.add_row(
+            per_point,
+            w2,
+            bounds.omega_star,
+            bounds.constructive_capacity,
+            bounds.constructive_capacity / w2,
+        )
+    print(sweep.render())
+    print(
+        "\nThe ratio column stays bounded as d grows: the general machinery "
+        "tracks the sqrt(d) law of the worked example.\n"
+    )
+
+    # Online: a day of traffic readings arriving in random order.
+    per_point = 20.0
+    demand = line_demand(highway_length, per_point)
+    jobs = random_arrivals(demand, np.random.default_rng(42))
+    result = run_online(jobs)
+    online = Table(
+        "Online run on the d = 20 highway workload",
+        ["quantity", "value"],
+    )
+    online.add_row("jobs served / total", f"{result.jobs_served}/{result.jobs_total}")
+    online.add_row("W2 closed form", example_line_bound(per_point))
+    online.add_row("max per-vehicle energy (online)", result.max_vehicle_energy)
+    online.add_row("provisioned capacity", result.capacity)
+    online.add_row("replacements", result.replacements)
+    print(online.render())
+
+    assert result.feasible
+
+
+if __name__ == "__main__":
+    main()

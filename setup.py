@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only
+so that editable installs work in offline environments whose setuptools
+lacks PEP 517 wheel support (see the note in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

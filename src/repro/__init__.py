@@ -1,0 +1,96 @@
+"""repro: a reproduction of "On a Capacitated Multivehicle Routing Problem".
+
+The package implements the Capacitated Multivehicle Routing Problem (CMVRP)
+of Gao's 2008 thesis: vehicles with a shared battery capacity ``W`` sit at
+every vertex of the lattice ``Z^l``, travel and job service both drain the
+battery, and the question is the smallest ``W`` that lets the fleet serve a
+given demand -- offline (Chapter 2), online and decentralized (Chapter 3),
+with broken vehicles (Chapter 4), and with inter-vehicle energy transfers
+(Chapter 5).
+
+Quickstart::
+
+    from repro import offline_bounds, run_online
+    from repro.workloads import square_demand
+    from repro.workloads.arrivals import random_arrivals
+    import numpy as np
+
+    demand = square_demand(side=6, demand=10.0)
+    bounds = offline_bounds(demand)            # omega*, upper bounds, plan
+    jobs = random_arrivals(demand, np.random.default_rng(0))
+    result = run_online(jobs)                  # decentralized simulation
+    print(bounds.omega_star, result.max_vehicle_energy)
+
+Subpackages
+-----------
+``repro.grid``
+    The lattice substrate (Manhattan metric, neighborhoods, cubes, coloring).
+``repro.core``
+    Demand model, the omega/LP characterization, Algorithm 1, the
+    constructive offline plan, the online harness, and the Chapter 4/5
+    extensions.
+``repro.distsim``
+    Discrete-event message-passing simulation and the Dijkstra--Scholten
+    diffusing computation.
+``repro.vehicles``
+    The online vehicle protocol (state machine, Phase I/II, monitoring).
+``repro.workloads``
+    Demand generators and arrival orderings.
+``repro.baselines``
+    Classical TSP/CVRP/transportation baselines and a greedy CMVRP heuristic.
+``repro.analysis``
+    Bound ladders and plain-text experiment tables.
+``repro.io``
+    JSON serialization of workloads, plans, and results.
+"""
+
+from repro.core.demand import DemandMap, Job, JobSequence
+from repro.core.offline import (
+    Algorithm1Result,
+    OfflineBounds,
+    algorithm1,
+    offline_bounds,
+    online_upper_bound_factor,
+    upper_bound_factor,
+)
+from repro.core.omega import (
+    omega_c,
+    omega_for_region,
+    omega_star_cubes,
+    omega_star_exhaustive,
+)
+from repro.core.online import OnlineResult, run_online
+from repro.core.plan import ServicePlan, VehicleRoute, build_cube_plan
+from repro.core.feasibility import PlanAudit, audit_plan, minimal_feasible_capacity
+from repro.grid.lattice import Box, manhattan
+from repro.grid.regions import Region
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DemandMap",
+    "Job",
+    "JobSequence",
+    "Box",
+    "Region",
+    "manhattan",
+    "omega_for_region",
+    "omega_star_cubes",
+    "omega_star_exhaustive",
+    "omega_c",
+    "Algorithm1Result",
+    "OfflineBounds",
+    "algorithm1",
+    "offline_bounds",
+    "upper_bound_factor",
+    "online_upper_bound_factor",
+    "ServicePlan",
+    "VehicleRoute",
+    "build_cube_plan",
+    "PlanAudit",
+    "audit_plan",
+    "minimal_feasible_capacity",
+    "OnlineResult",
+    "run_online",
+    "__version__",
+]

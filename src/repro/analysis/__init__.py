@@ -1,0 +1,14 @@
+"""Analysis helpers: bound assembly and experiment reporting.
+
+* :mod:`repro.analysis.bounds` -- put every theoretical and empirical bound
+  for one demand map side by side (lower bounds, constructive upper bounds,
+  heuristic upper bounds, online measurements).
+* :mod:`repro.analysis.report` -- tiny plain-text table formatting used by
+  the examples and the benchmark harness so that every experiment prints
+  the same kind of rows the thesis's worked examples describe.
+"""
+
+from repro.analysis.bounds import BoundsReport, bounds_report
+from repro.analysis.report import Table, format_table
+
+__all__ = ["BoundsReport", "bounds_report", "Table", "format_table"]

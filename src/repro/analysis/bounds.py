@@ -1,0 +1,106 @@
+"""Assemble the full ladder of bounds for one demand map.
+
+For a given demand map the thesis gives (Chapter 2):
+
+    omega_c  <=  omega*  <=  W_off  <=  constructive plan  <=  (2*3^l + l) omega*
+
+and, for the online case (Chapter 3):
+
+    W_off  <=  W_on  <=  (4*3^l + l) omega_c.
+
+:func:`bounds_report` computes every rung that is computable for the
+instance size at hand (the exhaustive-subset and explicit-LP rungs are only
+attempted on small supports) so that tests and benchmarks can assert the
+ordering and report the realized constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.greedy import greedy_nearest_vehicle_plan
+from repro.core.demand import DemandMap
+from repro.core.feasibility import audit_plan, minimal_feasible_capacity
+from repro.core.flows import min_self_radius_capacity
+from repro.core.offline import offline_bounds, upper_bound_factor
+from repro.core.omega import omega_star_exhaustive
+
+__all__ = ["BoundsReport", "bounds_report"]
+
+#: Above this support size the exhaustive-subset and flow cross-checks are
+#: skipped (they exist to validate the scalable paths, not to run at scale).
+SMALL_SUPPORT = 12
+
+
+@dataclass
+class BoundsReport:
+    """Every bound we can compute for one demand map."""
+
+    dim: int
+    total_demand: float
+    #: Cube-restricted ``max_T omega_T`` (always computed).
+    omega_star_cubes: float
+    #: Exhaustive-subset ``max_T omega_T`` (small supports only).
+    omega_star_exhaustive: Optional[float]
+    #: The Corollary 2.2.7 fixed point.
+    omega_c: float
+    #: Value of program (2.8) via the max-flow oracle (small supports only).
+    lp_self_radius: Optional[float]
+    #: Max per-vehicle energy of the audited Lemma 2.2.5 plan.
+    constructive_capacity: float
+    #: Smallest capacity at which the greedy nearest-vehicle plan is feasible.
+    greedy_capacity: Optional[float]
+    #: The worst-case factor ``2 * 3^l + l``.
+    offline_factor: int
+
+    @property
+    def lower_bound(self) -> float:
+        """The best certified lower bound on ``W_off``."""
+        return max(self.omega_star_cubes, self.omega_c)
+
+    @property
+    def best_upper_bound(self) -> float:
+        """The best audited upper bound on ``W_off``."""
+        candidates = [self.constructive_capacity]
+        if self.greedy_capacity is not None:
+            candidates.append(self.greedy_capacity)
+        return min(candidates)
+
+    @property
+    def realized_gap(self) -> float:
+        """``best upper bound / lower bound`` (1.0 means the sandwich is tight)."""
+        if self.lower_bound == 0:
+            return 1.0
+        return self.best_upper_bound / self.lower_bound
+
+
+def bounds_report(
+    demand: DemandMap,
+    *,
+    include_greedy: bool = True,
+    greedy_tolerance: float = 0.05,
+) -> BoundsReport:
+    """Compute the ladder of bounds for one demand map."""
+    offline = offline_bounds(demand)
+    small = len(demand) <= SMALL_SUPPORT
+    exhaustive = omega_star_exhaustive(demand).omega if small else None
+    lp_value = min_self_radius_capacity(demand) if small else None
+    greedy_capacity: Optional[float] = None
+    if include_greedy and not demand.is_empty():
+        greedy_capacity, _ = minimal_feasible_capacity(
+            demand,
+            lambda capacity: greedy_nearest_vehicle_plan(demand, capacity),
+            tolerance=greedy_tolerance,
+        )
+    return BoundsReport(
+        dim=demand.dim,
+        total_demand=demand.total(),
+        omega_star_cubes=offline.omega_star,
+        omega_star_exhaustive=exhaustive,
+        omega_c=offline.omega_c,
+        lp_self_radius=lp_value,
+        constructive_capacity=offline.constructive_capacity,
+        greedy_capacity=greedy_capacity,
+        offline_factor=upper_bound_factor(demand.dim),
+    )

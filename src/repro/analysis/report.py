@@ -1,0 +1,68 @@
+"""Plain-text tables for examples and the benchmark harness.
+
+The thesis has no numeric result tables, so the reproduction's experiments
+print their own: one row per scenario/parameter setting, with the paper's
+predicted quantity next to the measured one.  Keeping the formatting in one
+place means every benchmark emits the same kind of output, which is what
+``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a list of rows as an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """An accumulating table: add rows as an experiment sweeps parameters."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cell count must match the headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """The title plus the formatted table body."""
+        return f"{self.title}\n{format_table(self.headers, self.rows)}"
+
+    def __str__(self) -> str:
+        return self.render()

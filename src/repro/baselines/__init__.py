@@ -1,0 +1,41 @@
+"""Classical baselines reviewed in Chapter 1 of the thesis.
+
+The thesis positions the CMVRP against the classical vehicle-routing
+literature: the original VRP/TSP, the Capacitated VRP served from a central
+depot, and the Transportation Problem (earth mover's distance).  These
+baselines are implemented here both to reproduce that review concretely and
+to contrast objectives in benchmark E13: classical CVRP minimizes *total
+route length from one depot*, whereas the CMVRP minimizes the *maximum
+per-vehicle energy* with vehicles everywhere.
+
+* :mod:`repro.baselines.tsp` -- nearest-neighbor and 2-opt tours.
+* :mod:`repro.baselines.cvrp` -- Clarke--Wright savings, sweep, and
+  nearest-neighbor route construction for single-depot CVRP.
+* :mod:`repro.baselines.transportation` -- the classical transportation LP.
+* :mod:`repro.baselines.greedy` -- a greedy nearest-vehicle CMVRP heuristic
+  used as an empirical upper bound on ``W_off``.
+"""
+
+from repro.baselines.tsp import nearest_neighbor_tour, tour_length, two_opt
+from repro.baselines.cvrp import (
+    CVRPInstance,
+    CVRPSolution,
+    clarke_wright,
+    nearest_neighbor_routes,
+    sweep_routes,
+)
+from repro.baselines.transportation import transportation_problem
+from repro.baselines.greedy import greedy_nearest_vehicle_plan
+
+__all__ = [
+    "nearest_neighbor_tour",
+    "two_opt",
+    "tour_length",
+    "CVRPInstance",
+    "CVRPSolution",
+    "clarke_wright",
+    "sweep_routes",
+    "nearest_neighbor_routes",
+    "transportation_problem",
+    "greedy_nearest_vehicle_plan",
+]

@@ -1,0 +1,279 @@
+"""Single-depot Capacitated VRP baselines (Clarke--Wright, sweep, NN).
+
+The classical CVRP dispatches a fleet from one central depot; every vehicle
+has the same *service* capacity and the objective is the total length of
+all routes.  This is the model the thesis contrasts with: CMVRP has a
+vehicle (and depot) at every vertex, an energy budget that covers travel
+*and* service, and a min-max objective.  Benchmark E13 converts CMVRP
+workloads into CVRP instances and reports both objectives side by side.
+
+Implemented heuristics (all standard, all deterministic):
+
+* :func:`clarke_wright` -- the savings algorithm of Clarke and Wright
+  (reference [4] of the thesis).
+* :func:`sweep_routes` -- the sweep heuristic of Gillett and Miller
+  (reference [9]): sort customers by polar angle around the depot, cut the
+  circle into capacity-feasible sectors, order each sector with 2-opt.
+* :func:`nearest_neighbor_routes` -- repeatedly send a vehicle to the
+  nearest unserved customer until its capacity is exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.tsp import tour_length, two_opt
+from repro.core.demand import DemandMap
+from repro.grid.lattice import Point, manhattan
+
+__all__ = [
+    "CVRPInstance",
+    "CVRPSolution",
+    "clarke_wright",
+    "sweep_routes",
+    "nearest_neighbor_routes",
+]
+
+
+@dataclass(frozen=True)
+class CVRPInstance:
+    """A single-depot CVRP instance under the Manhattan metric."""
+
+    depot: Point
+    demands: Dict[Point, float]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "depot", tuple(int(c) for c in self.depot))
+        cleaned = {}
+        for point, value in self.demands.items():
+            value = float(value)
+            if value < 0:
+                raise ValueError(f"negative demand {value} at {point}")
+            if value > self.capacity:
+                raise ValueError(
+                    f"demand {value} at {point} exceeds the vehicle capacity "
+                    f"{self.capacity}; classical CVRP forbids split deliveries"
+                )
+            if value > 0:
+                cleaned[tuple(int(c) for c in point)] = value
+        object.__setattr__(self, "demands", cleaned)
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    @staticmethod
+    def from_demand_map(
+        demand: DemandMap, *, capacity: float, depot: Sequence[int] | None = None
+    ) -> "CVRPInstance":
+        """Derive a CVRP instance from a CMVRP demand map.
+
+        The depot defaults to the center of the demand's bounding box --
+        the classical "central depot" the thesis contrasts with.  Demands
+        larger than the capacity are split into full loads plus a remainder
+        (the standard preprocessing for unsplittable CVRP).
+        """
+        if demand.is_empty():
+            raise ValueError("cannot build a CVRP instance from empty demand")
+        if depot is None:
+            depot = demand.bounding_box().center()
+        demands: Dict[Point, float] = {}
+        extra_full_loads: List[Point] = []
+        for point, value in demand.items():
+            while value > capacity:
+                extra_full_loads.append(point)
+                value -= capacity
+            if value > 0:
+                demands[point] = demands.get(point, 0.0) + value
+        instance = CVRPInstance(tuple(depot), demands, capacity)
+        if extra_full_loads:
+            # Full loads become dedicated out-and-back routes; record them so
+            # solvers can account for their cost uniformly.
+            object.__setattr__(instance, "_full_load_stops", tuple(extra_full_loads))
+        return instance
+
+    @property
+    def full_load_stops(self) -> Tuple[Point, ...]:
+        """Customers requiring dedicated full-capacity round trips."""
+        return getattr(self, "_full_load_stops", ())
+
+    def customers(self) -> List[Point]:
+        """Customer positions in deterministic order."""
+        return sorted(self.demands)
+
+    def distance(self, a: Sequence[int], b: Sequence[int]) -> float:
+        """Manhattan distance between two positions."""
+        return float(manhattan(a, b))
+
+
+@dataclass
+class CVRPSolution:
+    """A set of depot-rooted routes."""
+
+    instance: CVRPInstance
+    routes: List[List[Point]] = field(default_factory=list)
+
+    def route_load(self, route: Sequence[Point]) -> float:
+        """Total demand served by one route."""
+        return sum(self.instance.demands.get(stop, 0.0) for stop in route)
+
+    def route_length(self, route: Sequence[Point]) -> float:
+        """Length of depot -> stops -> depot."""
+        if not route:
+            return 0.0
+        path = [self.instance.depot, *route, self.instance.depot]
+        return tour_length(path, closed=False)
+
+    def total_length(self) -> float:
+        """The classical CVRP objective: summed route length."""
+        total = sum(self.route_length(route) for route in self.routes)
+        # Dedicated full-load round trips (from demand splitting).
+        for stop in self.instance.full_load_stops:
+            total += 2 * self.instance.distance(self.instance.depot, stop)
+        return total
+
+    def max_route_energy(self) -> float:
+        """The CMVRP-style objective: the largest travel+service of one route."""
+        best = 0.0
+        for route in self.routes:
+            energy = self.route_length(route) + self.route_load(route)
+            best = max(best, energy)
+        for stop in self.instance.full_load_stops:
+            energy = 2 * self.instance.distance(self.instance.depot, stop) + self.instance.capacity
+            best = max(best, energy)
+        return best
+
+    def is_feasible(self) -> bool:
+        """Every customer served exactly once, every route within capacity."""
+        seen: Dict[Point, int] = {}
+        for route in self.routes:
+            if self.route_load(route) > self.instance.capacity + 1e-9:
+                return False
+            for stop in route:
+                seen[stop] = seen.get(stop, 0) + 1
+        return all(seen.get(c, 0) == 1 for c in self.instance.customers())
+
+
+def clarke_wright(instance: CVRPInstance) -> CVRPSolution:
+    """The Clarke--Wright parallel savings algorithm.
+
+    Start with one out-and-back route per customer; repeatedly merge the two
+    routes whose endpoints give the largest positive saving
+    ``s(i, j) = d(depot, i) + d(depot, j) - d(i, j)``, subject to capacity,
+    until no merge is possible.
+    """
+    customers = instance.customers()
+    depot = instance.depot
+    routes: Dict[int, List[Point]] = {k: [c] for k, c in enumerate(customers)}
+    route_of: Dict[Point, int] = {c: k for k, c in enumerate(customers)}
+    loads: Dict[int, float] = {
+        k: instance.demands[c] for k, c in enumerate(customers)
+    }
+
+    savings: List[Tuple[float, Point, Point]] = []
+    for i, a in enumerate(customers):
+        for b in customers[i + 1 :]:
+            saving = (
+                instance.distance(depot, a)
+                + instance.distance(depot, b)
+                - instance.distance(a, b)
+            )
+            if saving > 1e-12:
+                savings.append((saving, a, b))
+    savings.sort(key=lambda item: (-item[0], item[1], item[2]))
+
+    for saving, a, b in savings:
+        ra, rb = route_of[a], route_of[b]
+        if ra == rb:
+            continue
+        route_a, route_b = routes[ra], routes[rb]
+        if loads[ra] + loads[rb] > instance.capacity + 1e-9:
+            continue
+        # Merging is only allowed end-to-end: ``a`` must be at a boundary of
+        # its route and ``b`` at a boundary of its route.
+        if route_a[-1] == a and route_b[0] == b:
+            merged = route_a + route_b
+        elif route_b[-1] == b and route_a[0] == a:
+            merged = route_b + route_a
+        elif route_a[0] == a and route_b[0] == b:
+            merged = list(reversed(route_a)) + route_b
+        elif route_a[-1] == a and route_b[-1] == b:
+            merged = route_a + list(reversed(route_b))
+        else:
+            continue
+        routes[ra] = merged
+        loads[ra] += loads[rb]
+        del routes[rb]
+        del loads[rb]
+        for stop in merged:
+            route_of[stop] = ra
+
+    return CVRPSolution(instance, [routes[k] for k in sorted(routes)])
+
+
+def sweep_routes(instance: CVRPInstance) -> CVRPSolution:
+    """The sweep heuristic (two-dimensional instances only)."""
+    customers = instance.customers()
+    if customers and len(customers[0]) != 2:
+        raise ValueError("the sweep heuristic is defined for planar instances")
+    depot = instance.depot
+
+    def angle(point: Point) -> float:
+        return math.atan2(point[1] - depot[1], point[0] - depot[0])
+
+    ordered = sorted(customers, key=lambda p: (angle(p), manhattan(depot, p), p))
+    routes: List[List[Point]] = []
+    current: List[Point] = []
+    load = 0.0
+    for customer in ordered:
+        demand = instance.demands[customer]
+        if current and load + demand > instance.capacity + 1e-9:
+            routes.append(current)
+            current, load = [], 0.0
+        current.append(customer)
+        load += demand
+    if current:
+        routes.append(current)
+    improved = [
+        _order_route(instance, route) for route in routes
+    ]
+    return CVRPSolution(instance, improved)
+
+
+def nearest_neighbor_routes(instance: CVRPInstance) -> CVRPSolution:
+    """Send vehicles to the nearest unserved customer until capacity runs out."""
+    unserved = set(instance.customers())
+    routes: List[List[Point]] = []
+    while unserved:
+        position = instance.depot
+        load = 0.0
+        route: List[Point] = []
+        while True:
+            candidates = [
+                c
+                for c in sorted(unserved)
+                if load + instance.demands[c] <= instance.capacity + 1e-9
+            ]
+            if not candidates:
+                break
+            nxt = min(candidates, key=lambda c: (manhattan(position, c), c))
+            route.append(nxt)
+            unserved.remove(nxt)
+            load += instance.demands[nxt]
+            position = nxt
+        if not route:
+            raise RuntimeError("no customer fits the capacity (should be impossible)")
+        routes.append(route)
+    return CVRPSolution(instance, routes)
+
+
+def _order_route(instance: CVRPInstance, route: List[Point]) -> List[Point]:
+    """Order the stops of one route with 2-opt (keeping the depot implicit)."""
+    if len(route) <= 2:
+        return route
+    closed = two_opt([instance.depot, *route])
+    # Rotate so the depot is first, then drop it.
+    depot_index = closed.index(instance.depot)
+    rotated = closed[depot_index:] + closed[:depot_index]
+    return rotated[1:]

@@ -1,0 +1,88 @@
+"""A greedy nearest-vehicle heuristic for the CMVRP itself.
+
+Given a capacity ``W`` the heuristic assigns demand to vehicles greedily:
+each demand point repeatedly pulls energy from the nearest vehicle that can
+still reach it and has budget left (travel from the vehicle's *current*
+position plus the served amount must fit in ``W``).  The result is a
+:class:`~repro.core.plan.ServicePlan` that can be audited like any other,
+so the heuristic doubles as a capacity-parameterized plan builder for
+:func:`repro.core.feasibility.minimal_feasible_capacity`: bisecting over
+``W`` yields an independent empirical upper bound on ``W_off`` to place
+next to the ``omega*`` lower bound and the Lemma 2.2.5 construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.demand import DemandMap
+from repro.core.plan import ServicePlan, VehicleRoute
+from repro.grid.lattice import Point, manhattan
+from repro.grid.regions import neighborhood
+
+__all__ = ["greedy_nearest_vehicle_plan"]
+
+
+def greedy_nearest_vehicle_plan(
+    demand: DemandMap,
+    capacity: float,
+    *,
+    search_radius: Optional[int] = None,
+) -> ServicePlan:
+    """Build a greedy plan for capacity ``W = capacity``.
+
+    Vehicles exist at every lattice point within ``search_radius`` of the
+    demand support (default: ``ceil(capacity)``, since a vehicle further
+    away could never arrive with energy to spare).  Demand points are
+    processed in decreasing demand order; each repeatedly takes as much as
+    possible from the nearest vehicle with remaining budget.  The produced
+    plan may be infeasible (some demand unserved) when the capacity is too
+    small -- the audit reports that, which is exactly what the bisection in
+    ``minimal_feasible_capacity`` needs.
+    """
+    dim = demand.dim
+    plan = ServicePlan(dim=dim, metadata={"capacity": float(capacity), "heuristic": 1.0})
+    if demand.is_empty():
+        return plan
+    if capacity <= 0:
+        return plan
+    radius = search_radius if search_radius is not None else int(math.ceil(capacity))
+    support = demand.support()
+    vehicle_positions = sorted(neighborhood(support, radius))
+
+    # Mutable per-vehicle state: remaining budget, current position, stops.
+    budget: Dict[Point, float] = {v: float(capacity) for v in vehicle_positions}
+    position: Dict[Point, Point] = {v: v for v in vehicle_positions}
+    stops: Dict[Point, List[Tuple[Point, float]]] = {v: [] for v in vehicle_positions}
+
+    order = sorted(demand.items(), key=lambda item: (-item[1], item[0]))
+    for target, required in order:
+        remaining = float(required)
+        while remaining > 1e-9:
+            best_vehicle: Optional[Point] = None
+            best_key: Optional[Tuple[float, float, Point]] = None
+            for vehicle in vehicle_positions:
+                if budget[vehicle] <= 1e-9:
+                    continue
+                walk = manhattan(position[vehicle], target)
+                available = budget[vehicle] - walk
+                if available <= 1e-9:
+                    continue
+                key = (float(walk), -available, vehicle)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_vehicle = vehicle
+            if best_vehicle is None:
+                break  # capacity too small; leave the remainder unserved
+            walk = manhattan(position[best_vehicle], target)
+            serve = min(remaining, budget[best_vehicle] - walk)
+            budget[best_vehicle] -= walk + serve
+            position[best_vehicle] = target
+            stops[best_vehicle].append((target, serve))
+            remaining -= serve
+
+    for vehicle in vehicle_positions:
+        if stops[vehicle]:
+            plan.add(VehicleRoute(start=vehicle, stops=tuple(stops[vehicle])))
+    return plan

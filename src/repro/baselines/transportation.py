@@ -1,0 +1,85 @@
+"""The classical Transportation Problem (earth mover's distance).
+
+Section 2.2 carefully distinguishes the supply LP (2.1) from the classical
+Transportation Problem: there, both supply and demand distributions are
+known and the objective is the minimal transport *cost* (the earth mover's
+distance); in the thesis the supply is part of the unknowns and the
+transport distance is bounded.  Implementing the classical problem lets the
+tests and benchmark E13 show that distinction numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.grid.lattice import Point, manhattan
+
+__all__ = ["TransportationResult", "transportation_problem"]
+
+
+@dataclass(frozen=True)
+class TransportationResult:
+    """Optimal transport between a supply and a demand distribution."""
+
+    cost: float
+    flows: Dict[Tuple[Point, Point], float]
+
+
+def transportation_problem(
+    supplies: Mapping[Sequence[int], float],
+    demands: Mapping[Sequence[int], float],
+) -> TransportationResult:
+    """Solve the balanced transportation problem under the Manhattan metric.
+
+    ``supplies`` and ``demands`` map positions to non-negative amounts; the
+    totals must match (the balanced case the earth mover's distance assumes).
+    Returns the minimal total ``flow * distance`` cost and the optimal flows.
+    """
+    supply_points = [tuple(int(c) for c in p) for p in supplies]
+    demand_points = [tuple(int(c) for c in p) for p in demands]
+    supply_values = np.array([float(supplies[p]) for p in supplies], dtype=float)
+    demand_values = np.array([float(demands[p]) for p in demands], dtype=float)
+    if (supply_values < 0).any() or (demand_values < 0).any():
+        raise ValueError("supplies and demands must be non-negative")
+    if abs(supply_values.sum() - demand_values.sum()) > 1e-9 * max(1.0, supply_values.sum()):
+        raise ValueError(
+            "unbalanced instance: total supply "
+            f"{supply_values.sum():g} != total demand {demand_values.sum():g}"
+        )
+    if not supply_points or not demand_points:
+        return TransportationResult(0.0, {})
+
+    num_s, num_d = len(supply_points), len(demand_points)
+    costs = np.zeros(num_s * num_d)
+    for i, s in enumerate(supply_points):
+        for j, d in enumerate(demand_points):
+            costs[i * num_d + j] = manhattan(s, d)
+
+    # Equality constraints: each supply fully shipped, each demand fully met.
+    a_eq = np.zeros((num_s + num_d, num_s * num_d))
+    b_eq = np.concatenate([supply_values, demand_values])
+    for i in range(num_s):
+        for j in range(num_d):
+            a_eq[i, i * num_d + j] = 1.0
+            a_eq[num_s + j, i * num_d + j] = 1.0
+
+    result = linprog(
+        costs,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * (num_s * num_d),
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"transportation LP failed: {result.message}")
+    flows: Dict[Tuple[Point, Point], float] = {}
+    for i, s in enumerate(supply_points):
+        for j, d in enumerate(demand_points):
+            value = float(result.x[i * num_d + j])
+            if value > 1e-12:
+                flows[(s, d)] = value
+    return TransportationResult(float(result.fun), flows)

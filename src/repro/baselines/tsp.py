@@ -1,0 +1,86 @@
+"""Traveling Salesman baselines (nearest neighbor, 2-opt).
+
+The thesis's review notes that the original VRP degenerates to the TSP when
+the objective becomes total distance.  These heuristics operate on arbitrary
+point lists under the Manhattan metric (the metric of the whole
+reproduction) and are used by the CVRP baselines to order customers within
+a route and by benchmark E13 as the single-vehicle reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.grid.lattice import Point, manhattan
+
+__all__ = ["tour_length", "nearest_neighbor_tour", "two_opt"]
+
+
+def tour_length(tour: Sequence[Sequence[int]], *, closed: bool = True) -> float:
+    """Total Manhattan length of a tour (closed by default)."""
+    if len(tour) < 2:
+        return 0.0
+    total = 0.0
+    for a, b in zip(tour, tour[1:]):
+        total += manhattan(a, b)
+    if closed:
+        total += manhattan(tour[-1], tour[0])
+    return float(total)
+
+
+def nearest_neighbor_tour(
+    points: Sequence[Sequence[int]],
+    *,
+    start: Optional[Sequence[int]] = None,
+) -> List[Point]:
+    """Greedy nearest-neighbor tour over ``points``.
+
+    Ties are broken lexicographically so the tour is deterministic.
+    """
+    remaining = [tuple(int(c) for c in p) for p in points]
+    if not remaining:
+        return []
+    if start is None:
+        current = min(remaining)
+    else:
+        current = tuple(int(c) for c in start)
+        if current not in remaining:
+            raise ValueError("start must be one of the points")
+    tour = [current]
+    remaining.remove(current)
+    while remaining:
+        nxt = min(remaining, key=lambda p: (manhattan(current, p), p))
+        tour.append(nxt)
+        remaining.remove(nxt)
+        current = nxt
+    return tour
+
+
+def two_opt(tour: Sequence[Sequence[int]], *, max_rounds: int = 50) -> List[Point]:
+    """Improve a closed tour with 2-opt moves until no improvement is found.
+
+    A 2-opt move reverses a segment of the tour; it is accepted whenever it
+    strictly shortens the closed tour.  The procedure terminates because the
+    length strictly decreases, and ``max_rounds`` bounds the work.
+    """
+    route = [tuple(int(c) for c in p) for p in tour]
+    n = len(route)
+    if n < 4:
+        return route
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 1):
+            for j in range(i + 2, n):
+                if i == 0 and j == n - 1:
+                    continue  # reversing the full cycle changes nothing
+                a, b = route[i], route[i + 1]
+                c, d = route[j], route[(j + 1) % n]
+                delta = (
+                    manhattan(a, c) + manhattan(b, d) - manhattan(a, b) - manhattan(c, d)
+                )
+                if delta < -1e-12:
+                    route[i + 1 : j + 1] = reversed(route[i + 1 : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return route

@@ -1,0 +1,60 @@
+"""Core CMVRP machinery: demand model, characterization, solvers, extensions.
+
+This package implements the primary contribution of the thesis:
+
+* :mod:`repro.core.demand` -- demand maps ``d(.)`` and timed job sequences.
+* :mod:`repro.core.omega` -- the ``omega_T`` equation (1.1), its cube
+  restrictions (Corollaries 2.2.6/2.2.7) and exhaustive-subset versions.
+* :mod:`repro.core.lp` -- the linear programs (2.1)/(2.8), their duals and
+  the Lemma 2.2.1 decomposition, backed by scipy.
+* :mod:`repro.core.flows` -- flow-based feasibility oracles (networkx).
+* :mod:`repro.core.offline` -- Algorithm 1 and the full offline solver.
+* :mod:`repro.core.plan` -- the constructive service plan of Lemma 2.2.5.
+* :mod:`repro.core.feasibility` -- audits that a plan serves all demand
+  within capacity.
+* :mod:`repro.core.online` -- the online simulation harness (Theorem 1.4.2).
+* :mod:`repro.core.broken` -- Chapter 4 (broken vehicles).
+* :mod:`repro.core.transfer` -- Chapter 5 (inter-vehicle energy transfers).
+"""
+
+from repro.core.demand import DemandMap, Job, JobSequence
+from repro.core.omega import (
+    OmegaResult,
+    omega_for_region,
+    omega_star_cubes,
+    omega_star_exhaustive,
+    omega_c,
+)
+from repro.core.offline import (
+    Algorithm1Result,
+    OfflineBounds,
+    algorithm1,
+    offline_bounds,
+    upper_bound_factor,
+)
+from repro.core.plan import ServicePlan, build_cube_plan
+from repro.core.feasibility import PlanAudit, audit_plan, minimal_feasible_capacity
+from repro.core.online import OnlineResult, run_online
+
+__all__ = [
+    "DemandMap",
+    "Job",
+    "JobSequence",
+    "OmegaResult",
+    "omega_for_region",
+    "omega_star_cubes",
+    "omega_star_exhaustive",
+    "omega_c",
+    "Algorithm1Result",
+    "OfflineBounds",
+    "algorithm1",
+    "offline_bounds",
+    "upper_bound_factor",
+    "ServicePlan",
+    "build_cube_plan",
+    "PlanAudit",
+    "audit_plan",
+    "minimal_feasible_capacity",
+    "OnlineResult",
+    "run_online",
+]

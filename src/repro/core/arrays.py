@@ -1,0 +1,116 @@
+"""Dense-array helpers shared by the omega solvers and Algorithm 1.
+
+The characterization machinery repeatedly needs "the largest total demand
+inside any axis-aligned cube of side ``s``".  On a finite window this is a
+classic sliding-window sum; we densify the sparse demand map over its
+bounding box (padded so cubes that only partially overlap the support are
+also considered) and compute window sums with cumulative sums along each
+axis, which keeps the cost at ``O(volume * l)`` per side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.lattice import Box, Point
+
+__all__ = [
+    "dense_demand_array",
+    "sliding_cube_sums",
+    "max_cube_sum",
+    "max_cube_sums",
+]
+
+#: Guard against accidentally densifying an astronomically large window.
+MAX_DENSE_CELLS = 50_000_000
+
+
+def dense_demand_array(
+    demand: Mapping[Point, float], box: Box
+) -> np.ndarray:
+    """Return a dense ``float64`` array of demands over ``box``.
+
+    The array axes follow the lattice axes; index ``(0, ..., 0)`` corresponds
+    to ``box.lo``.  Demand points outside ``box`` are rejected.
+    """
+    if box.size > MAX_DENSE_CELLS:
+        raise ValueError(
+            f"window of {box.size} cells is too large to densify "
+            f"(limit {MAX_DENSE_CELLS})"
+        )
+    array = np.zeros(box.side_lengths, dtype=np.float64)
+    for point, value in demand.items():
+        if point not in box:
+            raise ValueError(f"demand point {point} lies outside the window {box}")
+        index = tuple(c - l for c, l in zip(point, box.lo))
+        array[index] += float(value)
+    return array
+
+
+def sliding_cube_sums(array: np.ndarray, side: int, *, pad: bool = True) -> np.ndarray:
+    """Return sums over every ``side``-cube window of ``array``.
+
+    With ``pad=True`` (the default) the array is zero-padded by ``side - 1``
+    on every face first, so windows that only partially overlap the original
+    array are included; this mirrors the thesis's cubes, which may be placed
+    anywhere on the infinite lattice.
+    """
+    if side < 1:
+        raise ValueError("cube side must be at least 1")
+    work = array.astype(np.float64, copy=False)
+    if pad and side > 1:
+        work = np.pad(work, side - 1, mode="constant", constant_values=0.0)
+    for axis in range(work.ndim):
+        if work.shape[axis] < side:
+            # The (padded) window is thinner than the cube along this axis;
+            # the only meaningful window is the full extent.
+            work = work.sum(axis=axis, keepdims=True)
+            continue
+        # window sum = csum[i + side - 1] - csum[i - 1]; the first window has
+        # no lag term.
+        csum = np.cumsum(work, axis=axis)
+        first = np.take(csum, [side - 1], axis=axis)
+        rest = np.take(csum, range(side, csum.shape[axis]), axis=axis) - np.take(
+            csum, range(0, csum.shape[axis] - side), axis=axis
+        )
+        work = np.concatenate([first, rest], axis=axis)
+    return work
+
+
+def max_cube_sum(demand: Mapping[Point, float], side: int, *, box: Box | None = None) -> float:
+    """Largest total demand over any ``side``-cube (any position)."""
+    if not demand:
+        return 0.0
+    if box is None:
+        from repro.grid.lattice import bounding_box
+
+        box = bounding_box(demand.keys())
+    array = dense_demand_array(demand, box)
+    sums = sliding_cube_sums(array, side, pad=True)
+    return float(sums.max()) if sums.size else 0.0
+
+
+def max_cube_sums(
+    demand: Mapping[Point, float],
+    sides: Iterable[int],
+    *,
+    box: Box | None = None,
+) -> Dict[int, float]:
+    """Largest total demand per cube side, computed on a shared dense array."""
+    sides = sorted(set(int(s) for s in sides))
+    if any(s < 1 for s in sides):
+        raise ValueError("cube sides must be at least 1")
+    if not demand:
+        return {s: 0.0 for s in sides}
+    if box is None:
+        from repro.grid.lattice import bounding_box
+
+        box = bounding_box(demand.keys())
+    array = dense_demand_array(demand, box)
+    result: Dict[int, float] = {}
+    for side in sides:
+        sums = sliding_cube_sums(array, side, pad=True)
+        result[side] = float(sums.max()) if sums.size else 0.0
+    return result

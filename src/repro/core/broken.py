@@ -1,0 +1,274 @@
+"""Chapter 4: broken vehicles (longevity parameters).
+
+Every vehicle ``i`` carries a longevity parameter ``p_i`` in ``[0, 1]`` and
+breaks down after spending a fraction ``p_i`` of its initial energy: a
+vehicle with ``p_i = 0`` is broken from the start, ``p_i = 1`` never breaks
+early.  Chapter 4 shows that the LP machinery of Chapter 2 still yields a
+lower bound on the required capacity ``W_off-b`` (Theorem 4.1.1) but that,
+unlike the unbroken case, the bound is *not* tight up to a constant: the
+Figure 4.1 instance needs ``Theta(r1^2)`` capacity while the LP bound is
+only ``2 r1`` because a single surviving vehicle must shuttle between two
+alternating demand points.
+
+This module provides the longevity model, the generalized ``omega``
+equation of Theorem 4.1.1, the exhaustive/cube maximizations, the Figure
+4.1 instance generator with its closed-form actual requirement, and a small
+single-vehicle shuttle simulator used to validate that closed form.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.demand import DemandMap, JobSequence
+from repro.core.omega import MAX_EXHAUSTIVE_SUPPORT
+from repro.grid.lattice import Point, manhattan
+from repro.grid.regions import Region, neighborhood
+
+__all__ = [
+    "LongevityMap",
+    "broken_omega_for_region",
+    "broken_lower_bound",
+    "figure41_instance",
+    "figure41_lp_lower_bound",
+    "figure41_actual_requirement",
+    "simulate_single_vehicle_shuttle",
+]
+
+
+class LongevityMap:
+    """Per-vehicle longevity parameters with a default value.
+
+    The lattice hosts a vehicle at every vertex; only finitely many can have
+    a non-default longevity, so the map stores sparse overrides over a
+    default (the thesis's examples use default 1 -- healthy vehicles -- with
+    a region of broken ones).
+    """
+
+    def __init__(
+        self,
+        overrides: Optional[Mapping[Sequence[int], float]] = None,
+        *,
+        default: float = 1.0,
+    ) -> None:
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default longevity must be in [0, 1], got {default}")
+        self.default = float(default)
+        self._overrides: Dict[Point, float] = {}
+        for raw_point, value in (overrides or {}).items():
+            value = float(value)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"longevity must be in [0, 1], got {value} at {raw_point}")
+            self._overrides[tuple(int(c) for c in raw_point)] = value
+
+    def __getitem__(self, point: Sequence[int]) -> float:
+        return self._overrides.get(tuple(int(c) for c in point), self.default)
+
+    def overrides(self) -> Dict[Point, float]:
+        """A copy of the sparse overrides."""
+        return dict(self._overrides)
+
+    def set(self, point: Sequence[int], value: float) -> None:
+        """Set one vehicle's longevity."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"longevity must be in [0, 1], got {value}")
+        self._overrides[tuple(int(c) for c in point)] = float(value)
+
+
+def broken_omega_for_region(
+    demand: DemandMap,
+    longevity: LongevityMap,
+    region: Region | Iterable[Sequence[int]],
+    *,
+    max_radius: Optional[int] = None,
+) -> float:
+    """Solve Theorem 4.1.1's generalized equation for one region ``T``.
+
+    The equation is ``omega * sum_{i : dist(i, T) <= p_i * omega} p_i =
+    sum_{x in T} d(x)``; as with the unbroken ``omega_T`` we take the
+    threshold (infimum) reading.  The relevant vehicles are those within
+    distance ``p_i * omega <= omega`` of ``T``, so the search expands the
+    candidate radius geometrically until the threshold is reachable.
+    """
+    if not isinstance(region, Region):
+        region = Region.from_points(region)
+    if region.is_empty():
+        raise ValueError("omega_T is defined for non-empty regions only")
+    total = demand.total_over(region)
+    if total == 0:
+        return 0.0
+
+    radius = 1
+    while True:
+        if max_radius is not None:
+            radius = min(radius, max_radius)
+        candidates = neighborhood(region.points, radius)
+        # Breakpoints of the step function f(omega) = sum of p_i over
+        # vehicles whose (scaled) reach covers T.
+        entries: List[Tuple[float, float]] = []  # (activation omega, p_i)
+        for vehicle in candidates:
+            p = longevity[vehicle]
+            if p <= 0:
+                continue
+            dist = region.distance_to(vehicle)
+            activation = dist / p
+            entries.append((activation, p))
+        entries.sort()
+        # Evaluate the threshold on the breakpoint grid restricted to
+        # omega <= radius (vehicles beyond `radius` are not yet included).
+        cumulative = 0.0
+        solution: Optional[float] = None
+        index = 0
+        breakpoints = sorted({activation for activation, _ in entries if activation <= radius})
+        breakpoints.append(float(radius))
+        for point_index, start in enumerate(breakpoints):
+            while index < len(entries) and entries[index][0] <= start:
+                cumulative += entries[index][1]
+                index += 1
+            if cumulative <= 0:
+                continue
+            end = breakpoints[point_index + 1] if point_index + 1 < len(breakpoints) else float(radius)
+            candidate = max(total / cumulative, start)
+            if candidate <= end + 1e-12:
+                solution = candidate
+                break
+        if solution is not None:
+            return solution
+        if max_radius is not None and radius >= max_radius:
+            # Cannot be satisfied within the allowed radius (e.g. all nearby
+            # vehicles are broken); report the unreachable requirement.
+            return math.inf
+        radius *= 2
+
+
+def broken_lower_bound(
+    demand: DemandMap,
+    longevity: LongevityMap,
+    *,
+    exhaustive: bool = True,
+) -> float:
+    """Theorem 4.1.1's lower bound ``max_T omega_T`` for the broken model.
+
+    With ``exhaustive=True`` the maximum ranges over all subsets of the
+    demand support (small instances); otherwise only over single points and
+    the full support, which is what the Figure 4.1 analysis needs.
+    """
+    support = demand.support()
+    if not support:
+        return 0.0
+    candidates: List[Tuple[Point, ...]] = []
+    if exhaustive:
+        if len(support) > MAX_EXHAUSTIVE_SUPPORT:
+            raise ValueError(
+                f"support of size {len(support)} too large for exhaustive subsets"
+            )
+        for size in range(1, len(support) + 1):
+            candidates.extend(itertools.combinations(support, size))
+    else:
+        candidates.extend((point,) for point in support)
+        candidates.append(tuple(support))
+    best = 0.0
+    for subset in candidates:
+        value = broken_omega_for_region(demand, longevity, subset)
+        if value > best:
+            best = value
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# The Figure 4.1 instance
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Figure41Instance:
+    """The adversarial instance of Section 4.2.
+
+    Demands ``r1`` at ``i = (-r1, 0)`` and ``j = (r1, 0)``; the only healthy
+    vehicle near them is ``k = (0, 0)``; every other vehicle within distance
+    ``r2`` of ``i`` or ``j`` is broken from the start (``p = 0``); vehicles
+    beyond are healthy (``p = 1``) but too far to matter when ``r2 >> r1``.
+    Requests alternate ``i, j, i, j, ...``.
+    """
+
+    r1: int
+    r2: int
+    demand: DemandMap
+    longevity: LongevityMap
+    jobs: JobSequence
+    point_i: Point
+    point_j: Point
+    point_k: Point
+
+
+def figure41_instance(r1: int, r2: int) -> Figure41Instance:
+    """Build the Figure 4.1 instance for given ``r1`` and ``r2 >> r1``."""
+    if r1 < 1:
+        raise ValueError("r1 must be at least 1")
+    if r2 <= 2 * r1:
+        raise ValueError("the construction needs r2 > 2 * r1 (the thesis takes r2 >> r1)")
+    point_i: Point = (-r1, 0)
+    point_j: Point = (r1, 0)
+    point_k: Point = (0, 0)
+    demand = DemandMap({point_i: float(r1), point_j: float(r1)})
+    # Vehicles within distance r2 of i or j are broken, except k.
+    overrides: Dict[Point, float] = {}
+    broken_zone = neighborhood([point_i, point_j], r2)
+    for vehicle in broken_zone:
+        overrides[vehicle] = 0.0
+    overrides[point_k] = 1.0
+    longevity = LongevityMap(overrides, default=1.0)
+    positions: List[Point] = []
+    for _ in range(r1):
+        positions.append(point_i)
+        positions.append(point_j)
+    jobs = JobSequence.from_positions(positions)
+    return Figure41Instance(
+        r1=r1,
+        r2=r2,
+        demand=demand,
+        longevity=longevity,
+        jobs=jobs,
+        point_i=point_i,
+        point_j=point_j,
+        point_k=point_k,
+    )
+
+
+def figure41_lp_lower_bound(instance: Figure41Instance) -> float:
+    """The LP (4.1) value for the instance: ``2 r1`` (vehicle k ships r1 to each)."""
+    return broken_omega_for_region(
+        instance.demand, instance.longevity, [instance.point_i, instance.point_j]
+    )
+
+
+def figure41_actual_requirement(r1: int) -> float:
+    """The true capacity requirement of the Figure 4.1 instance.
+
+    Vehicle ``k`` alone must serve the alternating sequence: it walks ``r1``
+    to the first request and ``2 r1`` for each of the remaining ``2 r1 - 1``
+    requests, and spends one unit of service per request, so
+
+        W_off-b  =  r1 + (2 r1 - 1) * 2 r1  +  2 r1   =  Theta(r1^2).
+    """
+    travel = r1 + (2 * r1 - 1) * (2 * r1)
+    service = 2 * r1
+    return float(travel + service)
+
+
+def simulate_single_vehicle_shuttle(jobs: JobSequence, start: Sequence[int]) -> float:
+    """Energy a single vehicle starting at ``start`` needs to serve ``jobs``.
+
+    Serves requests in arrival order, walking directly to each; returns the
+    total travel-plus-service energy.  Used to validate
+    :func:`figure41_actual_requirement` by actually executing the shuttle.
+    """
+    position = tuple(int(c) for c in start)
+    energy = 0.0
+    for job in jobs:
+        energy += manhattan(position, job.position) + job.energy
+        position = job.position
+    return energy

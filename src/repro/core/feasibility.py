@@ -1,0 +1,172 @@
+"""Audits of service plans and capacity searches.
+
+The thesis's objective is the smallest battery capacity ``W`` such that
+*some* behaviour of the fleet serves every job, counting both travel and
+service energy.  An audit therefore checks, for a concrete
+:class:`~repro.core.plan.ServicePlan`:
+
+* every unit of demand is delivered (no shortfall),
+* no two routes start from the same vehicle (a vehicle exists only once),
+* every vehicle's travel-plus-service energy fits within the capacity.
+
+:func:`minimal_feasible_capacity` turns any capacity-parameterized planner
+into an empirical upper bound on ``W_off`` by bisection; paired with the
+``omega*`` lower bound it produces the sandwich reported in benchmark E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.demand import DemandMap
+from repro.core.plan import ServicePlan
+from repro.grid.lattice import Point
+
+__all__ = ["PlanAudit", "audit_plan", "minimal_feasible_capacity"]
+
+#: Relative slack applied when comparing energies against the capacity, so
+#: that plans constructed from floating-point omegas are not rejected for
+#: rounding noise.
+ENERGY_TOLERANCE = 1e-9
+
+
+@dataclass
+class PlanAudit:
+    """Result of auditing a plan against a demand map and capacity."""
+
+    feasible: bool
+    max_vehicle_energy: float
+    total_energy: float
+    unserved_demand: float
+    capacity: Optional[float]
+    violations: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable audit summary."""
+        status = "FEASIBLE" if self.feasible else "INFEASIBLE"
+        capacity = "unbounded" if self.capacity is None else f"{self.capacity:g}"
+        return (
+            f"{status}: max vehicle energy {self.max_vehicle_energy:g} "
+            f"(capacity {capacity}), total energy {self.total_energy:g}, "
+            f"unserved {self.unserved_demand:g}, violations {len(self.violations)}"
+        )
+
+
+def audit_plan(
+    plan: ServicePlan,
+    demand: DemandMap,
+    *,
+    capacity: Optional[float] = None,
+) -> PlanAudit:
+    """Check that ``plan`` serves ``demand`` within the given capacity.
+
+    ``capacity=None`` audits only coverage and vehicle uniqueness (useful for
+    measuring the plan's own maximum energy requirement).
+    """
+    violations: List[str] = []
+
+    # Each vehicle may appear at most once.
+    starts: Dict[Point, int] = {}
+    for route in plan.routes:
+        starts[route.start] = starts.get(route.start, 0) + 1
+    for start, count in sorted(starts.items()):
+        if count > 1:
+            violations.append(f"vehicle at {start} is used by {count} routes")
+
+    # Demand coverage.
+    served = plan.served_by_position()
+    unserved = 0.0
+    for point, value in demand.items():
+        delivered = served.get(point, 0.0)
+        gap = value - delivered
+        if gap > ENERGY_TOLERANCE * max(1.0, value):
+            unserved += gap
+            violations.append(f"demand at {point}: served {delivered:g} of {value:g}")
+
+    # Energy spent where no demand exists is allowed (it is merely wasted),
+    # but flag it: the constructions in the thesis never do this.
+    for point, delivered in sorted(served.items()):
+        if delivered > demand[point] + ENERGY_TOLERANCE * max(1.0, delivered):
+            violations.append(
+                f"position {point}: delivered {delivered:g} exceeds demand {demand[point]:g}"
+            )
+
+    # Capacity.
+    max_energy = plan.max_vehicle_energy()
+    if capacity is not None:
+        for route in plan.routes:
+            if route.total_energy > capacity * (1 + ENERGY_TOLERANCE) + ENERGY_TOLERANCE:
+                violations.append(
+                    f"vehicle at {route.start} needs {route.total_energy:g} > capacity {capacity:g}"
+                )
+
+    feasible = unserved <= ENERGY_TOLERANCE and not any(
+        v.startswith("vehicle at") or v.startswith("demand at") for v in violations
+    )
+    if capacity is not None and max_energy > capacity * (1 + ENERGY_TOLERANCE) + ENERGY_TOLERANCE:
+        feasible = False
+    return PlanAudit(
+        feasible=feasible,
+        max_vehicle_energy=max_energy,
+        total_energy=plan.total_energy(),
+        unserved_demand=unserved,
+        capacity=capacity,
+        violations=violations,
+    )
+
+
+PlanBuilder = Callable[[float], Optional[ServicePlan]]
+
+
+def minimal_feasible_capacity(
+    demand: DemandMap,
+    plan_builder: PlanBuilder,
+    *,
+    lower: float = 0.0,
+    upper: Optional[float] = None,
+    tolerance: float = 1e-3,
+    max_doublings: int = 60,
+) -> Tuple[float, ServicePlan]:
+    """Smallest capacity at which ``plan_builder`` yields a feasible plan.
+
+    ``plan_builder(W)`` must return a plan attempt for capacity ``W`` (or
+    ``None`` if it cannot produce one); feasibility is decided by
+    :func:`audit_plan` with that capacity.  The builder is assumed
+    *monotone*: if it succeeds at ``W`` it succeeds at every larger
+    capacity.  The returned plan is the one found at the final feasible
+    capacity probe.
+    """
+    if demand.is_empty():
+        return 0.0, ServicePlan(dim=demand.dim)
+
+    def feasible(capacity: float) -> Optional[ServicePlan]:
+        try:
+            plan = plan_builder(capacity)
+        except (RuntimeError, ValueError):
+            return None
+        if plan is None:
+            return None
+        audit = audit_plan(plan, demand, capacity=capacity)
+        return plan if audit.feasible else None
+
+    hi = upper if upper is not None else max(demand.max_demand(), 1.0)
+    best_plan = feasible(hi)
+    doublings = 0
+    while best_plan is None:
+        doublings += 1
+        if doublings > max_doublings:
+            raise RuntimeError("no feasible capacity found (builder may not be monotone)")
+        hi *= 2.0
+        best_plan = feasible(hi)
+
+    lo = lower
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        plan = feasible(mid)
+        if plan is not None:
+            hi = mid
+            best_plan = plan
+        else:
+            lo = mid
+    return hi, best_plan

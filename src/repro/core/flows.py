@@ -1,0 +1,202 @@
+"""Flow-based feasibility oracles for the supply/demand transport problems.
+
+The LP (2.1) asks for the smallest common supply ``omega`` such that every
+demand can be covered by flows of length at most ``r``.  For a *fixed*
+candidate supply the question "can this supply cover the demand?" is a
+bipartite transportation feasibility problem, decided exactly by a single
+maximum-flow computation on
+
+    source --(cap omega)--> vehicle i --(cap inf)--> demand j --(cap d(j))--> sink
+
+with an arc ``i -> j`` whenever ``||i - j|| <= r``.  Binary search over the
+candidate supply then recovers the LP value without building the explicit
+LP, which scales to much larger supports.  The same oracle with ``r``
+coupled to the supply gives the self-radius program (2.8), i.e. the
+``max_T omega_T`` characterization of Lemma 2.2.3, and (with per-vehicle
+travel deductions) the feasibility audit used to certify constructive
+service plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.demand import DemandMap
+from repro.grid.lattice import Point, manhattan
+from repro.grid.regions import neighborhood
+
+__all__ = [
+    "FlowAssignment",
+    "transport_feasible",
+    "min_fixed_radius_capacity",
+    "min_self_radius_capacity",
+]
+
+#: Scale factor used to turn real capacities into integers for max-flow.
+#: Integral capacities keep networkx's algorithms exact and fast.
+FLOW_SCALE = 10**6
+
+
+@dataclass(frozen=True)
+class FlowAssignment:
+    """A feasible transport assignment.
+
+    Attributes
+    ----------
+    feasible:
+        Whether the full demand could be covered.
+    flows:
+        Positive flows keyed by ``(vehicle position, demand position)``.
+    shortfall:
+        Total uncovered demand (zero when feasible).
+    """
+
+    feasible: bool
+    flows: Dict[Tuple[Point, Point], float]
+    shortfall: float
+
+
+def _as_int(value: float) -> int:
+    return int(round(value * FLOW_SCALE))
+
+
+def transport_feasible(
+    demand: DemandMap,
+    supplies: Mapping[Point, float],
+    radius: float | Mapping[Point, float],
+    *,
+    return_flows: bool = False,
+) -> FlowAssignment:
+    """Decide whether the given per-vehicle supplies can cover the demand.
+
+    Parameters
+    ----------
+    demand:
+        The demand map to cover.
+    supplies:
+        Mapping from vehicle positions to the amount of energy each may ship.
+        Vehicles with non-positive supply are ignored.
+    radius:
+        Either a single transport radius applied to every vehicle, or a
+        per-vehicle mapping (used by the broken-vehicle analysis of
+        Chapter 4, where vehicle ``i`` may only move ``p_i * omega``).
+    return_flows:
+        When true the positive flow values are extracted from the max-flow
+        solution; otherwise only feasibility and shortfall are reported.
+    """
+    support = demand.support()
+    if not support:
+        return FlowAssignment(True, {}, 0.0)
+    total_demand = demand.total()
+
+    graph = nx.DiGraph()
+    source, sink = "source", "sink"
+    graph.add_node(source)
+    graph.add_node(sink)
+    for target in support:
+        graph.add_edge(("d", target), sink, capacity=_as_int(demand[target]))
+
+    any_edges = False
+    for vehicle, supply in supplies.items():
+        if supply <= 0:
+            continue
+        vehicle = tuple(int(c) for c in vehicle)
+        reach = radius[vehicle] if isinstance(radius, Mapping) else radius
+        if reach < 0:
+            continue
+        edges = [t for t in support if manhattan(vehicle, t) <= reach]
+        if not edges:
+            continue
+        graph.add_edge(source, ("v", vehicle), capacity=_as_int(supply))
+        for target in edges:
+            graph.add_edge(("v", vehicle), ("d", target), capacity=_as_int(total_demand))
+            any_edges = True
+    if not any_edges:
+        return FlowAssignment(False, {}, total_demand)
+
+    flow_value, flow_dict = nx.maximum_flow(graph, source, sink)
+    shortfall = max(0.0, total_demand - flow_value / FLOW_SCALE)
+    feasible = shortfall <= 1e-6 * max(1.0, total_demand)
+    flows: Dict[Tuple[Point, Point], float] = {}
+    if return_flows:
+        for node, targets in flow_dict.items():
+            if not (isinstance(node, tuple) and node and node[0] == "v"):
+                continue
+            vehicle = node[1]
+            for target_node, amount in targets.items():
+                if amount <= 0:
+                    continue
+                flows[(vehicle, target_node[1])] = amount / FLOW_SCALE
+    return FlowAssignment(feasible, flows, shortfall)
+
+
+def _uniform_supplies(demand: DemandMap, capacity: float, radius: float) -> Dict[Point, float]:
+    """One vehicle of the given capacity at every point of ``N_radius(support)``.
+
+    The thesis places a vehicle at *every* lattice vertex; vehicles beyond
+    distance ``radius`` of the support can never contribute, so this finite
+    restriction is exact.
+    """
+    support = demand.support()
+    return {p: capacity for p in neighborhood(support, radius)}
+
+
+def min_fixed_radius_capacity(
+    demand: DemandMap,
+    radius: float,
+    *,
+    tolerance: float = 1e-6,
+) -> float:
+    """Smallest uniform supply covering the demand with transport radius ``r``.
+
+    This is the value of LP (2.1), computed by binary search over the supply
+    with the max-flow oracle deciding each probe.
+    """
+    if demand.is_empty():
+        return 0.0
+    supplies_at = lambda capacity: _uniform_supplies(demand, capacity, radius)
+    hi = max(demand.max_demand(), 1.0)
+    while not transport_feasible(demand, supplies_at(hi), radius).feasible:
+        hi *= 2.0
+    lo = 0.0
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if transport_feasible(demand, supplies_at(mid), radius).feasible:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def min_self_radius_capacity(
+    demand: DemandMap,
+    *,
+    tolerance: float = 1e-6,
+) -> float:
+    """Smallest capacity ``W`` feasible when the transport radius equals ``W``.
+
+    This is the value of program (2.8); by Lemma 2.2.3 it equals
+    ``max_T omega_T``, which the omega solvers compute combinatorially --
+    the two paths cross-validate each other in the test suite.
+    """
+    if demand.is_empty():
+        return 0.0
+
+    def feasible(capacity: float) -> bool:
+        supplies = _uniform_supplies(demand, capacity, capacity)
+        return transport_feasible(demand, supplies, capacity).feasible
+
+    hi = max(demand.max_demand(), 1.0)
+    while not feasible(hi):
+        hi *= 2.0
+    lo = 0.0
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

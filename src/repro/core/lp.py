@@ -1,0 +1,370 @@
+"""The linear programs of Chapter 2 and their duals.
+
+This module spells out, executably, every program appearing in Section 2.2:
+
+* :func:`supply_radius_lp` -- the primal LP (2.1): minimize the common
+  vehicle supply ``omega`` such that flows of length at most ``r`` can cover
+  the demand.
+* :func:`dual_alpha_lp` -- the dual LP (2.4)/(2.5) over vertex weights
+  ``alpha_i`` summing to one.
+* :func:`alpha_to_h` / :func:`h_objective` -- the Lemma 2.2.1 equivalence
+  between the ``alpha`` formulation (2.2)/(2.5) and the subset-weight
+  formulation (2.3)/(2.6), realized as the level-set decomposition sketched
+  in Figures 2.4 and 2.5.
+* :func:`lp_value_by_subsets` -- the closed form of Lemma 2.2.2,
+  ``max_T  sum_{x in T} d(x) / |N_r(T)|``, evaluated exhaustively over
+  subsets of the support (small instances only; used to cross-check the LP
+  backends).
+* :func:`capacity_lp_value` -- the self-radius program (2.8), solved via the
+  monotone fixed point ``omega = omega(r = omega)`` exactly as in
+  Lemma 2.2.3.
+
+All vehicles relevant to a radius-``r`` program sit within distance ``r`` of
+the demand support (vehicles further away cannot route any flow), so the
+infinite-lattice programs reduce to finite LPs over ``N_r(support)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.demand import DemandMap
+from repro.core.omega import MAX_EXHAUSTIVE_SUPPORT
+from repro.grid.lattice import Point, manhattan
+from repro.grid.regions import Region, neighborhood
+
+__all__ = [
+    "LPSolution",
+    "DualSolution",
+    "supply_radius_lp",
+    "dual_alpha_lp",
+    "lp_value_by_subsets",
+    "alpha_to_h",
+    "h_objective",
+    "alpha_objective",
+    "capacity_lp_value",
+]
+
+#: Guard on the number of flow variables in the explicit LP formulations.
+MAX_LP_VARIABLES = 200_000
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Solution of the primal supply LP (2.1).
+
+    Attributes
+    ----------
+    value:
+        The optimal common supply ``omega``.
+    flows:
+        Optimal flows ``f_ij`` keyed by ``(vehicle position, demand position)``;
+        only strictly positive flows are kept.
+    vehicles:
+        The finite set of vehicle positions included in the program
+        (``N_r(support)``).
+    """
+
+    value: float
+    flows: Dict[Tuple[Point, Point], float]
+    vehicles: Tuple[Point, ...]
+
+
+@dataclass(frozen=True)
+class DualSolution:
+    """Solution of the dual LP (2.4)/(2.5)."""
+
+    value: float
+    alpha: Dict[Point, float]
+
+
+def _relevant_vehicles(demand: DemandMap, radius: float) -> List[Point]:
+    """Vehicle positions within distance ``radius`` of the demand support."""
+    support = demand.support()
+    if not support:
+        return []
+    return sorted(neighborhood(support, radius))
+
+
+def _flow_pairs(
+    vehicles: Sequence[Point], support: Sequence[Point], radius: float
+) -> List[Tuple[Point, Point]]:
+    """All admissible ``(vehicle, demand)`` pairs at distance at most ``radius``."""
+    pairs: List[Tuple[Point, Point]] = []
+    for vehicle in vehicles:
+        for target in support:
+            if manhattan(vehicle, target) <= radius:
+                pairs.append((vehicle, target))
+    return pairs
+
+
+def supply_radius_lp(demand: DemandMap, radius: float) -> LPSolution:
+    """Solve the primal LP (2.1) for a fixed transport radius ``r``.
+
+    Minimize ``omega`` subject to: every vehicle ships at most ``omega``,
+    every demand point receives at least its demand, and flows only travel
+    between positions at Manhattan distance at most ``r``.
+    """
+    support = demand.support()
+    if not support:
+        return LPSolution(0.0, {}, ())
+    vehicles = _relevant_vehicles(demand, radius)
+    pairs = _flow_pairs(vehicles, support, radius)
+    num_vars = 1 + len(pairs)  # omega plus one flow per admissible pair
+    if num_vars > MAX_LP_VARIABLES:
+        raise ValueError(
+            f"LP would need {num_vars} variables (limit {MAX_LP_VARIABLES}); "
+            "use the flow-based oracle for instances of this size"
+        )
+    pair_index = {pair: 1 + k for k, pair in enumerate(pairs)}
+    vehicle_rows = {v: i for i, v in enumerate(vehicles)}
+    demand_rows = {d: i for i, d in enumerate(support)}
+
+    # Objective: minimize omega.
+    cost = np.zeros(num_vars)
+    cost[0] = 1.0
+
+    # Inequalities A_ub x <= b_ub.
+    rows: List[Tuple[int, int, float]] = []
+    b_ub = np.zeros(len(vehicles) + len(support))
+    # (a) outflow of vehicle i minus omega <= 0
+    for (vehicle, target), col in pair_index.items():
+        rows.append((vehicle_rows[vehicle], col, 1.0))
+    for i in range(len(vehicles)):
+        rows.append((i, 0, -1.0))
+    # (b) -inflow of demand j <= -d(j)
+    offset = len(vehicles)
+    for (vehicle, target), col in pair_index.items():
+        rows.append((offset + demand_rows[target], col, -1.0))
+    for target, row in demand_rows.items():
+        b_ub[offset + row] = -demand[target]
+
+    a_ub = np.zeros((len(vehicles) + len(support), num_vars))
+    for row, col, coeff in rows:
+        a_ub[row, col] += coeff
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"supply LP failed: {result.message}")
+    flows: Dict[Tuple[Point, Point], float] = {}
+    for pair, col in pair_index.items():
+        value = float(result.x[col])
+        if value > 1e-12:
+            flows[pair] = value
+    return LPSolution(float(result.x[0]), flows, tuple(vehicles))
+
+
+def dual_alpha_lp(demand: DemandMap, radius: float) -> DualSolution:
+    """Solve the dual LP (2.4)/(2.5) for a fixed transport radius ``r``.
+
+    Maximize ``sum_j d(j) * beta_j`` subject to ``sum_i alpha_i <= 1`` and
+    ``beta_j <= alpha_i`` for every ``i`` within distance ``r`` of ``j``.
+    By LP duality its value equals :func:`supply_radius_lp`.
+    """
+    support = demand.support()
+    if not support:
+        return DualSolution(0.0, {})
+    vehicles = _relevant_vehicles(demand, radius)
+    pairs = _flow_pairs(vehicles, support, radius)
+    alpha_index = {v: i for i, v in enumerate(vehicles)}
+    beta_index = {d: len(vehicles) + i for i, d in enumerate(support)}
+    num_vars = len(vehicles) + len(support)
+    if num_vars + len(pairs) > MAX_LP_VARIABLES:
+        raise ValueError("dual LP too large; reduce the instance")
+
+    # linprog minimizes, so negate the objective.
+    cost = np.zeros(num_vars)
+    for target in support:
+        cost[beta_index[target]] = -demand[target]
+
+    num_rows = 1 + len(pairs)
+    a_ub = np.zeros((num_rows, num_vars))
+    b_ub = np.zeros(num_rows)
+    # sum_i alpha_i <= 1
+    for vehicle in vehicles:
+        a_ub[0, alpha_index[vehicle]] = 1.0
+    b_ub[0] = 1.0
+    # beta_j - alpha_i <= 0 for admissible pairs
+    for row, (vehicle, target) in enumerate(pairs, start=1):
+        a_ub[row, beta_index[target]] = 1.0
+        a_ub[row, alpha_index[vehicle]] = -1.0
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"dual LP failed: {result.message}")
+    alpha = {
+        vehicle: float(result.x[alpha_index[vehicle]])
+        for vehicle in vehicles
+        if result.x[alpha_index[vehicle]] > 1e-12
+    }
+    return DualSolution(-float(result.fun), alpha)
+
+
+def lp_value_by_subsets(demand: DemandMap, radius: float) -> Tuple[float, Optional[Region]]:
+    """Evaluate Lemma 2.2.2's closed form ``max_T sum_T d / |N_r(T)|``.
+
+    The maximum over all subsets of the lattice is attained on a subset of
+    the support (zero-demand points only enlarge the neighborhood), so the
+    search enumerates subsets of the support.  Exponential -- guarded to
+    small supports, used to cross-check the LP backends.
+    """
+    support = demand.support()
+    if not support:
+        return 0.0, None
+    if len(support) > MAX_EXHAUSTIVE_SUPPORT:
+        raise ValueError(
+            f"support of size {len(support)} too large for exhaustive subsets"
+        )
+    best = 0.0
+    best_region: Optional[Region] = None
+    for size in range(1, len(support) + 1):
+        for subset in itertools.combinations(support, size):
+            region = Region.from_points(subset)
+            ratio = demand.total_over(subset) / region.neighborhood_size(radius)
+            if ratio > best:
+                best = ratio
+                best_region = region
+    return best, best_region
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2.2.1: the alpha <-> h equivalence (Figures 2.4 / 2.5)
+# --------------------------------------------------------------------------- #
+
+
+def alpha_objective(demand: DemandMap, radius: float, alpha: Mapping[Point, float]) -> float:
+    """Objective of LP (2.2)/(2.5): ``sum_j d(j) * min_{i in N_r(j)} alpha_i``.
+
+    Positions absent from ``alpha`` carry weight zero.
+    """
+    total = 0.0
+    for target, value in demand.items():
+        ball = neighborhood([target], radius)
+        total += value * min(alpha.get(p, 0.0) for p in ball)
+    return total
+
+
+def alpha_to_h(alpha: Mapping[Point, float]) -> Dict[FrozenSet[Point], float]:
+    """Decompose vertex weights ``alpha`` into nested subset weights ``h``.
+
+    This is the constructive step of Lemma 2.2.1 (illustrated in Figures 2.4
+    and 2.5): peel the weight profile into its super-level sets.  Every
+    distinct positive level ``t`` contributes, for each lattice-connected
+    component ``T`` of ``{i : alpha_i >= t}``, the weight ``t - t'`` where
+    ``t'`` is the next lower level (or zero).  The resulting family is
+    laminar, satisfies ``sum_T h(T) |T| = sum_i alpha_i`` and, for every
+    ``j``, ``sum_{T contains N_r(j)} h(T) = min_{i in N_r(j)} alpha_i``
+    whenever the ball around ``j`` is contained in the support of ``alpha``.
+    """
+    positive = {tuple(p): float(v) for p, v in alpha.items() if v > 0}
+    if not positive:
+        return {}
+    levels = sorted(set(positive.values()))
+    h: Dict[FrozenSet[Point], float] = {}
+    previous = 0.0
+    for level in levels:
+        members = [p for p, v in positive.items() if v >= level]
+        weight = level - previous
+        for component in _lattice_components(members):
+            key = frozenset(component)
+            h[key] = h.get(key, 0.0) + weight
+        previous = level
+    return h
+
+
+def h_objective(
+    demand: DemandMap, radius: float, h: Mapping[FrozenSet[Point], float]
+) -> float:
+    """Objective of LP (2.3)/(2.6): ``sum_j d(j) * sum_{T : N_r(j) subset T} h(T)``."""
+    total = 0.0
+    for target, value in demand.items():
+        ball = neighborhood([target], radius)
+        contribution = sum(
+            weight for subset, weight in h.items() if ball.issubset(subset)
+        )
+        total += value * contribution
+    return total
+
+
+def h_mass(h: Mapping[FrozenSet[Point], float]) -> float:
+    """The constraint quantity ``sum_T h(T) |T|`` of LP (2.3)/(2.6)."""
+    return sum(weight * len(subset) for subset, weight in h.items())
+
+
+def _lattice_components(points: Sequence[Point]) -> List[List[Point]]:
+    """Connected components of a finite point set under lattice adjacency."""
+    remaining = set(points)
+    components: List[List[Point]] = []
+    while remaining:
+        seed = remaining.pop()
+        stack = [seed]
+        component = [seed]
+        while stack:
+            current = stack.pop()
+            for axis in range(len(current)):
+                for delta in (-1, 1):
+                    candidate = (
+                        current[:axis] + (current[axis] + delta,) + current[axis + 1 :]
+                    )
+                    if candidate in remaining:
+                        remaining.remove(candidate)
+                        stack.append(candidate)
+                        component.append(candidate)
+        components.append(sorted(component))
+    return components
+
+
+# --------------------------------------------------------------------------- #
+# The self-radius program (2.8)
+# --------------------------------------------------------------------------- #
+
+
+def capacity_lp_value(
+    demand: DemandMap,
+    *,
+    tolerance: float = 1e-6,
+    max_iterations: int = 200,
+) -> float:
+    """Value of the self-radius program (2.8): the fixed point ``omega = omega(r=omega)``.
+
+    Lemma 2.2.3 shows the program's value is the unique solution of
+    ``omega = max_T sum_T d / |N_omega(T)|``.  Because ``omega(r)`` (the
+    fixed-radius LP value) is non-increasing in ``r``, the fixed point is
+    found by bisection on ``omega``: the sign of ``omega - omega(r=omega)``
+    is monotone.  Each probe solves one finite LP, so this routine is meant
+    for modest instances; :func:`repro.core.flows.min_self_radius_capacity`
+    provides a max-flow alternative.
+    """
+    if demand.is_empty():
+        return 0.0
+    total = demand.total()
+    lo, hi = 0.0, float(total)  # omega(r) <= total demand always
+    # Make sure hi is above the fixed point: omega(r=hi) <= total = hi.
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        value_at_mid = supply_radius_lp(demand, mid).value
+        if value_at_mid > mid:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+    return (lo + hi) / 2.0

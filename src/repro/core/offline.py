@@ -1,0 +1,197 @@
+"""Algorithm 1 and the offline characterization of ``W_off``.
+
+The thesis characterizes the optimal offline capacity as
+
+    omega*  <=  W_off  <=  (2 * 3^l + l) * omega*          (Theorem 1.4.1)
+
+with ``omega* = max_T omega_T``, and gives a linear-time
+``2 (2 * 3^l + l)``-approximation (Algorithm 1, Section 2.3) that works on
+an ``n x ... x n`` window with ``n`` a power of two by doubling the cube
+side of a dyadic partition until no cube is "too dense".
+
+This module implements Algorithm 1 verbatim (generalized to any dimension
+``l``, as the thesis notes is straightforward) and a convenience
+:func:`offline_bounds` that assembles every quantity of the offline
+characterization for reporting: the ``omega*`` lower bound, the
+``(2 * 3^l + l) * omega*`` upper bound, the cube fixed point ``omega_c``
+and its sandwich (Corollary 2.2.7), the Algorithm 1 estimate, and the
+energy actually required by the constructive plan of Lemma 2.2.5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.demand import DemandMap
+from repro.core.feasibility import audit_plan
+from repro.core.omega import omega_c, omega_star_cubes
+from repro.core.plan import build_cube_plan
+from repro.grid.cubes import CoarseningPyramid
+from repro.grid.lattice import Box
+
+__all__ = [
+    "Algorithm1Result",
+    "OfflineBounds",
+    "algorithm1",
+    "offline_bounds",
+    "upper_bound_factor",
+    "online_upper_bound_factor",
+]
+
+
+def upper_bound_factor(dim: int) -> int:
+    """The offline constant ``2 * 3^l + l`` of Lemma 2.2.5."""
+    if dim < 1:
+        raise ValueError("dimension must be at least 1")
+    return 2 * 3**dim + dim
+
+
+def online_upper_bound_factor(dim: int) -> int:
+    """The online constant ``4 * 3^l + l`` of Lemma 3.3.1."""
+    if dim < 1:
+        raise ValueError("dimension must be at least 1")
+    return 4 * 3**dim + dim
+
+
+@dataclass(frozen=True)
+class Algorithm1Result:
+    """Outcome of running Algorithm 1.
+
+    Attributes
+    ----------
+    estimate:
+        The returned estimate of ``W_off`` (an upper bound within a factor
+        ``2 (2 * 3^l + l)`` of the optimum).
+    terminal_cube_side:
+        The cube side ``w`` at which the doubling loop stopped, or ``None``
+        when the algorithm exited through one of its early returns.
+    early_exit:
+        Which early return fired (``"dense"`` for step 2, ``"sparse"`` for
+        step 4, ``"full_window"`` for step 7) or ``None`` for the normal
+        exit at step 14.
+    levels_visited:
+        Number of pyramid levels inspected (a proxy for the linear-time
+        claim; the work per level shrinks geometrically).
+    """
+
+    estimate: float
+    terminal_cube_side: Optional[int]
+    early_exit: Optional[str]
+    levels_visited: int
+
+
+def algorithm1(demand: DemandMap, window: Box) -> Algorithm1Result:
+    """Run Algorithm 1 on the demand restricted to a power-of-two window.
+
+    Parameters
+    ----------
+    demand:
+        The demand map; every demand point must lie inside ``window``.
+    window:
+        An ``n x ... x n`` box with ``n`` a power of two (the thesis's
+        standing assumption for the algorithm).
+    """
+    dim = window.dim
+    sides = set(window.side_lengths)
+    if len(sides) != 1:
+        raise ValueError("Algorithm 1 requires a cubic window")
+    n = sides.pop()
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"window side must be a power of two, got {n}")
+    restricted = demand.restricted_to(window)
+    if len(restricted) != len(demand):
+        raise ValueError("demand has points outside the window")
+
+    factor = upper_bound_factor(dim)
+    max_demand = restricted.max_demand()
+    avg_demand = restricted.average_demand_over(window)
+
+    # Step 1-2: the window is so dense that vehicles may roam the whole grid.
+    if n <= avg_demand:
+        estimate = min(max_demand, 2 * avg_demand + dim * n)
+        return Algorithm1Result(estimate, None, "dense", 0)
+    # Step 3-4: so sparse that vehicles cannot even afford to move.
+    if max_demand <= 1:
+        return Algorithm1Result(max_demand, None, "sparse", 0)
+
+    pyramid = CoarseningPyramid(window, restricted.as_dict())
+    w = 2
+    levels = 0
+    while True:
+        # Step 6-7: the cube side reached the full window.
+        if w == n:
+            estimate = min(max_demand, 2 * avg_demand + dim * n)
+            return Algorithm1Result(estimate, w, "full_window", levels)
+        # Steps 8-9: aggregate demand for side-w cubes of the dyadic partition.
+        level = pyramid.level_for_side(w)
+        levels += 1
+        threshold = w * (3 * w) ** dim
+        # Steps 10-12: some cube is too dense -> double the side and retry.
+        if any(value > threshold for value in level.values()):
+            w *= 2
+            continue
+        # Steps 13-14: every cube fits -> report the upper-bound constant.
+        return Algorithm1Result(float(factor * w), w, None, levels)
+
+
+@dataclass(frozen=True)
+class OfflineBounds:
+    """Every quantity of the offline characterization, for one demand map."""
+
+    dim: int
+    #: ``max_T omega_T`` over cubes (Corollary 2.2.6 lower bound on W_off).
+    omega_star: float
+    #: ``(2 * 3^l + l) * omega_star`` (Lemma 2.2.5 upper bound on W_off).
+    upper_bound: float
+    #: The cube fixed point of Corollary 2.2.7 (also a lower bound on W_off).
+    omega_c: float
+    #: Maximum per-vehicle energy of the Lemma 2.2.5 constructive plan; an
+    #: explicit, audited upper bound on W_off (usually far below
+    #: ``upper_bound``).
+    constructive_capacity: float
+    #: The Algorithm 1 estimate, when a power-of-two window was supplied.
+    algorithm1_estimate: Optional[float]
+
+    @property
+    def sandwich_ratio(self) -> float:
+        """``constructive_capacity / omega_star`` -- the realized gap between
+        the audited upper bound and the lower bound (1.0 means tight)."""
+        if self.omega_star == 0:
+            return 1.0
+        return self.constructive_capacity / self.omega_star
+
+
+def offline_bounds(
+    demand: DemandMap,
+    *,
+    window: Optional[Box] = None,
+) -> OfflineBounds:
+    """Assemble the full offline characterization for a demand map.
+
+    ``window`` (a power-of-two cube containing the support) is only needed
+    when the Algorithm 1 estimate is desired.
+    """
+    dim = demand.dim
+    if demand.is_empty():
+        return OfflineBounds(dim, 0.0, 0.0, 0.0, 0.0, None)
+    star = omega_star_cubes(demand).omega
+    upper = upper_bound_factor(dim) * star
+    cube_fixed_point = omega_c(demand)
+    plan = build_cube_plan(demand, omega=star)
+    audit = audit_plan(plan, demand, capacity=None)
+    if not audit.feasible:
+        raise RuntimeError(
+            "the Lemma 2.2.5 constructive plan failed its audit: "
+            + "; ".join(audit.violations[:5])
+        )
+    alg1 = algorithm1(demand, window).estimate if window is not None else None
+    return OfflineBounds(
+        dim=dim,
+        omega_star=star,
+        upper_bound=upper,
+        omega_c=cube_fixed_point,
+        constructive_capacity=audit.max_vehicle_energy,
+        algorithm1_estimate=alg1,
+    )

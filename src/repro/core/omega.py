@@ -1,0 +1,339 @@
+"""Solvers for the ``omega_T`` equation and its cube restrictions.
+
+Equation (1.1) of the thesis defines, for a non-empty region ``T``, the
+quantity ``omega_T`` as the solution of
+
+    omega_T * |N_{omega_T}(T)| = sum_{x in T} d(x).
+
+On the integer lattice ``|N_omega(T)|`` only changes at integer values of
+``omega``, so the left-hand side is piecewise linear and jumps *up* at
+integers; an exact equality may therefore fall inside a jump.  Following
+the standard reading of such threshold equations (and because the thesis's
+bounds only use ``omega_T`` up to constants) we define
+
+    omega_T = inf { omega >= 0 : omega * |N_omega(T)| >= sum_{x in T} d(x) },
+
+which coincides with the equation's solution whenever one exists and is
+well defined otherwise.  All solvers in this module use this definition.
+
+The module provides:
+
+* :func:`omega_for_region` -- ``omega_T`` for an arbitrary finite region.
+* :func:`omega_star_exhaustive` -- ``max_T omega_T`` over *all* subsets of
+  the demand support (Theorem 1.4.1; exponential, for small instances and
+  cross-checks only).
+* :func:`omega_star_cubes` -- ``max_T omega_T`` over all axis-aligned cubes
+  (Corollary 2.2.6; the quantity the algorithms actually use).
+* :func:`omega_c` -- the fixed-point quantity of Corollary 2.2.7 that
+  Algorithm 1 approximates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.arrays import max_cube_sums
+from repro.core.demand import DemandMap
+from repro.grid.lattice import Box, Point, box_neighborhood_size
+from repro.grid.regions import Region
+
+__all__ = [
+    "OmegaResult",
+    "solve_threshold",
+    "omega_for_region",
+    "omega_for_box",
+    "omega_star_exhaustive",
+    "omega_star_cubes",
+    "omega_c",
+    "example_square_bound",
+    "example_line_bound",
+    "example_point_bound",
+]
+
+#: Do not attempt the exhaustive subset maximization beyond this support size.
+MAX_EXHAUSTIVE_SUPPORT = 18
+
+
+@dataclass(frozen=True)
+class OmegaResult:
+    """The outcome of a cube/subset maximization.
+
+    Attributes
+    ----------
+    omega:
+        The maximizing ``omega_T`` value.
+    region:
+        A region attaining the maximum (``None`` when the demand is empty).
+    """
+
+    omega: float
+    region: Optional[Region]
+
+
+def solve_threshold(total_demand: float, neighborhood_size: Callable[[int], int]) -> float:
+    """Solve ``inf { w >= 0 : w * f(floor(w)) >= total_demand }``.
+
+    ``neighborhood_size(k)`` must return ``|N_k(T)|`` for integer ``k >= 0``
+    and must be non-decreasing in ``k`` (true for neighborhoods).  The
+    search doubles the integer radius until the threshold is reachable and
+    then bisects, so the cost is logarithmic in the answer.
+    """
+    if total_demand < 0:
+        raise ValueError("total demand must be non-negative")
+    if total_demand == 0:
+        return 0.0
+
+    def reachable(k: int) -> bool:
+        # The supremum of w * f(floor(w)) over w in [k, k+1] is (k+1) * f(k).
+        return (k + 1) * neighborhood_size(k) >= total_demand
+
+    hi = 1
+    while not reachable(hi):
+        hi *= 2
+    lo = 0
+    # Find the smallest k with reachable(k); reachable is monotone because
+    # (k+1) * f(k) is non-decreasing in k.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if reachable(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    k = lo
+    f_k = neighborhood_size(k)
+    candidate = total_demand / f_k
+    # Within the bracket [k, k+1] the constraint is w >= total / f(k); the
+    # bracket's lower end k already suffices when k * f(k) >= total.
+    return max(float(k), candidate)
+
+
+def omega_for_region(demand: DemandMap, region: Region | Iterable[Sequence[int]]) -> float:
+    """Return ``omega_T`` for an arbitrary finite region ``T``."""
+    if not isinstance(region, Region):
+        region = Region.from_points(region)
+    if region.is_empty():
+        raise ValueError("omega_T is defined for non-empty regions only")
+    total = demand.total_over(region)
+    return solve_threshold(total, region.neighborhood_size)
+
+
+def omega_for_box(demand: DemandMap, box: Box) -> float:
+    """Return ``omega_T`` when ``T`` is the full point set of a box.
+
+    Uses the exact closed-form neighborhood cardinality for boxes, so it is
+    cheap even for large cubes.
+    """
+    total = demand.total_over(box.points())
+    return solve_threshold(total, lambda k: box_neighborhood_size(box, k))
+
+
+def _box_omega_from_total(box: Box, total: float) -> float:
+    """``omega_T`` for a box whose contained demand total is already known."""
+    return solve_threshold(total, lambda k: box_neighborhood_size(box, k))
+
+
+def omega_star_exhaustive(demand: DemandMap) -> OmegaResult:
+    """``max_T omega_T`` over all subsets ``T`` of the demand support.
+
+    Adding a zero-demand point to ``T`` can only enlarge ``N_omega(T)`` and
+    therefore only lowers ``omega_T``, so the maximum over all subsets of
+    ``Z^l`` is attained by a subset of the support.  The search is still
+    exponential in the support size and is guarded accordingly; it exists to
+    validate the cube-restricted computation on small instances
+    (benchmark E4/E5 cross-checks and the property-based tests).
+    """
+    support = demand.support()
+    if not support:
+        return OmegaResult(0.0, None)
+    if len(support) > MAX_EXHAUSTIVE_SUPPORT:
+        raise ValueError(
+            f"support of size {len(support)} too large for exhaustive subset "
+            f"maximization (limit {MAX_EXHAUSTIVE_SUPPORT})"
+        )
+    best = 0.0
+    best_region: Optional[Region] = None
+    for size in range(1, len(support) + 1):
+        for subset in itertools.combinations(support, size):
+            region = Region.from_points(subset)
+            omega = omega_for_region(demand, region)
+            if omega > best:
+                best = omega
+                best_region = region
+    return OmegaResult(best, best_region)
+
+
+def _candidate_sides(demand: DemandMap, max_side: Optional[int]) -> List[int]:
+    """Cube sides worth considering: 1 up to the support bounding-box extent."""
+    if demand.is_empty():
+        return []
+    bbox = demand.bounding_box()
+    extent = max(bbox.side_lengths)
+    if max_side is not None:
+        extent = min(extent, max_side)
+    return list(range(1, max(extent, 1) + 1))
+
+
+def omega_star_cubes(
+    demand: DemandMap,
+    *,
+    max_side: Optional[int] = None,
+    return_region: bool = False,
+) -> OmegaResult:
+    """``max_T omega_T`` over all axis-aligned cubes ``T`` (Corollary 2.2.6).
+
+    Only cubes intersecting the demand support can attain the maximum, and
+    for a fixed demand content smaller enclosing cubes give larger
+    ``omega_T``; the search therefore enumerates every cube position whose
+    window overlaps the support, for every side from 1 up to the support's
+    bounding-box extent, using sliding-window sums for the per-cube demand.
+
+    Parameters
+    ----------
+    demand:
+        The demand map.
+    max_side:
+        Optional cap on the cube side considered (useful when the caller
+        knows the answer is small).
+    return_region:
+        When true, also locate and return a maximizing cube (a second pass
+        over positions for the winning side).
+    """
+    if demand.is_empty():
+        return OmegaResult(0.0, None)
+    sides = _candidate_sides(demand, max_side)
+    demand_dict = demand.as_dict()
+    best = 0.0
+    best_side = None
+    # For each side, the cube with the largest contained demand maximizes
+    # omega among cubes of that side (the neighborhood size only depends on
+    # the side), so the sliding-window maximum per side suffices.
+    maxima = max_cube_sums(demand_dict, sides)
+    for side in sides:
+        total = maxima[side]
+        if total <= 0:
+            continue
+        cube = Box.cube((0,) * demand.dim, side)
+        omega = _box_omega_from_total(cube, total)
+        if omega > best:
+            best = omega
+            best_side = side
+    if best_side is None:
+        return OmegaResult(0.0, None)
+    if not return_region:
+        return OmegaResult(best, None)
+    region = _locate_best_cube(demand, best_side, maxima[best_side])
+    return OmegaResult(best, region)
+
+
+def _locate_best_cube(demand: DemandMap, side: int, target_total: float) -> Region:
+    """Find a cube of the given side whose contained demand equals ``target_total``."""
+    bbox = demand.bounding_box()
+    lo = tuple(c - side + 1 for c in bbox.lo)
+    hi = bbox.hi
+    ranges = [range(a, b + 1) for a, b in zip(lo, hi)]
+    for corner in itertools.product(*ranges):
+        cube = Box.cube(corner, side)
+        total = demand.total_over(cube.points())
+        if math.isclose(total, target_total, rel_tol=1e-9, abs_tol=1e-9):
+            return Region.from_box(cube)
+    raise RuntimeError("failed to locate the maximizing cube (numerical drift?)")
+
+
+def omega_c(demand: DemandMap, *, max_side: Optional[int] = None) -> float:
+    """The cube fixed-point quantity of Corollary 2.2.7.
+
+    The corollary defines ``omega_c`` as the smallest ``omega`` with
+    ``omega * (3 * ceil(omega))^l`` equal to the largest demand inside any
+    ``ceil(omega)``-cube.  As with ``omega_T`` we use the threshold form:
+    the infimum of ``omega`` such that ``omega * (3 * ceil(omega))^l`` is at
+    least the largest ``ceil(omega)``-cube demand.  The search scans integer
+    brackets ``(s - 1, s]`` and takes the smallest feasible value.
+
+    ``omega_c <= max_T omega_T`` always holds (see the corollary's proof);
+    both sandwich ``W_off`` up to the same constants.
+    """
+    if demand.is_empty():
+        return 0.0
+    dim = demand.dim
+    bbox = demand.bounding_box()
+    extent = max(bbox.side_lengths)
+    total = demand.total()
+    # For sides at least the support extent every cube covering the support
+    # contains the full demand, so sliding-window maxima are only needed up
+    # to the extent; beyond it the per-cube maximum is simply the total.
+    # The scan itself must continue until the bracket becomes feasible,
+    # i.e. until total <= s * (3 s)^l.
+    feasible_side = 1
+    while total > feasible_side * (3 * feasible_side) ** dim:
+        feasible_side *= 2
+    limit = max(extent, feasible_side)
+    if max_side is not None:
+        limit = min(limit, max_side)
+    maxima = max_cube_sums(demand.as_dict(), range(1, min(extent, limit) + 1))
+    best: Optional[float] = None
+    for side in range(1, limit + 1):
+        cube_max = maxima[side] if side <= extent else total
+        needed = cube_max / ((3 * side) ** dim)
+        if needed > side:
+            continue  # not feasible within the bracket (side - 1, side]
+        bracket_min = max(needed, float(side - 1))
+        if best is None or bracket_min < best:
+            best = bracket_min
+    if best is None:
+        # Only possible when max_side truncated the scan before feasibility;
+        # report the last bracket's requirement, which upper-bounds omega_c.
+        cube_max = maxima[min(extent, limit)] if limit <= extent else total
+        best = cube_max / ((3 * limit) ** dim)
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# Closed-form bounds of the three worked examples (Section 2.1)
+# --------------------------------------------------------------------------- #
+
+
+def example_square_bound(a: int, d: float) -> float:
+    """``W1``: the positive root of ``W (2W + a)^2 = d a^2`` (Example 2.1.1)."""
+    if a < 1:
+        raise ValueError("square side must be at least 1")
+    if d < 0:
+        raise ValueError("demand must be non-negative")
+    return _solve_monotone_cubic(lambda w: w * (2 * w + a) ** 2, d * a * a)
+
+
+def example_line_bound(d: float) -> float:
+    """``W2``: the positive root of ``W (2W + 1) = d`` (Example 2.1.2)."""
+    if d < 0:
+        raise ValueError("demand must be non-negative")
+    # Quadratic 2W^2 + W - d = 0.
+    return (-1 + math.sqrt(1 + 8 * d)) / 4
+
+
+def example_point_bound(d: float) -> float:
+    """``W3``: the positive root of ``W (2W + 1)^2 = d`` (Example 2.1.3)."""
+    if d < 0:
+        raise ValueError("demand must be non-negative")
+    return _solve_monotone_cubic(lambda w: w * (2 * w + 1) ** 2, d)
+
+
+def _solve_monotone_cubic(func: Callable[[float], float], target: float) -> float:
+    """Solve ``func(w) = target`` for a continuous increasing ``func`` with
+    ``func(0) = 0`` by bracketing and bisection."""
+    if target <= 0:
+        return 0.0
+    hi = 1.0
+    while func(hi) < target:
+        hi *= 2.0
+    lo = 0.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if func(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return (lo + hi) / 2.0

@@ -1,0 +1,182 @@
+"""The online simulation harness (Chapter 3 / Theorem 1.4.2).
+
+:func:`run_online` plays a timed job sequence against the decentralized
+strategy of Section 3.2: jobs are revealed one at a time, each is served by
+the active vehicle of its black/white pair, exhausted vehicles are replaced
+through Phase I/II diffusing computations, and (optionally) the monitoring
+loop of Section 3.2.5 recovers from initiation failures and dead vehicles.
+
+The harness reports everything Theorem 1.4.2 talks about: whether every job
+was served, the largest per-vehicle energy actually drawn (the empirical
+``W_on``), the provisioned capacity, and the offline lower bound it should
+be compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional, Union
+
+import numpy as np
+
+from repro.core.demand import DemandMap, JobSequence
+from repro.core.offline import online_upper_bound_factor
+from repro.core.omega import omega_c, omega_star_cubes
+from repro.distsim.failures import FailurePlan
+from repro.grid.lattice import Point
+from repro.vehicles.fleet import Fleet, FleetConfig
+
+__all__ = ["OnlineResult", "run_online"]
+
+CapacitySpec = Union[None, float, Literal["theorem"]]
+
+
+@dataclass
+class OnlineResult:
+    """Everything measured during one online run."""
+
+    #: Number of jobs in the input sequence.
+    jobs_total: int
+    #: Jobs actually served (equal to ``jobs_total`` iff the run is feasible).
+    jobs_served: int
+    #: Whether every job was served by an adjacent active vehicle.
+    feasible: bool
+    #: Largest per-vehicle energy drawn -- the empirical online requirement.
+    max_vehicle_energy: float
+    #: Total travel energy across the fleet.
+    total_travel: float
+    #: Total service energy across the fleet.
+    total_service: float
+    #: The omega value the strategy partitioned the lattice with.
+    omega: float
+    #: The offline lower bound ``max_T omega_T`` (over cubes) for this demand.
+    omega_star: float
+    #: Capacity provisioned per vehicle (``None`` = unbounded measurement).
+    capacity: Optional[float]
+    #: The Lemma 3.3.1 capacity ``(4 * 3^l + l) * omega``.
+    theorem_capacity: float
+    #: Protocol counters.
+    replacements: int
+    searches: int
+    failed_replacements: int
+    messages: int
+    heartbeat_rounds: int
+    #: Per-vehicle energies at the end of the run (home vertex -> energy).
+    vehicle_energies: Dict[Point, float] = field(default_factory=dict)
+
+    @property
+    def online_to_offline_ratio(self) -> float:
+        """``max_vehicle_energy / omega_star`` -- the constant Theorem 1.4.2 bounds."""
+        if self.omega_star == 0:
+            return 1.0
+        return self.max_vehicle_energy / self.omega_star
+
+
+def run_online(
+    jobs: JobSequence,
+    *,
+    omega: Optional[float] = None,
+    capacity: CapacitySpec = "theorem",
+    config: Optional[FleetConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    failure_plan: Optional[FailurePlan] = None,
+    recovery_rounds: int = 0,
+) -> OnlineResult:
+    """Run the online strategy on a job sequence.
+
+    Parameters
+    ----------
+    jobs:
+        The timed job sequence (revealed to the fleet one job at a time).
+    omega:
+        The cube-partition parameter.  Defaults to ``omega_c`` of the
+        sequence's demand map, as the thesis's provisioning does.
+    capacity:
+        ``"theorem"`` provisions every vehicle with the Lemma 3.3.1 budget
+        ``(4 * 3^l + l) * omega``; a float provisions that amount; ``None``
+        runs with unbounded batteries and merely measures the energy drawn.
+    config:
+        Fleet configuration; its ``capacity`` field is overridden by the
+        ``capacity`` argument.
+    failure_plan:
+        Crash / suppression injection for the scenario 2/3 experiments.
+    recovery_rounds:
+        When a job cannot be served immediately (its pair's vehicle is dead
+        or out of energy), run this many heartbeat rounds -- letting the
+        monitoring loop install a replacement -- and retry once.  Requires
+        ``config.monitoring``.
+    """
+    if len(jobs) == 0:
+        return OnlineResult(
+            jobs_total=0,
+            jobs_served=0,
+            feasible=True,
+            max_vehicle_energy=0.0,
+            total_travel=0.0,
+            total_service=0.0,
+            omega=0.0,
+            omega_star=0.0,
+            capacity=None,
+            theorem_capacity=0.0,
+            replacements=0,
+            searches=0,
+            failed_replacements=0,
+            messages=0,
+            heartbeat_rounds=0,
+        )
+
+    demand = jobs.demand_map()
+    dim = demand.dim
+    if omega is None:
+        omega = omega_c(demand)
+    if omega <= 0:
+        raise ValueError("omega must be positive for a non-empty job sequence")
+    omega_star = omega_star_cubes(demand).omega
+    theorem_capacity = online_upper_bound_factor(dim) * omega
+
+    if capacity == "theorem":
+        provisioned: Optional[float] = theorem_capacity
+    else:
+        provisioned = capacity  # a float or None
+
+    base = config if config is not None else FleetConfig()
+    fleet_config = FleetConfig(
+        capacity=provisioned,
+        neighbor_radius=base.neighbor_radius,
+        message_delay=base.message_delay,
+        done_threshold=base.done_threshold,
+        monitoring=base.monitoring,
+        heartbeat_miss_threshold=base.heartbeat_miss_threshold,
+    )
+    fleet = Fleet(demand, omega, fleet_config, rng=rng, failure_plan=failure_plan)
+
+    served_count = 0
+    for job in jobs:
+        served = fleet.deliver_job(job.position, job.energy)
+        if not served and recovery_rounds > 0 and fleet_config.monitoring:
+            for _ in range(recovery_rounds):
+                fleet.run_heartbeat_round()
+            served = fleet.retry_job(job.position, job.energy)
+        if served:
+            served_count += 1
+        if fleet_config.monitoring:
+            fleet.run_heartbeat_round()
+
+    return OnlineResult(
+        jobs_total=len(jobs),
+        jobs_served=served_count,
+        feasible=served_count == len(jobs),
+        max_vehicle_energy=fleet.max_energy_used(),
+        total_travel=fleet.total_travel(),
+        total_service=fleet.total_service(),
+        omega=float(omega),
+        omega_star=omega_star,
+        capacity=provisioned,
+        theorem_capacity=theorem_capacity,
+        replacements=fleet.stats.replacements,
+        searches=fleet.stats.searches_started,
+        failed_replacements=fleet.stats.failed_replacements,
+        messages=fleet.messages_sent(),
+        heartbeat_rounds=fleet.stats.heartbeat_rounds,
+        vehicle_energies=fleet.vehicle_energies(),
+    )

@@ -1,0 +1,295 @@
+"""Chapter 5: inter-vehicle energy transfers.
+
+Vehicles may hand energy to a co-located vehicle, under one of two
+accounting methods: a *fixed* cost of ``a1`` units per transfer, or a
+*variable* cost of ``a2`` units per unit transferred.  Chapter 5 proves two
+things, both reproduced here:
+
+* **Theorem 5.1.1** -- transfers do not change the order of the required
+  capacity: ``W_trans-off = Theta(W_off)``.  The proof bounds the energy
+  that can be moved into an ``s x s`` square when every battery holds at
+  most ``W``: a geometric attrition series caps the contribution of a
+  vehicle at distance ``r`` by ``W (1 - 1/W)^r``.  The resulting
+  requirement, maximized over squares, is the transfer-aware lower bound
+  :func:`transfer_lower_bound`.
+* **Section 5.2.1** -- with *large tanks* (capacity ``C`` much larger than
+  the initial charge ``W``) transfers do help: on a line of ``N`` vehicles
+  a single collector can gather everyone's energy, so
+  ``W_trans-off = Theta(avg_x d(x))``.  :func:`line_tank_requirement` gives
+  the thesis's closed forms for both accounting methods and
+  :func:`simulate_line_collection` executes the schedule step by step to
+  validate them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.arrays import max_cube_sums
+from repro.core.demand import DemandMap
+
+__all__ = [
+    "TransferAccounting",
+    "square_import_capacity",
+    "transfer_lower_bound",
+    "line_tank_requirement",
+    "simulate_line_collection",
+    "LineCollectionResult",
+]
+
+
+class TransferAccounting(str, Enum):
+    """How a transfer is charged."""
+
+    FIXED = "fixed"  # a1 units per transfer, independent of the amount
+    VARIABLE = "variable"  # a2 units per unit of energy transferred
+
+
+def square_import_capacity(capacity: float, side: int) -> float:
+    """Upper bound on the energy that can end up inside an ``side x side`` square.
+
+    From the proof of Theorem 5.1.1 (two dimensions): vehicles inside the
+    square contribute ``W * side^2``; a vehicle at distance ``r`` can push at
+    most ``W (1 - 1/W)^r`` of its energy into the square, and there are
+    ``4 side + 4 (r - 1)`` vehicles at distance exactly ``r``.  Summing the
+    series gives the closed form
+
+        W * (side^2 + 4 W^2 + 4 side W - 8 W - 4 side + 4).
+    """
+    if capacity < 0 or side < 1:
+        raise ValueError("capacity must be non-negative and side at least 1")
+    if capacity == 0:
+        return 0.0
+    w = float(capacity)
+    s = float(side)
+    return w * (s * s + 4 * w * w + 4 * s * w - 8 * w - 4 * s + 4)
+
+
+def transfer_lower_bound(demand: DemandMap, *, max_side: Optional[int] = None) -> float:
+    """The Theorem 5.1.1 lower bound on ``W_trans-off`` (two dimensions).
+
+    For every square ``T`` the capacity must satisfy
+    ``square_import_capacity(W, side) >= sum_{x in T} d(x)``; the bound is
+    the largest such requirement over all squares (any position, any side),
+    located with the same sliding-window machinery as the cube omegas.
+    """
+    if demand.is_empty():
+        return 0.0
+    if demand.dim != 2:
+        raise ValueError("the transfer bound is derived for the plane (l = 2)")
+    bbox = demand.bounding_box()
+    extent = max(bbox.side_lengths)
+    limit = min(extent, max_side) if max_side is not None else extent
+    maxima = max_cube_sums(demand.as_dict(), range(1, limit + 1))
+    best = 0.0
+    for side in range(1, limit + 1):
+        total = maxima[side]
+        if total <= 0:
+            continue
+        requirement = _solve_increasing(lambda w: square_import_capacity(w, side), total)
+        if requirement > best:
+            best = requirement
+    return best
+
+
+def _solve_increasing(func, target: float) -> float:
+    """Solve ``func(w) = target`` for continuous increasing ``func`` with ``func(0)=0``."""
+    if target <= 0:
+        return 0.0
+    hi = 1.0
+    while func(hi) < target:
+        hi *= 2.0
+    lo = 0.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if func(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return (lo + hi) / 2.0
+
+
+# --------------------------------------------------------------------------- #
+# Section 5.2.1: high-capacity tanks on a line
+# --------------------------------------------------------------------------- #
+
+
+def line_tank_requirement(
+    demands: Sequence[float],
+    *,
+    accounting: TransferAccounting,
+    a1: float = 0.0,
+    a2: float = 0.0,
+) -> float:
+    """The thesis's closed forms for ``W_trans-off`` on a line with huge tanks.
+
+    ``demands[x]`` is the demand at vertex ``x + 1`` of a line of
+    ``N = len(demands)`` vertices.  Vehicle 1 walks to vertex ``N``
+    collecting energy (``N - 2`` pickups on the way plus an exchange at
+    ``N``), then walks back distributing it (``N - 2`` drop-offs), for
+    ``2 N - 3`` transfers and ``2 N - 2`` distance.
+
+    * fixed cost ``a1`` per transfer::
+
+        W = (a1 (2N - 3) + (2N - 2) + sum d) / N
+
+    * variable cost ``a2`` per unit transferred::
+
+        W = (2N - 2 + sum d) / (N - 2 a2 N + 3 a2)
+    """
+    n = len(demands)
+    if n < 2:
+        raise ValueError("the line schedule needs at least two vertices")
+    if any(d < 0 for d in demands):
+        raise ValueError("demands must be non-negative")
+    total = float(sum(demands))
+    if accounting == TransferAccounting.FIXED:
+        if a1 < 0:
+            raise ValueError("a1 must be non-negative")
+        return (a1 * (2 * n - 3) + (2 * n - 2) + total) / n
+    if accounting == TransferAccounting.VARIABLE:
+        if not 0 <= a2 < 0.5:
+            raise ValueError("the closed form needs 0 <= a2 < 1/2 (thesis: a2 << 1)")
+        denominator = n - 2 * a2 * n + 3 * a2
+        return (2 * n - 2 + total) / denominator
+    raise ValueError(f"unknown accounting method {accounting!r}")
+
+
+@dataclass
+class LineCollectionResult:
+    """Outcome of executing the Section 5.2.1 schedule."""
+
+    #: Initial per-vehicle charge used by the run.
+    initial_charge: float
+    #: Whether every demand was served without any battery going negative.
+    feasible: bool
+    #: Number of inter-vehicle transfers performed.
+    transfers: int
+    #: Total distance walked by the collector (vehicle 1).
+    distance: float
+    #: Total energy spent on transfer overhead.
+    transfer_overhead: float
+    #: Final energy positions (diagnostic).
+    final_energies: List[float]
+
+
+def simulate_line_collection(
+    demands: Sequence[float],
+    initial_charge: float,
+    *,
+    accounting: TransferAccounting,
+    a1: float = 0.0,
+    a2: float = 0.0,
+) -> LineCollectionResult:
+    """Execute the Section 5.2.1 collection schedule step by step.
+
+    Vehicle 1 starts at vertex 1 with ``initial_charge`` (as does everyone);
+    it walks right, and at each intermediate vertex the local vehicle hands
+    over its entire remaining charge (one transfer).  At vertex ``N`` the
+    collector exchanges energy so vehicle ``N`` retains exactly its local
+    demand.  Walking back, the collector drops exactly the local demand at
+    every vertex and finally serves vertex 1's demand itself.  Transfer
+    costs follow the selected accounting method and are paid by the
+    *sending* vehicle.  Tanks are unbounded (``C = infinity``).
+
+    The run is feasible iff no battery ever goes negative and every demand
+    is covered; the smallest feasible ``initial_charge`` reproduces the
+    closed form of :func:`line_tank_requirement` up to the integrality of
+    the schedule.
+    """
+    n = len(demands)
+    if n < 2:
+        raise ValueError("the line schedule needs at least two vertices")
+    demands = [float(d) for d in demands]
+    energies = [float(initial_charge)] * n
+    collector = 0  # index of vehicle 1 (vertex 1)
+    feasible = True
+    transfers = 0
+    distance = 0.0
+    overhead = 0.0
+
+    def transfer(src: int, dst: int, amount: float) -> float:
+        """Move ``amount`` from ``src`` to ``dst``; returns the amount received."""
+        nonlocal transfers, overhead, feasible
+        if amount <= 0:
+            return 0.0
+        transfers += 1
+        if accounting == TransferAccounting.FIXED:
+            cost = a1
+        else:
+            cost = a2 * amount
+        overhead += cost
+        energies[src] -= amount + cost
+        energies[dst] += amount
+        if energies[src] < -1e-9:
+            feasible = False
+        return amount
+
+    def max_sendable(energy: float) -> float:
+        """Largest amount a vehicle with ``energy`` can send without going negative."""
+        if energy <= 0:
+            return 0.0
+        if accounting == TransferAccounting.FIXED:
+            return max(0.0, energy - a1)
+        return energy / (1.0 + a2)
+
+    # Outbound leg: collect everything from vertices 2 .. N-1.
+    for vertex in range(1, n - 1):
+        energies[collector] -= 1.0  # walk one edge
+        distance += 1.0
+        if energies[collector] < -1e-9:
+            feasible = False
+        transfer(vertex, collector, max_sendable(energies[vertex]))
+    # Final edge to vertex N.
+    energies[collector] -= 1.0
+    distance += 1.0
+    if energies[collector] < -1e-9:
+        feasible = False
+    # Exchange at vertex N: top vehicle N up (or skim it down) to its demand.
+    need_n = demands[n - 1]
+    if energies[n - 1] > need_n:
+        # Vehicle N hands its surplus over, keeping enough to pay the
+        # transfer cost itself and still cover its demand.
+        surplus = energies[n - 1] - need_n
+        if accounting == TransferAccounting.FIXED:
+            surplus = max(0.0, surplus - a1)
+        else:
+            surplus = surplus / (1.0 + a2)
+        transfer(n - 1, collector, surplus)
+    elif energies[n - 1] < need_n:
+        transfer(collector, n - 1, need_n - energies[n - 1])
+    # Vehicle N serves its own demand on the spot.
+    energies[n - 1] -= need_n
+    if energies[n - 1] < -1e-9:
+        feasible = False
+
+    # Return leg: drop exactly the local demand at each intermediate vertex.
+    for vertex in range(n - 2, 0, -1):
+        energies[collector] -= 1.0
+        distance += 1.0
+        if energies[collector] < -1e-9:
+            feasible = False
+        transfer(collector, vertex, demands[vertex])
+        energies[vertex] -= demands[vertex]
+        if energies[vertex] < -1e-9:
+            feasible = False
+    # Final edge back to vertex 1 and serve its demand directly.
+    energies[collector] -= 1.0
+    distance += 1.0
+    energies[collector] -= demands[0]
+    if energies[collector] < -1e-9:
+        feasible = False
+
+    return LineCollectionResult(
+        initial_charge=float(initial_charge),
+        feasible=feasible,
+        transfers=transfers,
+        distance=distance,
+        transfer_overhead=overhead,
+        final_energies=list(energies),
+    )

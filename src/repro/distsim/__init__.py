@@ -1,0 +1,35 @@
+"""Distributed-system substrate: event-driven message-passing simulation.
+
+The online strategy of Chapter 3 is a decentralized protocol: vehicles
+exchange query/reply/move messages over an asynchronous, reliable, FIFO
+network and coordinate replacements with a Dijkstra--Scholten diffusing
+computation.  This subpackage provides the substrate that protocol runs on:
+
+* :mod:`repro.distsim.engine` -- a deterministic discrete-event simulator.
+* :mod:`repro.distsim.network` -- reliable FIFO message delivery between
+  registered processes, with per-link delays and failure injection hooks.
+* :mod:`repro.distsim.process` -- the process abstraction (local state,
+  message handlers, unbounded input buffer).
+* :mod:`repro.distsim.diffusing` -- a standalone, reusable implementation of
+  the Dijkstra--Scholten termination-detection scheme reviewed in
+  Section 3.1, used both directly (tests, examples) and as the template for
+  the vehicles' Phase I computation.
+* :mod:`repro.distsim.failures` -- crash and omission failure injection used
+  by the Chapter 3 "scenario 2/3" experiments.
+"""
+
+from repro.distsim.engine import Event, Simulator
+from repro.distsim.network import Network
+from repro.distsim.process import Process
+from repro.distsim.diffusing import DiffusingNode, DiffusingComputation
+from repro.distsim.failures import FailurePlan
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Network",
+    "Process",
+    "DiffusingNode",
+    "DiffusingComputation",
+    "FailurePlan",
+]

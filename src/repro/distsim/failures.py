@@ -1,0 +1,80 @@
+"""Failure injection for the distributed substrate.
+
+Section 3.2.5 distinguishes four scenarios: (1) no failures, (2) done
+vehicles that fail to start their diffusing computation, (3) a constant
+number of active vehicles breaking down ("dead"), and (4) many vehicles
+breaking down (handled analytically in Chapter 4).  The simulator covers
+scenarios 1--3; this module carries the knobs:
+
+* *crashed* processes receive nothing and send nothing (their outgoing
+  messages are silently discarded by the network);
+* targeted *message drops* can suppress, e.g., the initiation of a specific
+  diffusing computation;
+* arbitrary predicates can be registered for fuzz-style omission testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, List, Set
+
+__all__ = ["FailurePlan"]
+
+DropPredicate = Callable[[Hashable, Hashable, Any], bool]
+
+
+@dataclass
+class FailurePlan:
+    """A mutable description of which failures to inject."""
+
+    crashed: Set[Hashable] = field(default_factory=set)
+    #: Processes that, although alive, never *initiate* a protocol action on
+    #: their own (scenario 2's "done vehicle fails to initialize a diffusing
+    #: computation").  The network does not consult this set -- protocol
+    #: implementations do.
+    initiation_suppressed: Set[Hashable] = field(default_factory=set)
+    drop_predicates: List[DropPredicate] = field(default_factory=list)
+    dropped_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # crash failures
+    # ------------------------------------------------------------------ #
+
+    def crash(self, identity: Hashable) -> None:
+        """Mark a process as crashed (dead): it neither sends nor receives."""
+        self.crashed.add(identity)
+
+    def is_crashed(self, identity: Hashable) -> bool:
+        """Whether the process is crashed."""
+        return identity in self.crashed
+
+    # ------------------------------------------------------------------ #
+    # initiation suppression (scenario 2)
+    # ------------------------------------------------------------------ #
+
+    def suppress_initiation(self, identity: Hashable) -> None:
+        """Prevent ``identity`` from starting its own diffusing computations."""
+        self.initiation_suppressed.add(identity)
+
+    def is_initiation_suppressed(self, identity: Hashable) -> bool:
+        """Whether the process must not self-initiate protocol actions."""
+        return identity in self.initiation_suppressed
+
+    # ------------------------------------------------------------------ #
+    # message omission
+    # ------------------------------------------------------------------ #
+
+    def add_drop_rule(self, predicate: DropPredicate) -> None:
+        """Drop every message for which ``predicate(sender, dest, msg)`` is true."""
+        self.drop_predicates.append(predicate)
+
+    def should_drop(self, sender: Hashable, destination: Hashable, message: Any) -> bool:
+        """Consulted by the network on every send (crashed senders also drop)."""
+        if sender in self.crashed:
+            self.dropped_count += 1
+            return True
+        for predicate in self.drop_predicates:
+            if predicate(sender, destination, message):
+                self.dropped_count += 1
+                return True
+        return False

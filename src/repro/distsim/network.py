@@ -1,0 +1,152 @@
+"""Reliable FIFO message delivery between registered processes.
+
+The communication model of Section 3.2 assumes: bidirectional links,
+error-free transmission, per-link FIFO ordering ("synchronous communication:
+messages sent from P to Q arrive in the order sent"), finite but arbitrary
+delays, and negligible energy cost for communication.  This network layer
+implements exactly that model on top of the discrete-event engine:
+
+* each ``send`` schedules a delivery after a (possibly randomized) delay;
+* deliveries on the same directed link never overtake one another;
+* an optional :class:`~repro.distsim.failures.FailurePlan` may crash
+  processes (all their messages are dropped) or drop specific messages,
+  which the Chapter 3 failure-scenario experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distsim.engine import Simulator
+from repro.distsim.failures import FailurePlan
+from repro.distsim.process import Process
+
+__all__ = ["Network"]
+
+DelayFunction = Callable[[Hashable, Hashable, Any], float]
+
+
+class Network:
+    """The message fabric connecting processes.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event engine driving the run.  A fresh one is created
+        when omitted.
+    delay:
+        Either a fixed non-negative delay applied to every message, or a
+        callable ``(sender, destination, message) -> delay``.  When ``rng``
+        is supplied and ``delay`` is a number, delays are drawn uniformly
+        from ``[delay/2, 3*delay/2]`` to exercise asynchrony.
+    rng:
+        Optional ``numpy`` random generator for randomized delays.
+    failure_plan:
+        Optional failure injection (crashed processes, dropped messages).
+    """
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        *,
+        delay: float | DelayFunction = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        failure_plan: Optional[FailurePlan] = None,
+    ) -> None:
+        self.simulator = simulator if simulator is not None else Simulator()
+        self._delay = delay
+        self._rng = rng
+        self.failure_plan = failure_plan if failure_plan is not None else FailurePlan()
+        self._processes: Dict[Hashable, Process] = {}
+        #: Time of the last scheduled delivery per directed link, used to
+        #: enforce FIFO ordering even with randomized delays.
+        self._last_delivery: Dict[Tuple[Hashable, Hashable], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, process: Process) -> None:
+        """Register a process; identities must be unique."""
+        if process.identity in self._processes:
+            raise ValueError(f"duplicate process identity {process.identity!r}")
+        self._processes[process.identity] = process
+        process.attach(self)
+
+    def register_all(self, processes: Iterable[Process]) -> None:
+        """Register many processes."""
+        for process in processes:
+            self.register(process)
+
+    def process(self, identity: Hashable) -> Process:
+        """Look up a registered process by identity."""
+        return self._processes[identity]
+
+    def processes(self) -> List[Process]:
+        """All registered processes."""
+        return list(self._processes.values())
+
+    def __contains__(self, identity: object) -> bool:
+        return identity in self._processes
+
+    def start(self) -> None:
+        """Invoke every process's ``on_start`` hook (at time zero)."""
+        for process in self._processes.values():
+            if not self.failure_plan.is_crashed(process.identity):
+                process.on_start()
+
+    # ------------------------------------------------------------------ #
+    # messaging
+    # ------------------------------------------------------------------ #
+
+    def _draw_delay(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        if callable(self._delay):
+            value = float(self._delay(sender, destination, message))
+        elif self._rng is not None:
+            base = float(self._delay)
+            value = float(self._rng.uniform(base / 2, 3 * base / 2))
+        else:
+            value = float(self._delay)
+        if value < 0:
+            raise ValueError("message delay must be non-negative")
+        return value
+
+    def send(self, sender: Hashable, destination: Hashable, message: Any) -> None:
+        """Send a message; delivery is scheduled on the simulator."""
+        if destination not in self._processes:
+            raise KeyError(f"unknown destination {destination!r}")
+        self.messages_sent += 1
+        if self.failure_plan.should_drop(sender, destination, message):
+            self.messages_dropped += 1
+            return
+        if self.failure_plan.is_crashed(destination):
+            # Messages to crashed processes vanish; the sender is not told.
+            self.messages_dropped += 1
+            return
+        delay = self._draw_delay(sender, destination, message)
+        now = self.simulator.now
+        link = (sender, destination)
+        delivery_time = max(now + delay, self._last_delivery.get(link, 0.0))
+        self._last_delivery[link] = delivery_time
+
+        def _deliver() -> None:
+            if self.failure_plan.is_crashed(destination):
+                self.messages_dropped += 1
+                return
+            self.messages_delivered += 1
+            self._processes[destination].deliver(sender, message)
+
+        self.simulator.schedule_at(delivery_time, _deliver)
+
+    # ------------------------------------------------------------------ #
+    # execution helpers
+    # ------------------------------------------------------------------ #
+
+    def run_until_quiescent(self, *, max_events: int = 10_000_000) -> int:
+        """Drain the simulator; returns the number of events executed."""
+        return self.simulator.run_until_quiescent(max_events=max_events)

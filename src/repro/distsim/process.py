@@ -1,0 +1,76 @@
+"""The process abstraction for message-passing protocols.
+
+A :class:`Process` has an identity, an unbounded input buffer (the thesis
+assumes unbounded buffers for ease of exposition), and a ``on_message``
+handler invoked by the network when a buffered message is consumed.
+Processes send messages through the network they are registered with; they
+never share memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distsim.network import Network
+
+__all__ = ["Process"]
+
+
+class Process:
+    """Base class for protocol participants.
+
+    Subclasses override :meth:`on_message` (required) and optionally
+    :meth:`on_start`, which the network calls once when the simulation is
+    kicked off.
+    """
+
+    def __init__(self, identity: Hashable) -> None:
+        self.identity = identity
+        self._network: Optional["Network"] = None
+        #: Messages received, in order -- kept for debugging and assertions.
+        self.message_log: List[Any] = []
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, network: "Network") -> None:
+        """Called by :class:`~repro.distsim.network.Network` on registration."""
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        """The network this process is registered with."""
+        if self._network is None:
+            raise RuntimeError(f"process {self.identity!r} is not attached to a network")
+        return self._network
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.network.simulator.now
+
+    # ------------------------------------------------------------------ #
+    # messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, destination: Hashable, message: Any) -> None:
+        """Send ``message`` to the process with identity ``destination``."""
+        self.network.send(self.identity, destination, message)
+
+    def deliver(self, sender: Hashable, message: Any) -> None:
+        """Entry point used by the network; records and dispatches the message."""
+        self.message_log.append((sender, message))
+        self.on_message(sender, message)
+
+    # ------------------------------------------------------------------ #
+    # overridables
+    # ------------------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        """Hook invoked once when the network starts all processes."""
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        """Handle one received message.  Subclasses must override."""
+        raise NotImplementedError

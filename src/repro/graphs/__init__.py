@@ -1,0 +1,38 @@
+"""CMVRP on general graphs (the thesis's Chapter 6 future-work direction).
+
+The thesis analyzes the problem on the lattice ``Z^l`` and explicitly lists
+"results for graphs in general" as an open direction.  This subpackage
+extends the *offline* machinery to an arbitrary connected, unweighted or
+integer-weighted graph with one vehicle and one potential customer per
+node:
+
+* :mod:`repro.graphs.metric` -- shortest-path metric, balls and
+  neighborhoods ``N_r(T)`` on a graph.
+* :mod:`repro.graphs.offline` -- the graph analogue of the ``omega_T``
+  characterization (lower bound), a ball-restricted maximization playing
+  the role of the cube restriction, a max-flow feasibility oracle, and a
+  greedy planner giving an audited upper bound on the graph ``W_off``.
+
+The online protocol is not ported: its analysis leans on the cube
+partition's geometry, which is exactly the part the thesis leaves open.
+"""
+
+from repro.graphs.metric import GraphMetric
+from repro.graphs.offline import (
+    GraphBounds,
+    graph_bounds,
+    graph_greedy_plan,
+    graph_min_capacity,
+    graph_omega_for_nodes,
+    graph_omega_star,
+)
+
+__all__ = [
+    "GraphMetric",
+    "GraphBounds",
+    "graph_bounds",
+    "graph_omega_for_nodes",
+    "graph_omega_star",
+    "graph_min_capacity",
+    "graph_greedy_plan",
+]

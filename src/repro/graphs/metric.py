@@ -1,0 +1,94 @@
+"""Shortest-path metric, balls and neighborhoods on a general graph.
+
+On the lattice the thesis measures travel with the Manhattan metric; on a
+general graph the natural analogue is the (weighted) shortest-path metric.
+:class:`GraphMetric` wraps a ``networkx`` graph, caches single-source
+distances on demand, and exposes the two primitives the characterization
+needs: the ball ``N_r(v)`` and the neighborhood ``N_r(T)`` of a node set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+import networkx as nx
+
+__all__ = ["GraphMetric"]
+
+
+class GraphMetric:
+    """The shortest-path metric of a connected graph.
+
+    Parameters
+    ----------
+    graph:
+        An undirected ``networkx`` graph.  Edge weights are read from the
+        ``weight`` attribute (default 1 per edge), matching the thesis's
+        "one unit of energy per edge traversed" convention when unweighted.
+    """
+
+    def __init__(self, graph: nx.Graph, *, weight: str = "weight") -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("the graph must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("the CMVRP substrate graph must be connected")
+        self.graph = graph
+        self.weight = weight
+        self._distances: Dict[Hashable, Dict[Hashable, float]] = {}
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        """All nodes (every node hosts one vehicle and one potential customer)."""
+        return list(self.graph.nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.graph
+
+    def distances_from(self, source: Hashable) -> Dict[Hashable, float]:
+        """Single-source shortest-path distances (cached)."""
+        if source not in self._distances:
+            if source not in self.graph:
+                raise KeyError(f"node {source!r} is not in the graph")
+            self._distances[source] = dict(
+                nx.single_source_dijkstra_path_length(
+                    self.graph, source, weight=self.weight
+                )
+            )
+        return self._distances[source]
+
+    def distance(self, a: Hashable, b: Hashable) -> float:
+        """Shortest-path distance between two nodes."""
+        return self.distances_from(a)[b]
+
+    def ball(self, center: Hashable, radius: float) -> Set[Hashable]:
+        """All nodes within distance ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return {
+            node
+            for node, dist in self.distances_from(center).items()
+            if dist <= radius + 1e-12
+        }
+
+    def neighborhood(self, nodes: Iterable[Hashable], radius: float) -> Set[Hashable]:
+        """``N_r(T)``: nodes within distance ``radius`` of the node set."""
+        result: Set[Hashable] = set()
+        for node in nodes:
+            result |= self.ball(node, radius)
+        return result
+
+    def neighborhood_size(self, nodes: Iterable[Hashable], radius: float) -> int:
+        """``|N_r(T)|`` for a node set."""
+        return len(self.neighborhood(nodes, radius))
+
+    def distance_to_set(self, node: Hashable, nodes: Iterable[Hashable]) -> float:
+        """Distance from ``node`` to the nearest member of ``nodes``."""
+        return min(self.distance(node, other) for other in nodes)
+
+    def eccentricity(self, node: Hashable) -> float:
+        """Largest distance from ``node`` to any node (used for search caps)."""
+        return max(self.distances_from(node).values())
+
+    def diameter(self) -> float:
+        """Graph diameter under the shortest-path metric."""
+        return max(self.eccentricity(node) for node in self.graph.nodes)

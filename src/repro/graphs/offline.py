@@ -1,0 +1,340 @@
+"""The offline CMVRP characterization on a general graph.
+
+The lower-bound side of Theorem 1.4.1 carries over verbatim to any graph:
+only the vehicles of ``N_omega(T)`` can contribute energy to the nodes of
+``T``, so any feasible capacity satisfies
+``omega * |N_omega(T)| >= sum_{v in T} d(v)`` for every node set ``T`` and
+``W_off >= max_T omega_T``.  What does *not* carry over is the cube
+partition that gave the matching upper bound -- that is precisely the
+thesis's open problem -- so on general graphs the upper bound reported here
+is the audited capacity of an explicit greedy plan (plus a transport
+relaxation via max-flow), not an analytic constant.
+
+This module provides:
+
+* :func:`graph_omega_for_nodes` -- solve the threshold equation for a node set;
+* :func:`graph_omega_star` -- maximize over ball-shaped candidate sets (and,
+  on small graphs, over all subsets of the demand support);
+* :func:`graph_min_capacity` -- the value of the self-radius transport
+  relaxation (program (2.8) on the graph) via binary search + max-flow;
+* :func:`graph_greedy_plan` / :func:`graph_bounds` -- an audited feasible
+  plan and the assembled lower/upper bound report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.metric import GraphMetric
+
+__all__ = [
+    "graph_omega_for_nodes",
+    "graph_omega_star",
+    "graph_min_capacity",
+    "graph_greedy_plan",
+    "GraphPlan",
+    "GraphBounds",
+    "graph_bounds",
+]
+
+#: Cap for the exhaustive subset maximization on general graphs.
+MAX_EXHAUSTIVE_SUPPORT = 14
+
+#: Integer scaling for max-flow capacities.
+FLOW_SCALE = 10**6
+
+
+def _clean_demand(demand: Mapping[Hashable, float]) -> Dict[Hashable, float]:
+    cleaned: Dict[Hashable, float] = {}
+    for node, value in demand.items():
+        value = float(value)
+        if value < 0:
+            raise ValueError(f"negative demand {value} at node {node!r}")
+        if value > 0:
+            cleaned[node] = value
+    return cleaned
+
+
+def graph_omega_for_nodes(
+    metric: GraphMetric,
+    demand: Mapping[Hashable, float],
+    nodes: Iterable[Hashable],
+) -> float:
+    """Solve ``inf { w : w * |N_w(T)| >= sum_{v in T} d(v) }`` on the graph.
+
+    The neighborhood size is a step function whose breakpoints are the
+    distinct distances from ``T`` to the rest of the graph, so the scan
+    walks those breakpoints directly (no integrality assumption on edge
+    weights is needed).
+    """
+    node_list = list(dict.fromkeys(nodes))
+    if not node_list:
+        raise ValueError("omega_T is defined for non-empty node sets only")
+    demand = _clean_demand(demand)
+    total = sum(demand.get(node, 0.0) for node in node_list)
+    if total == 0:
+        return 0.0
+    # Distance from every graph node to the set T.
+    distances = {
+        node: metric.distance_to_set(node, node_list) for node in metric.nodes
+    }
+    breakpoints = sorted(set(distances.values()))
+    for point_index, start in enumerate(breakpoints):
+        count_within = sum(1 for d in distances.values() if d <= start + 1e-12)
+        end = (
+            breakpoints[point_index + 1]
+            if point_index + 1 < len(breakpoints)
+            else math.inf
+        )
+        candidate = max(total / count_within, start)
+        if candidate < end - 1e-12 or math.isinf(end):
+            return candidate
+    raise RuntimeError("unreachable: the last breakpoint always yields a solution")
+
+
+def graph_omega_star(
+    metric: GraphMetric,
+    demand: Mapping[Hashable, float],
+    *,
+    exhaustive: Optional[bool] = None,
+) -> float:
+    """``max_T omega_T`` over candidate node sets.
+
+    Candidates are every ball ``N_r(v)`` centered at a demand node (the
+    graph analogue of the cube restriction -- balls are the sets the lower
+    bound is tight on for the worked examples), the single demand nodes,
+    and the full support.  When ``exhaustive`` is true (default for small
+    supports) all subsets of the support are also scanned, which makes the
+    result exact.
+    """
+    demand = _clean_demand(demand)
+    support = sorted(demand, key=str)
+    if not support:
+        return 0.0
+    if exhaustive is None:
+        exhaustive = len(support) <= MAX_EXHAUSTIVE_SUPPORT
+
+    candidates: List[Tuple[Hashable, ...]] = [tuple(support)]
+    candidates.extend((node,) for node in support)
+    for node in support:
+        radii = sorted(set(metric.distances_from(node).values()))
+        for radius in radii:
+            ball = tuple(sorted(metric.ball(node, radius), key=str))
+            candidates.append(ball)
+    if exhaustive:
+        if len(support) > MAX_EXHAUSTIVE_SUPPORT:
+            raise ValueError(
+                f"support of size {len(support)} too large for exhaustive subsets"
+            )
+        for size in range(1, len(support) + 1):
+            candidates.extend(itertools.combinations(support, size))
+
+    best = 0.0
+    seen = set()
+    for candidate in candidates:
+        key = frozenset(candidate)
+        if not key or key in seen:
+            continue
+        seen.add(key)
+        value = graph_omega_for_nodes(metric, demand, candidate)
+        if value > best:
+            best = value
+    return best
+
+
+def _transport_feasible(
+    metric: GraphMetric, demand: Dict[Hashable, float], capacity: float
+) -> bool:
+    """Max-flow oracle: can per-node supplies ``capacity`` cover the demand
+    with transport radius ``capacity`` (travel ignored, as in LP (2.8))?"""
+    total = sum(demand.values())
+    if total == 0:
+        return True
+    if capacity <= 0:
+        return False
+    graph = nx.DiGraph()
+    source, sink = "__source__", "__sink__"
+    for target, value in demand.items():
+        graph.add_edge(("d", target), sink, capacity=int(round(value * FLOW_SCALE)))
+    relevant = metric.neighborhood(demand.keys(), capacity)
+    for vehicle in relevant:
+        reachable = [t for t in demand if metric.distance(vehicle, t) <= capacity + 1e-12]
+        if not reachable:
+            continue
+        graph.add_edge(source, ("v", vehicle), capacity=int(round(capacity * FLOW_SCALE)))
+        for target in reachable:
+            graph.add_edge(("v", vehicle), ("d", target), capacity=int(round(total * FLOW_SCALE)))
+    if source not in graph or sink not in graph:
+        return False
+    flow_value, _ = nx.maximum_flow(graph, source, sink)
+    return flow_value >= int(round(total * FLOW_SCALE)) - FLOW_SCALE // 1000
+
+
+def graph_min_capacity(
+    metric: GraphMetric,
+    demand: Mapping[Hashable, float],
+    *,
+    tolerance: float = 1e-3,
+) -> float:
+    """Value of the self-radius transport relaxation on the graph.
+
+    This is the graph analogue of program (2.8): the smallest ``W`` such
+    that every node's demand can be covered by vehicles within distance
+    ``W`` each shipping at most ``W``.  It always lower-bounds the true
+    ``W_off`` (travel is ignored) and, by the same argument as
+    Lemma 2.2.3, equals ``max_T omega_T``.
+    """
+    demand = _clean_demand(demand)
+    if not demand:
+        return 0.0
+    hi = max(max(demand.values()), 1.0)
+    while not _transport_feasible(metric, demand, hi):
+        hi *= 2.0
+    lo = 0.0
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if _transport_feasible(metric, demand, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass
+class GraphPlan:
+    """A feasible assignment of demand to vehicles on the graph.
+
+    ``routes`` maps each used vehicle (its home node) to the ordered list of
+    ``(node, energy served)`` stops; energy accounting mirrors
+    :class:`repro.core.plan.VehicleRoute` with shortest-path travel.
+    """
+
+    routes: Dict[Hashable, List[Tuple[Hashable, float]]]
+    metric: GraphMetric
+
+    def vehicle_energy(self, vehicle: Hashable) -> float:
+        """Travel plus service energy of one vehicle's route."""
+        stops = self.routes.get(vehicle, [])
+        energy = 0.0
+        position = vehicle
+        for node, served in stops:
+            energy += self.metric.distance(position, node) + served
+            position = node
+        return energy
+
+    def max_vehicle_energy(self) -> float:
+        """The plan's capacity requirement."""
+        return max((self.vehicle_energy(v) for v in self.routes), default=0.0)
+
+    def served(self) -> Dict[Hashable, float]:
+        """Total energy delivered per node."""
+        delivered: Dict[Hashable, float] = {}
+        for stops in self.routes.values():
+            for node, served in stops:
+                delivered[node] = delivered.get(node, 0.0) + served
+        return delivered
+
+    def covers(self, demand: Mapping[Hashable, float]) -> bool:
+        """Whether every node's demand is fully delivered."""
+        delivered = self.served()
+        return all(
+            delivered.get(node, 0.0) >= value - 1e-9 for node, value in demand.items()
+        )
+
+
+def graph_greedy_plan(
+    metric: GraphMetric,
+    demand: Mapping[Hashable, float],
+    capacity: float,
+) -> GraphPlan:
+    """Greedy nearest-vehicle plan on the graph for a given capacity."""
+    demand = _clean_demand(demand)
+    routes: Dict[Hashable, List[Tuple[Hashable, float]]] = {}
+    if not demand or capacity <= 0:
+        return GraphPlan(routes, metric)
+    budget: Dict[Hashable, float] = {}
+    position: Dict[Hashable, Hashable] = {}
+    candidates = sorted(metric.neighborhood(demand.keys(), capacity), key=str)
+    for vehicle in candidates:
+        budget[vehicle] = capacity
+        position[vehicle] = vehicle
+
+    for target, required in sorted(demand.items(), key=lambda item: (-item[1], str(item[0]))):
+        remaining = required
+        while remaining > 1e-9:
+            best = None
+            best_key = None
+            for vehicle in candidates:
+                if budget[vehicle] <= 1e-9:
+                    continue
+                walk = metric.distance(position[vehicle], target)
+                available = budget[vehicle] - walk
+                if available <= 1e-9:
+                    continue
+                key = (walk, -available, str(vehicle))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = vehicle
+            if best is None:
+                break
+            walk = metric.distance(position[best], target)
+            serve = min(remaining, budget[best] - walk)
+            budget[best] -= walk + serve
+            position[best] = target
+            routes.setdefault(best, []).append((target, serve))
+            remaining -= serve
+    return GraphPlan(routes, metric)
+
+
+@dataclass(frozen=True)
+class GraphBounds:
+    """Lower and upper bounds on the graph ``W_off``."""
+
+    #: ``max_T omega_T`` over the candidate sets (certified lower bound).
+    omega_star: float
+    #: Value of the transport relaxation (also a lower bound; should agree
+    #: with ``omega_star`` up to the bisection tolerance).
+    transport_relaxation: float
+    #: Smallest capacity at which the greedy plan covers the demand
+    #: (audited upper bound on ``W_off``).
+    greedy_capacity: float
+
+    @property
+    def gap(self) -> float:
+        """Upper bound over lower bound (the open-problem gap on graphs)."""
+        lower = max(self.omega_star, 1e-12)
+        return self.greedy_capacity / lower
+
+
+def graph_bounds(
+    metric: GraphMetric,
+    demand: Mapping[Hashable, float],
+    *,
+    tolerance: float = 0.05,
+) -> GraphBounds:
+    """Assemble lower and audited upper bounds for a graph instance."""
+    demand = _clean_demand(demand)
+    if not demand:
+        return GraphBounds(0.0, 0.0, 0.0)
+    omega_star = graph_omega_star(metric, demand)
+    relaxation = graph_min_capacity(metric, demand, tolerance=tolerance)
+
+    def feasible(capacity: float) -> bool:
+        return graph_greedy_plan(metric, demand, capacity).covers(demand)
+
+    hi = max(max(demand.values()), 1.0)
+    while not feasible(hi):
+        hi *= 2.0
+    lo = 0.0
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return GraphBounds(omega_star, relaxation, hi)

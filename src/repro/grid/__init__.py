@@ -1,0 +1,44 @@
+"""Grid substrate for the CMVRP reproduction.
+
+The thesis places one vehicle and one (potential) customer at every vertex
+of the integer lattice ``Z^l`` with the Manhattan (L1) metric.  This
+subpackage provides:
+
+* :mod:`repro.grid.lattice` -- points, the Manhattan metric, L1 balls and
+  axis-aligned boxes with exact neighborhood-cardinality computations.
+* :mod:`repro.grid.regions` -- finite regions (arbitrary point sets) with
+  neighborhood expansion ``N_r(T)`` and related set operations.
+* :mod:`repro.grid.cubes` -- the ``ceil(w) x ... x ceil(w)`` cube partition
+  used throughout Chapters 2 and 3, plus the dyadic coarsening pyramid that
+  Algorithm 1 builds.
+* :mod:`repro.grid.coloring` -- the chessboard coloring and the black/white
+  vertex pairing of Section 3.2 used by the online protocol.
+"""
+
+from repro.grid.lattice import (
+    Box,
+    box_neighborhood_size,
+    l1_ball,
+    l1_ball_size,
+    manhattan,
+)
+from repro.grid.regions import Region, neighborhood, neighborhood_size
+from repro.grid.cubes import CubeGrid, CoarseningPyramid, cube_partition
+from repro.grid.coloring import Coloring, chessboard_color, pair_vertices
+
+__all__ = [
+    "Box",
+    "box_neighborhood_size",
+    "l1_ball",
+    "l1_ball_size",
+    "manhattan",
+    "Region",
+    "neighborhood",
+    "neighborhood_size",
+    "CubeGrid",
+    "CoarseningPyramid",
+    "cube_partition",
+    "Coloring",
+    "chessboard_color",
+    "pair_vertices",
+]

@@ -1,0 +1,139 @@
+"""Chessboard coloring and black/white pairing for the online protocol.
+
+Section 3.2 colors every vertex of each cube black when the sum of its
+coordinates is even and white otherwise, then pairs adjacent black/white
+vertices inside each cube.  Each pair is served by a single *active*
+vehicle: the active vehicle sits at one vertex of the pair and walks at most
+distance 1 to serve a job arriving at either vertex of the pair.  When it
+exhausts its energy, an *idle* vehicle from the same cube replaces it.
+
+This module provides the coloring predicate and a deterministic pairing of
+the vertices of a cube (or any box).  For cubes of odd size a single black
+vertex may remain unpaired, exactly as the thesis allows; that vertex forms
+a singleton "pair" served by its own vehicle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grid.lattice import Box, Point
+
+__all__ = ["chessboard_color", "pair_vertices", "Coloring", "Pair"]
+
+
+def chessboard_color(point: Sequence[int]) -> str:
+    """Return ``"black"`` if the coordinate sum is even and ``"white"`` otherwise."""
+    return "black" if sum(int(c) for c in point) % 2 == 0 else "white"
+
+
+@dataclass(frozen=True)
+class Pair:
+    """A black/white vertex pair (or a singleton left-over black vertex).
+
+    Attributes
+    ----------
+    black:
+        The black vertex of the pair.
+    white:
+        The adjacent white vertex, or ``None`` for a singleton pair.
+    """
+
+    black: Point
+    white: Point | None
+
+    def vertices(self) -> Tuple[Point, ...]:
+        """The vertices covered by this pair."""
+        if self.white is None:
+            return (self.black,)
+        return (self.black, self.white)
+
+    def __contains__(self, point: object) -> bool:
+        return point == self.black or point == self.white
+
+
+def pair_vertices(box: Box) -> List[Pair]:
+    """Pair the vertices of ``box`` into adjacent black/white pairs.
+
+    The pairing walks the box in boustrophedon (snake) order along the last
+    axis, so consecutive vertices in the walk are always lattice-adjacent.
+    Consecutive vertices alternate colors, so grouping the walk two-by-two
+    yields adjacent opposite-color pairs; at most one vertex remains
+    unpaired when the box has odd size.  Which color is the "extra" one is
+    irrelevant for the protocol (the thesis simply swaps colors in that
+    case), so we store the leftover vertex in the ``black`` slot.
+    """
+    walk = _snake_order(box)
+    pairs: List[Pair] = []
+    for i in range(0, len(walk) - 1, 2):
+        a, b = walk[i], walk[i + 1]
+        if chessboard_color(a) == "black":
+            pairs.append(Pair(black=a, white=b))
+        else:
+            pairs.append(Pair(black=b, white=a))
+    if len(walk) % 2 == 1:
+        pairs.append(Pair(black=walk[-1], white=None))
+    return pairs
+
+
+def _snake_order(box: Box) -> List[Point]:
+    """Return all points of ``box`` in a Hamiltonian-path (snake) order.
+
+    Consecutive points of the returned list are lattice-adjacent, which is
+    what makes the two-by-two grouping in :func:`pair_vertices` valid.
+    """
+    dim = box.dim
+    if dim == 1:
+        return [(c,) for c in range(box.lo[0], box.hi[0] + 1)]
+    inner_box = Box(box.lo[:-1], box.hi[:-1])
+    inner = _snake_order(inner_box)
+    points: List[Point] = []
+    last_axis = list(range(box.lo[-1], box.hi[-1] + 1))
+    for idx, prefix in enumerate(inner):
+        axis_values = last_axis if idx % 2 == 0 else list(reversed(last_axis))
+        for value in axis_values:
+            points.append(prefix + (value,))
+    return points
+
+
+class Coloring:
+    """The coloring-and-pairing bookkeeping for one cube of the partition.
+
+    The online protocol needs, for any vertex, the pair it belongs to and
+    the initial "home" vertex of the active vehicle serving that pair.  The
+    thesis starts the active vehicle at the black vertex of each pair.
+    """
+
+    def __init__(self, cube: Box) -> None:
+        self.cube = cube
+        self.pairs = pair_vertices(cube)
+        self._pair_of: Dict[Point, Pair] = {}
+        for pair in self.pairs:
+            for vertex in pair.vertices():
+                self._pair_of[vertex] = pair
+
+    def pair_of(self, point: Sequence[int]) -> Pair:
+        """Return the pair containing ``point`` (must be inside the cube)."""
+        key = tuple(int(c) for c in point)
+        try:
+            return self._pair_of[key]
+        except KeyError:
+            raise ValueError(f"point {key} is not in cube {self.cube}") from None
+
+    def initially_active(self, point: Sequence[int]) -> bool:
+        """Whether the vehicle starting at ``point`` is initially active.
+
+        The active vehicle of each pair starts at the pair's black vertex;
+        a singleton pair's only vertex is also active.
+        """
+        pair = self.pair_of(point)
+        return tuple(int(c) for c in point) == pair.black
+
+    def serving_vertex(self, point: Sequence[int]) -> Point:
+        """Return the home vertex of the vehicle responsible for ``point``."""
+        return self.pair_of(point).black
+
+    def num_pairs(self) -> int:
+        """Number of pairs (including a possible singleton)."""
+        return len(self.pairs)

@@ -1,0 +1,204 @@
+"""Cube partitions and the dyadic coarsening pyramid of Algorithm 1.
+
+Lemma 2.2.5 and the online strategy of Chapter 3 both partition the lattice
+into ``ceil(w) x ... x ceil(w)`` cubes and treat each cube independently:
+the total demand a cube can ever require is bounded, so giving every vehicle
+a constant multiple of ``omega*`` suffices and no vehicle ever has to leave
+its own cube.  :class:`CubeGrid` implements that partition over a finite
+window.
+
+Algorithm 1 (Section 2.3) estimates ``W_off`` in linear time by repeatedly
+doubling the cube side ``w`` and aggregating demand counts of ``2 x 2``
+(generally ``2^l``) blocks of the previous level; :class:`CoarseningPyramid`
+implements that aggregation pyramid exactly as written in the pseudo-code
+(steps 8--9).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.grid.lattice import Box, Point
+
+__all__ = ["CubeGrid", "CoarseningPyramid", "cube_partition"]
+
+
+@dataclass(frozen=True)
+class CubeGrid:
+    """The partition of a finite box into axis-aligned cubes of a given side.
+
+    Cubes are aligned to the box's lower corner.  Cubes on the high boundary
+    may be clipped to the box; this matches running the algorithms on an
+    ``n x n`` window where ``n`` need not be a multiple of the cube side.
+
+    Parameters
+    ----------
+    box:
+        The finite lattice window being partitioned.
+    side:
+        Number of lattice points per cube along every axis (``ceil(w)`` in
+        the thesis's notation).
+    """
+
+    box: Box
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise ValueError("cube side must be at least 1")
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the ambient lattice."""
+        return self.box.dim
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Number of cubes along each axis."""
+        return tuple(
+            math.ceil(length / self.side) for length in self.box.side_lengths
+        )
+
+    @property
+    def num_cubes(self) -> int:
+        """Total number of cubes in the partition."""
+        return math.prod(self.shape)
+
+    def cube_index(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """Return the multi-index of the cube containing ``point``."""
+        point = tuple(int(c) for c in point)
+        if point not in self.box:
+            raise ValueError(f"point {point} outside the partitioned box {self.box}")
+        return tuple(
+            (c - l) // self.side for c, l in zip(point, self.box.lo)
+        )
+
+    def cube_box(self, index: Sequence[int]) -> Box:
+        """Return the (possibly clipped) box of the cube with multi-index ``index``."""
+        index = tuple(int(i) for i in index)
+        if len(index) != self.dim:
+            raise ValueError("index dimension mismatch")
+        for i, count in zip(index, self.shape):
+            if not 0 <= i < count:
+                raise ValueError(f"cube index {index} out of range {self.shape}")
+        lo = tuple(l + i * self.side for l, i in zip(self.box.lo, index))
+        hi = tuple(
+            min(l + self.side - 1, h)
+            for l, h in zip(lo, self.box.hi)
+        )
+        return Box(lo, hi)
+
+    def cubes(self) -> Iterator[Tuple[Tuple[int, ...], Box]]:
+        """Iterate ``(multi-index, cube box)`` pairs in lexicographic order."""
+        for index in itertools.product(*(range(c) for c in self.shape)):
+            yield index, self.cube_box(index)
+
+    def cube_of(self, point: Sequence[int]) -> Box:
+        """Return the cube box containing ``point``."""
+        return self.cube_box(self.cube_index(point))
+
+    def aggregate_demand(
+        self, demand: Mapping[Point, float]
+    ) -> Dict[Tuple[int, ...], float]:
+        """Sum a sparse demand map per cube.
+
+        Demands at points outside the partitioned box are rejected so that a
+        silently-dropped demand can never make an infeasible instance look
+        feasible.
+        """
+        totals: Dict[Tuple[int, ...], float] = {}
+        for point, value in demand.items():
+            index = self.cube_index(point)
+            totals[index] = totals.get(index, 0.0) + float(value)
+        return totals
+
+    def max_cube_demand(self, demand: Mapping[Point, float]) -> float:
+        """Return the largest per-cube demand total (0 for empty demand)."""
+        totals = self.aggregate_demand(demand)
+        return max(totals.values(), default=0.0)
+
+
+def cube_partition(box: Box, side: int) -> CubeGrid:
+    """Convenience constructor mirroring the thesis phrase
+    "partition the grid into ``ceil(w)``-cubes"."""
+    return CubeGrid(box=box, side=side)
+
+
+class CoarseningPyramid:
+    """The dyadic demand-aggregation pyramid built by Algorithm 1.
+
+    Level 1 stores the raw per-vertex demand ``d_1(i, j) = d(i, j)`` over an
+    ``n x ... x n`` window with ``n`` a power of two.  Level ``w = 2^k``
+    stores per-cube demand totals for the partition into ``w``-cubes,
+    computed by summing ``2^l`` children of level ``w/2`` -- exactly steps
+    8--9 of Algorithm 1.  Building the full pyramid costs
+    ``O(n^l (1 + 2^-l + 4^-l + ...)) = O(n^l)`` additions, which is the
+    linear-time claim of Section 2.3.
+    """
+
+    def __init__(self, box: Box, demand: Mapping[Point, float]) -> None:
+        sides = set(box.side_lengths)
+        if len(sides) != 1:
+            raise ValueError(f"Algorithm 1 requires a cubic window, got {box.side_lengths}")
+        n = sides.pop()
+        if n < 1 or (n & (n - 1)) != 0:
+            raise ValueError(f"Algorithm 1 requires n to be a power of two, got {n}")
+        self.box = box
+        self.n = n
+        self.dim = box.dim
+        base: Dict[Tuple[int, ...], float] = {}
+        for point, value in demand.items():
+            point = tuple(int(c) for c in point)
+            if point not in box:
+                raise ValueError(f"demand at {point} lies outside the window {box}")
+            index = tuple(c - l for c, l in zip(point, box.lo))
+            base[index] = base.get(index, 0.0) + float(value)
+        #: ``levels[k]`` maps a cube multi-index to its demand total at cube
+        #: side ``2^k``; level 0 is the raw demand.
+        self.levels: List[Dict[Tuple[int, ...], float]] = [base]
+
+    @property
+    def max_level(self) -> int:
+        """The deepest level built so far (cube side ``2^max_level``)."""
+        return len(self.levels) - 1
+
+    @property
+    def top_side(self) -> int:
+        """Cube side of the deepest level built so far."""
+        return 1 << self.max_level
+
+    def coarsen(self) -> Dict[Tuple[int, ...], float]:
+        """Build (or return) the next level by summing ``2^l`` children.
+
+        Returns the newly built level's sparse cube-demand dictionary.
+        Raises ``ValueError`` when the pyramid already reached a single cube
+        covering the whole window.
+        """
+        if self.top_side >= self.n:
+            raise ValueError("pyramid already coarsened to the full window")
+        parent: Dict[Tuple[int, ...], float] = {}
+        for index, value in self.levels[-1].items():
+            coarse_index = tuple(i // 2 for i in index)
+            parent[coarse_index] = parent.get(coarse_index, 0.0) + value
+        self.levels.append(parent)
+        return parent
+
+    def level_for_side(self, side: int) -> Dict[Tuple[int, ...], float]:
+        """Return the per-cube demand totals for cube side ``side`` (a power
+        of two), coarsening lazily as needed."""
+        if side < 1 or (side & (side - 1)) != 0:
+            raise ValueError(f"cube side must be a power of two, got {side}")
+        if side > self.n:
+            raise ValueError(f"cube side {side} exceeds window side {self.n}")
+        level = side.bit_length() - 1
+        while self.max_level < level:
+            self.coarsen()
+        return self.levels[level]
+
+    def max_cube_demand(self, side: int) -> float:
+        """Largest per-cube demand total at the given cube side."""
+        level = self.level_for_side(side)
+        return max(level.values(), default=0.0)

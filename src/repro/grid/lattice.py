@@ -1,0 +1,268 @@
+"""Points, the Manhattan metric, L1 balls and boxes on the lattice ``Z^l``.
+
+Throughout the reproduction a *point* is a tuple of Python integers whose
+length is the lattice dimension ``l``.  Using plain tuples keeps points
+hashable (so they can key dictionaries of demands, vehicles, flows, ...)
+and keeps the substrate dependency-free.
+
+The thesis measures distance with the Manhattan (rectilinear, L1) norm and
+defines the radius-``r`` neighborhood of a point or set as every lattice
+point within L1 distance ``r``.  The radius may be any non-negative real;
+because the lattice is integral only ``floor(r)`` matters for membership.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Point = Tuple[int, ...]
+
+__all__ = [
+    "Point",
+    "manhattan",
+    "chebyshev",
+    "l1_ball",
+    "l1_ball_size",
+    "Box",
+    "box_neighborhood_size",
+    "bounding_box",
+    "effective_radius",
+]
+
+
+def manhattan(p: Sequence[int], q: Sequence[int]) -> int:
+    """Return the Manhattan (L1) distance between two lattice points.
+
+    >>> manhattan((0, 0), (2, -3))
+    5
+    """
+    if len(p) != len(q):
+        raise ValueError(f"dimension mismatch: {len(p)} vs {len(q)}")
+    return sum(abs(a - b) for a, b in zip(p, q))
+
+
+def chebyshev(p: Sequence[int], q: Sequence[int]) -> int:
+    """Return the Chebyshev (L-infinity) distance between two lattice points.
+
+    Used by the cube partition: two points share a ``c x ... x c`` cube only
+    if their Chebyshev distance is below ``c``.
+    """
+    if len(p) != len(q):
+        raise ValueError(f"dimension mismatch: {len(p)} vs {len(q)}")
+    return max(abs(a - b) for a, b in zip(p, q))
+
+
+def effective_radius(r: float) -> int:
+    """Return the integer radius that determines L1-ball membership.
+
+    Membership ``||x - y|| <= r`` on the integer lattice only depends on
+    ``floor(r)`` for ``r >= 0``.  Negative radii are rejected.
+    """
+    if r < 0:
+        raise ValueError(f"radius must be non-negative, got {r}")
+    return int(math.floor(r))
+
+
+def l1_ball(center: Sequence[int], r: float) -> Iterator[Point]:
+    """Yield every lattice point within L1 distance ``r`` of ``center``.
+
+    Points are produced in deterministic lexicographic order of their offset
+    so that downstream algorithms (e.g. the constructive plan of
+    Lemma 2.2.5) are reproducible.
+    """
+    radius = effective_radius(r)
+    center = tuple(int(c) for c in center)
+    dim = len(center)
+    if dim == 0:
+        yield ()
+        return
+
+    def _rec(prefix: Tuple[int, ...], remaining: int, axes_left: int) -> Iterator[Point]:
+        if axes_left == 1:
+            for d in range(-remaining, remaining + 1):
+                yield prefix + (center[dim - 1] + d,)
+            return
+        axis = dim - axes_left
+        for d in range(-remaining, remaining + 1):
+            yield from _rec(prefix + (center[axis] + d,), remaining - abs(d), axes_left - 1)
+
+    yield from _rec((), radius, dim)
+
+
+@lru_cache(maxsize=4096)
+def l1_ball_size(dim: int, r: float) -> int:
+    """Return ``|N_r(x)|`` -- the number of lattice points in an L1 ball.
+
+    Uses the standard identity
+    ``|B_1^dim(k)| = sum_{i=0..min(dim,k)} 2^i C(dim,i) C(k,i)``
+    which counts points by the number ``i`` of non-zero coordinates.
+    """
+    if dim < 0:
+        raise ValueError("dimension must be non-negative")
+    k = effective_radius(r)
+    total = 0
+    for i in range(0, min(dim, k) + 1):
+        total += (2**i) * math.comb(dim, i) * math.comb(k, i)
+    return total
+
+
+def bounding_box(points: Iterable[Sequence[int]]) -> "Box":
+    """Return the smallest :class:`Box` containing ``points``.
+
+    Raises ``ValueError`` on an empty iterable.
+    """
+    points = [tuple(int(c) for c in p) for p in points]
+    if not points:
+        raise ValueError("cannot take the bounding box of an empty point set")
+    dim = len(points[0])
+    lo = [min(p[i] for p in points) for i in range(dim)]
+    hi = [max(p[i] for p in points) for i in range(dim)]
+    return Box(tuple(lo), tuple(hi))
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lo_1, hi_1] x ... x [lo_l, hi_l]`` in ``Z^l``.
+
+    Boxes model the finite windows we carve out of the infinite lattice: the
+    support of a demand map, the ``n x n`` grid Algorithm 1 runs on, and the
+    individual cubes of the Lemma 2.2.5 partition.
+    """
+
+    lo: Point
+    hi: Point
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have the same dimension")
+        if any(a > b for a, b in zip(self.lo, self.hi)):
+            raise ValueError(f"empty box: lo={self.lo} hi={self.hi}")
+        object.__setattr__(self, "lo", tuple(int(c) for c in self.lo))
+        object.__setattr__(self, "hi", tuple(int(c) for c in self.hi))
+
+    @property
+    def dim(self) -> int:
+        """Dimension ``l`` of the ambient lattice."""
+        return len(self.lo)
+
+    @property
+    def side_lengths(self) -> Tuple[int, ...]:
+        """Number of lattice points along each axis."""
+        return tuple(h - l + 1 for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        """Total number of lattice points contained in the box."""
+        return math.prod(self.side_lengths)
+
+    def __contains__(self, point: object) -> bool:
+        if not isinstance(point, tuple) or len(point) != self.dim:
+            return False
+        return all(l <= int(c) <= h for c, l, h in zip(point, self.lo, self.hi))
+
+    def __iter__(self) -> Iterator[Point]:
+        ranges = [range(l, h + 1) for l, h in zip(self.lo, self.hi)]
+        return iter(itertools.product(*ranges))
+
+    def points(self) -> Iterator[Point]:
+        """Iterate all lattice points in the box (lexicographic order)."""
+        return iter(self)
+
+    def center(self) -> Point:
+        """Return an (integer) center point of the box."""
+        return tuple((l + h) // 2 for l, h in zip(self.lo, self.hi))
+
+    def distance_to(self, point: Sequence[int]) -> int:
+        """Manhattan distance from ``point`` to the box (0 if inside)."""
+        if len(point) != self.dim:
+            raise ValueError("dimension mismatch")
+        dist = 0
+        for c, l, h in zip(point, self.lo, self.hi):
+            if c < l:
+                dist += l - c
+            elif c > h:
+                dist += c - h
+        return dist
+
+    def expand(self, r: float) -> "Box":
+        """Return the box expanded by ``floor(r)`` along every axis.
+
+        This is the bounding box of ``N_r(box)`` (the true L1 neighborhood is
+        a subset of it; use :func:`box_neighborhood_size` for its exact
+        cardinality).
+        """
+        k = effective_radius(r)
+        return Box(
+            tuple(l - k for l in self.lo),
+            tuple(h + k for h in self.hi),
+        )
+
+    def intersect(self, other: "Box") -> "Box | None":
+        """Return the intersection box, or ``None`` if disjoint."""
+        if self.dim != other.dim:
+            raise ValueError("dimension mismatch")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(a > b for a, b in zip(lo, hi)):
+            return None
+        return Box(lo, hi)
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return all(a <= b for a, b in zip(self.lo, other.lo)) and all(
+            a >= b for a, b in zip(self.hi, other.hi)
+        )
+
+    @staticmethod
+    def cube(corner: Sequence[int], side: int) -> "Box":
+        """Return the axis-aligned cube with lowest corner ``corner`` and
+        ``side`` lattice points along every axis."""
+        if side < 1:
+            raise ValueError("cube side must be at least 1")
+        corner = tuple(int(c) for c in corner)
+        return Box(corner, tuple(c + side - 1 for c in corner))
+
+    @staticmethod
+    def centered_cube(center: Sequence[int], half_side: int) -> "Box":
+        """Return the cube ``[c - half_side, c + half_side]^l``."""
+        if half_side < 0:
+            raise ValueError("half_side must be non-negative")
+        center = tuple(int(c) for c in center)
+        return Box(
+            tuple(c - half_side for c in center),
+            tuple(c + half_side for c in center),
+        )
+
+
+def box_neighborhood_size(box: Box, r: float) -> int:
+    """Return ``|N_r(box)|`` -- the exact number of lattice points within L1
+    distance ``r`` of an axis-aligned box.
+
+    The L1 distance from a point ``y`` to the box decomposes as a sum of
+    per-axis distances ``g_i(y_i)``, so the neighborhood cardinality is the
+    number of integer vectors whose per-axis distances sum to at most
+    ``floor(r)``.  Per axis there are ``side_i`` coordinates at distance 0
+    and exactly 2 coordinates at every distance ``t >= 1``.  A small dynamic
+    program over axes counts the combinations exactly.
+    """
+    k = effective_radius(r)
+    sides = box.side_lengths
+    # counts[t] = number of lattice points with per-axis-distance profile summing to exactly t
+    counts = [0] * (k + 1)
+    counts[0] = 1
+    for side in sides:
+        new_counts = [0] * (k + 1)
+        for t in range(k + 1):
+            if counts[t] == 0:
+                continue
+            # this axis contributes distance 0 with `side` choices
+            new_counts[t] += counts[t] * side
+            # or distance d >= 1 with 2 choices each
+            for d in range(1, k - t + 1):
+                new_counts[t + d] += counts[t] * 2
+        counts = new_counts
+    return sum(counts)

@@ -1,0 +1,166 @@
+"""Finite regions of the lattice and their L1 neighborhoods ``N_r(T)``.
+
+The characterization of ``W_off`` (Theorem 1.4.1) is stated in terms of the
+neighborhood ``N_r(T) = {y : exists x in T, ||x - y|| <= r}`` of arbitrary
+subsets ``T`` of the lattice.  This module provides a small, hashable
+:class:`Region` wrapper around finite point sets together with exact
+neighborhood expansion and cardinality routines.
+
+For arbitrary regions the neighborhood is computed by an explicit union of
+L1 balls (a multi-source BFS would be asymptotically similar on the
+lattice).  For axis-aligned boxes the cardinality is obtained in closed
+form via :func:`repro.grid.lattice.box_neighborhood_size`, which is what
+the cube-restricted characterizations (Corollaries 2.2.6 and 2.2.7) rely
+on for efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, Sequence, Set
+
+from repro.grid.lattice import (
+    Box,
+    Point,
+    bounding_box,
+    box_neighborhood_size,
+    effective_radius,
+    l1_ball,
+    manhattan,
+)
+
+__all__ = ["Region", "neighborhood", "neighborhood_size"]
+
+#: Safety cap on explicitly enumerated neighborhoods.  The exhaustive-subset
+#: routines are only used on small instances (tests, LP cross-checks); this
+#: cap turns an accidental huge expansion into a clear error instead of an
+#: out-of-memory situation.
+MAX_ENUMERATED_NEIGHBORHOOD = 5_000_000
+
+
+def neighborhood(points: Iterable[Sequence[int]], r: float) -> Set[Point]:
+    """Return the set ``N_r(T)`` for a finite point set ``T``.
+
+    >>> sorted(neighborhood([(0, 0)], 1))
+    [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]
+    """
+    radius = effective_radius(r)
+    result: Set[Point] = set()
+    pts = [tuple(int(c) for c in p) for p in points]
+    if not pts:
+        return result
+    estimated = len(pts) * (2 * radius + 1) ** len(pts[0])
+    if estimated > MAX_ENUMERATED_NEIGHBORHOOD and radius > 0:
+        raise ValueError(
+            "neighborhood enumeration too large "
+            f"(|T|={len(pts)}, r={radius}); use box-based routines instead"
+        )
+    for p in pts:
+        result.update(l1_ball(p, radius))
+    return result
+
+
+def neighborhood_size(points: Iterable[Sequence[int]], r: float) -> int:
+    """Return ``|N_r(T)|`` for a finite point set ``T`` by explicit union."""
+    return len(neighborhood(points, r))
+
+
+@dataclass(frozen=True)
+class Region:
+    """An immutable finite subset ``T`` of the lattice ``Z^l``.
+
+    Regions are hashable so that ``omega_T`` values can be cached per region
+    and so regions can be used as dictionary keys in experiment reports.
+    """
+
+    points: FrozenSet[Point] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        pts = frozenset(tuple(int(c) for c in p) for p in self.points)
+        if pts:
+            dims = {len(p) for p in pts}
+            if len(dims) != 1:
+                raise ValueError(f"points of mixed dimensions: {sorted(dims)}")
+        object.__setattr__(self, "points", pts)
+
+    @staticmethod
+    def from_points(points: Iterable[Sequence[int]]) -> "Region":
+        """Build a region from any iterable of points."""
+        return Region(frozenset(tuple(int(c) for c in p) for p in points))
+
+    @staticmethod
+    def from_box(box: Box) -> "Region":
+        """Build a region containing every lattice point of ``box``."""
+        return Region(frozenset(box.points()))
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the ambient lattice (raises on the empty region)."""
+        if not self.points:
+            raise ValueError("empty region has no dimension")
+        return len(next(iter(self.points)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(sorted(self.points))
+
+    def __contains__(self, point: object) -> bool:
+        return point in self.points
+
+    def is_empty(self) -> bool:
+        """Whether the region contains no points."""
+        return not self.points
+
+    def bounding_box(self) -> Box:
+        """Smallest axis-aligned box containing the region."""
+        return bounding_box(self.points)
+
+    def is_box(self) -> bool:
+        """Whether the region is exactly the point set of its bounding box."""
+        if not self.points:
+            return False
+        return len(self.points) == self.bounding_box().size
+
+    def neighborhood(self, r: float) -> Set[Point]:
+        """Return ``N_r(T)`` as an explicit point set."""
+        return neighborhood(self.points, r)
+
+    def neighborhood_size(self, r: float) -> int:
+        """Return ``|N_r(T)|``.
+
+        Uses the exact closed-form box computation when the region is a full
+        box (the case the cube characterization needs), and explicit
+        enumeration otherwise.
+        """
+        if self.is_empty():
+            return 0
+        if self.is_box():
+            return box_neighborhood_size(self.bounding_box(), r)
+        return neighborhood_size(self.points, r)
+
+    def distance_to(self, point: Sequence[int]) -> int:
+        """Manhattan distance from ``point`` to the nearest region point."""
+        if self.is_empty():
+            raise ValueError("distance to an empty region is undefined")
+        return min(manhattan(point, p) for p in self.points)
+
+    def union(self, other: "Region") -> "Region":
+        """Set union of two regions."""
+        return Region(self.points | other.points)
+
+    def intersection(self, other: "Region") -> "Region":
+        """Set intersection of two regions."""
+        return Region(self.points & other.points)
+
+    def difference(self, other: "Region") -> "Region":
+        """Set difference ``self \\ other``."""
+        return Region(self.points - other.points)
+
+    def translate(self, offset: Sequence[int]) -> "Region":
+        """Return the region translated by an integer offset vector."""
+        off = tuple(int(c) for c in offset)
+        return Region(
+            frozenset(tuple(a + b for a, b in zip(p, off)) for p in self.points)
+        )

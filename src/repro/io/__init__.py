@@ -1,0 +1,23 @@
+"""Serialization helpers (JSON round-trips for workloads, plans, results)."""
+
+from repro.io.serialize import (
+    demand_from_json,
+    demand_to_json,
+    jobs_from_json,
+    jobs_to_json,
+    load_json,
+    plan_from_json,
+    plan_to_json,
+    save_json,
+)
+
+__all__ = [
+    "demand_to_json",
+    "demand_from_json",
+    "jobs_to_json",
+    "jobs_from_json",
+    "plan_to_json",
+    "plan_from_json",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,51 @@
+"""The online vehicle protocol of Chapter 3.
+
+Vehicles are processes on the :mod:`repro.distsim` substrate.  Each cube of
+the ``ceil(omega_c)``-cube partition is colored like a chessboard and split
+into adjacent black/white pairs (:mod:`repro.grid.coloring`); the vehicle at
+each pair's black vertex starts *active* and serves every job arriving at
+either vertex of its pair, walking at most distance one.  When an active
+vehicle runs low on energy it becomes *done* and launches a
+Dijkstra--Scholten diffusing computation (Phase I, Algorithm 2) to locate an
+idle vehicle in its cube; a move order is then relayed along the discovered
+path (Phase II) and the idle vehicle walks over and takes the pair over.
+
+Modules:
+
+* :mod:`repro.vehicles.state` -- the working/message-transfer state machine
+  of Figure 3.1.
+* :mod:`repro.vehicles.messages` -- query / reply / move / existing /
+  activation messages.
+* :mod:`repro.vehicles.vehicle` -- the vehicle process (job service,
+  Phase I, Phase II, heartbeats).
+* :mod:`repro.vehicles.monitoring` -- the monitoring-pointer scheme of
+  Section 3.2.5 used to survive initiation failures and dead vehicles
+  (scenarios 2 and 3).
+* :mod:`repro.vehicles.fleet` -- fleet construction and the per-cube
+  bookkeeping the experiments interrogate.
+"""
+
+from repro.vehicles.state import WorkingState, TransferState, VehicleStatus
+from repro.vehicles.messages import (
+    ActivationNotice,
+    ExistingMessage,
+    MoveMessage,
+    QueryMessage,
+    ReplyMessage,
+)
+from repro.vehicles.vehicle import VehicleProcess
+from repro.vehicles.fleet import Fleet, FleetConfig
+
+__all__ = [
+    "WorkingState",
+    "TransferState",
+    "VehicleStatus",
+    "QueryMessage",
+    "ReplyMessage",
+    "MoveMessage",
+    "ExistingMessage",
+    "ActivationNotice",
+    "VehicleProcess",
+    "Fleet",
+    "FleetConfig",
+]

@@ -1,0 +1,313 @@
+"""Fleet construction and bookkeeping for the online protocol.
+
+The fleet realizes the setup of Section 3.2: the lattice is partitioned
+into ``ceil(omega_c)``-cubes, every cube that can receive jobs gets one
+vehicle per vertex, vertices are paired black/white, and the pair's black
+vertex starts with the active vehicle.  The fleet also owns the message
+network, the failure plan, the pair registry (which vehicle currently
+answers for which pair -- the physical ground truth the experiments audit),
+and the protocol statistics (replacements, searches, messages, energy).
+
+The fleet is deliberately *not* a centralized controller: it only routes a
+job to the vehicle currently responsible for the job's pair (physically,
+the job appears at a location and the responsible vehicle senses it) and
+ticks heartbeat rounds.  All coordination -- finding and moving
+replacements -- happens through messages between the vehicles themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.demand import DemandMap
+from repro.core.plan import plan_window
+from repro.distsim.engine import Simulator
+from repro.distsim.failures import FailurePlan
+from repro.distsim.network import Network
+from repro.grid.coloring import Coloring
+from repro.grid.cubes import CubeGrid
+from repro.grid.lattice import Box, Point, manhattan
+from repro.vehicles.state import WorkingState
+from repro.vehicles.vehicle import VehicleProcess
+
+__all__ = ["FleetConfig", "Fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunable parameters of the online protocol."""
+
+    #: Battery capacity ``W`` of every vehicle; ``None`` = unbounded
+    #: (measurement mode, used to observe the energy the strategy needs).
+    capacity: Optional[float] = None
+    #: Communication radius: vehicles whose home vertices are within this
+    #: Manhattan distance (and in the same cube) are neighbors.  The thesis
+    #: uses an arbitrary constant; 3 guarantees that the watcher of a pair
+    #: always hears its heartbeats directly.
+    neighbor_radius: int = 3
+    #: Mean message delay (simulation time units); actual delays may be
+    #: randomized by the network when an RNG is supplied.
+    message_delay: float = 0.01
+    #: Remaining energy below which an active vehicle declares itself done.
+    done_threshold: float = 2.0
+    #: Whether the Section 3.2.5 monitoring loop is running.
+    monitoring: bool = False
+    #: Heartbeat rounds a watcher waits before initiating a replacement on
+    #: behalf of a silent pair.
+    heartbeat_miss_threshold: int = 3
+
+
+@dataclass
+class FleetStats:
+    """Counters accumulated during a run."""
+
+    jobs_delivered: int = 0
+    jobs_unserved: int = 0
+    done_events: int = 0
+    searches_started: int = 0
+    replacements: int = 0
+    failed_replacements: int = 0
+    suppressed_initiations: int = 0
+    watch_initiations: int = 0
+    heartbeat_rounds: int = 0
+
+
+class Fleet:
+    """All vehicles, their network, and the pair registry."""
+
+    def __init__(
+        self,
+        demand: DemandMap,
+        omega: float,
+        config: FleetConfig = FleetConfig(),
+        *,
+        rng: Optional[np.random.Generator] = None,
+        failure_plan: Optional[FailurePlan] = None,
+    ) -> None:
+        if demand.is_empty():
+            raise ValueError("cannot build a fleet for an empty demand map")
+        if omega <= 0:
+            raise ValueError("omega must be positive")
+        self.demand = demand
+        self.omega = float(omega)
+        self.config = config
+        self.dim = demand.dim
+        self.cube_side = max(1, int(math.ceil(omega)))
+        self.failure_plan = failure_plan if failure_plan is not None else FailurePlan()
+
+        self.simulator = Simulator()
+        self.network = Network(
+            self.simulator,
+            delay=config.message_delay,
+            rng=rng,
+            failure_plan=self.failure_plan,
+        )
+
+        self.window: Box = plan_window(demand, self.cube_side)
+        self.cube_grid = CubeGrid(self.window, self.cube_side)
+        self.colorings: Dict[Tuple[int, ...], Coloring] = {}
+        self.vehicles: Dict[Point, VehicleProcess] = {}
+        #: pair black vertex -> identity of the vehicle currently responsible.
+        self.registry: Dict[Point, Point] = {}
+
+        self.stats = FleetStats()
+        self._computation_round = 0
+        self._heartbeat_round = 0
+        #: Heartbeat round at which monitoring started (watchers treat pairs
+        #: never heard from as having spoken at this round).
+        self.monitoring_baseline = 0
+
+        self._build_vehicles()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _cubes_with_demand(self) -> List[Tuple[int, ...]]:
+        indices = {self.cube_grid.cube_index(p) for p in self.demand.support()}
+        return sorted(indices)
+
+    def _build_vehicles(self) -> None:
+        for index in self._cubes_with_demand():
+            cube = self.cube_grid.cube_box(index)
+            coloring = Coloring(cube)
+            self.colorings[index] = coloring
+            vertices = list(cube.points())
+            for vertex in vertices:
+                initially_active = coloring.initially_active(vertex)
+                neighbors = [
+                    other
+                    for other in vertices
+                    if other != vertex
+                    and manhattan(other, vertex) <= self.config.neighbor_radius
+                ]
+                peers = [other for other in vertices if other != vertex]
+                vehicle = VehicleProcess(
+                    vertex,
+                    cube_index=index,
+                    coloring=coloring,
+                    initially_active=initially_active,
+                    capacity=self.config.capacity,
+                    neighbors=neighbors,
+                    fleet=self,
+                    done_threshold=self.config.done_threshold,
+                    cube_peers=peers,
+                )
+                self.vehicles[vertex] = vehicle
+                self.network.register(vehicle)
+                if initially_active:
+                    self.registry[coloring.pair_of(vertex).black] = vertex
+
+    # ------------------------------------------------------------------ #
+    # protocol plumbing (called by vehicles)
+    # ------------------------------------------------------------------ #
+
+    def next_computation_round(self) -> int:
+        """Fresh sequence number for a diffusing computation."""
+        self._computation_round += 1
+        return self._computation_round
+
+    @property
+    def heartbeat_round(self) -> int:
+        """The current heartbeat round number."""
+        return self._heartbeat_round
+
+    def record_done(self, identity: Point) -> None:
+        self.stats.done_events += 1
+
+    def record_search_started(self, tag) -> None:
+        self.stats.searches_started += 1
+
+    def record_failed_replacement(self, pair_key: Point) -> None:
+        self.stats.failed_replacements += 1
+
+    def record_suppressed_initiation(self, identity: Point) -> None:
+        self.stats.suppressed_initiations += 1
+
+    def record_watch_initiation(self, identity: Point, pair_key: Point) -> None:
+        self.stats.watch_initiations += 1
+
+    def on_activation(self, identity: Point, pair_key: Point) -> None:
+        """A replacement vehicle took over ``pair_key``."""
+        self.registry[pair_key] = identity
+        self.stats.replacements += 1
+
+    def registered_vehicle(self, pair_key: Point) -> Optional[Point]:
+        """Identity of the vehicle currently registered for a pair."""
+        return self.registry.get(pair_key)
+
+    # ------------------------------------------------------------------ #
+    # job routing
+    # ------------------------------------------------------------------ #
+
+    def pair_key_of(self, position: Point) -> Point:
+        """The black vertex of the pair containing ``position``."""
+        position = tuple(int(c) for c in position)
+        if position not in self.window:
+            raise KeyError(f"position {position} lies outside the fleet's window")
+        index = self.cube_grid.cube_index(position)
+        coloring = self.colorings.get(index)
+        if coloring is None:
+            raise KeyError(f"no vehicles were built for the cube containing {position}")
+        return coloring.pair_of(position).black
+
+    def responsible_vehicle(self, position: Point) -> Optional[VehicleProcess]:
+        """The vehicle currently answering for ``position``'s pair, if any."""
+        identity = self.registry.get(self.pair_key_of(position))
+        if identity is None:
+            return None
+        return self.vehicles[identity]
+
+    def deliver_job(self, position: Point, energy: float = 1.0) -> bool:
+        """Route one job to its pair's active vehicle and settle the network.
+
+        Returns whether the job was actually served.  The caller decides how
+        to handle a refusal (retry after recovery rounds, or count it as
+        unserved).
+        """
+        self.stats.jobs_delivered += 1
+        vehicle = self.responsible_vehicle(position)
+        served = False
+        if vehicle is not None and not vehicle.broken:
+            served = vehicle.serve_job(tuple(int(c) for c in position), energy)
+        if not served:
+            self.stats.jobs_unserved += 1
+        # The thesis assumes inter-arrival gaps long enough for any protocol
+        # activity (Phase I/II) to complete; draining the network models that.
+        self.settle()
+        return served
+
+    def retry_job(self, position: Point, energy: float = 1.0) -> bool:
+        """Retry a previously unserved job (after recovery); adjusts counters."""
+        vehicle = self.responsible_vehicle(position)
+        if vehicle is None or vehicle.broken:
+            return False
+        served = vehicle.serve_job(tuple(int(c) for c in position), energy)
+        if served:
+            self.stats.jobs_unserved -= 1
+        self.settle()
+        return served
+
+    def settle(self) -> None:
+        """Drain all in-flight messages."""
+        self.network.run_until_quiescent()
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+
+    def run_heartbeat_round(self) -> None:
+        """One monitoring round: every live active vehicle heartbeats."""
+        self._heartbeat_round += 1
+        self.stats.heartbeat_rounds += 1
+        for vehicle in self.vehicles.values():
+            vehicle.heartbeat(self._heartbeat_round, self.config.heartbeat_miss_threshold)
+        self.settle()
+
+    def crash_vehicle(self, identity: Point) -> None:
+        """Scenario 3: the vehicle breaks down and becomes dead.
+
+        A dead vehicle can no longer move, serve jobs or heartbeat, but its
+        radio keeps relaying protocol messages (communication is free in the
+        thesis's model), so diffusing computations still terminate.
+        """
+        identity = tuple(int(c) for c in identity)
+        if identity not in self.vehicles:
+            raise KeyError(f"no vehicle at {identity}")
+        self.vehicles[identity].mark_broken()
+
+    # ------------------------------------------------------------------ #
+    # measurements
+    # ------------------------------------------------------------------ #
+
+    def vehicle_energies(self) -> Dict[Point, float]:
+        """Energy used so far, per vehicle home vertex."""
+        return {home: v.energy_used for home, v in self.vehicles.items()}
+
+    def max_energy_used(self) -> float:
+        """The largest per-vehicle energy drawn so far."""
+        return max((v.energy_used for v in self.vehicles.values()), default=0.0)
+
+    def total_travel(self) -> float:
+        """Total travel energy across the fleet."""
+        return sum(v.travel_energy for v in self.vehicles.values())
+
+    def total_service(self) -> float:
+        """Total service energy across the fleet."""
+        return sum(v.service_energy for v in self.vehicles.values())
+
+    def active_vehicle_count(self) -> int:
+        """Number of vehicles currently in the active working state."""
+        return sum(
+            1
+            for v in self.vehicles.values()
+            if v.status.working == WorkingState.ACTIVE
+        )
+
+    def messages_sent(self) -> int:
+        """Total protocol messages sent so far."""
+        return self.network.messages_sent

@@ -1,0 +1,85 @@
+"""Messages exchanged by the online vehicle protocol.
+
+Phase I (Algorithm 2) uses ``query`` and ``reply`` messages; Phase II uses a
+single ``move`` message relayed along the child-pointer path.  The
+monitoring extension of Section 3.2.5 adds periodic ``existing`` heartbeats
+and an activation notice broadcast by a replacement vehicle so watchers can
+reset their timers and the pair registry stays consistent.
+
+Every protocol message is tagged with the identity of the computation it
+belongs to: ``(initiator identity, round number)``.  The thesis notes that
+tagging computations with a sequence number lets vehicles distinguish
+computations started at different times by the same initiator -- the round
+number plays that role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.grid.lattice import Point
+
+__all__ = [
+    "ComputationTag",
+    "QueryMessage",
+    "ReplyMessage",
+    "MoveMessage",
+    "ExistingMessage",
+    "ActivationNotice",
+]
+
+#: ``(initiator identity, round number)`` -- uniquely names one diffusing
+#: computation.
+ComputationTag = Tuple[Hashable, int]
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """Phase I query ``(init, p)``: *are you, or do you know, an idle vehicle?*"""
+
+    tag: ComputationTag
+    sender: Hashable
+    #: The position the eventual replacement must move to.
+    destination: Point
+    #: The black vertex identifying the pair to take over.
+    pair_key: Point
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """Phase I reply ``(flag, p)``: ``flag`` is true when an idle vehicle was found."""
+
+    tag: ComputationTag
+    sender: Hashable
+    flag: bool
+
+
+@dataclass(frozen=True)
+class MoveMessage:
+    """Phase II order relayed along the child path to the located idle vehicle."""
+
+    tag: ComputationTag
+    sender: Hashable
+    destination: Point
+    pair_key: Point
+
+
+@dataclass(frozen=True)
+class ExistingMessage:
+    """Periodic heartbeat from an active vehicle (Section 3.2.5)."""
+
+    sender: Hashable
+    #: The pair the sender is currently responsible for.
+    pair_key: Point
+    #: Monotone heartbeat round counter supplied by the fleet.
+    round_id: int
+
+
+@dataclass(frozen=True)
+class ActivationNotice:
+    """Broadcast by a replacement vehicle when it takes over a pair."""
+
+    sender: Hashable
+    pair_key: Point
+    position: Point

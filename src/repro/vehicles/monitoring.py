@@ -1,0 +1,46 @@
+"""The monitoring-pointer scheme of Section 3.2.5.
+
+To survive scenario 2 (a done vehicle that fails to start its diffusing
+computation) and scenario 3 (a constant number of active vehicles dying),
+the thesis adds a "monitoring" pointer to every active vehicle: the
+pointers form a loop over the cube's active vehicles, every vehicle
+periodically announces that it still exists, and a watcher that stops
+hearing from the vehicle it monitors starts a diffusing computation on its
+behalf.
+
+Because exactly one active vehicle is responsible for each black/white
+*pair* at any time, the loop is most naturally expressed over pairs: the
+vehicle responsible for pair ``i`` watches pair ``i + 1`` (cyclically, in
+the cube's deterministic pair order).  This keeps the pointer loop intact
+across replacements without any hand-off message: whoever takes over a pair
+also takes over that pair's watch duty, and can recompute the watched pair
+locally from the cube's coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.grid.coloring import Coloring
+from repro.grid.lattice import Point
+
+__all__ = ["watched_pair_key", "build_watch_assignment"]
+
+
+def watched_pair_key(coloring: Coloring, pair_key: Point) -> Optional[Point]:
+    """The pair watched by whoever is responsible for ``pair_key``.
+
+    Returns ``None`` when the cube has a single pair (nothing to watch --
+    a lone pair's vehicle has no peer to monitor it, which matches the
+    thesis's constant-size caveat).
+    """
+    keys = [pair.black for pair in coloring.pairs]
+    if len(keys) <= 1:
+        return None
+    index = keys.index(pair_key)
+    return keys[(index + 1) % len(keys)]
+
+
+def build_watch_assignment(coloring: Coloring) -> Dict[Point, Optional[Point]]:
+    """The full pair -> watched-pair map for one cube."""
+    return {pair.black: watched_pair_key(coloring, pair.black) for pair in coloring.pairs}

@@ -1,0 +1,117 @@
+"""The vehicle state machine of Figure 3.1.
+
+A vehicle's state is a pair ``(S1, S2)``: ``S1`` is the *working* state
+(idle / active / done) and ``S2`` the *message-transfer* state (waiting /
+searching / initiator).  The combinations ``(active, initiator)`` and
+``(idle, initiator)`` are invalid: only a done vehicle initiates a diffusing
+computation.  (The monitoring extension of Section 3.2.5 lets a *watcher*
+start a computation *on behalf of* a silent neighbor; that computation's
+initiator role is tracked separately from the state machine so the
+Figure 3.1 invariant still holds for the vehicle's own state.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Tuple
+
+__all__ = ["WorkingState", "TransferState", "VehicleStatus", "VALID_STATES"]
+
+
+class WorkingState(str, Enum):
+    """The working state ``S1``."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+    DONE = "done"
+
+
+class TransferState(str, Enum):
+    """The message-transfer state ``S2``."""
+
+    WAITING = "waiting"
+    SEARCHING = "searching"
+    INITIATOR = "initiator"
+
+
+#: The seven valid combined states of Figure 3.1.
+VALID_STATES: FrozenSet[Tuple[WorkingState, TransferState]] = frozenset(
+    {
+        (WorkingState.IDLE, TransferState.WAITING),
+        (WorkingState.IDLE, TransferState.SEARCHING),
+        (WorkingState.ACTIVE, TransferState.WAITING),
+        (WorkingState.ACTIVE, TransferState.SEARCHING),
+        (WorkingState.DONE, TransferState.WAITING),
+        (WorkingState.DONE, TransferState.SEARCHING),
+        (WorkingState.DONE, TransferState.INITIATOR),
+    }
+)
+
+#: Allowed transitions of the combined state machine.  Working-state changes
+#: are: idle -> active (replacement move) and active -> done (energy
+#: exhausted).  Transfer-state changes are waiting <-> searching for every
+#: working state and waiting <-> initiator for done vehicles only.
+VALID_TRANSITIONS: FrozenSet[
+    Tuple[Tuple[WorkingState, TransferState], Tuple[WorkingState, TransferState]]
+] = frozenset(
+    {
+        # transfer-state toggles within a fixed working state
+        ((WorkingState.IDLE, TransferState.WAITING), (WorkingState.IDLE, TransferState.SEARCHING)),
+        ((WorkingState.IDLE, TransferState.SEARCHING), (WorkingState.IDLE, TransferState.WAITING)),
+        ((WorkingState.ACTIVE, TransferState.WAITING), (WorkingState.ACTIVE, TransferState.SEARCHING)),
+        ((WorkingState.ACTIVE, TransferState.SEARCHING), (WorkingState.ACTIVE, TransferState.WAITING)),
+        ((WorkingState.DONE, TransferState.WAITING), (WorkingState.DONE, TransferState.SEARCHING)),
+        ((WorkingState.DONE, TransferState.SEARCHING), (WorkingState.DONE, TransferState.WAITING)),
+        # a done vehicle initiates and, on termination, returns to waiting
+        ((WorkingState.DONE, TransferState.INITIATOR), (WorkingState.DONE, TransferState.WAITING)),
+        # becoming done while waiting immediately initiates (Algorithm 2)
+        ((WorkingState.ACTIVE, TransferState.WAITING), (WorkingState.DONE, TransferState.INITIATOR)),
+        # scenario 2: a done vehicle that fails to initiate just becomes (done, waiting)
+        ((WorkingState.ACTIVE, TransferState.WAITING), (WorkingState.DONE, TransferState.WAITING)),
+        # an idle vehicle receiving a move order becomes active
+        ((WorkingState.IDLE, TransferState.WAITING), (WorkingState.ACTIVE, TransferState.WAITING)),
+    }
+)
+
+
+@dataclass
+class VehicleStatus:
+    """A validated ``(S1, S2)`` pair with transition checking."""
+
+    working: WorkingState = WorkingState.IDLE
+    transfer: TransferState = TransferState.WAITING
+
+    def __post_init__(self) -> None:
+        if (self.working, self.transfer) not in VALID_STATES:
+            raise ValueError(f"invalid vehicle state ({self.working}, {self.transfer})")
+
+    def as_tuple(self) -> Tuple[WorkingState, TransferState]:
+        """The combined state as a tuple."""
+        return (self.working, self.transfer)
+
+    def transition(self, working: WorkingState, transfer: TransferState) -> None:
+        """Move to a new combined state, enforcing Figure 3.1's arrows."""
+        target = (working, transfer)
+        if target not in VALID_STATES:
+            raise ValueError(f"invalid vehicle state {target}")
+        if target == self.as_tuple():
+            return
+        if (self.as_tuple(), target) not in VALID_TRANSITIONS:
+            raise ValueError(
+                f"illegal transition {self.as_tuple()} -> {target} "
+                "(not an arrow of Figure 3.1)"
+            )
+        self.working = working
+        self.transfer = transfer
+
+    def set_transfer(self, transfer: TransferState) -> None:
+        """Change only the message-transfer component."""
+        self.transition(self.working, transfer)
+
+    def set_working(self, working: WorkingState) -> None:
+        """Change only the working component."""
+        self.transition(working, self.transfer)
+
+    def __str__(self) -> str:
+        return f"({self.working.value}, {self.transfer.value})"

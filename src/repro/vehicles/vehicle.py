@@ -1,0 +1,400 @@
+"""The vehicle process: job service, Phase I/II, heartbeats.
+
+One :class:`VehicleProcess` lives at every vertex of every cube that can
+receive jobs.  The process implements, faithfully to Algorithm 2:
+
+* **Job service.**  The active vehicle of a pair serves every job arriving
+  at either vertex of its pair, walking at most distance one and spending
+  walk-plus-service energy.  When its remaining energy drops below the
+  ``done_threshold`` it declares itself done.
+* **Phase I.**  A done vehicle initiates a Dijkstra--Scholten diffusing
+  computation over the cube's communication graph to locate an idle
+  vehicle; intermediate vehicles flood queries, aggregate replies with
+  deficit counters and remember the first positive responder as their
+  ``child``.
+* **Phase II.**  The initiator relays a move order along the child path;
+  the located idle vehicle walks to the done vehicle's position, becomes
+  active for the pair, and broadcasts an activation notice.
+* **Monitoring (Section 3.2.5).**  Active vehicles heartbeat every round;
+  the watcher of a silent pair starts a replacement computation on its
+  behalf.  This covers scenario 2 (initiation failure) and scenario 3
+  (dead vehicles).
+
+Energy accounting is the whole point of the thesis, so it is explicit:
+travel and service energies are tracked separately, a finite capacity is
+enforced (a vehicle physically cannot overspend), and the fleet aggregates
+the per-vehicle maxima the experiments report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING
+
+from repro.distsim.process import Process
+from repro.grid.coloring import Coloring
+from repro.grid.lattice import Point, manhattan
+from repro.vehicles.messages import (
+    ActivationNotice,
+    ComputationTag,
+    ExistingMessage,
+    MoveMessage,
+    QueryMessage,
+    ReplyMessage,
+)
+from repro.vehicles.monitoring import watched_pair_key
+from repro.vehicles.state import TransferState, VehicleStatus, WorkingState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vehicles.fleet import Fleet
+
+__all__ = ["VehicleProcess"]
+
+ENERGY_EPS = 1e-9
+
+
+class VehicleProcess(Process):
+    """A single vehicle of the online protocol.
+
+    Parameters
+    ----------
+    home:
+        The vehicle's home vertex; doubles as its identity.
+    cube_index:
+        Multi-index of the cube the vehicle belongs to.
+    coloring:
+        The cube's black/white pairing (shared by all vehicles of the cube).
+    initially_active:
+        Whether the vehicle starts active (black vertex of its pair).
+    capacity:
+        Battery capacity ``W``; ``None`` means unbounded (measurement mode).
+    neighbors:
+        Identities of the vehicles it can message directly (same cube,
+        within the constant communication radius).
+    fleet:
+        Back-reference used for registry callbacks and statistics.
+    done_threshold:
+        Remaining energy below which an active vehicle declares itself done.
+    """
+
+    def __init__(
+        self,
+        home: Point,
+        *,
+        cube_index: tuple,
+        coloring: Coloring,
+        initially_active: bool,
+        capacity: Optional[float],
+        neighbors: List[Point],
+        fleet: "Fleet",
+        done_threshold: float = 2.0,
+        cube_peers: Optional[List[Point]] = None,
+    ) -> None:
+        super().__init__(home)
+        self.home: Point = tuple(int(c) for c in home)
+        self.position: Point = self.home
+        self.cube_index = cube_index
+        self.coloring = coloring
+        self.capacity = capacity
+        self.neighbors = list(neighbors)
+        #: All other vehicles of the same cube.  Heartbeats and activation
+        #: notices are broadcast cube-wide (communication is free in the
+        #: thesis's model and a cube has constant diameter in omega), while
+        #: the Phase I diffusing computation only uses the constant-radius
+        #: ``neighbors`` graph, as in Algorithm 2.
+        self.cube_peers = list(cube_peers) if cube_peers is not None else list(neighbors)
+        self.fleet = fleet
+        self.done_threshold = done_threshold
+        #: Scenario 3: a broken ("dead") vehicle can no longer move, serve or
+        #: heartbeat, but its radio still works (it answers queries), so the
+        #: diffusing computations of its neighbors still terminate.
+        self.broken = False
+
+        self.status = VehicleStatus(
+            working=WorkingState.ACTIVE if initially_active else WorkingState.IDLE,
+            transfer=TransferState.WAITING,
+        )
+        pair = coloring.pair_of(self.home)
+        #: The black vertex of the pair this vehicle is responsible for
+        #: (``None`` while idle).
+        self.pair_key: Optional[Point] = pair.black if initially_active else None
+        #: The pair this vehicle watches for heartbeats (monitoring scheme).
+        self.monitored_pair: Optional[Point] = (
+            watched_pair_key(coloring, pair.black) if initially_active else None
+        )
+
+        # Energy ledger.
+        self.travel_energy = 0.0
+        self.service_energy = 0.0
+        self.jobs_served = 0
+
+        # Phase I bookkeeping (Algorithm 2 local data: num / par / child / init).
+        self.engaged_tag: Optional[ComputationTag] = None
+        self.last_tag: Optional[ComputationTag] = None
+        self.parent: Optional[Hashable] = None
+        self.child: Optional[Hashable] = None
+        self.deficit = 0
+        #: Computations this vehicle initiated, keyed by tag; values carry the
+        #: destination and pair being replaced.
+        self.initiated: Dict[ComputationTag, Dict[str, Point]] = {}
+
+        # Monitoring bookkeeping: last heartbeat round heard per pair.
+        self.last_heard: Dict[Point, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # energy accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def energy_used(self) -> float:
+        """Total energy consumed so far (travel plus service)."""
+        return self.travel_energy + self.service_energy
+
+    @property
+    def energy_remaining(self) -> float:
+        """Remaining battery (infinite in measurement mode)."""
+        if self.capacity is None:
+            return math.inf
+        return self.capacity - self.energy_used
+
+    def _can_spend(self, amount: float) -> bool:
+        return self.capacity is None or self.energy_used + amount <= self.capacity + ENERGY_EPS
+
+    # ------------------------------------------------------------------ #
+    # job service
+    # ------------------------------------------------------------------ #
+
+    def serve_job(self, position: Point, energy: float = 1.0) -> bool:
+        """Serve a job at ``position``; returns ``False`` if it cannot.
+
+        The fleet only routes a job here when this vehicle is the pair's
+        registered active vehicle; the vehicle still re-checks its state and
+        energy so that infeasibility (capacity too small) surfaces as an
+        unserved job rather than a negative battery.
+        """
+        if self.broken or self.status.working != WorkingState.ACTIVE:
+            return False
+        position = tuple(int(c) for c in position)
+        walk = manhattan(self.position, position)
+        needed = walk + energy
+        if not self._can_spend(needed):
+            # Cannot serve: declare done immediately so a replacement comes.
+            self._become_done()
+            return False
+        self.travel_energy += walk
+        self.service_energy += energy
+        self.position = position
+        self.jobs_served += 1
+        if self.energy_remaining < self.done_threshold:
+            self._become_done()
+        return True
+
+    def _become_done(self) -> None:
+        if self.status.working != WorkingState.ACTIVE:
+            return
+        pair_key = self.pair_key
+        if self.fleet.failure_plan.is_initiation_suppressed(self.identity):
+            # Scenario 2: the done vehicle silently fails to start Phase I;
+            # the monitoring loop must recover.
+            self.status.transition(WorkingState.DONE, TransferState.WAITING)
+            self.fleet.record_suppressed_initiation(self.identity)
+            return
+        self.status.transition(WorkingState.DONE, TransferState.INITIATOR)
+        self.fleet.record_done(self.identity)
+        assert pair_key is not None
+        self.start_replacement_search(destination=self.position, pair_key=pair_key)
+
+    # ------------------------------------------------------------------ #
+    # Phase I: initiating a diffusing computation
+    # ------------------------------------------------------------------ #
+
+    def start_replacement_search(self, *, destination: Point, pair_key: Point) -> None:
+        """Initiate a diffusing computation to find an idle replacement.
+
+        Called by a done vehicle for itself (Algorithm 2's first block) or
+        by a watcher on behalf of a silent pair (Section 3.2.5).
+        """
+        tag: ComputationTag = (self.identity, self.fleet.next_computation_round())
+        self.initiated[tag] = {"destination": destination, "pair_key": pair_key}
+        self.engaged_tag = tag
+        self.last_tag = tag
+        self.parent = None
+        self.child = None
+        self.deficit = len(self.neighbors)
+        self.fleet.record_search_started(tag)
+        if self.deficit == 0:
+            self._finish_own_computation(tag)
+            return
+        for neighbor in self.neighbors:
+            self.send(neighbor, QueryMessage(tag, self.identity, destination, pair_key))
+
+    # ------------------------------------------------------------------ #
+    # message dispatch
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        if isinstance(message, QueryMessage):
+            self._on_query(sender, message)
+        elif isinstance(message, ReplyMessage):
+            self._on_reply(sender, message)
+        elif isinstance(message, MoveMessage):
+            self._on_move(sender, message)
+        elif isinstance(message, ExistingMessage):
+            self._on_existing(message)
+        elif isinstance(message, ActivationNotice):
+            self._on_activation_notice(message)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    # ------------------------------------------------------------------ #
+    # Phase I handlers (Algorithm 2)
+    # ------------------------------------------------------------------ #
+
+    def _on_query(self, sender: Hashable, message: QueryMessage) -> None:
+        engaged_elsewhere = self.engaged_tag is not None
+        already_seen = message.tag == self.last_tag
+        if engaged_elsewhere or already_seen:
+            self.send(sender, ReplyMessage(message.tag, self.identity, False))
+            return
+        # Join the computation.
+        self.last_tag = message.tag
+        self.parent = sender
+        self.child = None
+        if self.status.working == WorkingState.IDLE and not self.broken:
+            # An idle vehicle answers positively and does not forward.
+            self.send(sender, ReplyMessage(message.tag, self.identity, True))
+            return
+        self.engaged_tag = message.tag
+        self.status.set_transfer(TransferState.SEARCHING)
+        self.deficit = len(self.neighbors)
+        if self.deficit == 0:
+            self.engaged_tag = None
+            self.status.set_transfer(TransferState.WAITING)
+            self.send(sender, ReplyMessage(message.tag, self.identity, False))
+            return
+        for neighbor in self.neighbors:
+            self.send(
+                neighbor,
+                QueryMessage(message.tag, self.identity, message.destination, message.pair_key),
+            )
+
+    def _on_reply(self, sender: Hashable, message: ReplyMessage) -> None:
+        if message.tag != self.engaged_tag:
+            return  # stale reply from an earlier computation
+        self.deficit -= 1
+        if message.flag and self.child is None:
+            self.child = message.sender
+            if self.parent is not None:
+                self.send(self.parent, ReplyMessage(message.tag, self.identity, True))
+        if self.deficit == 0:
+            tag = self.engaged_tag
+            self.engaged_tag = None
+            self.status.set_transfer(TransferState.WAITING)
+            if self.parent is None:
+                self._finish_own_computation(tag)
+            elif self.child is None:
+                self.send(self.parent, ReplyMessage(tag, self.identity, False))
+
+    def _finish_own_computation(self, tag: ComputationTag) -> None:
+        """Initiator termination: launch Phase II or record failure."""
+        info = self.initiated.get(tag)
+        if info is None:
+            return
+        if self.child is None:
+            self.fleet.record_failed_replacement(info["pair_key"])
+            return
+        self.send(
+            self.child,
+            MoveMessage(tag, self.identity, info["destination"], info["pair_key"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase II handler
+    # ------------------------------------------------------------------ #
+
+    def _on_move(self, sender: Hashable, message: MoveMessage) -> None:
+        if message.tag == self.last_tag and self.child is not None:
+            # Not the endpoint: copy the order to the next vehicle on the path.
+            self.send(self.child, MoveMessage(message.tag, self.identity, message.destination, message.pair_key))
+            return
+        # Endpoint: this should be the idle candidate located in Phase I.
+        if self.broken or self.status.working != WorkingState.IDLE:
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
+        walk = manhattan(self.position, message.destination)
+        if not self._can_spend(walk):
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
+        self.travel_energy += walk
+        self.position = tuple(int(c) for c in message.destination)
+        self.status.transition(WorkingState.ACTIVE, TransferState.WAITING)
+        self.pair_key = message.pair_key
+        self.monitored_pair = watched_pair_key(self.coloring, message.pair_key)
+        self.fleet.on_activation(self.identity, message.pair_key)
+        for peer in self.cube_peers:
+            self.send(peer, ActivationNotice(self.identity, message.pair_key, self.position))
+
+    # ------------------------------------------------------------------ #
+    # Monitoring handlers (Section 3.2.5)
+    # ------------------------------------------------------------------ #
+
+    def _on_existing(self, message: ExistingMessage) -> None:
+        previous = self.last_heard.get(message.pair_key, -1)
+        self.last_heard[message.pair_key] = max(previous, message.round_id)
+
+    def _on_activation_notice(self, message: ActivationNotice) -> None:
+        # A fresh activation counts as having just heard from that pair.
+        self.last_heard[message.pair_key] = self.fleet.heartbeat_round
+
+    def heartbeat(self, round_id: int, miss_threshold: int) -> None:
+        """One heartbeat round: announce existence and check the watched pair."""
+        if self.broken or self.status.working != WorkingState.ACTIVE:
+            return
+        assert self.pair_key is not None
+        for peer in self.cube_peers:
+            self.send(peer, ExistingMessage(self.identity, self.pair_key, round_id))
+        if self.monitored_pair is None or self.monitored_pair == self.pair_key:
+            return
+        if self.engaged_tag is not None:
+            # Busy with another computation; re-check on the next round.
+            return
+        last = self.last_heard.get(self.monitored_pair, self.fleet.monitoring_baseline)
+        if round_id - last < miss_threshold:
+            return
+        # The watched pair has been silent too long: its vehicle is done (and
+        # failed to initiate) or dead.  Start a replacement on its behalf.
+        self.fleet.record_watch_initiation(self.identity, self.monitored_pair)
+        self.last_heard[self.monitored_pair] = round_id  # debounce
+        self.start_replacement_search(
+            destination=self.monitored_pair, pair_key=self.monitored_pair
+        )
+
+    # ------------------------------------------------------------------ #
+    # failures (scenario 3)
+    # ------------------------------------------------------------------ #
+
+    def mark_broken(self) -> None:
+        """The vehicle breaks down: it can no longer move, serve or heartbeat.
+
+        Its radio keeps working (the thesis's communication model never
+        charges energy for messages), so Phase I computations that query it
+        still receive a (negative) reply and terminate.
+        """
+        self.broken = True
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """A small dictionary of the vehicle's externally relevant state."""
+        return {
+            "home": self.home,
+            "position": self.position,
+            "state": str(self.status),
+            "pair": self.pair_key,
+            "energy_used": self.energy_used,
+            "travel": self.travel_energy,
+            "service": self.service_energy,
+            "jobs_served": self.jobs_served,
+        }

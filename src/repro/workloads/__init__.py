@@ -1,0 +1,37 @@
+"""Workload generators: demand maps and job sequences for the experiments.
+
+The thesis motivates the CMVRP with mobile-sensor scenarios and analyses
+three canonical demand shapes (Section 2.1): a filled square, a line, and a
+single point.  This package generates those shapes plus the randomized
+workloads the benchmarks sweep over, and the arrival orderings that turn a
+demand map into an online job sequence.
+"""
+
+from repro.workloads.generators import (
+    clustered_demand,
+    line_demand,
+    point_demand,
+    random_uniform_demand,
+    square_demand,
+    zipf_demand,
+)
+from repro.workloads.arrivals import (
+    alternating_arrivals,
+    random_arrivals,
+    sequential_arrivals,
+)
+from repro.workloads.scenarios import Scenario, paper_scenarios
+
+__all__ = [
+    "square_demand",
+    "line_demand",
+    "point_demand",
+    "random_uniform_demand",
+    "zipf_demand",
+    "clustered_demand",
+    "sequential_arrivals",
+    "random_arrivals",
+    "alternating_arrivals",
+    "Scenario",
+    "paper_scenarios",
+]

@@ -1,0 +1,67 @@
+"""Arrival orderings: turning a demand map into an online job sequence.
+
+The offline quantity ``W_off`` only depends on the demand map, but the
+online strategy sees jobs one at a time and (Chapter 4 shows) the *order*
+can matter once vehicles may break.  These helpers produce the orderings
+used in the experiments:
+
+* :func:`sequential_arrivals` -- positions in sorted order, all of a
+  position's jobs back to back (the gentlest ordering).
+* :func:`random_arrivals` -- a uniformly random interleaving.
+* :func:`alternating_arrivals` -- round-robin over the positions, the
+  adversarial pattern of the Figure 4.1 instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.demand import DemandMap, Job, JobSequence
+from repro.grid.lattice import Point
+
+__all__ = ["sequential_arrivals", "random_arrivals", "alternating_arrivals"]
+
+
+def _unit_positions(demand: DemandMap) -> List[Point]:
+    """Expand a demand map into one entry per unit job (demands are rounded up)."""
+    positions: List[Point] = []
+    for point, value in demand.items():
+        count = int(math.ceil(value - 1e-12))
+        positions.extend([point] * count)
+    return positions
+
+
+def sequential_arrivals(demand: DemandMap) -> JobSequence:
+    """All jobs of the lexicographically first position, then the next, ..."""
+    return JobSequence.from_positions(_unit_positions(demand))
+
+
+def random_arrivals(demand: DemandMap, rng: np.random.Generator) -> JobSequence:
+    """A uniformly random interleaving of the unit jobs."""
+    positions = _unit_positions(demand)
+    order = rng.permutation(len(positions))
+    return JobSequence.from_positions([positions[i] for i in order])
+
+
+def alternating_arrivals(demand: DemandMap, *, rounds: Optional[int] = None) -> JobSequence:
+    """Round-robin over the demand positions (the Figure 4.1 adversary).
+
+    Each round visits every position that still has unserved demand once, in
+    sorted order; ``rounds`` caps the number of rounds (default: until all
+    demand is exhausted).
+    """
+    remaining = {point: int(math.ceil(value - 1e-12)) for point, value in demand.items()}
+    positions: List[Point] = []
+    executed = 0
+    while any(count > 0 for count in remaining.values()):
+        if rounds is not None and executed >= rounds:
+            break
+        for point in sorted(remaining):
+            if remaining[point] > 0:
+                positions.append(point)
+                remaining[point] -= 1
+        executed += 1
+    return JobSequence.from_positions(positions)

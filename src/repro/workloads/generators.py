@@ -1,0 +1,140 @@
+"""Demand-map generators.
+
+Deterministic generators reproduce the worked examples of Section 2.1
+(square, line, point); randomized generators (uniform, Zipf-skewed,
+clustered) provide the broader sweeps used by the benchmarks and the
+property-based tests.  Every randomized generator takes an explicit
+``numpy.random.Generator`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.demand import DemandMap
+from repro.grid.lattice import Box, Point
+
+__all__ = [
+    "square_demand",
+    "line_demand",
+    "point_demand",
+    "random_uniform_demand",
+    "zipf_demand",
+    "clustered_demand",
+]
+
+
+def square_demand(side: int, demand: float, *, origin: Sequence[int] = (0, 0)) -> DemandMap:
+    """Example 2.1.1 / Figure 2.1(a): demand ``d`` at every point of an
+    ``side x side`` square, zero elsewhere."""
+    if side < 1:
+        raise ValueError("side must be at least 1")
+    box = Box.cube(tuple(origin), side)
+    return DemandMap.uniform_on_box(box, demand)
+
+
+def line_demand(
+    length: int,
+    demand: float,
+    *,
+    origin: Sequence[int] = (0, 0),
+    axis: int = 0,
+    dim: int = 2,
+) -> DemandMap:
+    """Example 2.1.2 / Figure 2.1(b): demand ``d`` at every point of a line
+    of ``length`` lattice points embedded in ``Z^dim``."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    if not 0 <= axis < dim:
+        raise ValueError("axis out of range")
+    origin = tuple(int(c) for c in origin)
+    if len(origin) != dim:
+        raise ValueError("origin dimension mismatch")
+    demands = {}
+    for step in range(length):
+        point = list(origin)
+        point[axis] += step
+        demands[tuple(point)] = demand
+    return DemandMap(demands, dim=dim)
+
+
+def point_demand(demand: float, *, position: Sequence[int] = (0, 0)) -> DemandMap:
+    """Example 2.1.3 / Figure 2.1(c): all demand at a single point."""
+    return DemandMap.point_demand(tuple(position), demand)
+
+
+def random_uniform_demand(
+    window: Box,
+    total_jobs: int,
+    rng: np.random.Generator,
+) -> DemandMap:
+    """``total_jobs`` unit jobs thrown uniformly at random into ``window``."""
+    if total_jobs < 0:
+        raise ValueError("total_jobs must be non-negative")
+    demands: dict = {}
+    lo = np.array(window.lo)
+    lengths = np.array(window.side_lengths)
+    for _ in range(total_jobs):
+        offset = rng.integers(0, lengths)
+        point: Point = tuple(int(c) for c in (lo + offset))
+        demands[point] = demands.get(point, 0.0) + 1.0
+    return DemandMap(demands, dim=window.dim)
+
+
+def zipf_demand(
+    window: Box,
+    total_jobs: int,
+    rng: np.random.Generator,
+    *,
+    exponent: float = 1.2,
+) -> DemandMap:
+    """Skewed demand: positions ranked by a random permutation receive jobs
+    with Zipf(``exponent``) probabilities.
+
+    Heavy-tailed per-point demand is the regime where the single-point
+    example dominates and the cube maximization is most interesting.
+    """
+    if total_jobs < 0:
+        raise ValueError("total_jobs must be non-negative")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    points = list(window.points())
+    rng.shuffle(points)
+    weights = np.array([1.0 / (rank + 1) ** exponent for rank in range(len(points))])
+    weights /= weights.sum()
+    counts = rng.multinomial(total_jobs, weights)
+    demands = {
+        point: float(count) for point, count in zip(points, counts) if count > 0
+    }
+    return DemandMap(demands, dim=window.dim)
+
+
+def clustered_demand(
+    window: Box,
+    clusters: int,
+    jobs_per_cluster: int,
+    rng: np.random.Generator,
+    *,
+    spread: int = 2,
+) -> DemandMap:
+    """Demand concentrated around ``clusters`` random hot spots.
+
+    Models the "seismic events" scenario of the introduction: bursts of
+    service requests in small neighborhoods of a few epicenters.
+    """
+    if clusters < 1 or jobs_per_cluster < 0:
+        raise ValueError("clusters must be >= 1 and jobs_per_cluster >= 0")
+    demands: dict = {}
+    lo = np.array(window.lo)
+    hi = np.array(window.hi)
+    lengths = np.array(window.side_lengths)
+    for _ in range(clusters):
+        center = lo + rng.integers(0, lengths)
+        for _ in range(jobs_per_cluster):
+            offset = rng.integers(-spread, spread + 1, size=window.dim)
+            point_arr = np.clip(center + offset, lo, hi)
+            point: Point = tuple(int(c) for c in point_arr)
+            demands[point] = demands.get(point, 0.0) + 1.0
+    return DemandMap(demands, dim=window.dim)

@@ -1,0 +1,116 @@
+"""Named scenarios tying workloads to the paper's experiments.
+
+Each :class:`Scenario` bundles a demand map, the worked-example closed form
+it should be compared against (when one exists), and a short description.
+The benchmark harness iterates :func:`paper_scenarios` so every table/figure
+row names the scenario it came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.demand import DemandMap
+from repro.core.omega import (
+    example_line_bound,
+    example_point_bound,
+    example_square_bound,
+)
+from repro.grid.lattice import Box
+from repro.workloads.generators import (
+    clustered_demand,
+    line_demand,
+    point_demand,
+    random_uniform_demand,
+    square_demand,
+    zipf_demand,
+)
+
+__all__ = ["Scenario", "paper_scenarios"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload with an optional closed-form reference bound."""
+
+    name: str
+    description: str
+    demand: DemandMap
+    #: The worked-example bound (W1/W2/W3) when the scenario matches one of
+    #: the Section 2.1 examples; ``None`` otherwise.
+    reference_bound: Optional[float] = None
+
+
+def paper_scenarios(
+    *,
+    square_side: int = 8,
+    square_per_point: float = 20.0,
+    line_length: int = 30,
+    line_per_point: float = 12.0,
+    point_total: float = 400.0,
+    random_window: int = 16,
+    random_jobs: int = 300,
+    seed: int = 20080803,
+) -> List[Scenario]:
+    """The scenario suite used across examples and benchmarks.
+
+    The first three rows are the Section 2.1 worked examples with their
+    closed-form reference bounds ``W1``, ``W2``, ``W3``; the rest are the
+    randomized sweeps (uniform, Zipf, clustered) that exercise the general
+    machinery.  The default parameters are sized for laptop-scale runs.
+    """
+    rng = np.random.default_rng(seed)
+    window = Box.cube((0, 0), random_window)
+    scenarios = [
+        Scenario(
+            name="square",
+            description=(
+                f"Example 2.1.1: demand {square_per_point:g} on every point of an "
+                f"{square_side}x{square_side} square (building monitoring)"
+            ),
+            demand=square_demand(square_side, square_per_point),
+            reference_bound=example_square_bound(square_side, square_per_point),
+        ),
+        Scenario(
+            name="line",
+            description=(
+                f"Example 2.1.2: demand {line_per_point:g} on every point of a "
+                f"line of {line_length} (highway traffic sensing)"
+            ),
+            demand=line_demand(line_length, line_per_point),
+            reference_bound=example_line_bound(line_per_point),
+        ),
+        Scenario(
+            name="point",
+            description=(
+                f"Example 2.1.3: demand {point_total:g} concentrated at one point "
+                "(earthquake epicenter)"
+            ),
+            demand=point_demand(point_total),
+            reference_bound=example_point_bound(point_total),
+        ),
+        Scenario(
+            name="uniform",
+            description=(
+                f"{random_jobs} unit jobs uniform over a {random_window}x{random_window} window"
+            ),
+            demand=random_uniform_demand(window, random_jobs, rng),
+        ),
+        Scenario(
+            name="zipf",
+            description=(
+                f"{random_jobs} unit jobs with Zipf-skewed positions over a "
+                f"{random_window}x{random_window} window"
+            ),
+            demand=zipf_demand(window, random_jobs, rng),
+        ),
+        Scenario(
+            name="clustered",
+            description="bursty demand around 4 epicenters (seismic monitoring)",
+            demand=clustered_demand(window, 4, random_jobs // 4, rng),
+        ),
+    ]
+    return scenarios

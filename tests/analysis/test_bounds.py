@@ -1,0 +1,52 @@
+"""Tests for the assembled bound ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import bounds_report
+from repro.core.demand import DemandMap
+from repro.core.offline import upper_bound_factor
+from repro.workloads.generators import point_demand, square_demand
+
+
+class TestBoundsReport:
+    def test_small_instance_has_all_rungs(self):
+        demand = DemandMap({(0, 0): 6.0, (2, 1): 3.0})
+        report = bounds_report(demand)
+        assert report.omega_star_exhaustive is not None
+        assert report.lp_self_radius is not None
+        assert report.greedy_capacity is not None
+
+    def test_ladder_ordering_small(self):
+        demand = DemandMap({(0, 0): 6.0, (2, 1): 3.0})
+        report = bounds_report(demand)
+        # omega_c <= omega*_cubes <= omega*_subsets ~= LP value <= upper bounds.
+        assert report.omega_c <= report.omega_star_cubes + 1e-9
+        assert report.omega_star_cubes <= report.omega_star_exhaustive + 1e-9
+        assert report.lp_self_radius == pytest.approx(
+            report.omega_star_exhaustive, rel=1e-2
+        )
+        assert report.lower_bound <= report.best_upper_bound + 1e-6
+
+    def test_large_instance_skips_exponential_rungs(self):
+        demand = square_demand(5, 4.0)  # 25 support points > SMALL_SUPPORT
+        report = bounds_report(demand, include_greedy=False)
+        assert report.omega_star_exhaustive is None
+        assert report.lp_self_radius is None
+        assert report.greedy_capacity is None
+
+    def test_realized_gap_within_theory_factor(self):
+        demand = square_demand(4, 10.0)
+        report = bounds_report(demand, include_greedy=False)
+        assert 1.0 - 1e-9 <= report.realized_gap <= upper_bound_factor(2) + 1e-9
+
+    def test_greedy_upper_bound_consistent(self):
+        demand = point_demand(30.0)
+        report = bounds_report(demand)
+        assert report.greedy_capacity is not None
+        assert report.greedy_capacity >= report.lower_bound - 0.1
+
+    def test_offline_factor_recorded(self):
+        report = bounds_report(point_demand(5.0), include_greedy=False)
+        assert report.offline_factor == upper_bound_factor(2)

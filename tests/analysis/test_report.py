@@ -1,0 +1,51 @@
+"""Tests for the plain-text table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["alpha", 1.0], ["b", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123], [12345.6], [1.5], [0.0]])
+        assert "0.000123" in text
+        assert "1.23e+04" in text or "12345" in text or "1.23e+4" in text
+        assert "1.5" in text
+        assert "0" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("Example", ["scenario", "omega"])
+        table.add_row("square", 2.0)
+        table.add_row("line", 1.2)
+        rendered = table.render()
+        assert rendered.startswith("Example")
+        assert "square" in rendered and "line" in rendered
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_str_matches_render(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert str(table) == table.render()

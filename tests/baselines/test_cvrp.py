@@ -1,0 +1,121 @@
+"""Tests for the single-depot CVRP baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cvrp import (
+    CVRPInstance,
+    clarke_wright,
+    nearest_neighbor_routes,
+    sweep_routes,
+)
+from repro.core.demand import DemandMap
+from repro.grid.lattice import manhattan
+from repro.workloads.generators import random_uniform_demand
+from repro.grid.lattice import Box
+
+
+@pytest.fixture
+def small_instance() -> CVRPInstance:
+    demands = {
+        (2, 0): 3.0,
+        (0, 2): 2.0,
+        (-2, 0): 4.0,
+        (0, -2): 1.0,
+        (3, 3): 2.0,
+        (-3, -1): 3.0,
+    }
+    return CVRPInstance(depot=(0, 0), demands=demands, capacity=6.0)
+
+
+@pytest.fixture
+def random_instance(rng) -> CVRPInstance:
+    demand = random_uniform_demand(Box.cube((0, 0), 10), 60, rng)
+    return CVRPInstance.from_demand_map(demand, capacity=8.0)
+
+
+ALL_SOLVERS = [clarke_wright, sweep_routes, nearest_neighbor_routes]
+
+
+class TestInstance:
+    def test_demand_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CVRPInstance(depot=(0, 0), demands={(1, 0): 10.0}, capacity=5.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            CVRPInstance(depot=(0, 0), demands={(1, 0): -1.0}, capacity=5.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CVRPInstance(depot=(0, 0), demands={}, capacity=0.0)
+
+    def test_from_demand_map_default_depot(self):
+        demand = DemandMap({(0, 0): 2.0, (4, 4): 2.0})
+        instance = CVRPInstance.from_demand_map(demand, capacity=5.0)
+        assert instance.depot == (2, 2)
+
+    def test_from_demand_map_splits_oversized_demands(self):
+        demand = DemandMap({(1, 1): 13.0})
+        instance = CVRPInstance.from_demand_map(demand, capacity=5.0)
+        # Two dedicated full loads plus a residual customer of 3.
+        assert len(instance.full_load_stops) == 2
+        assert instance.demands[(1, 1)] == pytest.approx(3.0)
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(ValueError):
+            CVRPInstance.from_demand_map(DemandMap({}, dim=2), capacity=5.0)
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_solution_is_feasible(self, solver, small_instance):
+        solution = solver(small_instance)
+        assert solution.is_feasible()
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_solution_feasible_on_random_instance(self, solver, random_instance):
+        solution = solver(random_instance)
+        assert solution.is_feasible()
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_total_length_at_least_lower_bound(self, solver, small_instance):
+        # Every customer must be reached, so the cost is at least twice the
+        # distance to the farthest customer (go there and come back).
+        solution = solver(small_instance)
+        farthest = max(
+            manhattan(small_instance.depot, c) for c in small_instance.customers()
+        )
+        assert solution.total_length() >= 2 * farthest
+
+    def test_clarke_wright_no_worse_than_one_route_per_customer(self, small_instance):
+        solution = clarke_wright(small_instance)
+        out_and_back = sum(
+            2 * manhattan(small_instance.depot, c) for c in small_instance.customers()
+        )
+        assert solution.total_length() <= out_and_back + 1e-9
+
+    def test_clarke_wright_merges_routes(self, small_instance):
+        solution = clarke_wright(small_instance)
+        assert len(solution.routes) < len(small_instance.customers())
+
+    def test_sweep_requires_planar(self):
+        instance = CVRPInstance(depot=(0, 0, 0), demands={(1, 0, 0): 1.0}, capacity=2.0)
+        with pytest.raises(ValueError):
+            sweep_routes(instance)
+
+    def test_max_route_energy_reported(self, small_instance):
+        solution = clarke_wright(small_instance)
+        assert solution.max_route_energy() > 0
+        # The min-max objective is at most the total objective.
+        assert solution.max_route_energy() <= solution.total_length() + sum(
+            small_instance.demands.values()
+        )
+
+    def test_route_load_within_capacity(self, random_instance):
+        for solver in ALL_SOLVERS:
+            solution = solver(random_instance)
+            for route in solution.routes:
+                assert solution.route_load(route) <= random_instance.capacity + 1e-9

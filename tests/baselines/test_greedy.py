@@ -1,0 +1,61 @@
+"""Tests for the greedy nearest-vehicle CMVRP heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import greedy_nearest_vehicle_plan
+from repro.core.demand import DemandMap
+from repro.core.feasibility import audit_plan
+from repro.core.omega import omega_star_cubes
+from repro.workloads.generators import point_demand, square_demand
+
+
+class TestGreedyPlan:
+    def test_empty_demand(self):
+        plan = greedy_nearest_vehicle_plan(DemandMap({}, dim=2), 5.0)
+        assert len(plan) == 0
+
+    def test_zero_capacity_serves_nothing(self):
+        plan = greedy_nearest_vehicle_plan(point_demand(5.0), 0.0)
+        assert len(plan) == 0
+
+    def test_local_service_when_capacity_suffices(self):
+        demand = DemandMap({(0, 0): 3.0})
+        plan = greedy_nearest_vehicle_plan(demand, 10.0)
+        audit = audit_plan(plan, demand, capacity=10.0)
+        assert audit.feasible
+        # A single vehicle (the local one) should do all the work.
+        assert len(plan) == 1
+        assert plan.routes[0].travel_cost == 0.0
+
+    def test_capacity_respected(self):
+        demand = point_demand(30.0)
+        plan = greedy_nearest_vehicle_plan(demand, 4.0)
+        for route in plan:
+            assert route.total_energy <= 4.0 + 1e-9
+
+    def test_feasible_when_capacity_generous(self):
+        demand = square_demand(3, 5.0)
+        capacity = 4 * omega_star_cubes(demand).omega + 10
+        plan = greedy_nearest_vehicle_plan(demand, capacity)
+        assert audit_plan(plan, demand, capacity=capacity).feasible
+
+    def test_infeasible_when_capacity_below_lower_bound(self):
+        demand = point_demand(60.0)
+        lower = omega_star_cubes(demand).omega
+        plan = greedy_nearest_vehicle_plan(demand, lower * 0.5)
+        audit = audit_plan(plan, demand)
+        assert not audit.feasible
+
+    def test_each_vehicle_used_once(self):
+        demand = square_demand(3, 8.0)
+        plan = greedy_nearest_vehicle_plan(demand, 6.0)
+        starts = [route.start for route in plan]
+        assert len(starts) == len(set(starts))
+
+    def test_search_radius_limits_vehicles(self):
+        demand = point_demand(10.0)
+        plan = greedy_nearest_vehicle_plan(demand, 5.0, search_radius=1)
+        for route in plan:
+            assert abs(route.start[0]) + abs(route.start[1]) <= 1

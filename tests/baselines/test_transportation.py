@@ -1,0 +1,58 @@
+"""Tests for the classical transportation problem solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.transportation import transportation_problem
+
+
+class TestTransportationProblem:
+    def test_empty(self):
+        result = transportation_problem({}, {})
+        assert result.cost == 0.0
+
+    def test_identical_distributions_cost_zero(self):
+        supplies = {(0, 0): 3.0, (2, 2): 1.0}
+        result = transportation_problem(supplies, supplies)
+        assert result.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_source_single_sink(self):
+        result = transportation_problem({(0, 0): 5.0}, {(3, 4): 5.0})
+        assert result.cost == pytest.approx(5.0 * 7)
+        assert result.flows[((0, 0), (3, 4))] == pytest.approx(5.0)
+
+    def test_two_sources_pick_nearest(self):
+        supplies = {(0, 0): 1.0, (10, 0): 1.0}
+        demands = {(1, 0): 1.0, (9, 0): 1.0}
+        result = transportation_problem(supplies, demands)
+        assert result.cost == pytest.approx(2.0)
+        assert ((0, 0), (1, 0)) in result.flows
+        assert ((10, 0), (9, 0)) in result.flows
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValueError):
+            transportation_problem({(0, 0): 2.0}, {(1, 1): 3.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transportation_problem({(0, 0): -1.0}, {(1, 1): -1.0})
+
+    def test_flow_conservation(self):
+        supplies = {(0, 0): 4.0, (5, 5): 6.0}
+        demands = {(1, 1): 7.0, (4, 4): 3.0}
+        result = transportation_problem(supplies, demands)
+        outgoing: dict = {}
+        incoming: dict = {}
+        for (source, sink), amount in result.flows.items():
+            outgoing[source] = outgoing.get(source, 0.0) + amount
+            incoming[sink] = incoming.get(sink, 0.0) + amount
+        for point, value in supplies.items():
+            assert outgoing.get(point, 0.0) == pytest.approx(value, abs=1e-6)
+        for point, value in demands.items():
+            assert incoming.get(point, 0.0) == pytest.approx(value, abs=1e-6)
+
+    def test_cost_is_at_least_mean_distance_lower_bound(self):
+        # Moving mass 1 a distance of at least d costs at least d.
+        result = transportation_problem({(0, 0): 1.0}, {(6, 0): 1.0})
+        assert result.cost >= 6.0 - 1e-9

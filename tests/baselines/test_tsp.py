@@ -1,0 +1,76 @@
+"""Tests for the TSP heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tsp import nearest_neighbor_tour, tour_length, two_opt
+
+
+class TestTourLength:
+    def test_empty_and_single(self):
+        assert tour_length([]) == 0.0
+        assert tour_length([(0, 0)]) == 0.0
+
+    def test_closed_square(self):
+        tour = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert tour_length(tour) == 4.0
+
+    def test_open_path(self):
+        tour = [(0, 0), (2, 0), (2, 2)]
+        assert tour_length(tour, closed=False) == 4.0
+        assert tour_length(tour, closed=True) == 8.0
+
+
+class TestNearestNeighborTour:
+    def test_visits_every_point_once(self):
+        points = [(0, 0), (3, 1), (1, 4), (5, 5), (2, 2)]
+        tour = nearest_neighbor_tour(points)
+        assert sorted(tour) == sorted(points)
+
+    def test_empty(self):
+        assert nearest_neighbor_tour([]) == []
+
+    def test_start_point_respected(self):
+        points = [(0, 0), (5, 5), (2, 2)]
+        tour = nearest_neighbor_tour(points, start=(5, 5))
+        assert tour[0] == (5, 5)
+
+    def test_invalid_start(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_tour([(0, 0)], start=(9, 9))
+
+    def test_deterministic(self):
+        points = [(3, 1), (0, 0), (1, 4)]
+        assert nearest_neighbor_tour(points) == nearest_neighbor_tour(points)
+
+    def test_follows_greedy_choice_on_line(self):
+        points = [(0, 0), (1, 0), (4, 0), (2, 0)]
+        tour = nearest_neighbor_tour(points)
+        assert tour == [(0, 0), (1, 0), (2, 0), (4, 0)]
+
+
+class TestTwoOpt:
+    def test_never_increases_length(self):
+        rng = np.random.default_rng(4)
+        points = [tuple(p) for p in rng.integers(0, 20, size=(12, 2))]
+        initial = nearest_neighbor_tour(points)
+        improved = two_opt(initial)
+        assert tour_length(improved) <= tour_length(initial) + 1e-9
+
+    def test_fixes_an_obvious_crossing(self):
+        # Visiting corners in the order that crosses the square is longer
+        # than the perimeter; 2-opt must recover the perimeter.
+        bad = [(0, 0), (3, 3), (3, 0), (0, 3)]
+        improved = two_opt(bad)
+        assert tour_length(improved) == 12.0
+
+    def test_small_tours_unchanged(self):
+        assert two_opt([(0, 0), (1, 1)]) == [(0, 0), (1, 1)]
+        assert two_opt([(0, 0)]) == [(0, 0)]
+
+    def test_preserves_point_multiset(self):
+        points = [(0, 0), (5, 2), (3, 3), (1, 4), (4, 0)]
+        improved = two_opt(points)
+        assert sorted(improved) == sorted(points)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the CMVRP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.grid.lattice import Box
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator (fixed seed per test)."""
+    return np.random.default_rng(20080803)
+
+
+@pytest.fixture
+def small_square_demand() -> DemandMap:
+    """A 3x3 square of demand 4 per point -- small enough for exhaustive checks."""
+    return DemandMap.uniform_on_box(Box.cube((0, 0), 3), 4.0)
+
+
+@pytest.fixture
+def tiny_demand() -> DemandMap:
+    """A handful of scattered demands used by LP/flow cross-checks."""
+    return DemandMap({(0, 0): 3.0, (2, 1): 5.0, (5, 5): 2.0, (1, 4): 1.0})
+
+
+@pytest.fixture
+def line_demand_1d() -> DemandMap:
+    """A one-dimensional demand profile."""
+    return DemandMap({(x,): 2.0 for x in range(6)})

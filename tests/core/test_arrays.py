@@ -1,0 +1,115 @@
+"""Tests for the dense-array sliding-window helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import (
+    dense_demand_array,
+    max_cube_sum,
+    max_cube_sums,
+    sliding_cube_sums,
+)
+from repro.grid.lattice import Box
+
+
+class TestDenseDemandArray:
+    def test_basic_layout(self):
+        box = Box((1, 1), (2, 3))
+        array = dense_demand_array({(1, 1): 2.0, (2, 3): 5.0}, box)
+        assert array.shape == (2, 3)
+        assert array[0, 0] == 2.0
+        assert array[1, 2] == 5.0
+        assert array.sum() == 7.0
+
+    def test_outside_point_raises(self):
+        with pytest.raises(ValueError):
+            dense_demand_array({(9, 9): 1.0}, Box((0, 0), (2, 2)))
+
+    def test_duplicate_entries_accumulate(self):
+        box = Box((0,), (3,))
+        array = dense_demand_array({(1,): 2.0}, box)
+        assert array[1] == 2.0
+
+
+class TestSlidingCubeSums:
+    def _brute_force_max(self, array: np.ndarray, side: int) -> float:
+        """Max window sum over all (padded) positions, by brute force."""
+        padded = np.pad(array, side - 1) if side > 1 else array
+        best = 0.0
+        shape = padded.shape
+        import itertools
+
+        ranges = [range(0, max(1, s - side + 1)) for s in shape]
+        for corner in itertools.product(*ranges):
+            slices = tuple(slice(c, c + side) for c in corner)
+            best = max(best, float(padded[slices].sum()))
+        return best
+
+    def test_side_one_is_identity(self):
+        array = np.arange(12, dtype=float).reshape(3, 4)
+        sums = sliding_cube_sums(array, 1)
+        assert np.allclose(sums, array)
+
+    def test_matches_brute_force_2d(self):
+        rng = np.random.default_rng(0)
+        array = rng.integers(0, 10, size=(5, 6)).astype(float)
+        for side in (1, 2, 3, 4):
+            sums = sliding_cube_sums(array, side)
+            assert sums.max() == pytest.approx(self._brute_force_max(array, side))
+
+    def test_matches_brute_force_1d(self):
+        array = np.array([1.0, 5.0, 2.0, 0.0, 7.0])
+        for side in (1, 2, 3, 5):
+            sums = sliding_cube_sums(array, side)
+            assert sums.max() == pytest.approx(self._brute_force_max(array, side))
+
+    def test_matches_brute_force_3d(self):
+        rng = np.random.default_rng(1)
+        array = rng.integers(0, 5, size=(3, 3, 3)).astype(float)
+        for side in (1, 2, 3):
+            sums = sliding_cube_sums(array, side)
+            assert sums.max() == pytest.approx(self._brute_force_max(array, side))
+
+    def test_side_larger_than_array_without_pad(self):
+        array = np.ones((2, 2))
+        sums = sliding_cube_sums(array, 5, pad=False)
+        assert sums.shape == (1, 1)
+        assert sums[0, 0] == 4.0
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            sliding_cube_sums(np.ones((2, 2)), 0)
+
+    def test_total_preserved_when_side_covers_everything(self):
+        array = np.arange(9, dtype=float).reshape(3, 3)
+        sums = sliding_cube_sums(array, 3)
+        assert sums.max() == pytest.approx(array.sum())
+
+
+class TestMaxCubeSums:
+    def test_empty_demand(self):
+        assert max_cube_sum({}, 3) == 0.0
+        assert max_cube_sums({}, [1, 2]) == {1: 0.0, 2: 0.0}
+
+    def test_single_point(self):
+        demand = {(0, 0): 5.0}
+        assert max_cube_sum(demand, 1) == 5.0
+        assert max_cube_sum(demand, 3) == 5.0
+
+    def test_two_points_merge_when_cube_large_enough(self):
+        demand = {(0, 0): 2.0, (2, 0): 3.0}
+        assert max_cube_sum(demand, 1) == 3.0
+        assert max_cube_sum(demand, 2) == 3.0
+        assert max_cube_sum(demand, 3) == 5.0
+
+    def test_monotone_in_side(self):
+        demand = {(x, y): float((x + 2 * y) % 4) for x in range(5) for y in range(5)}
+        sums = max_cube_sums(demand, range(1, 7))
+        values = [sums[s] for s in range(1, 7)]
+        assert values == sorted(values)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            max_cube_sums({(0, 0): 1.0}, [0])

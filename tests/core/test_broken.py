@@ -1,0 +1,163 @@
+"""Tests for Chapter 4: broken vehicles and the Figure 4.1 instance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.broken import (
+    LongevityMap,
+    broken_lower_bound,
+    broken_omega_for_region,
+    figure41_actual_requirement,
+    figure41_instance,
+    figure41_lp_lower_bound,
+    simulate_single_vehicle_shuttle,
+)
+from repro.core.demand import DemandMap, JobSequence
+from repro.core.omega import omega_for_region
+
+
+class TestLongevityMap:
+    def test_default_value(self):
+        longevity = LongevityMap(default=1.0)
+        assert longevity[(7, 7)] == 1.0
+
+    def test_overrides(self):
+        longevity = LongevityMap({(0, 0): 0.5}, default=1.0)
+        assert longevity[(0, 0)] == 0.5
+        assert longevity[(1, 1)] == 1.0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            LongevityMap({(0, 0): 1.5})
+        with pytest.raises(ValueError):
+            LongevityMap(default=-0.1)
+
+    def test_set(self):
+        longevity = LongevityMap()
+        longevity.set((2, 2), 0.25)
+        assert longevity[(2, 2)] == 0.25
+        with pytest.raises(ValueError):
+            longevity.set((0, 0), 2.0)
+
+    def test_overrides_copy(self):
+        longevity = LongevityMap({(0, 0): 0.5})
+        copy = longevity.overrides()
+        copy[(0, 0)] = 0.9
+        assert longevity[(0, 0)] == 0.5
+
+
+class TestBrokenOmega:
+    def test_all_healthy_matches_unbroken_omega(self):
+        # With every p_i = 1 the generalized equation reduces to (1.1).
+        demand = DemandMap({(0, 0): 7.0, (1, 0): 3.0})
+        healthy = LongevityMap(default=1.0)
+        region = [(0, 0), (1, 0)]
+        broken = broken_omega_for_region(demand, healthy, region)
+        plain = omega_for_region(demand, region)
+        assert broken == pytest.approx(plain, rel=1e-6)
+
+    def test_zero_demand_region(self):
+        demand = DemandMap({(0, 0): 4.0})
+        assert broken_omega_for_region(demand, LongevityMap(), [(9, 9)]) == 0.0
+
+    def test_empty_region_raises(self):
+        demand = DemandMap({(0, 0): 4.0})
+        with pytest.raises(ValueError):
+            broken_omega_for_region(demand, LongevityMap(), [])
+
+    def test_broken_neighbors_raise_requirement(self):
+        demand = DemandMap({(0, 0): 12.0})
+        healthy = LongevityMap(default=1.0)
+        # Break the whole radius-1 ball except the center.
+        crippled = LongevityMap(
+            {(1, 0): 0.0, (-1, 0): 0.0, (0, 1): 0.0, (0, -1): 0.0}, default=1.0
+        )
+        assert broken_omega_for_region(demand, crippled, [(0, 0)]) >= broken_omega_for_region(
+            demand, healthy, [(0, 0)]
+        )
+
+    def test_all_broken_is_infeasible(self):
+        demand = DemandMap({(0, 0): 2.0})
+        dead = LongevityMap(default=0.0)
+        value = broken_omega_for_region(demand, dead, [(0, 0)], max_radius=8)
+        assert math.isinf(value)
+
+    def test_partial_longevity_scales_reach(self):
+        # A vehicle with p = 0.5 at distance 2 only activates once omega >= 4.
+        demand = DemandMap({(0, 0): 4.0})
+        longevity = LongevityMap({(2, 0): 0.5}, default=0.0)
+        longevity.set((0, 0), 0.0)
+        value = broken_omega_for_region(demand, longevity, [(0, 0)])
+        # Only the (2, 0) vehicle can serve: it activates at omega = 4 and
+        # must then satisfy omega * 0.5 >= 4, i.e. omega >= 8.
+        assert value == pytest.approx(8.0, rel=1e-6)
+
+    def test_lower_bound_exhaustive_vs_points(self):
+        demand = DemandMap({(0, 0): 4.0, (3, 0): 4.0})
+        longevity = LongevityMap(default=1.0)
+        exhaustive = broken_lower_bound(demand, longevity, exhaustive=True)
+        coarse = broken_lower_bound(demand, longevity, exhaustive=False)
+        assert coarse <= exhaustive + 1e-9
+
+    def test_lower_bound_empty_demand(self):
+        assert broken_lower_bound(DemandMap({}, dim=2), LongevityMap()) == 0.0
+
+
+class TestFigure41:
+    def test_instance_shape(self):
+        instance = figure41_instance(3, 10)
+        assert instance.demand[instance.point_i] == 3.0
+        assert instance.demand[instance.point_j] == 3.0
+        assert instance.longevity[instance.point_k] == 1.0
+        assert instance.longevity[(1, 0)] == 0.0  # inside the broken zone
+        assert len(instance.jobs) == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            figure41_instance(0, 10)
+        with pytest.raises(ValueError):
+            figure41_instance(3, 5)
+
+    def test_jobs_alternate(self):
+        instance = figure41_instance(2, 8)
+        positions = instance.jobs.positions()
+        assert positions == [(-2, 0), (2, 0), (-2, 0), (2, 0)]
+
+    def test_lp_lower_bound_is_2_r1(self):
+        for r1 in (2, 3, 5):
+            instance = figure41_instance(r1, 4 * r1)
+            assert figure41_lp_lower_bound(instance) == pytest.approx(2 * r1, rel=1e-6)
+
+    def test_actual_requirement_closed_form(self):
+        for r1 in (1, 2, 4):
+            expected = r1 + (2 * r1 - 1) * 2 * r1 + 2 * r1
+            assert figure41_actual_requirement(r1) == expected
+
+    def test_shuttle_simulation_matches_closed_form(self):
+        for r1 in (1, 2, 3, 5):
+            instance = figure41_instance(r1, 4 * r1)
+            simulated = simulate_single_vehicle_shuttle(instance.jobs, instance.point_k)
+            assert simulated == pytest.approx(figure41_actual_requirement(r1))
+
+    def test_gap_grows_with_r1(self):
+        # The ratio actual / LP bound grows linearly in r1 (Section 4.2).
+        ratios = []
+        for r1 in (2, 4, 8):
+            instance = figure41_instance(r1, 4 * r1)
+            ratios.append(
+                figure41_actual_requirement(r1) / figure41_lp_lower_bound(instance)
+            )
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[-1] > 4
+
+
+class TestShuttleSimulator:
+    def test_empty_jobs(self):
+        assert simulate_single_vehicle_shuttle(JobSequence([]), (0, 0)) == 0.0
+
+    def test_single_job(self):
+        jobs = JobSequence.from_positions([(3, 0)])
+        assert simulate_single_vehicle_shuttle(jobs, (0, 0)) == 4.0  # 3 travel + 1 serve

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.demand import DemandMap
+from repro.io.serialize import demand_to_json, save_json
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bounds_requires_a_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bounds"])
+
+    def test_scenario_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bounds", "--scenario", "nonsense"])
+
+    def test_online_defaults(self):
+        args = build_parser().parse_args(["online", "--scenario", "point"])
+        assert args.seed == 0
+        assert args.order == "random"
+        assert args.capacity is None
+
+
+class TestCommands:
+    def test_scenarios_lists_all(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("square", "line", "point", "uniform", "zipf", "clustered"):
+            assert name in output
+
+    def test_bounds_on_builtin_scenario(self, capsys):
+        assert main(["bounds", "--scenario", "point"]) == 0
+        output = capsys.readouterr().out
+        assert "omega*" in output
+        assert "upper bound" in output
+
+    def test_bounds_on_json_demand(self, tmp_path, capsys):
+        demand = DemandMap({(0, 0): 6.0, (2, 1): 3.0})
+        path = tmp_path / "demand.json"
+        save_json(demand_to_json(demand), path)
+        assert main(["bounds", "--demand-json", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "support size" in output
+
+    def test_online_on_json_demand(self, tmp_path, capsys):
+        demand = DemandMap({(0, 0): 8.0})
+        path = tmp_path / "demand.json"
+        save_json(demand_to_json(demand), path)
+        code = main(["online", "--demand-json", str(path), "--order", "sequential"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "jobs served / total" in output
+        assert "8/8" in output
+
+    def test_online_exit_code_reflects_infeasibility(self, tmp_path, capsys):
+        demand = DemandMap({(0, 0): 50.0})
+        path = tmp_path / "demand.json"
+        save_json(demand_to_json(demand), path)
+        code = main(
+            [
+                "online",
+                "--demand-json",
+                str(path),
+                "--omega",
+                "3.0",
+                "--capacity",
+                "4.0",
+            ]
+        )
+        assert code == 1
+
+    def test_online_with_custom_capacity_and_omega(self, tmp_path, capsys):
+        demand = DemandMap({(0, 0): 12.0})
+        path = tmp_path / "demand.json"
+        save_json(demand_to_json(demand), path)
+        code = main(
+            [
+                "online",
+                "--demand-json",
+                str(path),
+                "--omega",
+                "3.0",
+                "--capacity",
+                "8.0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replacements" in output

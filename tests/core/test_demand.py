@@ -1,0 +1,184 @@
+"""Tests for demand maps and job sequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap, Job, JobSequence
+from repro.grid.lattice import Box
+
+
+class TestDemandMapConstruction:
+    def test_basic(self):
+        demand = DemandMap({(0, 0): 2.0, (1, 1): 3.0})
+        assert demand[(0, 0)] == 2.0
+        assert demand[(1, 1)] == 3.0
+        assert demand[(5, 5)] == 0.0
+        assert demand.dim == 2
+
+    def test_zero_entries_dropped(self):
+        demand = DemandMap({(0, 0): 0.0, (1, 1): 2.0})
+        assert (0, 0) not in demand
+        assert len(demand) == 1
+
+    def test_negative_demand_raises(self):
+        with pytest.raises(ValueError):
+            DemandMap({(0, 0): -1.0})
+
+    def test_non_finite_demand_raises(self):
+        with pytest.raises(ValueError):
+            DemandMap({(0, 0): float("inf")})
+
+    def test_mixed_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            DemandMap({(0, 0): 1.0, (0, 0, 0): 1.0})
+
+    def test_empty_requires_dim(self):
+        with pytest.raises(ValueError):
+            DemandMap({})
+        empty = DemandMap({}, dim=2)
+        assert empty.is_empty()
+        assert empty.dim == 2
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DemandMap({(0, 0): 1.0}, dim=3)
+
+    def test_float_coordinates_normalized_to_ints(self):
+        demand = DemandMap({(0.0, 2.0): 1.5})  # type: ignore[dict-item]
+        assert demand[(0, 2)] == 1.5
+        assert demand.support() == [(0, 2)]
+
+    def test_uniform_on_box(self):
+        demand = DemandMap.uniform_on_box(Box.cube((0, 0), 2), 5.0)
+        assert len(demand) == 4
+        assert demand.total() == 20.0
+
+    def test_point_demand(self):
+        demand = DemandMap.point_demand((3, 4), 7.0)
+        assert demand[(3, 4)] == 7.0
+        assert demand.total() == 7.0
+
+
+class TestDemandMapStatistics:
+    def test_total_and_max(self):
+        demand = DemandMap({(0, 0): 2.0, (1, 1): 6.0})
+        assert demand.total() == 8.0
+        assert demand.max_demand() == 6.0
+
+    def test_empty_statistics(self):
+        demand = DemandMap({}, dim=2)
+        assert demand.total() == 0.0
+        assert demand.max_demand() == 0.0
+
+    def test_average_over_window_counts_zero_vertices(self):
+        demand = DemandMap({(0, 0): 8.0})
+        window = Box.cube((0, 0), 4)
+        assert demand.average_demand_over(window) == 0.5
+
+    def test_restricted_to(self):
+        demand = DemandMap({(0, 0): 1.0, (10, 10): 2.0})
+        restricted = demand.restricted_to(Box.cube((0, 0), 2))
+        assert len(restricted) == 1
+        assert restricted.total() == 1.0
+
+    def test_total_over(self):
+        demand = DemandMap({(0, 0): 1.0, (1, 0): 2.0, (2, 0): 4.0})
+        assert demand.total_over([(0, 0), (2, 0)]) == 5.0
+
+    def test_bounding_box(self):
+        demand = DemandMap({(0, 3): 1.0, (2, 1): 1.0})
+        assert demand.bounding_box() == Box((0, 1), (2, 3))
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            DemandMap({}, dim=2).bounding_box()
+
+    def test_scaled(self):
+        demand = DemandMap({(0, 0): 2.0}).scaled(3.0)
+        assert demand[(0, 0)] == 6.0
+        with pytest.raises(ValueError):
+            DemandMap({(0, 0): 2.0}).scaled(-1.0)
+
+    def test_merged_with(self):
+        a = DemandMap({(0, 0): 1.0})
+        b = DemandMap({(0, 0): 2.0, (1, 1): 3.0})
+        merged = a.merged_with(b)
+        assert merged[(0, 0)] == 3.0
+        assert merged.total() == 6.0
+
+    def test_merged_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            DemandMap({(0, 0): 1.0}).merged_with(DemandMap({(0, 0, 0): 1.0}))
+
+    def test_equality_and_repr(self):
+        a = DemandMap({(0, 0): 1.0})
+        b = DemandMap({(0, 0): 1.0})
+        assert a == b
+        assert "DemandMap" in repr(a)
+
+    def test_support_sorted(self):
+        demand = DemandMap({(2, 0): 1.0, (0, 0): 1.0})
+        assert demand.support() == [(0, 0), (2, 0)]
+
+
+class TestJob:
+    def test_position_normalized_to_ints(self):
+        job = Job(time=1.0, position=(2.0, 3.0))  # type: ignore[arg-type]
+        assert job.position == (2, 3)
+
+    def test_non_positive_energy_raises(self):
+        with pytest.raises(ValueError):
+            Job(time=1.0, position=(0, 0), energy=0.0)
+
+    def test_non_finite_time_raises(self):
+        with pytest.raises(ValueError):
+            Job(time=float("nan"), position=(0, 0))
+
+    def test_ordering_by_time(self):
+        early = Job(time=1.0, position=(5, 5))
+        late = Job(time=2.0, position=(0, 0))
+        assert early < late
+
+
+class TestJobSequence:
+    def test_from_positions(self):
+        seq = JobSequence.from_positions([(0, 0), (1, 1), (0, 0)])
+        assert len(seq) == 3
+        assert seq[0].time == 1.0
+        assert seq[2].position == (0, 0)
+
+    def test_strictly_increasing_times_enforced(self):
+        with pytest.raises(ValueError):
+            JobSequence([Job(time=1.0, position=(0, 0)), Job(time=1.0, position=(1, 1))])
+
+    def test_sorts_by_time(self):
+        seq = JobSequence([Job(time=2.0, position=(1, 1)), Job(time=1.0, position=(0, 0))])
+        assert seq[0].position == (0, 0)
+
+    def test_demand_map_collapses_jobs(self):
+        seq = JobSequence.from_positions([(0, 0), (0, 0), (1, 1)])
+        demand = seq.demand_map()
+        assert demand[(0, 0)] == 2.0
+        assert demand[(1, 1)] == 1.0
+
+    def test_empty_sequence(self):
+        seq = JobSequence([])
+        assert seq.is_empty()
+        assert len(seq) == 0
+        with pytest.raises(ValueError):
+            _ = seq.dim
+
+    def test_total_energy(self):
+        seq = JobSequence.from_positions([(0, 0)] * 5)
+        assert seq.total_energy() == 5.0
+
+    def test_prefix(self):
+        seq = JobSequence.from_positions([(0, 0), (1, 1), (2, 2)])
+        assert len(seq.prefix(2)) == 2
+        with pytest.raises(ValueError):
+            seq.prefix(-1)
+
+    def test_positions_in_arrival_order(self):
+        seq = JobSequence.from_positions([(1, 1), (0, 0)])
+        assert seq.positions() == [(1, 1), (0, 0)]

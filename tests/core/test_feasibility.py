@@ -1,0 +1,132 @@
+"""Tests for plan audits and the minimal-feasible-capacity search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import greedy_nearest_vehicle_plan
+from repro.core.demand import DemandMap
+from repro.core.feasibility import audit_plan, minimal_feasible_capacity
+from repro.core.omega import omega_star_cubes
+from repro.core.plan import ServicePlan, VehicleRoute, build_cube_plan
+from repro.workloads.generators import point_demand, square_demand
+
+
+def _plan_from_routes(*routes: VehicleRoute) -> ServicePlan:
+    plan = ServicePlan(dim=2)
+    for route in routes:
+        plan.add(route)
+    return plan
+
+
+class TestAuditPlan:
+    def test_feasible_exact_coverage(self):
+        demand = DemandMap({(0, 0): 2.0})
+        plan = _plan_from_routes(VehicleRoute(start=(0, 0), stops=(((0, 0), 2.0),)))
+        audit = audit_plan(plan, demand, capacity=2.0)
+        assert audit.feasible
+        assert audit.unserved_demand == 0.0
+        assert audit.max_vehicle_energy == 2.0
+
+    def test_undercoverage_detected(self):
+        demand = DemandMap({(0, 0): 5.0})
+        plan = _plan_from_routes(VehicleRoute(start=(0, 0), stops=(((0, 0), 3.0),)))
+        audit = audit_plan(plan, demand)
+        assert not audit.feasible
+        assert audit.unserved_demand == pytest.approx(2.0)
+        assert any("demand at" in v for v in audit.violations)
+
+    def test_capacity_violation_detected(self):
+        demand = DemandMap({(0, 0): 5.0})
+        plan = _plan_from_routes(VehicleRoute(start=(1, 0), stops=(((0, 0), 5.0),)))
+        audit = audit_plan(plan, demand, capacity=5.5)
+        assert not audit.feasible  # needs 6 energy (1 travel + 5 service)
+        assert any("capacity" in v for v in audit.violations)
+
+    def test_duplicate_vehicle_detected(self):
+        demand = DemandMap({(0, 0): 2.0})
+        plan = ServicePlan(dim=2)
+        plan.add(VehicleRoute(start=(0, 0), stops=(((0, 0), 1.0),)))
+        plan.add(VehicleRoute(start=(0, 0), stops=(((0, 0), 1.0),)))
+        audit = audit_plan(plan, demand)
+        assert not audit.feasible
+        assert any("is used by" in v for v in audit.violations)
+
+    def test_overdelivery_flagged_but_feasible(self):
+        demand = DemandMap({(0, 0): 1.0})
+        plan = _plan_from_routes(VehicleRoute(start=(0, 0), stops=(((0, 0), 3.0),)))
+        audit = audit_plan(plan, demand)
+        assert audit.feasible
+        assert any("exceeds demand" in v for v in audit.violations)
+
+    def test_no_capacity_check_when_capacity_none(self):
+        demand = DemandMap({(0, 0): 100.0})
+        plan = _plan_from_routes(VehicleRoute(start=(0, 0), stops=(((0, 0), 100.0),)))
+        audit = audit_plan(plan, demand, capacity=None)
+        assert audit.feasible
+
+    def test_summary_mentions_status(self):
+        demand = DemandMap({(0, 0): 1.0})
+        plan = _plan_from_routes(VehicleRoute(start=(0, 0), stops=(((0, 0), 1.0),)))
+        assert "FEASIBLE" in audit_plan(plan, demand, capacity=2.0).summary()
+
+    def test_empty_plan_on_empty_demand(self):
+        audit = audit_plan(ServicePlan(dim=2), DemandMap({}, dim=2), capacity=1.0)
+        assert audit.feasible
+
+
+class TestMinimalFeasibleCapacity:
+    def test_empty_demand(self):
+        capacity, plan = minimal_feasible_capacity(
+            DemandMap({}, dim=2), lambda c: ServicePlan(dim=2)
+        )
+        assert capacity == 0.0
+        assert len(plan) == 0
+
+    def test_greedy_builder_point_demand(self):
+        demand = point_demand(20.0)
+        capacity, plan = minimal_feasible_capacity(
+            demand,
+            lambda c: greedy_nearest_vehicle_plan(demand, c),
+            tolerance=0.05,
+        )
+        audit = audit_plan(plan, demand, capacity=capacity)
+        assert audit.feasible
+        # Must be at least the combinatorial lower bound.
+        assert capacity >= omega_star_cubes(demand).omega - 0.05
+
+    def test_greedy_builder_square_demand(self):
+        demand = square_demand(3, 6.0)
+        capacity, plan = minimal_feasible_capacity(
+            demand,
+            lambda c: greedy_nearest_vehicle_plan(demand, c),
+            tolerance=0.05,
+        )
+        assert audit_plan(plan, demand, capacity=capacity).feasible
+        lower = omega_star_cubes(demand).omega
+        assert capacity >= lower - 0.05
+
+    def test_cube_plan_builder(self):
+        demand = square_demand(4, 8.0)
+        omega = omega_star_cubes(demand).omega
+
+        def builder(capacity: float):
+            # Lemma 2.2.5 construction with the service cap scaled to the
+            # probed capacity (travel within the cube reserved).
+            side = max(1, int(omega))
+            travel = demand.dim * side
+            cap = (capacity - travel) / 2
+            if cap <= 0:
+                return None
+            return build_cube_plan(demand, omega=omega, service_cap=cap)
+
+        capacity, plan = minimal_feasible_capacity(demand, builder, tolerance=0.05)
+        assert audit_plan(plan, demand, capacity=capacity).feasible
+        assert capacity >= omega - 0.05
+
+    def test_raises_when_builder_never_succeeds(self):
+        demand = point_demand(5.0)
+        with pytest.raises(RuntimeError):
+            minimal_feasible_capacity(
+                demand, lambda c: None, max_doublings=3
+            )

@@ -1,0 +1,98 @@
+"""Tests for the max-flow feasibility oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.flows import (
+    min_fixed_radius_capacity,
+    min_self_radius_capacity,
+    transport_feasible,
+)
+from repro.core.lp import supply_radius_lp
+from repro.core.omega import omega_star_exhaustive
+
+
+class TestTransportFeasible:
+    def test_empty_demand_trivially_feasible(self):
+        result = transport_feasible(DemandMap({}, dim=2), {}, 1)
+        assert result.feasible
+        assert result.shortfall == 0.0
+
+    def test_local_supply_exactly_meets_demand(self):
+        demand = DemandMap({(0, 0): 3.0})
+        result = transport_feasible(demand, {(0, 0): 3.0}, 0)
+        assert result.feasible
+
+    def test_insufficient_supply(self):
+        demand = DemandMap({(0, 0): 3.0})
+        result = transport_feasible(demand, {(0, 0): 2.0}, 0)
+        assert not result.feasible
+        assert result.shortfall == pytest.approx(1.0, abs=1e-5)
+
+    def test_supply_out_of_range(self):
+        demand = DemandMap({(0, 0): 1.0})
+        result = transport_feasible(demand, {(5, 5): 10.0}, 2)
+        assert not result.feasible
+
+    def test_neighboring_supply_within_radius(self):
+        demand = DemandMap({(0, 0): 4.0})
+        supplies = {(1, 0): 2.0, (0, 1): 2.0}
+        result = transport_feasible(demand, supplies, 1)
+        assert result.feasible
+
+    def test_flows_returned_and_consistent(self):
+        demand = DemandMap({(0, 0): 4.0})
+        supplies = {(1, 0): 2.0, (0, 1): 3.0}
+        result = transport_feasible(demand, supplies, 1, return_flows=True)
+        assert result.feasible
+        total = sum(result.flows.values())
+        assert total == pytest.approx(4.0, rel=1e-5)
+        for (vehicle, _target), amount in result.flows.items():
+            assert amount <= supplies[vehicle] + 1e-6
+
+    def test_per_vehicle_radius_mapping(self):
+        # Chapter 4 style: one vehicle may move far, the other not at all.
+        demand = DemandMap({(0, 0): 2.0})
+        supplies = {(3, 0): 2.0, (1, 0): 2.0}
+        radii = {(3, 0): 5.0, (1, 0): 0.0}
+        result = transport_feasible(demand, supplies, radii)
+        assert result.feasible
+        radii_blocked = {(3, 0): 1.0, (1, 0): 0.0}
+        blocked = transport_feasible(demand, supplies, radii_blocked)
+        assert not blocked.feasible
+
+    def test_zero_supply_vehicles_ignored(self):
+        demand = DemandMap({(0, 0): 1.0})
+        result = transport_feasible(demand, {(0, 0): 0.0, (1, 0): 1.0}, 1)
+        assert result.feasible
+
+
+class TestMinimalCapacities:
+    def test_fixed_radius_matches_lp(self, tiny_demand):
+        for radius in (0, 1, 2):
+            flow_value = min_fixed_radius_capacity(tiny_demand, radius, tolerance=1e-4)
+            lp_value = supply_radius_lp(tiny_demand, radius).value
+            assert flow_value == pytest.approx(lp_value, rel=1e-2, abs=1e-3)
+
+    def test_fixed_radius_decreasing_in_radius(self):
+        demand = DemandMap({(0, 0): 20.0})
+        values = [min_fixed_radius_capacity(demand, r, tolerance=1e-3) for r in (0, 1, 2)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_self_radius_matches_omega_star(self):
+        # Lemma 2.2.3 cross-check through a completely different code path.
+        demand = DemandMap({(0, 0): 4.0, (1, 0): 2.0, (0, 1): 1.0})
+        flow_value = min_self_radius_capacity(demand, tolerance=1e-4)
+        combinatorial = omega_star_exhaustive(demand).omega
+        assert flow_value == pytest.approx(combinatorial, rel=1e-2)
+
+    def test_self_radius_point_demand(self):
+        demand = DemandMap({(0, 0): 5.0})
+        assert min_self_radius_capacity(demand, tolerance=1e-4) == pytest.approx(1.0, rel=1e-2)
+
+    def test_empty_demand(self):
+        empty = DemandMap({}, dim=2)
+        assert min_fixed_radius_capacity(empty, 3) == 0.0
+        assert min_self_radius_capacity(empty) == 0.0

@@ -1,0 +1,157 @@
+"""Tests for the Chapter 2 linear programs, their duals, and Lemma 2.2.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.lp import (
+    alpha_objective,
+    alpha_to_h,
+    capacity_lp_value,
+    dual_alpha_lp,
+    h_mass,
+    h_objective,
+    lp_value_by_subsets,
+    supply_radius_lp,
+)
+from repro.core.omega import omega_star_exhaustive
+
+
+class TestSupplyRadiusLP:
+    def test_empty_demand(self):
+        solution = supply_radius_lp(DemandMap({}, dim=2), 1)
+        assert solution.value == 0.0
+        assert solution.flows == {}
+
+    def test_single_point_radius_one(self):
+        # One unit of demand can be split over the 5 vehicles of the ball.
+        demand = DemandMap({(0, 0): 5.0})
+        solution = supply_radius_lp(demand, 1)
+        assert solution.value == pytest.approx(1.0, abs=1e-6)
+
+    def test_radius_zero_forces_local_service(self):
+        demand = DemandMap({(0, 0): 7.0, (3, 3): 2.0})
+        solution = supply_radius_lp(demand, 0)
+        assert solution.value == pytest.approx(7.0, abs=1e-6)
+
+    def test_value_decreases_with_radius(self):
+        demand = DemandMap({(0, 0): 12.0, (1, 0): 4.0})
+        values = [supply_radius_lp(demand, r).value for r in (0, 1, 2, 3)]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_flows_cover_demand(self):
+        # The LP only lower-bounds deliveries (over-delivery is free), so the
+        # check is coverage, not equality.
+        demand = DemandMap({(0, 0): 6.0, (2, 1): 3.0})
+        solution = supply_radius_lp(demand, 2)
+        delivered: dict = {}
+        for (vehicle, target), amount in solution.flows.items():
+            delivered[target] = delivered.get(target, 0.0) + amount
+        for point, value in demand.items():
+            assert delivered.get(point, 0.0) >= value - 1e-5
+
+    def test_flows_respect_supply(self):
+        demand = DemandMap({(0, 0): 6.0, (2, 1): 3.0})
+        solution = supply_radius_lp(demand, 2)
+        shipped: dict = {}
+        for (vehicle, target), amount in solution.flows.items():
+            shipped[vehicle] = shipped.get(vehicle, 0.0) + amount
+        for vehicle, amount in shipped.items():
+            assert amount <= solution.value + 1e-6
+
+    def test_matches_lemma_2_2_2_closed_form(self, tiny_demand):
+        for radius in (0, 1, 2):
+            lp_value = supply_radius_lp(tiny_demand, radius).value
+            subset_value, _ = lp_value_by_subsets(tiny_demand, radius)
+            assert lp_value == pytest.approx(subset_value, rel=1e-5)
+
+
+class TestDualAlphaLP:
+    def test_strong_duality(self, tiny_demand):
+        for radius in (0, 1, 2):
+            primal = supply_radius_lp(tiny_demand, radius).value
+            dual = dual_alpha_lp(tiny_demand, radius).value
+            assert primal == pytest.approx(dual, rel=1e-5)
+
+    def test_alpha_sums_to_at_most_one(self, tiny_demand):
+        dual = dual_alpha_lp(tiny_demand, 1)
+        assert sum(dual.alpha.values()) <= 1.0 + 1e-6
+
+    def test_empty_demand(self):
+        dual = dual_alpha_lp(DemandMap({}, dim=2), 1)
+        assert dual.value == 0.0
+
+
+class TestLemma221Decomposition:
+    def test_single_plateau(self):
+        alpha = {(0, 0): 0.5, (1, 0): 0.5}
+        h = alpha_to_h(alpha)
+        # One connected component at a single level.
+        assert len(h) == 1
+        subset, weight = next(iter(h.items()))
+        assert subset == frozenset({(0, 0), (1, 0)})
+        assert weight == pytest.approx(0.5)
+
+    def test_nested_levels(self):
+        alpha = {(0,): 0.2, (1,): 0.6, (2,): 0.2}
+        h = alpha_to_h(alpha)
+        assert h[frozenset({(0,), (1,), (2,)})] == pytest.approx(0.2)
+        assert h[frozenset({(1,)})] == pytest.approx(0.4)
+
+    def test_disconnected_components(self):
+        alpha = {(0, 0): 0.3, (5, 5): 0.3}
+        h = alpha_to_h(alpha)
+        assert len(h) == 2
+        assert all(weight == pytest.approx(0.3) for weight in h.values())
+
+    def test_mass_identity(self):
+        # sum_T h(T) |T| == sum_i alpha_i, as in the proof of Lemma 2.2.1.
+        alpha = {(0, 0): 0.1, (1, 0): 0.25, (1, 1): 0.25, (4, 4): 0.4}
+        h = alpha_to_h(alpha)
+        assert h_mass(h) == pytest.approx(sum(alpha.values()))
+
+    def test_objective_equality_when_balls_inside_support(self):
+        # Lemma 2.2.1: the two objectives agree.  Build alpha positive on a
+        # region large enough to contain the radius-1 balls of the demand.
+        alpha = {
+            (x, y): 0.05 + 0.01 * (4 - abs(x - 2) - abs(y - 2))
+            for x in range(5)
+            for y in range(5)
+        }
+        demand = DemandMap({(2, 2): 3.0, (1, 2): 2.0})
+        h = alpha_to_h(alpha)
+        assert h_objective(demand, 1, h) == pytest.approx(
+            alpha_objective(demand, 1, alpha), rel=1e-9
+        )
+
+    def test_objective_upper_bound_in_general(self):
+        # When a ball leaves the support of alpha the min is 0 and the h-sum
+        # is 0 too; the h objective never exceeds the alpha objective.
+        alpha = {(0, 0): 0.7, (1, 0): 0.3}
+        demand = DemandMap({(0, 0): 2.0, (5, 5): 4.0})
+        h = alpha_to_h(alpha)
+        assert h_objective(demand, 1, h) <= alpha_objective(demand, 1, alpha) + 1e-12
+
+    def test_empty_alpha(self):
+        assert alpha_to_h({}) == {}
+        assert alpha_to_h({(0, 0): 0.0}) == {}
+
+
+class TestCapacityLP:
+    def test_empty_demand(self):
+        assert capacity_lp_value(DemandMap({}, dim=2)) == 0.0
+
+    def test_matches_omega_star_exhaustive(self):
+        # Lemma 2.2.3: the value of program (2.8) equals max_T omega_T.
+        demand = DemandMap({(0, 0): 4.0, (1, 0): 2.0, (0, 1): 1.0})
+        lp = capacity_lp_value(demand, tolerance=1e-4)
+        combinatorial = omega_star_exhaustive(demand).omega
+        assert lp == pytest.approx(combinatorial, rel=1e-2)
+
+    def test_matches_omega_star_point(self):
+        demand = DemandMap({(0, 0): 9.0})
+        lp = capacity_lp_value(demand, tolerance=1e-4)
+        combinatorial = omega_star_exhaustive(demand).omega
+        assert lp == pytest.approx(combinatorial, rel=1e-2)

@@ -1,0 +1,135 @@
+"""Tests for Algorithm 1 and the offline characterization (Theorem 1.4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.offline import (
+    algorithm1,
+    offline_bounds,
+    online_upper_bound_factor,
+    upper_bound_factor,
+)
+from repro.core.omega import omega_star_cubes
+from repro.grid.lattice import Box
+from repro.workloads.generators import point_demand, random_uniform_demand, square_demand
+
+
+class TestFactors:
+    def test_offline_factor_values(self):
+        assert upper_bound_factor(1) == 2 * 3 + 1
+        assert upper_bound_factor(2) == 2 * 9 + 2
+        assert upper_bound_factor(3) == 2 * 27 + 3
+
+    def test_online_factor_values(self):
+        assert online_upper_bound_factor(2) == 4 * 9 + 2
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            upper_bound_factor(0)
+        with pytest.raises(ValueError):
+            online_upper_bound_factor(0)
+
+
+class TestAlgorithm1:
+    def test_requires_power_of_two_window(self):
+        demand = DemandMap({(0, 0): 1.0})
+        with pytest.raises(ValueError):
+            algorithm1(demand, Box.cube((0, 0), 6))
+
+    def test_requires_cubic_window(self):
+        demand = DemandMap({(0, 0): 1.0})
+        with pytest.raises(ValueError):
+            algorithm1(demand, Box((0, 0), (7, 3)))
+
+    def test_demand_outside_window_rejected(self):
+        demand = DemandMap({(20, 20): 1.0})
+        with pytest.raises(ValueError):
+            algorithm1(demand, Box.cube((0, 0), 8))
+
+    def test_sparse_early_exit(self):
+        # Every point has demand at most 1: vehicles cannot even move (step 3-4).
+        demand = DemandMap({(0, 0): 1.0, (3, 3): 0.5})
+        result = algorithm1(demand, Box.cube((0, 0), 8))
+        assert result.early_exit == "sparse"
+        assert result.estimate == 1.0
+
+    def test_dense_early_exit(self):
+        # Average demand at least n: the whole window behaves as one cube.
+        window = Box.cube((0, 0), 4)
+        demand = DemandMap({p: 10.0 for p in window.points()})
+        result = algorithm1(demand, window)
+        assert result.early_exit == "dense"
+        assert result.estimate <= demand.max_demand()
+
+    def test_normal_exit_returns_constant_times_cube_side(self):
+        window = Box.cube((0, 0), 16)
+        demand = DemandMap({(3, 3): 30.0, (10, 10): 25.0})
+        result = algorithm1(demand, window)
+        assert result.early_exit is None
+        factor = upper_bound_factor(2)
+        assert result.estimate == pytest.approx(factor * result.terminal_cube_side)
+
+    def test_estimate_is_upper_bound_on_omega_star(self):
+        window = Box.cube((0, 0), 16)
+        rng_demand = DemandMap({(x, y): float((x * y) % 7) for x in range(16) for y in range(16)})
+        result = algorithm1(rng_demand, window)
+        assert result.estimate >= omega_star_cubes(rng_demand).omega - 1e-9
+
+    def test_estimate_within_approximation_factor(self, rng):
+        window = Box.cube((0, 0), 32)
+        demand = random_uniform_demand(window, 600, rng)
+        result = algorithm1(demand, window)
+        omega_star = omega_star_cubes(demand).omega
+        factor = upper_bound_factor(2)
+        # Algorithm 1 is a 2 * (2*3^l + l)-approximation of W_off and W_off >= omega*.
+        assert result.estimate >= omega_star - 1e-9
+        assert result.estimate <= 2 * factor * max(omega_star, 1.0) + factor * 2
+
+    def test_monotone_under_demand_scaling(self):
+        window = Box.cube((0, 0), 16)
+        base = DemandMap({(3, 3): 10.0, (12, 4): 6.0, (8, 8): 4.0})
+        low = algorithm1(base, window).estimate
+        high = algorithm1(base.scaled(8.0), window).estimate
+        assert high >= low
+
+    def test_one_dimensional_window(self):
+        window = Box((0,), (15,))
+        demand = DemandMap({(3,): 12.0, (9,): 5.0})
+        result = algorithm1(demand, window)
+        assert result.estimate > 0
+
+
+class TestOfflineBounds:
+    def test_empty_demand(self):
+        bounds = offline_bounds(DemandMap({}, dim=2))
+        assert bounds.omega_star == 0.0
+        assert bounds.constructive_capacity == 0.0
+
+    @pytest.mark.parametrize(
+        "demand",
+        [square_demand(4, 6.0), point_demand(120.0), square_demand(6, 25.0)],
+        ids=["square4", "point", "square6"],
+    )
+    def test_sandwich_ordering(self, demand):
+        bounds = offline_bounds(demand)
+        # omega_c <= omega* <= constructive <= (2*3^l + l) * omega*.
+        assert bounds.omega_c <= bounds.omega_star + 1e-9
+        assert bounds.omega_star <= bounds.constructive_capacity + 1e-9
+        assert bounds.constructive_capacity <= bounds.upper_bound + 1e-9
+
+    def test_sandwich_ratio_bounded_by_factor(self):
+        demand = square_demand(5, 14.0)
+        bounds = offline_bounds(demand)
+        assert bounds.sandwich_ratio <= upper_bound_factor(2) + 1e-9
+
+    def test_algorithm1_estimate_included_when_window_given(self):
+        demand = DemandMap({(2, 2): 20.0, (5, 5): 8.0})
+        bounds = offline_bounds(demand, window=Box.cube((0, 0), 8))
+        assert bounds.algorithm1_estimate is not None
+        assert bounds.algorithm1_estimate >= bounds.omega_star - 1e-9
+
+    def test_no_window_no_algorithm1(self):
+        bounds = offline_bounds(point_demand(10.0))
+        assert bounds.algorithm1_estimate is None

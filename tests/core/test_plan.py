@@ -1,0 +1,170 @@
+"""Tests for service plans and the Lemma 2.2.5 constructive plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.feasibility import audit_plan
+from repro.core.offline import upper_bound_factor
+from repro.core.omega import omega_star_cubes
+from repro.core.plan import ServicePlan, VehicleRoute, build_cube_plan, plan_window
+from repro.grid.lattice import Box
+from repro.workloads.generators import line_demand, point_demand, square_demand
+
+
+class TestVehicleRoute:
+    def test_travel_cost_along_route(self):
+        route = VehicleRoute(start=(0, 0), stops=(((2, 0), 1.0), ((2, 3), 2.0)))
+        assert route.travel_cost == 2 + 3
+        assert route.service_energy == 3.0
+        assert route.total_energy == 8.0
+
+    def test_home_service_costs_no_travel(self):
+        route = VehicleRoute(start=(1, 1), stops=(((1, 1), 5.0),))
+        assert route.travel_cost == 0.0
+        assert route.total_energy == 5.0
+
+    def test_negative_service_raises(self):
+        with pytest.raises(ValueError):
+            VehicleRoute(start=(0, 0), stops=(((0, 0), -1.0),))
+
+    def test_served_at_aggregates(self):
+        route = VehicleRoute(start=(0, 0), stops=(((1, 0), 1.0), ((1, 0), 2.0)))
+        assert route.served_at() == {(1, 0): 3.0}
+
+    def test_empty_route(self):
+        route = VehicleRoute(start=(0, 0))
+        assert route.total_energy == 0.0
+        assert route.served_at() == {}
+
+
+class TestServicePlan:
+    def test_add_skips_empty_routes(self):
+        plan = ServicePlan(dim=2)
+        plan.add(VehicleRoute(start=(0, 0)))
+        assert len(plan) == 0
+
+    def test_served_by_position(self):
+        plan = ServicePlan(dim=2)
+        plan.add(VehicleRoute(start=(0, 0), stops=(((1, 0), 2.0),)))
+        plan.add(VehicleRoute(start=(2, 0), stops=(((1, 0), 3.0),)))
+        assert plan.served_by_position() == {(1, 0): 5.0}
+
+    def test_max_and_total_energy(self):
+        plan = ServicePlan(dim=2)
+        plan.add(VehicleRoute(start=(0, 0), stops=(((1, 0), 2.0),)))   # 3 energy
+        plan.add(VehicleRoute(start=(5, 0), stops=(((5, 0), 1.0),)))   # 1 energy
+        assert plan.max_vehicle_energy() == 3.0
+        assert plan.total_energy() == 4.0
+        assert plan.total_travel() == 1.0
+
+    def test_empty_plan_statistics(self):
+        plan = ServicePlan(dim=2)
+        assert plan.max_vehicle_energy() == 0.0
+        assert plan.total_energy() == 0.0
+        assert plan.vehicles_used() == []
+
+
+class TestPlanWindow:
+    def test_window_is_multiple_of_side(self):
+        demand = DemandMap({(0, 0): 1.0, (4, 7): 1.0})
+        window = plan_window(demand, 3)
+        assert all(length % 3 == 0 for length in window.side_lengths)
+        for point in demand.support():
+            assert point in window
+
+    def test_window_contains_support_for_various_sides(self):
+        demand = DemandMap({(2, -3): 1.0, (9, 5): 2.0})
+        for side in (1, 2, 4, 5):
+            window = plan_window(demand, side)
+            for point in demand.support():
+                assert point in window
+
+
+class TestBuildCubePlan:
+    @pytest.mark.parametrize(
+        "demand",
+        [
+            square_demand(4, 5.0),
+            square_demand(6, 12.0),
+            line_demand(12, 8.0),
+            point_demand(200.0),
+            DemandMap({(0, 0): 3.0, (7, 2): 9.0, (3, 3): 1.0}),
+        ],
+        ids=["square4", "square6", "line12", "point", "scattered"],
+    )
+    def test_plan_covers_demand(self, demand):
+        plan = build_cube_plan(demand)
+        audit = audit_plan(plan, demand)
+        assert audit.feasible, audit.violations
+
+    @pytest.mark.parametrize(
+        "demand",
+        [square_demand(4, 5.0), line_demand(12, 8.0), point_demand(200.0)],
+        ids=["square4", "line12", "point"],
+    )
+    def test_plan_respects_lemma_2_2_5_budget(self, demand):
+        omega = omega_star_cubes(demand).omega
+        plan = build_cube_plan(demand, omega=omega)
+        budget = upper_bound_factor(demand.dim) * omega
+        assert plan.max_vehicle_energy() <= budget + 1e-6
+
+    def test_vehicles_stay_inside_their_cube(self):
+        demand = square_demand(6, 10.0)
+        plan = build_cube_plan(demand)
+        side = int(plan.metadata["cube_side"])
+        window = plan_window(demand, side)
+        from repro.grid.cubes import CubeGrid
+
+        grid = CubeGrid(window, side)
+        for route in plan:
+            home_cube = grid.cube_index(route.start)
+            for position, _ in route.stops:
+                assert grid.cube_index(position) == home_cube
+
+    def test_each_vehicle_used_once(self):
+        demand = square_demand(5, 9.0)
+        plan = build_cube_plan(demand)
+        starts = [route.start for route in plan]
+        assert len(starts) == len(set(starts))
+
+    def test_empty_demand_gives_empty_plan(self):
+        plan = build_cube_plan(DemandMap({}, dim=2))
+        assert len(plan) == 0
+
+    def test_explicit_omega_and_cap(self):
+        demand = point_demand(30.0)
+        plan = build_cube_plan(demand, omega=2.0, service_cap=10.0)
+        audit = audit_plan(plan, demand)
+        assert audit.feasible
+        # No vehicle serves more than 2 * cap in service energy.
+        for route in plan:
+            assert route.service_energy <= 20.0 + 1e-9
+
+    def test_invalid_arguments(self):
+        demand = point_demand(5.0)
+        with pytest.raises(ValueError):
+            build_cube_plan(demand, omega=0.0)
+        with pytest.raises(ValueError):
+            build_cube_plan(demand, omega=1.0, service_cap=0.0)
+
+    def test_one_dimensional_demand(self):
+        demand = DemandMap({(x,): 4.0 for x in range(9)})
+        plan = build_cube_plan(demand)
+        audit = audit_plan(plan, demand)
+        assert audit.feasible
+        budget = upper_bound_factor(1) * omega_star_cubes(demand).omega
+        assert plan.max_vehicle_energy() <= budget + 1e-6
+
+    def test_three_dimensional_demand(self):
+        demand = DemandMap({(x, y, z): 2.0 for x in range(2) for y in range(2) for z in range(2)})
+        plan = build_cube_plan(demand)
+        assert audit_plan(plan, demand).feasible
+
+    def test_metadata_recorded(self):
+        demand = square_demand(3, 4.0)
+        plan = build_cube_plan(demand)
+        assert "omega" in plan.metadata
+        assert "cube_side" in plan.metadata
+        assert plan.metadata["cube_side"] >= 1

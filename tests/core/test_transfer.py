@@ -1,0 +1,174 @@
+"""Tests for Chapter 5: inter-vehicle energy transfers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.omega import omega_star_cubes
+from repro.core.transfer import (
+    TransferAccounting,
+    line_tank_requirement,
+    simulate_line_collection,
+    square_import_capacity,
+    transfer_lower_bound,
+)
+from repro.workloads.generators import square_demand
+
+
+class TestSquareImportCapacity:
+    def test_zero_capacity(self):
+        assert square_import_capacity(0.0, 3) == 0.0
+
+    def test_closed_form(self):
+        w, s = 3.0, 2
+        expected = w * (s * s + 4 * w * w + 4 * s * w - 8 * w - 4 * s + 4)
+        assert square_import_capacity(w, s) == pytest.approx(expected)
+
+    def test_monotone_in_capacity(self):
+        values = [square_import_capacity(w, 4) for w in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_monotone_in_side(self):
+        values = [square_import_capacity(3.0, s) for s in (1, 2, 4, 8)]
+        assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            square_import_capacity(-1.0, 2)
+        with pytest.raises(ValueError):
+            square_import_capacity(1.0, 0)
+
+
+class TestTransferLowerBound:
+    def test_empty_demand(self):
+        assert transfer_lower_bound(DemandMap({}, dim=2)) == 0.0
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(ValueError):
+            transfer_lower_bound(DemandMap({(0,): 5.0}))
+
+    def test_lower_bounds_omega_star(self):
+        # Theorem 5.1.1: transfers can only help, so the transfer-aware
+        # requirement is at most W_off; in particular it is at most the
+        # constructive upper bound and at least a constant fraction of omega*.
+        demand = square_demand(6, 20.0)
+        bound = transfer_lower_bound(demand)
+        omega_star = omega_star_cubes(demand).omega
+        assert bound > 0
+        assert bound <= omega_star + 1e-9  # transfers never hurt
+
+    def test_same_order_as_omega_star(self):
+        # W_trans-off = Theta(W_off): the ratio stays bounded as demand scales.
+        ratios = []
+        for scale in (1.0, 4.0, 16.0):
+            demand = square_demand(6, 20.0 * scale)
+            ratio = omega_star_cubes(demand).omega / transfer_lower_bound(demand)
+            ratios.append(ratio)
+        assert max(ratios) <= 10.0
+        assert min(ratios) >= 1.0
+
+    def test_monotone_in_demand(self):
+        low = transfer_lower_bound(square_demand(5, 10.0))
+        high = transfer_lower_bound(square_demand(5, 100.0))
+        assert high >= low
+
+
+class TestLineTankClosedForms:
+    def test_fixed_cost_formula(self):
+        demands = [2.0] * 10
+        value = line_tank_requirement(demands, accounting=TransferAccounting.FIXED, a1=0.5)
+        n, total = 10, 20.0
+        expected = (0.5 * (2 * n - 3) + (2 * n - 2) + total) / n
+        assert value == pytest.approx(expected)
+
+    def test_variable_cost_formula(self):
+        demands = [3.0] * 8
+        value = line_tank_requirement(demands, accounting=TransferAccounting.VARIABLE, a2=0.05)
+        n, total = 8, 24.0
+        expected = (2 * n - 2 + total) / (n - 2 * 0.05 * n + 3 * 0.05)
+        assert value == pytest.approx(expected)
+
+    def test_requirement_tracks_average_demand(self):
+        # W_trans-off = Theta(avg d): doubling every demand roughly doubles it
+        # once demands dominate the travel term.
+        base = [50.0] * 20
+        doubled = [100.0] * 20
+        low = line_tank_requirement(base, accounting=TransferAccounting.FIXED, a1=1.0)
+        high = line_tank_requirement(doubled, accounting=TransferAccounting.FIXED, a1=1.0)
+        assert high / low == pytest.approx(2.0, rel=0.1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            line_tank_requirement([1.0], accounting=TransferAccounting.FIXED)
+        with pytest.raises(ValueError):
+            line_tank_requirement([1.0, -1.0], accounting=TransferAccounting.FIXED)
+        with pytest.raises(ValueError):
+            line_tank_requirement([1.0, 1.0], accounting=TransferAccounting.FIXED, a1=-1.0)
+        with pytest.raises(ValueError):
+            line_tank_requirement([1.0, 1.0], accounting=TransferAccounting.VARIABLE, a2=0.7)
+
+
+class TestLineCollectionSimulation:
+    def _min_feasible_charge(self, demands, accounting, a1=0.0, a2=0.0) -> float:
+        lo, hi = 0.0, 10.0
+        while not simulate_line_collection(
+            demands, hi, accounting=accounting, a1=a1, a2=a2
+        ).feasible:
+            hi *= 2.0
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if simulate_line_collection(
+                demands, mid, accounting=accounting, a1=a1, a2=a2
+            ).feasible:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def test_transfer_and_distance_counts(self):
+        demands = [1.0] * 6
+        result = simulate_line_collection(
+            demands, 10.0, accounting=TransferAccounting.FIXED, a1=0.1
+        )
+        n = 6
+        assert result.transfers == 2 * n - 3
+        assert result.distance == 2 * n - 2
+        assert result.feasible
+
+    def test_infeasible_with_tiny_charge(self):
+        demands = [5.0] * 6
+        result = simulate_line_collection(
+            demands, 0.5, accounting=TransferAccounting.FIXED, a1=0.0
+        )
+        assert not result.feasible
+
+    def test_minimum_charge_matches_fixed_closed_form(self):
+        demands = [4.0, 7.0, 1.0, 9.0, 3.0, 6.0, 2.0, 8.0]
+        a1 = 0.5
+        simulated = self._min_feasible_charge(demands, TransferAccounting.FIXED, a1=a1)
+        closed_form = line_tank_requirement(
+            demands, accounting=TransferAccounting.FIXED, a1=a1
+        )
+        assert simulated == pytest.approx(closed_form, rel=0.05)
+
+    def test_minimum_charge_theta_of_average_demand(self):
+        # The requirement scales with the average demand, not the maximum
+        # possible no-transfer requirement (which would be ~max demand).
+        demands = [0.0] * 19 + [200.0]
+        simulated = self._min_feasible_charge(demands, TransferAccounting.FIXED, a1=0.2)
+        average = sum(demands) / len(demands)
+        assert simulated < 3 * average + 5
+        assert simulated >= average - 1e-6
+
+    def test_variable_cost_overhead_proportional_to_transferred(self):
+        demands = [2.0] * 5
+        result = simulate_line_collection(
+            demands, 10.0, accounting=TransferAccounting.VARIABLE, a2=0.1
+        )
+        assert result.feasible
+        assert result.transfer_overhead > 0
+
+    def test_invalid_line(self):
+        with pytest.raises(ValueError):
+            simulate_line_collection([1.0], 5.0, accounting=TransferAccounting.FIXED)

@@ -1,0 +1,132 @@
+"""Tests for the generic Dijkstra--Scholten diffusing computation."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+import numpy as np
+import pytest
+
+from repro.distsim.diffusing import DiffusingComputation
+
+
+def line_topology(n: int) -> Dict[int, List[int]]:
+    """A path 0 - 1 - ... - (n-1)."""
+    topology: Dict[int, List[int]] = {i: [] for i in range(n)}
+    for i in range(n - 1):
+        topology[i].append(i + 1)
+        topology[i + 1].append(i)
+    return topology
+
+
+def grid_topology(rows: int, cols: int) -> Dict[tuple, List[tuple]]:
+    """A rows x cols grid with 4-neighbor adjacency."""
+    topology: Dict[tuple, List[tuple]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            neighbors = []
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols:
+                    neighbors.append((nr, nc))
+            topology[(r, c)] = neighbors
+    return topology
+
+
+class TestSearchOnLine:
+    def test_finds_target_at_far_end(self):
+        comp = DiffusingComputation(line_topology(6), targets=lambda i: i == 5)
+        result = comp.search(0)
+        assert result.found
+        assert result.target == 5
+        assert result.path[0] == 0
+        assert result.path[-1] == 5
+
+    def test_path_follows_edges(self):
+        comp = DiffusingComputation(line_topology(6), targets=lambda i: i == 5)
+        result = comp.search(0)
+        for a, b in zip(result.path, result.path[1:]):
+            assert abs(a - b) == 1
+
+    def test_no_target_terminates_with_not_found(self):
+        comp = DiffusingComputation(line_topology(6), targets=lambda i: False)
+        result = comp.search(0)
+        assert not result.found
+        assert result.target is None
+
+    def test_nearest_of_multiple_targets_is_reachable(self):
+        comp = DiffusingComputation(line_topology(8), targets=lambda i: i in (3, 7))
+        result = comp.search(0)
+        assert result.found
+        assert result.target in (3, 7)
+
+    def test_single_node_no_neighbors(self):
+        comp = DiffusingComputation({0: []}, targets=lambda i: False)
+        result = comp.search(0)
+        assert not result.found
+
+
+class TestSearchOnGrid:
+    def test_finds_target_on_grid(self):
+        topology = grid_topology(4, 4)
+        comp = DiffusingComputation(topology, targets=lambda p: p == (3, 3))
+        result = comp.search((0, 0))
+        assert result.found
+        assert result.target == (3, 3)
+        # The path must follow grid edges.
+        for a, b in zip(result.path, result.path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_every_root_finds_the_unique_target(self):
+        topology = grid_topology(3, 3)
+        comp = DiffusingComputation(topology, targets=lambda p: p == (1, 1))
+        for root in topology:
+            if root == (1, 1):
+                continue
+            result = comp.search(root)
+            assert result.found, f"root {root} failed"
+            assert result.target == (1, 1)
+
+    def test_randomized_delays_still_terminate(self):
+        topology = grid_topology(4, 4)
+        comp = DiffusingComputation(
+            topology,
+            targets=lambda p: p == (3, 0),
+            rng=np.random.default_rng(3),
+        )
+        result = comp.search((0, 3))
+        assert result.found
+
+    def test_message_count_bounded_by_two_per_edge_per_direction(self):
+        topology = grid_topology(4, 4)
+        edges = sum(len(neighbors) for neighbors in topology.values())  # directed count
+        comp = DiffusingComputation(topology, targets=lambda p: False)
+        result = comp.search((0, 0))
+        # Each directed edge carries at most one query and one reply.
+        assert result.messages <= 2 * edges
+
+    def test_sequential_searches_are_independent(self):
+        topology = grid_topology(3, 3)
+        comp = DiffusingComputation(topology, targets=lambda p: p == (2, 2))
+        first = comp.search((0, 0))
+        second = comp.search((0, 2))
+        assert first.found and second.found
+        assert second.path[0] == (0, 2)
+
+
+class TestValidation:
+    def test_asymmetric_topology_rejected(self):
+        with pytest.raises(ValueError):
+            DiffusingComputation({0: [1], 1: []}, targets=lambda i: False)
+
+    def test_mutating_target_predicate(self):
+        # Targets can change between searches (an idle vehicle becomes active).
+        state = {"idle": {2}}
+        comp = DiffusingComputation(
+            line_topology(4), targets=lambda i: i in state["idle"]
+        )
+        first = comp.search(0)
+        assert first.target == 2
+        state["idle"] = set()
+        second = comp.search(0)
+        assert not second.found

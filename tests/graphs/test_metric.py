@@ -1,0 +1,92 @@
+"""Tests for the shortest-path metric substrate on general graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.metric import GraphMetric
+
+
+@pytest.fixture
+def path_graph() -> GraphMetric:
+    return GraphMetric(nx.path_graph(6))
+
+
+@pytest.fixture
+def grid_graph() -> GraphMetric:
+    return GraphMetric(nx.grid_2d_graph(4, 4))
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            GraphMetric(nx.Graph())
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            GraphMetric(graph)
+
+    def test_nodes_listed(self, path_graph):
+        assert sorted(path_graph.nodes) == [0, 1, 2, 3, 4, 5]
+        assert 3 in path_graph
+        assert 99 not in path_graph
+
+
+class TestDistances:
+    def test_path_distances(self, path_graph):
+        assert path_graph.distance(0, 5) == 5
+        assert path_graph.distance(2, 2) == 0
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(KeyError):
+            path_graph.distances_from(42)
+
+    def test_grid_matches_manhattan(self, grid_graph):
+        assert grid_graph.distance((0, 0), (3, 3)) == 6
+        assert grid_graph.distance((1, 2), (2, 0)) == 3
+
+    def test_weighted_edges(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=2.5)
+        graph.add_edge("b", "c", weight=1.0)
+        metric = GraphMetric(graph)
+        assert metric.distance("a", "c") == pytest.approx(3.5)
+
+    def test_symmetry(self, grid_graph):
+        assert grid_graph.distance((0, 1), (3, 2)) == grid_graph.distance((3, 2), (0, 1))
+
+
+class TestBallsAndNeighborhoods:
+    def test_ball_radius_zero(self, path_graph):
+        assert path_graph.ball(3, 0) == {3}
+
+    def test_ball_radius_two_on_path(self, path_graph):
+        assert path_graph.ball(3, 2) == {1, 2, 3, 4, 5}
+
+    def test_negative_radius_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            path_graph.ball(0, -1)
+
+    def test_grid_ball_matches_lattice_ball(self, grid_graph):
+        # Interior node of the 4x4 grid: radius-1 ball has 5 nodes.
+        assert len(grid_graph.ball((1, 1), 1)) == 5
+
+    def test_neighborhood_union(self, path_graph):
+        assert path_graph.neighborhood([0, 5], 1) == {0, 1, 4, 5}
+        assert path_graph.neighborhood_size([0, 5], 1) == 4
+
+    def test_neighborhood_monotone(self, grid_graph):
+        nodes = [(0, 0), (3, 3)]
+        sizes = [grid_graph.neighborhood_size(nodes, r) for r in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_distance_to_set(self, path_graph):
+        assert path_graph.distance_to_set(3, [0, 5]) == 2
+
+    def test_eccentricity_and_diameter(self, path_graph):
+        assert path_graph.eccentricity(0) == 5
+        assert path_graph.eccentricity(3) == 3
+        assert path_graph.diameter() == 5

@@ -1,0 +1,148 @@
+"""Tests for the offline CMVRP characterization on general graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.core.omega import omega_star_exhaustive
+from repro.graphs.metric import GraphMetric
+from repro.graphs.offline import (
+    graph_bounds,
+    graph_greedy_plan,
+    graph_min_capacity,
+    graph_omega_for_nodes,
+    graph_omega_star,
+)
+
+
+@pytest.fixture
+def path_metric() -> GraphMetric:
+    return GraphMetric(nx.path_graph(12))
+
+
+@pytest.fixture
+def grid_metric() -> GraphMetric:
+    return GraphMetric(nx.grid_2d_graph(5, 5))
+
+
+@pytest.fixture
+def star_metric() -> GraphMetric:
+    # A hub with 8 leaves: the hub's demand can be served by all 9 vehicles
+    # within distance 1, so omega is total / 9 once omega >= 1.
+    return GraphMetric(nx.star_graph(8))
+
+
+class TestGraphOmega:
+    def test_empty_node_set_rejected(self, path_metric):
+        with pytest.raises(ValueError):
+            graph_omega_for_nodes(path_metric, {0: 1.0}, [])
+
+    def test_zero_demand_region(self, path_metric):
+        assert graph_omega_for_nodes(path_metric, {0: 5.0}, [7]) == 0.0
+
+    def test_negative_demand_rejected(self, path_metric):
+        with pytest.raises(ValueError):
+            graph_omega_for_nodes(path_metric, {0: -1.0}, [0])
+
+    def test_threshold_solution_on_star(self, star_metric):
+        # Demand 9 at the hub: with omega = 1 all 9 nodes are within reach
+        # and 1 * 9 = 9, so omega = 1 exactly.
+        assert graph_omega_for_nodes(star_metric, {0: 9.0}, [0]) == pytest.approx(1.0)
+
+    def test_large_demand_on_star_capped_by_node_count(self, star_metric):
+        # Beyond radius 1 the star has no more nodes, so omega grows linearly
+        # with the demand once all 9 nodes are in reach.
+        value = graph_omega_for_nodes(star_metric, {0: 90.0}, [0])
+        assert value == pytest.approx(10.0)
+
+    def test_path_demand_spreads_along_line(self, path_metric):
+        value = graph_omega_for_nodes(path_metric, {5: 6.0}, [5])
+        # Radius 1 gives 3 vehicles: 2 * 3 >= 6 -> omega = 2 exactly.
+        assert value == pytest.approx(2.0)
+
+    def test_grid_graph_matches_lattice_solver(self, grid_metric):
+        # The 5x5 grid graph with an interior demand reproduces the lattice
+        # computation for radii that stay inside the grid.
+        demand_nodes = {(2, 2): 5.0}
+        graph_value = graph_omega_for_nodes(grid_metric, demand_nodes, [(2, 2)])
+        lattice_value = omega_star_exhaustive(DemandMap({(2, 2): 5.0})).omega
+        assert graph_value == pytest.approx(lattice_value)
+
+    def test_omega_star_covers_pairs(self, path_metric):
+        demand = {0: 4.0, 11: 4.0}
+        star = graph_omega_star(path_metric, demand)
+        singles = max(
+            graph_omega_for_nodes(path_metric, demand, [0]),
+            graph_omega_for_nodes(path_metric, demand, [11]),
+        )
+        assert star >= singles - 1e-9
+
+    def test_omega_star_empty_demand(self, path_metric):
+        assert graph_omega_star(path_metric, {}) == 0.0
+
+    def test_omega_star_monotone_under_scaling(self, grid_metric):
+        demand = {(0, 0): 3.0, (4, 4): 6.0}
+        scaled = {node: 4 * value for node, value in demand.items()}
+        assert graph_omega_star(grid_metric, scaled) >= graph_omega_star(
+            grid_metric, demand
+        )
+
+
+class TestGraphTransportRelaxation:
+    def test_agrees_with_omega_star_small(self, path_metric):
+        demand = {3: 5.0, 8: 2.0}
+        relaxation = graph_min_capacity(path_metric, demand, tolerance=1e-3)
+        star = graph_omega_star(path_metric, demand)
+        assert relaxation == pytest.approx(star, rel=2e-2)
+
+    def test_agrees_on_star(self, star_metric):
+        demand = {0: 18.0}
+        relaxation = graph_min_capacity(star_metric, demand, tolerance=1e-3)
+        assert relaxation == pytest.approx(2.0, rel=2e-2)
+
+    def test_empty_demand(self, path_metric):
+        assert graph_min_capacity(path_metric, {}) == 0.0
+
+
+class TestGraphGreedyPlanAndBounds:
+    def test_greedy_plan_covers_with_generous_capacity(self, grid_metric):
+        demand = {(0, 0): 6.0, (2, 3): 4.0, (4, 4): 8.0}
+        plan = graph_greedy_plan(grid_metric, demand, capacity=12.0)
+        assert plan.covers(demand)
+        assert plan.max_vehicle_energy() <= 12.0 + 1e-9
+
+    def test_greedy_plan_fails_with_tiny_capacity(self, grid_metric):
+        demand = {(0, 0): 50.0}
+        plan = graph_greedy_plan(grid_metric, demand, capacity=1.0)
+        assert not plan.covers(demand)
+
+    def test_zero_capacity_empty_plan(self, path_metric):
+        plan = graph_greedy_plan(path_metric, {0: 3.0}, capacity=0.0)
+        assert plan.routes == {}
+
+    def test_bounds_ordering(self, grid_metric):
+        demand = {(1, 1): 9.0, (3, 3): 5.0}
+        bounds = graph_bounds(grid_metric, demand, tolerance=0.05)
+        assert bounds.omega_star <= bounds.greedy_capacity + 0.1
+        assert bounds.transport_relaxation == pytest.approx(bounds.omega_star, rel=0.05)
+        assert bounds.gap >= 1.0 - 1e-6
+
+    def test_bounds_on_irregular_graph(self):
+        # A "two villages + bridge" graph: dense cliques joined by a path.
+        graph = nx.Graph()
+        graph.add_edges_from(nx.complete_graph(5).edges)
+        graph.add_edges_from((f"b{i}", f"b{i+1}") for i in range(4))
+        graph.add_edge(0, "b0")
+        mapping = {node: node for node in graph.nodes}
+        metric = GraphMetric(graph)
+        demand = {2: 10.0, "b4": 4.0}
+        bounds = graph_bounds(metric, demand, tolerance=0.05)
+        assert bounds.omega_star > 0
+        assert bounds.greedy_capacity >= bounds.omega_star - 0.1
+
+    def test_empty_demand_bounds(self, path_metric):
+        bounds = graph_bounds(path_metric, {})
+        assert bounds.omega_star == 0.0
+        assert bounds.greedy_capacity == 0.0

@@ -1,0 +1,118 @@
+"""Tests for the chessboard coloring and black/white pairing (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.coloring import Coloring, chessboard_color, pair_vertices
+from repro.grid.lattice import Box, manhattan
+
+
+class TestChessboardColor:
+    def test_origin_is_black(self):
+        assert chessboard_color((0, 0)) == "black"
+
+    def test_adjacent_vertices_alternate(self):
+        assert chessboard_color((0, 1)) == "white"
+        assert chessboard_color((1, 0)) == "white"
+        assert chessboard_color((1, 1)) == "black"
+
+    def test_negative_coordinates(self):
+        assert chessboard_color((-1, 0)) == "white"
+        assert chessboard_color((-1, -1)) == "black"
+
+    def test_three_dimensions(self):
+        assert chessboard_color((1, 1, 1)) == "white"
+        assert chessboard_color((1, 1, 0)) == "black"
+
+
+class TestPairVertices:
+    @pytest.mark.parametrize("side", [1, 2, 3, 4, 5])
+    def test_pairs_cover_every_vertex_once(self, side):
+        cube = Box.cube((0, 0), side)
+        pairs = pair_vertices(cube)
+        covered = [v for pair in pairs for v in pair.vertices()]
+        assert sorted(covered) == sorted(cube.points())
+        assert len(covered) == len(set(covered))
+
+    @pytest.mark.parametrize("side", [2, 3, 4, 5])
+    def test_paired_vertices_are_adjacent_and_opposite_colors(self, side):
+        cube = Box.cube((0, 0), side)
+        for pair in pair_vertices(cube):
+            if pair.white is None:
+                continue
+            assert manhattan(pair.black, pair.white) == 1
+            assert chessboard_color(pair.black) != chessboard_color(pair.white)
+
+    def test_even_cube_has_no_singleton(self):
+        pairs = pair_vertices(Box.cube((0, 0), 4))
+        assert all(pair.white is not None for pair in pairs)
+        assert len(pairs) == 8
+
+    def test_odd_cube_has_exactly_one_singleton(self):
+        pairs = pair_vertices(Box.cube((0, 0), 3))
+        singletons = [pair for pair in pairs if pair.white is None]
+        assert len(singletons) == 1
+        assert len(pairs) == 5
+
+    def test_single_vertex_cube(self):
+        pairs = pair_vertices(Box.cube((7, 7), 1))
+        assert len(pairs) == 1
+        assert pairs[0].white is None
+        assert pairs[0].black == (7, 7)
+
+    def test_one_dimensional_cube(self):
+        pairs = pair_vertices(Box((0,), (4,)))
+        covered = [v for pair in pairs for v in pair.vertices()]
+        assert sorted(covered) == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_three_dimensional_cube(self):
+        cube = Box.cube((0, 0, 0), 2)
+        pairs = pair_vertices(cube)
+        covered = [v for pair in pairs for v in pair.vertices()]
+        assert sorted(covered) == sorted(cube.points())
+        for pair in pairs:
+            if pair.white is not None:
+                assert manhattan(pair.black, pair.white) == 1
+
+    def test_pair_membership(self):
+        pairs = pair_vertices(Box.cube((0, 0), 2))
+        pair = pairs[0]
+        assert pair.black in pair
+        if pair.white is not None:
+            assert pair.white in pair
+        assert (99, 99) not in pair
+
+
+class TestColoring:
+    def test_pair_of_every_vertex(self):
+        cube = Box.cube((0, 0), 3)
+        coloring = Coloring(cube)
+        for vertex in cube.points():
+            pair = coloring.pair_of(vertex)
+            assert vertex in pair.vertices()
+
+    def test_pair_of_outside_raises(self):
+        coloring = Coloring(Box.cube((0, 0), 2))
+        with pytest.raises(ValueError):
+            coloring.pair_of((10, 10))
+
+    def test_exactly_one_active_vehicle_per_pair(self):
+        cube = Box.cube((0, 0), 4)
+        coloring = Coloring(cube)
+        active = [v for v in cube.points() if coloring.initially_active(v)]
+        assert len(active) == coloring.num_pairs()
+        # Every active vertex is the black vertex of its pair.
+        for vertex in active:
+            assert coloring.pair_of(vertex).black == vertex
+
+    def test_serving_vertex_is_within_distance_one(self):
+        cube = Box.cube((0, 0), 4)
+        coloring = Coloring(cube)
+        for vertex in cube.points():
+            server = coloring.serving_vertex(vertex)
+            assert manhattan(server, vertex) <= 1
+
+    def test_num_pairs(self):
+        assert Coloring(Box.cube((0, 0), 2)).num_pairs() == 2
+        assert Coloring(Box.cube((0, 0), 3)).num_pairs() == 5

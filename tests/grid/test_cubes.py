@@ -1,0 +1,147 @@
+"""Tests for cube partitions and the Algorithm 1 coarsening pyramid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.cubes import CoarseningPyramid, CubeGrid, cube_partition
+from repro.grid.lattice import Box
+
+
+class TestCubeGrid:
+    def test_shape_exact_division(self):
+        grid = CubeGrid(Box((0, 0), (7, 7)), 4)
+        assert grid.shape == (2, 2)
+        assert grid.num_cubes == 4
+
+    def test_shape_with_remainder(self):
+        grid = CubeGrid(Box((0, 0), (8, 5)), 4)
+        assert grid.shape == (3, 2)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            CubeGrid(Box((0, 0), (3, 3)), 0)
+
+    def test_cube_index_and_box_roundtrip(self):
+        grid = CubeGrid(Box((0, 0), (7, 7)), 4)
+        assert grid.cube_index((0, 0)) == (0, 0)
+        assert grid.cube_index((4, 3)) == (1, 0)
+        assert grid.cube_box((1, 0)) == Box((4, 0), (7, 3))
+
+    def test_cube_index_outside_raises(self):
+        grid = CubeGrid(Box((0, 0), (3, 3)), 2)
+        with pytest.raises(ValueError):
+            grid.cube_index((5, 0))
+
+    def test_cube_box_index_out_of_range(self):
+        grid = CubeGrid(Box((0, 0), (3, 3)), 2)
+        with pytest.raises(ValueError):
+            grid.cube_box((2, 0))
+
+    def test_clipped_boundary_cube(self):
+        grid = CubeGrid(Box((0, 0), (4, 4)), 3)
+        assert grid.cube_box((1, 1)) == Box((3, 3), (4, 4))
+
+    def test_every_point_in_its_cube(self):
+        box = Box((0, 0), (6, 6))
+        grid = CubeGrid(box, 3)
+        for point in box.points():
+            assert point in grid.cube_of(point)
+
+    def test_cubes_cover_box_disjointly(self):
+        box = Box((0, 0), (5, 5))
+        grid = CubeGrid(box, 2)
+        seen = set()
+        for _, cube in grid.cubes():
+            for point in cube.points():
+                assert point not in seen
+                seen.add(point)
+        assert seen == set(box.points())
+
+    def test_aggregate_demand(self):
+        grid = CubeGrid(Box((0, 0), (3, 3)), 2)
+        demand = {(0, 0): 2.0, (1, 1): 3.0, (3, 3): 1.0}
+        totals = grid.aggregate_demand(demand)
+        assert totals[(0, 0)] == 5.0
+        assert totals[(1, 1)] == 1.0
+
+    def test_aggregate_demand_outside_raises(self):
+        grid = CubeGrid(Box((0, 0), (3, 3)), 2)
+        with pytest.raises(ValueError):
+            grid.aggregate_demand({(9, 9): 1.0})
+
+    def test_max_cube_demand(self):
+        grid = CubeGrid(Box((0, 0), (3, 3)), 2)
+        assert grid.max_cube_demand({(0, 0): 2.0, (3, 3): 7.0}) == 7.0
+        assert grid.max_cube_demand({}) == 0.0
+
+    def test_cube_partition_helper(self):
+        grid = cube_partition(Box((0, 0), (3, 3)), 2)
+        assert isinstance(grid, CubeGrid)
+        assert grid.side == 2
+
+    def test_nonaligned_origin(self):
+        grid = CubeGrid(Box((5, -3), (8, 0)), 2)
+        assert grid.cube_index((5, -3)) == (0, 0)
+        assert grid.cube_index((8, 0)) == (1, 1)
+
+
+class TestCoarseningPyramid:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            CoarseningPyramid(Box((0, 0), (5, 5)), {})
+
+    def test_requires_cubic_window(self):
+        with pytest.raises(ValueError):
+            CoarseningPyramid(Box((0, 0), (7, 3)), {})
+
+    def test_demand_outside_raises(self):
+        with pytest.raises(ValueError):
+            CoarseningPyramid(Box((0, 0), (3, 3)), {(9, 9): 1.0})
+
+    def test_base_level_is_raw_demand(self):
+        demand = {(0, 0): 2.0, (3, 2): 4.0}
+        pyramid = CoarseningPyramid(Box((0, 0), (3, 3)), demand)
+        assert pyramid.levels[0] == {(0, 0): 2.0, (3, 2): 4.0}
+
+    def test_coarsen_sums_children(self):
+        demand = {(0, 0): 1.0, (1, 1): 2.0, (2, 2): 4.0, (3, 3): 8.0}
+        pyramid = CoarseningPyramid(Box((0, 0), (3, 3)), demand)
+        level2 = pyramid.level_for_side(2)
+        assert level2 == {(0, 0): 3.0, (1, 1): 12.0}
+        level4 = pyramid.level_for_side(4)
+        assert level4 == {(0, 0): 15.0}
+
+    def test_totals_preserved_across_levels(self):
+        demand = {(x, y): float(x + y + 1) for x in range(8) for y in range(8)}
+        pyramid = CoarseningPyramid(Box((0, 0), (7, 7)), demand)
+        total = sum(demand.values())
+        for side in (1, 2, 4, 8):
+            assert sum(pyramid.level_for_side(side).values()) == pytest.approx(total)
+
+    def test_max_cube_demand_nondecreasing_in_side(self):
+        demand = {(x, y): float((x * 7 + y * 3) % 5) for x in range(8) for y in range(8)}
+        pyramid = CoarseningPyramid(Box((0, 0), (7, 7)), demand)
+        maxima = [pyramid.max_cube_demand(side) for side in (1, 2, 4, 8)]
+        assert maxima == sorted(maxima)
+
+    def test_coarsen_past_top_raises(self):
+        pyramid = CoarseningPyramid(Box((0, 0), (1, 1)), {(0, 0): 1.0})
+        pyramid.level_for_side(2)
+        with pytest.raises(ValueError):
+            pyramid.coarsen()
+
+    def test_level_for_invalid_side(self):
+        pyramid = CoarseningPyramid(Box((0, 0), (3, 3)), {(0, 0): 1.0})
+        with pytest.raises(ValueError):
+            pyramid.level_for_side(3)
+        with pytest.raises(ValueError):
+            pyramid.level_for_side(8)
+
+    def test_offset_window(self):
+        pyramid = CoarseningPyramid(Box((4, 4), (7, 7)), {(4, 4): 1.0, (7, 7): 2.0})
+        assert pyramid.levels[0] == {(0, 0): 1.0, (3, 3): 2.0}
+
+    def test_one_dimensional(self):
+        pyramid = CoarseningPyramid(Box((0,), (7,)), {(0,): 1.0, (7,): 3.0})
+        assert pyramid.level_for_side(8) == {(0,): 4.0}

@@ -1,0 +1,232 @@
+"""Tests for the lattice substrate: metric, balls, boxes, neighborhoods."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.grid.lattice import (
+    Box,
+    bounding_box,
+    box_neighborhood_size,
+    chebyshev,
+    effective_radius,
+    l1_ball,
+    l1_ball_size,
+    manhattan,
+)
+
+
+class TestManhattan:
+    def test_basic_distance(self):
+        assert manhattan((0, 0), (2, -3)) == 5
+
+    def test_zero_distance(self):
+        assert manhattan((4, 7, -1), (4, 7, -1)) == 0
+
+    def test_symmetry(self):
+        assert manhattan((1, 2), (5, -4)) == manhattan((5, -4), (1, 2))
+
+    def test_one_dimension(self):
+        assert manhattan((3,), (-2,)) == 5
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            manhattan((0, 0), (0, 0, 0))
+
+    def test_triangle_inequality(self):
+        a, b, c = (0, 0), (3, 4), (-2, 7)
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+
+class TestChebyshev:
+    def test_basic(self):
+        assert chebyshev((0, 0), (2, -3)) == 3
+
+    def test_le_manhattan(self):
+        assert chebyshev((1, 5), (4, -2)) <= manhattan((1, 5), (4, -2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            chebyshev((0,), (0, 0))
+
+
+class TestEffectiveRadius:
+    def test_floor(self):
+        assert effective_radius(2.7) == 2
+
+    def test_integer(self):
+        assert effective_radius(3) == 3
+
+    def test_zero(self):
+        assert effective_radius(0.0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            effective_radius(-0.1)
+
+
+class TestL1Ball:
+    def test_radius_zero(self):
+        assert list(l1_ball((3, 4), 0)) == [(3, 4)]
+
+    def test_radius_one_2d(self):
+        points = set(l1_ball((0, 0), 1))
+        assert points == {(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_radius_fractional_matches_floor(self):
+        assert set(l1_ball((0, 0), 1.9)) == set(l1_ball((0, 0), 1))
+
+    def test_size_matches_enumeration_2d(self):
+        for radius in range(5):
+            assert l1_ball_size(2, radius) == len(set(l1_ball((0, 0), radius)))
+
+    def test_size_matches_enumeration_3d(self):
+        for radius in range(4):
+            assert l1_ball_size(3, radius) == len(set(l1_ball((0, 0, 0), radius)))
+
+    def test_size_matches_enumeration_1d(self):
+        for radius in range(6):
+            assert l1_ball_size(1, radius) == 2 * radius + 1
+
+    def test_known_2d_values(self):
+        # |B_2(r)| = 2r^2 + 2r + 1 (centered squares).
+        for radius in range(8):
+            assert l1_ball_size(2, radius) == 2 * radius * radius + 2 * radius + 1
+
+    def test_points_within_radius(self):
+        center = (2, -1)
+        for point in l1_ball(center, 3):
+            assert manhattan(center, point) <= 3
+
+    def test_deterministic_order(self):
+        assert list(l1_ball((0, 0), 1)) == list(l1_ball((0, 0), 1))
+
+
+class TestBox:
+    def test_size_and_sides(self):
+        box = Box((0, 0), (3, 1))
+        assert box.side_lengths == (4, 2)
+        assert box.size == 8
+
+    def test_contains(self):
+        box = Box((0, 0), (2, 2))
+        assert (1, 2) in box
+        assert (3, 0) not in box
+        assert (0,) not in box  # wrong dimension
+
+    def test_iteration_covers_all_points(self):
+        box = Box((0, 0), (1, 2))
+        assert sorted(box.points()) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_empty_box_raises(self):
+        with pytest.raises(ValueError):
+            Box((1, 0), (0, 0))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1,))
+
+    def test_center_inside(self):
+        box = Box((0, 0), (4, 6))
+        assert box.center() in box
+
+    def test_distance_to_inside_is_zero(self):
+        box = Box((0, 0), (2, 2))
+        assert box.distance_to((1, 1)) == 0
+
+    def test_distance_to_outside(self):
+        box = Box((0, 0), (2, 2))
+        assert box.distance_to((4, 5)) == 2 + 3
+
+    def test_expand(self):
+        box = Box((0, 0), (1, 1))
+        expanded = box.expand(2)
+        assert expanded.lo == (-2, -2)
+        assert expanded.hi == (3, 3)
+
+    def test_intersect(self):
+        a = Box((0, 0), (3, 3))
+        b = Box((2, 2), (5, 5))
+        inter = a.intersect(b)
+        assert inter == Box((2, 2), (3, 3))
+
+    def test_intersect_disjoint(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((5, 5), (6, 6))
+        assert a.intersect(b) is None
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (5, 5))
+        inner = Box((1, 1), (3, 3))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_cube_constructor(self):
+        cube = Box.cube((1, 2), 3)
+        assert cube.lo == (1, 2)
+        assert cube.hi == (3, 4)
+        assert cube.size == 9
+
+    def test_cube_invalid_side(self):
+        with pytest.raises(ValueError):
+            Box.cube((0, 0), 0)
+
+    def test_centered_cube(self):
+        cube = Box.centered_cube((0, 0), 2)
+        assert cube.lo == (-2, -2)
+        assert cube.hi == (2, 2)
+        assert cube.size == 25
+
+
+class TestBoundingBox:
+    def test_single_point(self):
+        assert bounding_box([(3, 4)]) == Box((3, 4), (3, 4))
+
+    def test_multiple_points(self):
+        box = bounding_box([(0, 5), (3, 1), (-2, 2)])
+        assert box == Box((-2, 1), (3, 5))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestBoxNeighborhoodSize:
+    def test_single_point_box_matches_ball(self):
+        box = Box((0, 0), (0, 0))
+        for radius in range(5):
+            assert box_neighborhood_size(box, radius) == l1_ball_size(2, radius)
+
+    def test_radius_zero_is_box_size(self):
+        box = Box((0, 0), (3, 2))
+        assert box_neighborhood_size(box, 0) == box.size
+
+    def test_matches_explicit_enumeration(self):
+        from repro.grid.regions import neighborhood
+
+        box = Box((0, 0), (2, 1))
+        for radius in range(4):
+            explicit = len(neighborhood(list(box.points()), radius))
+            assert box_neighborhood_size(box, radius) == explicit
+
+    def test_matches_explicit_enumeration_3d(self):
+        from repro.grid.regions import neighborhood
+
+        box = Box((0, 0, 0), (1, 1, 0))
+        for radius in range(3):
+            explicit = len(neighborhood(list(box.points()), radius))
+            assert box_neighborhood_size(box, radius) == explicit
+
+    def test_monotone_in_radius(self):
+        box = Box((0, 0), (4, 4))
+        sizes = [box_neighborhood_size(box, r) for r in range(6)]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)  # strictly increasing
+
+    def test_fractional_radius_floor(self):
+        box = Box((0, 0), (1, 1))
+        assert box_neighborhood_size(box, 2.9) == box_neighborhood_size(box, 2)

@@ -1,0 +1,108 @@
+"""Tests for finite regions and their L1 neighborhoods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.lattice import Box, box_neighborhood_size
+from repro.grid.regions import Region, neighborhood, neighborhood_size
+
+
+class TestNeighborhoodFunction:
+    def test_single_point_radius_one(self):
+        assert sorted(neighborhood([(0, 0)], 1)) == [
+            (-1, 0), (0, -1), (0, 0), (0, 1), (1, 0),
+        ]
+
+    def test_union_of_two_points(self):
+        points = neighborhood([(0, 0), (10, 10)], 1)
+        assert len(points) == 10  # two disjoint radius-1 balls
+
+    def test_overlapping_balls_not_double_counted(self):
+        points = neighborhood([(0, 0), (1, 0)], 1)
+        assert len(points) == 8
+
+    def test_empty_input(self):
+        assert neighborhood([], 3) == set()
+
+    def test_size_matches_set(self):
+        pts = [(0, 0), (2, 2), (4, 0)]
+        assert neighborhood_size(pts, 2) == len(neighborhood(pts, 2))
+
+
+class TestRegion:
+    def test_from_points_deduplicates(self):
+        region = Region.from_points([(0, 0), (0, 0), (1, 1)])
+        assert len(region) == 2
+
+    def test_mixed_dimension_raises(self):
+        with pytest.raises(ValueError):
+            Region.from_points([(0, 0), (0, 0, 0)])
+
+    def test_contains_and_iter_sorted(self):
+        region = Region.from_points([(2, 2), (0, 0)])
+        assert (0, 0) in region
+        assert list(region) == [(0, 0), (2, 2)]
+
+    def test_empty_region(self):
+        region = Region.from_points([])
+        assert region.is_empty()
+        assert region.neighborhood_size(3) == 0
+        with pytest.raises(ValueError):
+            _ = region.dim
+
+    def test_from_box_is_box(self):
+        region = Region.from_box(Box((0, 0), (2, 2)))
+        assert region.is_box()
+        assert len(region) == 9
+
+    def test_partial_box_is_not_box(self):
+        region = Region.from_points([(0, 0), (2, 2)])
+        assert not region.is_box()
+
+    def test_neighborhood_size_box_uses_closed_form(self):
+        box = Box((0, 0), (3, 2))
+        region = Region.from_box(box)
+        for radius in range(4):
+            assert region.neighborhood_size(radius) == box_neighborhood_size(box, radius)
+
+    def test_neighborhood_size_general_matches_enumeration(self):
+        region = Region.from_points([(0, 0), (3, 1)])
+        for radius in range(4):
+            assert region.neighborhood_size(radius) == neighborhood_size(region.points, radius)
+
+    def test_distance_to(self):
+        region = Region.from_points([(0, 0), (5, 5)])
+        assert region.distance_to((1, 1)) == 2
+        assert region.distance_to((5, 5)) == 0
+
+    def test_distance_to_empty_raises(self):
+        with pytest.raises(ValueError):
+            Region.from_points([]).distance_to((0, 0))
+
+    def test_set_operations(self):
+        a = Region.from_points([(0, 0), (1, 1)])
+        b = Region.from_points([(1, 1), (2, 2)])
+        assert len(a.union(b)) == 3
+        assert len(a.intersection(b)) == 1
+        assert len(a.difference(b)) == 1
+
+    def test_translate(self):
+        region = Region.from_points([(0, 0), (1, 2)])
+        moved = region.translate((3, -1))
+        assert set(moved.points) == {(3, -1), (4, 1)}
+
+    def test_hashable(self):
+        a = Region.from_points([(0, 0)])
+        b = Region.from_points([(0, 0)])
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_bounding_box(self):
+        region = Region.from_points([(0, 3), (2, 1)])
+        assert region.bounding_box() == Box((0, 1), (2, 3))
+
+    def test_neighborhood_monotone_in_radius(self):
+        region = Region.from_points([(0, 0), (4, 4)])
+        sizes = [region.neighborhood_size(r) for r in range(5)]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,71 @@
+"""Integration tests for Chapter 4 (broken vehicles).
+
+The chapter's message is negative: with longevity parameters the LP lower
+bound of Theorem 4.1.1 is no longer tight -- the Figure 4.1 instance needs
+``Theta(r1^2)`` capacity while the LP bound stays at ``2 r1``.  These tests
+execute the whole argument end to end: build the instance, compute the LP
+bound, execute the only-surviving-vehicle shuttle, and check the widening
+gap.  They also confirm that with all vehicles healthy the broken-model
+bound degenerates to the Chapter 2 bound (no spurious gap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.broken import (
+    LongevityMap,
+    broken_lower_bound,
+    figure41_actual_requirement,
+    figure41_instance,
+    figure41_lp_lower_bound,
+    simulate_single_vehicle_shuttle,
+)
+from repro.core.omega import omega_star_exhaustive
+from repro.core.demand import DemandMap
+
+
+class TestFigure41EndToEnd:
+    @pytest.mark.parametrize("r1", [2, 4, 8])
+    def test_lp_bound_is_linear_in_r1(self, r1):
+        instance = figure41_instance(r1, 4 * r1)
+        assert figure41_lp_lower_bound(instance) == pytest.approx(2 * r1, rel=1e-6)
+
+    @pytest.mark.parametrize("r1", [2, 4, 8])
+    def test_actual_requirement_is_quadratic_in_r1(self, r1):
+        instance = figure41_instance(r1, 4 * r1)
+        simulated = simulate_single_vehicle_shuttle(instance.jobs, instance.point_k)
+        assert simulated == pytest.approx(figure41_actual_requirement(r1))
+        assert simulated >= 4 * r1 * r1 - 2 * r1  # Theta(r1^2)
+
+    def test_gap_ratio_grows_linearly(self):
+        ratios = {}
+        for r1 in (2, 4, 8, 16):
+            instance = figure41_instance(r1, 4 * r1)
+            ratios[r1] = figure41_actual_requirement(r1) / figure41_lp_lower_bound(instance)
+        # Doubling r1 roughly doubles the gap ratio.
+        assert ratios[4] / ratios[2] == pytest.approx(2.0, rel=0.3)
+        assert ratios[16] / ratios[8] == pytest.approx(2.0, rel=0.3)
+
+    def test_breaking_vehicles_never_lowers_the_requirement(self):
+        # Compared with the healthy-fleet bound for the same demand, the
+        # broken-fleet bound can only be larger.
+        instance = figure41_instance(3, 12)
+        healthy_bound = omega_star_exhaustive(instance.demand).omega
+        broken_bound = figure41_lp_lower_bound(instance)
+        assert broken_bound >= healthy_bound - 1e-9
+
+
+class TestHealthyFleetDegeneratesToChapter2:
+    def test_all_healthy_bound_matches_unbroken_bound(self):
+        demand = DemandMap({(0, 0): 5.0, (2, 0): 3.0, (1, 2): 4.0})
+        healthy = LongevityMap(default=1.0)
+        assert broken_lower_bound(demand, healthy) == pytest.approx(
+            omega_star_exhaustive(demand).omega, rel=1e-6
+        )
+
+    def test_partial_breakage_interpolates(self):
+        demand = DemandMap({(0, 0): 10.0})
+        healthy = LongevityMap(default=1.0)
+        half = LongevityMap(default=0.5)
+        assert broken_lower_bound(demand, half) >= broken_lower_bound(demand, healthy) - 1e-9

@@ -1,0 +1,86 @@
+"""Integration tests for Theorem 1.4.1 (the offline characterization).
+
+Theorem 1.4.1 states ``W_off = Theta(max_T omega_T)``.  For every scenario
+in the paper suite we verify the full audited sandwich
+
+    omega*  <=  W_off(constructive plan)  <=  (2 * 3^l + l) * omega*
+
+where the middle term is the maximum per-vehicle energy of an explicitly
+audited feasible plan, and that Algorithm 1's estimate is consistent with
+the sandwich.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.offline import algorithm1, offline_bounds, upper_bound_factor
+from repro.grid.lattice import Box
+from repro.workloads.scenarios import paper_scenarios
+
+SCENARIOS = {s.name: s for s in paper_scenarios(random_window=12, random_jobs=200)}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestOfflineSandwich:
+    def test_lower_bound_below_constructive_capacity(self, name):
+        bounds = offline_bounds(SCENARIOS[name].demand)
+        assert bounds.omega_star <= bounds.constructive_capacity + 1e-9
+
+    def test_constructive_capacity_below_theory_upper_bound(self, name):
+        bounds = offline_bounds(SCENARIOS[name].demand)
+        assert bounds.constructive_capacity <= bounds.upper_bound + 1e-9
+
+    def test_omega_c_is_also_a_lower_bound(self, name):
+        bounds = offline_bounds(SCENARIOS[name].demand)
+        assert bounds.omega_c <= bounds.omega_star + 1e-9
+
+    def test_realized_constant_well_below_worst_case(self, name):
+        bounds = offline_bounds(SCENARIOS[name].demand)
+        assert bounds.sandwich_ratio <= upper_bound_factor(2)
+
+
+class TestWorkedExampleReferences:
+    def test_reference_bounds_are_lower_bounds(self):
+        for name in ("square", "line", "point"):
+            scenario = SCENARIOS[name]
+            bounds = offline_bounds(scenario.demand)
+            assert scenario.reference_bound is not None
+            assert bounds.constructive_capacity >= scenario.reference_bound - 1e-6
+
+    def test_reference_bounds_same_order_as_omega_star(self):
+        for name in ("square", "line", "point"):
+            scenario = SCENARIOS[name]
+            bounds = offline_bounds(scenario.demand)
+            ratio = bounds.omega_star / max(scenario.reference_bound, 1e-9)
+            assert 0.2 <= ratio <= 5.0
+
+
+class TestAlgorithm1Consistency:
+    def _window_for(self, demand) -> Box:
+        bbox = demand.bounding_box()
+        extent = max(bbox.side_lengths)
+        side = 1 << max(1, math.ceil(math.log2(extent)))
+        return Box(bbox.lo, tuple(c + side - 1 for c in bbox.lo))
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_estimate_above_lower_bound(self, name):
+        demand = SCENARIOS[name].demand
+        window = self._window_for(demand)
+        bounds = offline_bounds(demand, window=window)
+        assert bounds.algorithm1_estimate is not None
+        assert bounds.algorithm1_estimate >= bounds.omega_star - 1e-9
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_estimate_within_approximation_factor(self, name):
+        demand = SCENARIOS[name].demand
+        window = self._window_for(demand)
+        result = algorithm1(demand, window)
+        bounds = offline_bounds(demand)
+        factor = upper_bound_factor(2)
+        # Algorithm 1 is a 2 * (2*3^l + l)-approximation of W_off; since
+        # W_off <= constructive capacity, the estimate can exceed the lower
+        # bound by at most twice the factor (plus the doubling granularity).
+        assert result.estimate <= 2 * factor * max(bounds.constructive_capacity, 1.0) + factor

@@ -1,0 +1,81 @@
+"""Integration tests for Theorem 1.4.2 (the online bound).
+
+Theorem 1.4.2 states ``W_on = Theta(W_off)``: the decentralized strategy of
+Chapter 3 serves every job with per-vehicle capacity
+``(4 * 3^l + l) * omega_c``.  We run the actual message-passing protocol on
+the paper scenarios and verify (a) every job is served within the theorem's
+capacity, (b) the measured per-vehicle energy stays within the analytic
+constant of the offline lower bound, and (c) replacements really occur when
+capacities are tight (the protocol is exercised, not bypassed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.demand import JobSequence
+from repro.core.offline import online_upper_bound_factor
+from repro.core.online import run_online
+from repro.workloads.arrivals import random_arrivals
+from repro.workloads.scenarios import paper_scenarios
+
+SCENARIOS = {
+    s.name: s
+    for s in paper_scenarios(
+        square_side=5,
+        square_per_point=6.0,
+        line_length=12,
+        line_per_point=5.0,
+        point_total=60.0,
+        random_window=8,
+        random_jobs=80,
+    )
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestOnlineFeasibility:
+    def test_all_jobs_served_with_theorem_capacity(self, name):
+        demand = SCENARIOS[name].demand
+        jobs = random_arrivals(demand, np.random.default_rng(17))
+        result = run_online(jobs)
+        assert result.feasible
+        assert result.jobs_served == result.jobs_total
+
+    def test_capacity_never_exceeded(self, name):
+        demand = SCENARIOS[name].demand
+        jobs = random_arrivals(demand, np.random.default_rng(17))
+        result = run_online(jobs)
+        assert result.max_vehicle_energy <= result.capacity + 1e-9
+
+    def test_online_within_analytic_constant_of_offline(self, name):
+        demand = SCENARIOS[name].demand
+        jobs = random_arrivals(demand, np.random.default_rng(17))
+        result = run_online(jobs)
+        factor = online_upper_bound_factor(2)
+        assert result.max_vehicle_energy <= factor * max(result.omega, result.omega_star) + 1e-9
+
+
+class TestProtocolIsExercised:
+    def test_replacements_occur_under_tight_capacity(self):
+        jobs = JobSequence.from_positions([(0, 0)] * 24)
+        result = run_online(jobs, omega=3.0, capacity=8.0)
+        assert result.feasible
+        assert result.replacements >= 2
+        assert result.searches >= result.replacements
+        assert result.messages > 0
+
+    def test_online_cost_exceeds_offline_for_adversarial_order(self):
+        # Online never beats offline: the per-vehicle energy measured online
+        # is at least the offline lower bound omega*.
+        demand = SCENARIOS["square"].demand
+        jobs = random_arrivals(demand, np.random.default_rng(3))
+        result = run_online(jobs)
+        assert result.max_vehicle_energy >= result.omega_star - 1e-9
+
+    def test_arrival_order_does_not_change_feasibility(self):
+        demand = SCENARIOS["zipf"].demand
+        for seed in (0, 1, 2):
+            jobs = random_arrivals(demand, np.random.default_rng(seed))
+            assert run_online(jobs).feasible

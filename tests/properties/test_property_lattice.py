@@ -1,0 +1,91 @@
+"""Property-based tests for the lattice substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.lattice import (
+    Box,
+    box_neighborhood_size,
+    l1_ball,
+    l1_ball_size,
+    manhattan,
+)
+from repro.grid.regions import Region, neighborhood
+
+coordinates = st.integers(min_value=-20, max_value=20)
+points_2d = st.tuples(coordinates, coordinates)
+small_radius = st.integers(min_value=0, max_value=4)
+
+
+class TestManhattanMetricProperties:
+    @given(points_2d, points_2d)
+    def test_symmetry(self, p, q):
+        assert manhattan(p, q) == manhattan(q, p)
+
+    @given(points_2d, points_2d)
+    def test_non_negativity_and_identity(self, p, q):
+        distance = manhattan(p, q)
+        assert distance >= 0
+        assert (distance == 0) == (p == q)
+
+    @given(points_2d, points_2d, points_2d)
+    def test_triangle_inequality(self, p, q, r):
+        assert manhattan(p, r) <= manhattan(p, q) + manhattan(q, r)
+
+    @given(points_2d, points_2d, points_2d)
+    def test_translation_invariance(self, p, q, t):
+        shifted_p = tuple(a + b for a, b in zip(p, t))
+        shifted_q = tuple(a + b for a, b in zip(q, t))
+        assert manhattan(p, q) == manhattan(shifted_p, shifted_q)
+
+
+class TestBallProperties:
+    @given(points_2d, small_radius)
+    def test_ball_membership_matches_distance(self, center, radius):
+        ball = set(l1_ball(center, radius))
+        for point in ball:
+            assert manhattan(center, point) <= radius
+        assert len(ball) == l1_ball_size(2, radius)
+
+    @given(small_radius, st.integers(min_value=1, max_value=4))
+    def test_ball_size_monotone_in_radius_and_dimension(self, radius, dim):
+        assert l1_ball_size(dim, radius) <= l1_ball_size(dim, radius + 1)
+        assert l1_ball_size(dim, radius) <= l1_ball_size(dim + 1, radius)
+
+
+class TestNeighborhoodProperties:
+    @given(
+        st.lists(points_2d, min_size=1, max_size=6, unique=True),
+        small_radius,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_region_neighborhood_contains_region(self, points, radius):
+        region = Region.from_points(points)
+        hood = region.neighborhood(radius)
+        assert set(region.points).issubset(hood)
+        assert len(hood) == region.neighborhood_size(radius)
+
+    @given(
+        st.lists(points_2d, min_size=1, max_size=6, unique=True),
+        small_radius,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_neighborhood_monotone_in_radius(self, points, radius):
+        region = Region.from_points(points)
+        assert region.neighborhood_size(radius) <= region.neighborhood_size(radius + 1)
+
+    @given(
+        st.tuples(coordinates, coordinates),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        small_radius,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_box_neighborhood_closed_form_matches_enumeration(
+        self, corner, width, height, radius
+    ):
+        box = Box(corner, (corner[0] + width - 1, corner[1] + height - 1))
+        explicit = len(neighborhood(list(box.points()), radius))
+        assert box_neighborhood_size(box, radius) == explicit

@@ -1,0 +1,102 @@
+"""Property-based tests for the omega characterization (hypothesis).
+
+These check the structural facts the thesis's proofs rely on, over random
+small demand maps: the threshold solution really is a solution, the cube
+maximum lower-bounds the subset maximum (Corollary 2.2.6), omega_c
+lower-bounds omega* (Corollary 2.2.7), the LP/flow value agrees with the
+combinatorial characterization (Lemma 2.2.3), and everything is monotone
+under demand scaling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.demand import DemandMap
+from repro.core.flows import min_self_radius_capacity
+from repro.core.omega import (
+    omega_c,
+    omega_for_region,
+    omega_star_cubes,
+    omega_star_exhaustive,
+)
+from repro.grid.regions import Region
+
+demand_entries = st.dictionaries(
+    keys=st.tuples(
+        st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6)
+    ),
+    values=st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+def make_demand(entries) -> DemandMap:
+    return DemandMap(entries)
+
+
+class TestOmegaProperties:
+    @given(demand_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_omega_solves_its_threshold_equation(self, entries):
+        demand = make_demand(entries)
+        region = Region.from_points(demand.support())
+        omega = omega_for_region(demand, region)
+        total = demand.total()
+        k = int(math.floor(omega))
+        assert omega * region.neighborhood_size(k) >= total - 1e-6
+        if omega > 1e-9:
+            shrunk = omega * (1 - 1e-6)
+            assert shrunk * region.neighborhood_size(int(math.floor(shrunk))) < total + 1e-6
+
+    @given(demand_entries)
+    @settings(max_examples=30, deadline=None)
+    def test_cube_max_le_subset_max(self, entries):
+        demand = make_demand(entries)
+        assert (
+            omega_star_cubes(demand).omega
+            <= omega_star_exhaustive(demand).omega + 1e-9
+        )
+
+    @given(demand_entries)
+    @settings(max_examples=30, deadline=None)
+    def test_omega_c_le_omega_star(self, entries):
+        demand = make_demand(entries)
+        assert omega_c(demand) <= omega_star_cubes(demand).omega + 1e-9
+
+    @given(demand_entries, st.floats(min_value=1.5, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_under_scaling(self, entries, factor):
+        demand = make_demand(entries)
+        scaled = demand.scaled(factor)
+        assert omega_star_cubes(scaled).omega >= omega_star_cubes(demand).omega - 1e-9
+        assert omega_c(scaled) >= omega_c(demand) - 1e-9
+
+    @given(demand_entries)
+    @settings(max_examples=15, deadline=None)
+    def test_flow_oracle_matches_subset_maximum(self, entries):
+        # Lemma 2.2.3 as a property: program (2.8) == max_T omega_T.
+        demand = make_demand(entries)
+        flow_value = min_self_radius_capacity(demand, tolerance=1e-3)
+        combinatorial = omega_star_exhaustive(demand).omega
+        assert abs(flow_value - combinatorial) <= 2e-2 * max(1.0, combinatorial)
+
+    @given(demand_entries, st.tuples(st.integers(-5, 5), st.integers(-5, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, entries, offset):
+        demand = make_demand(entries)
+        shifted = DemandMap(
+            {
+                tuple(c + o for c, o in zip(point, offset)): value
+                for point, value in demand.items()
+            }
+        )
+        assert math.isclose(
+            omega_star_cubes(demand).omega,
+            omega_star_cubes(shifted).omega,
+            rel_tol=1e-9,
+        )

@@ -1,0 +1,55 @@
+"""Property-based tests of the online protocol's safety invariants.
+
+Whatever the workload and capacity, the protocol must never violate its
+physical invariants: a vehicle never spends more than its battery, service
+energy equals the number of jobs actually served, and with the theorem's
+capacity every job is served.  These are checked over random small bursts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.demand import JobSequence
+from repro.core.online import run_online
+
+positions = st.tuples(st.integers(0, 2), st.integers(0, 2))
+bursts = st.lists(positions, min_size=1, max_size=25)
+
+
+class TestOnlineSafetyInvariants:
+    @given(bursts, st.floats(min_value=3.0, max_value=30.0))
+    @settings(max_examples=25, deadline=None)
+    def test_no_vehicle_exceeds_capacity(self, job_positions, capacity):
+        jobs = JobSequence.from_positions(job_positions)
+        result = run_online(jobs, omega=3.0, capacity=capacity)
+        for energy in result.vehicle_energies.values():
+            assert energy <= capacity + 1e-9
+
+    @given(bursts, st.floats(min_value=3.0, max_value=30.0))
+    @settings(max_examples=25, deadline=None)
+    def test_service_energy_equals_jobs_served(self, job_positions, capacity):
+        jobs = JobSequence.from_positions(job_positions)
+        result = run_online(jobs, omega=3.0, capacity=capacity)
+        assert result.total_service == job_positions.__len__() * 1.0 if result.feasible else True
+        assert result.total_service <= len(job_positions) + 1e-9
+        assert result.jobs_served <= result.jobs_total
+
+    @given(bursts)
+    @settings(max_examples=25, deadline=None)
+    def test_theorem_capacity_always_feasible(self, job_positions):
+        jobs = JobSequence.from_positions(job_positions)
+        result = run_online(jobs)  # capacity = (4*3^l + l) * omega_c
+        assert result.feasible
+        assert result.max_vehicle_energy <= result.capacity + 1e-9
+
+    @given(bursts, st.floats(min_value=3.0, max_value=30.0))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_conservation(self, job_positions, capacity):
+        jobs = JobSequence.from_positions(job_positions)
+        result = run_online(jobs, omega=3.0, capacity=capacity)
+        total = sum(result.vehicle_energies.values())
+        assert total == result.total_travel + result.total_service
+        # Served jobs account for exactly their energy.
+        assert result.total_service >= result.jobs_served * 1.0 - 1e-9

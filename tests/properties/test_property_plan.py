@@ -1,0 +1,74 @@
+"""Property-based tests for the constructive plan and the greedy heuristic."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.greedy import greedy_nearest_vehicle_plan
+from repro.core.demand import DemandMap
+from repro.core.feasibility import audit_plan
+from repro.core.offline import upper_bound_factor
+from repro.core.omega import omega_star_cubes
+from repro.core.plan import build_cube_plan
+
+demand_entries = st.dictionaries(
+    keys=st.tuples(
+        st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8)
+    ),
+    values=st.floats(min_value=0.5, max_value=40.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestConstructivePlanProperties:
+    @given(demand_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_plan_always_covers_demand(self, entries):
+        demand = DemandMap(entries)
+        plan = build_cube_plan(demand)
+        audit = audit_plan(plan, demand)
+        assert audit.feasible, audit.violations
+
+    @given(demand_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_plan_within_lemma_budget(self, entries):
+        demand = DemandMap(entries)
+        omega = omega_star_cubes(demand).omega
+        plan = build_cube_plan(demand, omega=omega)
+        assert plan.max_vehicle_energy() <= upper_bound_factor(2) * omega + 1e-6
+
+    @given(demand_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_plan_total_energy_at_least_total_demand(self, entries):
+        demand = DemandMap(entries)
+        plan = build_cube_plan(demand)
+        assert plan.total_energy() >= demand.total() - 1e-6
+
+    @given(demand_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_vehicles_unique(self, entries):
+        demand = DemandMap(entries)
+        plan = build_cube_plan(demand)
+        starts = [route.start for route in plan]
+        assert len(starts) == len(set(starts))
+
+
+class TestGreedyHeuristicProperties:
+    @given(demand_entries, st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_never_exceeds_capacity(self, entries, slack):
+        demand = DemandMap(entries)
+        capacity = slack * max(1.0, omega_star_cubes(demand).omega)
+        plan = greedy_nearest_vehicle_plan(demand, capacity)
+        for route in plan:
+            assert route.total_energy <= capacity + 1e-9
+
+    @given(demand_entries)
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_feasible_with_generous_capacity(self, entries):
+        demand = DemandMap(entries)
+        capacity = upper_bound_factor(2) * max(1.0, omega_star_cubes(demand).omega)
+        plan = greedy_nearest_vehicle_plan(demand, capacity)
+        assert audit_plan(plan, demand, capacity=capacity).feasible

@@ -1,0 +1,47 @@
+"""Tests for the monitoring-pointer assignment (Section 3.2.5)."""
+
+from __future__ import annotations
+
+from repro.grid.coloring import Coloring
+from repro.grid.lattice import Box
+from repro.vehicles.monitoring import build_watch_assignment, watched_pair_key
+
+
+class TestWatchedPairKey:
+    def test_single_pair_cube_has_nothing_to_watch(self):
+        coloring = Coloring(Box.cube((0, 0), 1))
+        only_pair = coloring.pairs[0].black
+        assert watched_pair_key(coloring, only_pair) is None
+
+    def test_two_pair_cube_watches_each_other(self):
+        coloring = Coloring(Box.cube((0, 0), 2))
+        keys = [pair.black for pair in coloring.pairs]
+        assert watched_pair_key(coloring, keys[0]) == keys[1]
+        assert watched_pair_key(coloring, keys[1]) == keys[0]
+
+    def test_watch_relation_is_a_cycle(self):
+        coloring = Coloring(Box.cube((0, 0), 4))
+        keys = [pair.black for pair in coloring.pairs]
+        assignment = build_watch_assignment(coloring)
+        # Following the pointers visits every pair exactly once before
+        # returning to the start (a single cycle over all pairs).
+        start = keys[0]
+        seen = [start]
+        current = assignment[start]
+        while current != start:
+            assert current is not None
+            seen.append(current)
+            current = assignment[current]
+        assert sorted(seen) == sorted(keys)
+
+    def test_every_pair_watched_exactly_once(self):
+        coloring = Coloring(Box.cube((0, 0), 3))
+        assignment = build_watch_assignment(coloring)
+        watched = [target for target in assignment.values() if target is not None]
+        assert len(watched) == len(set(watched))
+        assert len(watched) == len(coloring.pairs)
+
+    def test_no_pair_watches_itself(self):
+        coloring = Coloring(Box.cube((0, 0), 5))
+        for pair_key, watched in build_watch_assignment(coloring).items():
+            assert watched != pair_key

@@ -1,0 +1,185 @@
+"""End-to-end tests of the Phase I / Phase II replacement protocol.
+
+These tests drive a small fleet directly (one cube, a single demand point)
+with deliberately tiny capacities so that vehicles exhaust themselves and
+the diffusing-computation machinery is genuinely exercised: queries flood
+the cube, an idle vehicle is located, a move order travels down the child
+path, and the pair registry is updated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.distsim.failures import FailurePlan
+from repro.vehicles.fleet import Fleet, FleetConfig
+from repro.vehicles.state import TransferState, WorkingState
+
+
+def run_point_workload(
+    jobs: int,
+    capacity: float,
+    *,
+    omega: float = 3.0,
+    monitoring: bool = False,
+    failure_plan: FailurePlan | None = None,
+    recovery_rounds: int = 0,
+) -> Fleet:
+    """Deliver ``jobs`` unit jobs at the origin against a 3-cube fleet."""
+    demand = DemandMap({(0, 0): float(jobs)})
+    config = FleetConfig(capacity=capacity, monitoring=monitoring)
+    fleet = Fleet(demand, omega, config, failure_plan=failure_plan)
+    for _ in range(jobs):
+        served = fleet.deliver_job((0, 0))
+        if not served and recovery_rounds:
+            for _ in range(recovery_rounds):
+                fleet.run_heartbeat_round()
+            fleet.retry_job((0, 0))
+        if monitoring:
+            fleet.run_heartbeat_round()
+    return fleet
+
+
+class TestNormalOperation:
+    def test_all_jobs_served_without_replacement_when_capacity_ample(self):
+        fleet = run_point_workload(jobs=4, capacity=50.0)
+        assert fleet.stats.jobs_unserved == 0
+        assert fleet.stats.replacements == 0
+        assert fleet.messages_sent() == 0
+
+    def test_replacement_triggered_when_vehicle_exhausts(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        assert fleet.stats.jobs_unserved == 0
+        assert fleet.stats.done_events >= 1
+        assert fleet.stats.replacements >= 1
+        assert fleet.messages_sent() > 0
+
+    def test_no_vehicle_exceeds_capacity(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        for vehicle in fleet.vehicles.values():
+            assert vehicle.energy_used <= 8.0 + 1e-9
+
+    def test_replacement_vehicle_takes_over_registry(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        pair_key = fleet.pair_key_of((0, 0))
+        current = fleet.registry[pair_key]
+        # The original black-vertex vehicle has been replaced at least once.
+        assert current != pair_key
+        assert fleet.vehicles[current].status.working == WorkingState.ACTIVE
+        assert fleet.vehicles[current].position == (0, 0)
+
+    def test_exhausted_vehicle_is_done_and_waiting(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        original = fleet.vehicles[fleet.pair_key_of((0, 0))]
+        assert original.status.working == WorkingState.DONE
+        assert original.status.transfer == TransferState.WAITING
+
+    def test_protocol_quiesces_after_every_job(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        assert fleet.simulator.pending == 0
+
+    def test_total_service_equals_jobs(self):
+        fleet = run_point_workload(jobs=10, capacity=8.0)
+        assert fleet.total_service() == pytest.approx(10.0)
+
+    def test_replacements_consume_idle_vehicles(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        idle_left = sum(
+            1 for v in fleet.vehicles.values() if v.status.working == WorkingState.IDLE
+        )
+        coloring = next(iter(fleet.colorings.values()))
+        idle_initially = len(fleet.vehicles) - coloring.num_pairs()
+        assert idle_left == idle_initially - fleet.stats.replacements
+
+    def test_searches_counted(self):
+        fleet = run_point_workload(jobs=12, capacity=8.0)
+        assert fleet.stats.searches_started == fleet.stats.done_events
+
+    def test_large_workload_many_replacements(self):
+        fleet = run_point_workload(jobs=20, capacity=7.0)
+        assert fleet.stats.jobs_unserved == 0
+        assert fleet.stats.replacements >= 3
+
+
+class TestScenario2InitiationFailure:
+    def test_monitoring_recovers_from_suppressed_initiation(self):
+        plan = FailurePlan()
+        plan.suppress_initiation((0, 0))  # the first active vehicle never initiates
+        fleet = run_point_workload(
+            jobs=10,
+            capacity=5.0,
+            monitoring=True,
+            failure_plan=plan,
+            recovery_rounds=4,
+        )
+        assert fleet.stats.suppressed_initiations >= 1
+        assert fleet.stats.watch_initiations >= 1
+        assert fleet.stats.jobs_unserved == 0
+
+    def test_without_monitoring_jobs_go_unserved(self):
+        plan = FailurePlan()
+        plan.suppress_initiation((0, 0))
+        fleet = run_point_workload(
+            jobs=10, capacity=5.0, monitoring=False, failure_plan=plan
+        )
+        assert fleet.stats.jobs_unserved > 0
+
+
+class TestScenario3DeadVehicle:
+    def test_monitoring_replaces_a_dead_active_vehicle(self):
+        demand = DemandMap({(0, 0): 6.0})
+        plan = FailurePlan()
+        config = FleetConfig(capacity=30.0, monitoring=True)
+        fleet = Fleet(demand, 3.0, config, failure_plan=plan)
+        # Kill the active vehicle responsible for the origin's pair up front.
+        fleet.crash_vehicle(fleet.registry[fleet.pair_key_of((0, 0))])
+        unserved_jobs = 0
+        for _ in range(6):
+            served = fleet.deliver_job((0, 0))
+            if not served:
+                for _ in range(4):
+                    fleet.run_heartbeat_round()
+                if not fleet.retry_job((0, 0)):
+                    unserved_jobs += 1
+            fleet.run_heartbeat_round()
+        assert fleet.stats.watch_initiations >= 1
+        assert fleet.stats.replacements >= 1
+        assert unserved_jobs == 0
+        assert fleet.stats.jobs_unserved == 0
+
+    def test_heartbeats_do_not_trigger_replacements_without_failures(self):
+        fleet = run_point_workload(jobs=4, capacity=50.0, monitoring=True)
+        assert fleet.stats.watch_initiations == 0
+        assert fleet.stats.replacements == 0
+
+
+class TestMultipleCubes:
+    def test_independent_cubes_each_replace_locally(self):
+        # Demand in two far-apart cubes: each cube's protocol runs on its own
+        # vehicles and replacements never borrow from the other cube.
+        demand = DemandMap({(0, 0): 12.0, (30, 30): 12.0})
+        fleet = Fleet(demand, 3.0, FleetConfig(capacity=8.0))
+        for _ in range(12):
+            fleet.deliver_job((0, 0))
+            fleet.deliver_job((30, 30))
+        assert fleet.stats.jobs_unserved == 0
+        assert fleet.stats.replacements >= 2
+        # Two 3x3 cubes of vehicles were built, nothing in between.
+        assert len(fleet.vehicles) == 18
+        near_origin = fleet.registry[fleet.pair_key_of((0, 0))]
+        far_corner = fleet.registry[fleet.pair_key_of((30, 30))]
+        assert max(abs(c) for c in near_origin) <= 2
+        assert min(far_corner) >= 28
+
+    def test_jobs_at_white_vertices_served_by_pair_partner(self):
+        demand = DemandMap({(0, 1): 6.0, (1, 0): 6.0})
+        fleet = Fleet(demand, 3.0, FleetConfig(capacity=50.0))
+        for _ in range(6):
+            assert fleet.deliver_job((0, 1))
+            assert fleet.deliver_job((1, 0))
+        assert fleet.stats.jobs_unserved == 0
+        # Every serving vehicle walked at most one step per job.
+        for vehicle in fleet.vehicles.values():
+            if vehicle.jobs_served:
+                assert vehicle.travel_energy <= vehicle.jobs_served

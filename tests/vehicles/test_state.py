@@ -1,0 +1,97 @@
+"""Tests for the Figure 3.1 vehicle state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vehicles.state import (
+    TransferState,
+    VALID_STATES,
+    VehicleStatus,
+    WorkingState,
+)
+
+
+class TestValidStates:
+    def test_seven_valid_states(self):
+        assert len(VALID_STATES) == 7
+
+    def test_initiator_requires_done(self):
+        assert (WorkingState.ACTIVE, TransferState.INITIATOR) not in VALID_STATES
+        assert (WorkingState.IDLE, TransferState.INITIATOR) not in VALID_STATES
+        assert (WorkingState.DONE, TransferState.INITIATOR) in VALID_STATES
+
+    def test_constructing_invalid_state_raises(self):
+        with pytest.raises(ValueError):
+            VehicleStatus(WorkingState.ACTIVE, TransferState.INITIATOR)
+        with pytest.raises(ValueError):
+            VehicleStatus(WorkingState.IDLE, TransferState.INITIATOR)
+
+
+class TestTransitions:
+    def test_initial_states(self):
+        idle = VehicleStatus(WorkingState.IDLE, TransferState.WAITING)
+        active = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        assert idle.as_tuple() == (WorkingState.IDLE, TransferState.WAITING)
+        assert active.as_tuple() == (WorkingState.ACTIVE, TransferState.WAITING)
+
+    def test_active_to_done_initiator(self):
+        status = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        status.transition(WorkingState.DONE, TransferState.INITIATOR)
+        assert status.working == WorkingState.DONE
+        assert status.transfer == TransferState.INITIATOR
+
+    def test_initiator_back_to_waiting(self):
+        status = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        status.transition(WorkingState.DONE, TransferState.INITIATOR)
+        status.transition(WorkingState.DONE, TransferState.WAITING)
+        assert status.transfer == TransferState.WAITING
+
+    def test_idle_to_active_on_move(self):
+        status = VehicleStatus(WorkingState.IDLE, TransferState.WAITING)
+        status.transition(WorkingState.ACTIVE, TransferState.WAITING)
+        assert status.working == WorkingState.ACTIVE
+
+    def test_searching_toggle_for_every_working_state(self):
+        for working in WorkingState:
+            status = VehicleStatus(working, TransferState.WAITING)
+            status.set_transfer(TransferState.SEARCHING)
+            assert status.transfer == TransferState.SEARCHING
+            status.set_transfer(TransferState.WAITING)
+            assert status.transfer == TransferState.WAITING
+
+    def test_self_transition_is_noop(self):
+        status = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        status.transition(WorkingState.ACTIVE, TransferState.WAITING)
+        assert status.working == WorkingState.ACTIVE
+
+    def test_illegal_transition_rejected(self):
+        status = VehicleStatus(WorkingState.IDLE, TransferState.WAITING)
+        with pytest.raises(ValueError):
+            status.transition(WorkingState.DONE, TransferState.WAITING)
+
+    def test_done_cannot_revert_to_active(self):
+        status = VehicleStatus(WorkingState.DONE, TransferState.WAITING)
+        with pytest.raises(ValueError):
+            status.transition(WorkingState.ACTIVE, TransferState.WAITING)
+
+    def test_transition_to_invalid_state_rejected(self):
+        status = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        with pytest.raises(ValueError):
+            status.transition(WorkingState.ACTIVE, TransferState.INITIATOR)
+
+    def test_scenario2_done_without_initiating(self):
+        # An active vehicle may become (done, waiting) directly when it fails
+        # to initiate the diffusing computation (Section 3.2.5, scenario 2).
+        status = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        status.transition(WorkingState.DONE, TransferState.WAITING)
+        assert status.working == WorkingState.DONE
+
+    def test_str_representation(self):
+        status = VehicleStatus(WorkingState.ACTIVE, TransferState.WAITING)
+        assert str(status) == "(active, waiting)"
+
+    def test_set_working_helper(self):
+        status = VehicleStatus(WorkingState.IDLE, TransferState.WAITING)
+        status.set_working(WorkingState.ACTIVE)
+        assert status.working == WorkingState.ACTIVE

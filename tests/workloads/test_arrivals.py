@@ -1,0 +1,87 @@
+"""Tests for arrival orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandMap
+from repro.workloads.arrivals import (
+    alternating_arrivals,
+    random_arrivals,
+    sequential_arrivals,
+)
+
+
+@pytest.fixture
+def demand() -> DemandMap:
+    return DemandMap({(0, 0): 2.0, (1, 0): 3.0, (5, 5): 1.0})
+
+
+class TestSequentialArrivals:
+    def test_job_count_matches_total_demand(self, demand):
+        jobs = sequential_arrivals(demand)
+        assert len(jobs) == 6
+
+    def test_collapses_back_to_demand(self, demand):
+        jobs = sequential_arrivals(demand)
+        assert jobs.demand_map() == demand
+
+    def test_positions_grouped(self, demand):
+        jobs = sequential_arrivals(demand)
+        positions = jobs.positions()
+        # All jobs of a position are contiguous.
+        seen = []
+        for position in positions:
+            if not seen or seen[-1] != position:
+                seen.append(position)
+        assert len(seen) == len(set(seen))
+
+    def test_fractional_demand_rounded_up(self):
+        jobs = sequential_arrivals(DemandMap({(0, 0): 1.5}))
+        assert len(jobs) == 2
+
+    def test_empty_demand(self):
+        jobs = sequential_arrivals(DemandMap({}, dim=2))
+        assert jobs.is_empty()
+
+
+class TestRandomArrivals:
+    def test_same_multiset_of_positions(self, demand):
+        jobs = random_arrivals(demand, np.random.default_rng(0))
+        assert sorted(jobs.positions()) == sorted(sequential_arrivals(demand).positions())
+
+    def test_reproducible(self, demand):
+        a = random_arrivals(demand, np.random.default_rng(3))
+        b = random_arrivals(demand, np.random.default_rng(3))
+        assert a.positions() == b.positions()
+
+    def test_different_seeds_differ(self):
+        demand = DemandMap({(x, 0): 1.0 for x in range(20)})
+        a = random_arrivals(demand, np.random.default_rng(1))
+        b = random_arrivals(demand, np.random.default_rng(2))
+        assert a.positions() != b.positions()
+
+
+class TestAlternatingArrivals:
+    def test_round_robin_order(self):
+        demand = DemandMap({(0, 0): 2.0, (3, 0): 2.0})
+        jobs = alternating_arrivals(demand)
+        assert jobs.positions() == [(0, 0), (3, 0), (0, 0), (3, 0)]
+
+    def test_uneven_demands(self):
+        demand = DemandMap({(0, 0): 3.0, (3, 0): 1.0})
+        jobs = alternating_arrivals(demand)
+        assert jobs.positions() == [(0, 0), (3, 0), (0, 0), (0, 0)]
+
+    def test_rounds_cap(self):
+        demand = DemandMap({(0, 0): 5.0, (3, 0): 5.0})
+        jobs = alternating_arrivals(demand, rounds=2)
+        assert len(jobs) == 4
+
+    def test_collapses_back_to_demand(self):
+        demand = DemandMap({(0, 0): 2.0, (3, 0): 4.0})
+        assert alternating_arrivals(demand).demand_map() == demand
+
+    def test_empty(self):
+        assert alternating_arrivals(DemandMap({}, dim=2)).is_empty()

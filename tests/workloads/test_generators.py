@@ -1,0 +1,110 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.lattice import Box
+from repro.workloads.generators import (
+    clustered_demand,
+    line_demand,
+    point_demand,
+    random_uniform_demand,
+    square_demand,
+    zipf_demand,
+)
+
+
+class TestDeterministicGenerators:
+    def test_square_demand_shape_and_total(self):
+        demand = square_demand(4, 3.0)
+        assert len(demand) == 16
+        assert demand.total() == pytest.approx(48.0)
+        assert demand.bounding_box() == Box((0, 0), (3, 3))
+
+    def test_square_demand_origin(self):
+        demand = square_demand(2, 1.0, origin=(5, -2))
+        assert (5, -2) in demand
+        assert (6, -1) in demand
+
+    def test_square_invalid_side(self):
+        with pytest.raises(ValueError):
+            square_demand(0, 1.0)
+
+    def test_line_demand_along_axis(self):
+        demand = line_demand(5, 2.0)
+        assert len(demand) == 5
+        assert all(point[1] == 0 for point in demand.support())
+
+    def test_line_demand_other_axis(self):
+        demand = line_demand(4, 1.0, axis=1)
+        assert all(point[0] == 0 for point in demand.support())
+
+    def test_line_demand_one_dimensional_embedding(self):
+        demand = line_demand(3, 1.0, origin=(0,), dim=1)
+        assert demand.dim == 1
+
+    def test_line_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            line_demand(0, 1.0)
+        with pytest.raises(ValueError):
+            line_demand(3, 1.0, axis=5)
+        with pytest.raises(ValueError):
+            line_demand(3, 1.0, origin=(0,), dim=2)
+
+    def test_point_demand(self):
+        demand = point_demand(9.0, position=(4, 4))
+        assert demand.support() == [(4, 4)]
+        assert demand.total() == 9.0
+
+
+class TestRandomGenerators:
+    def test_uniform_total_jobs(self, rng):
+        window = Box.cube((0, 0), 8)
+        demand = random_uniform_demand(window, 100, rng)
+        assert demand.total() == pytest.approx(100.0)
+        for point in demand.support():
+            assert point in window
+
+    def test_uniform_zero_jobs(self, rng):
+        demand = random_uniform_demand(Box.cube((0, 0), 4), 0, rng)
+        assert demand.is_empty()
+
+    def test_uniform_negative_jobs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_uniform_demand(Box.cube((0, 0), 4), -1, rng)
+
+    def test_uniform_reproducible(self):
+        window = Box.cube((0, 0), 8)
+        a = random_uniform_demand(window, 50, np.random.default_rng(5))
+        b = random_uniform_demand(window, 50, np.random.default_rng(5))
+        assert a == b
+
+    def test_zipf_total_and_skew(self, rng):
+        window = Box.cube((0, 0), 10)
+        demand = zipf_demand(window, 500, rng, exponent=1.5)
+        assert demand.total() == pytest.approx(500.0)
+        # Heavy skew: the largest point holds far more than the average.
+        assert demand.max_demand() > 5 * demand.total() / window.size
+
+    def test_zipf_invalid_exponent(self, rng):
+        with pytest.raises(ValueError):
+            zipf_demand(Box.cube((0, 0), 4), 10, rng, exponent=0.0)
+
+    def test_clustered_inside_window(self, rng):
+        window = Box.cube((0, 0), 12)
+        demand = clustered_demand(window, 3, 40, rng, spread=2)
+        assert demand.total() == pytest.approx(120.0)
+        for point in demand.support():
+            assert point in window
+
+    def test_clustered_is_concentrated(self, rng):
+        window = Box.cube((0, 0), 20)
+        demand = clustered_demand(window, 2, 50, rng, spread=1)
+        # 100 jobs land on at most 2 * (3x3) = 18 distinct points.
+        assert len(demand) <= 18
+
+    def test_clustered_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            clustered_demand(Box.cube((0, 0), 4), 0, 10, rng)

@@ -1,0 +1,50 @@
+"""Tests for the named paper scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.omega import (
+    example_line_bound,
+    example_point_bound,
+    example_square_bound,
+)
+from repro.workloads.scenarios import paper_scenarios
+
+
+class TestPaperScenarios:
+    def test_contains_the_three_worked_examples(self):
+        names = [s.name for s in paper_scenarios()]
+        for required in ("square", "line", "point"):
+            assert required in names
+
+    def test_six_scenarios_by_default(self):
+        assert len(paper_scenarios()) == 6
+
+    def test_reference_bounds_match_closed_forms(self):
+        scenarios = {s.name: s for s in paper_scenarios(
+            square_side=8, square_per_point=20.0, line_per_point=12.0, point_total=400.0
+        )}
+        assert scenarios["square"].reference_bound == pytest.approx(
+            example_square_bound(8, 20.0)
+        )
+        assert scenarios["line"].reference_bound == pytest.approx(example_line_bound(12.0))
+        assert scenarios["point"].reference_bound == pytest.approx(
+            example_point_bound(400.0)
+        )
+
+    def test_random_scenarios_have_no_reference_bound(self):
+        for scenario in paper_scenarios():
+            if scenario.name in ("uniform", "zipf", "clustered"):
+                assert scenario.reference_bound is None
+
+    def test_reproducible_with_same_seed(self):
+        first = {s.name: s.demand for s in paper_scenarios(seed=11)}
+        second = {s.name: s.demand for s in paper_scenarios(seed=11)}
+        for name in first:
+            assert first[name] == second[name]
+
+    def test_all_scenarios_nonempty(self):
+        for scenario in paper_scenarios():
+            assert not scenario.demand.is_empty()
+            assert scenario.description
