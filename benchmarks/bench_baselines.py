@@ -1,8 +1,10 @@
 """E13 -- Chapter 1 review: classical baselines vs the CMVRP.
 
 The thesis positions the CMVRP against the classical single-depot CVRP and
-the Transportation Problem.  This benchmark converts the paper scenarios
-into classical instances and reports both objectives side by side:
+the Transportation Problem.  This benchmark drives the classical solvers
+and the thesis's offline characterization through the same
+:class:`~repro.api.ExperimentEngine`, so the comparison rows come from one
+result shape:
 
 * classical CVRP (Clarke--Wright / sweep / nearest-neighbor): total route
   length from one central depot, and the max per-route energy it implies;
@@ -18,68 +20,65 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.cvrp import (
-    CVRPInstance,
-    clarke_wright,
-    nearest_neighbor_routes,
-    sweep_routes,
-)
-from repro.baselines.transportation import transportation_problem
-from repro.core.offline import offline_bounds
+from repro.api import ExperimentEngine, RunConfig, ScenarioSpec
 from repro.workloads.scenarios import paper_scenarios
 
 SCENARIOS = {
     s.name: s for s in paper_scenarios(random_window=10, random_jobs=150)
 }
-SOLVERS = {
-    "clarke_wright": clarke_wright,
-    "sweep": sweep_routes,
-    "nearest_neighbor": nearest_neighbor_routes,
-}
+HEURISTICS = ("clarke-wright", "sweep", "nearest-neighbor")
 
 
-@pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+def _spec(scenario_name: str) -> ScenarioSpec:
+    return ScenarioSpec.from_demand(SCENARIOS[scenario_name].demand, name=scenario_name)
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
 @pytest.mark.parametrize("scenario_name", ["square", "uniform", "clustered"])
-def bench_cvrp_vs_cmvrp(benchmark, scenario_name, solver_name):
-    demand = SCENARIOS[scenario_name].demand
-    bounds = offline_bounds(demand)
-    vehicle_capacity = max(2 * bounds.constructive_capacity, 10.0)
-    instance = CVRPInstance.from_demand_map(demand, capacity=vehicle_capacity)
-    solver = SOLVERS[solver_name]
+def bench_cvrp_vs_cmvrp(benchmark, scenario_name, heuristic):
+    spec = _spec(scenario_name)
+    engine = ExperimentEngine()
+    cmvrp = engine.run(RunConfig(solver="offline", scenario=spec))
+    vehicle_capacity = max(2 * cmvrp.max_vehicle_energy, 10.0)
+    config = RunConfig(
+        solver="cvrp",
+        scenario=spec,
+        params={"heuristic": heuristic, "vehicle_capacity": vehicle_capacity},
+    )
 
-    solution = benchmark(lambda: solver(instance))
+    solution = benchmark(lambda: ExperimentEngine().run(config))
 
     benchmark.extra_info.update(
         {
             "scenario": scenario_name,
-            "solver": solver_name,
-            "cvrp_total_route_length": solution.total_length(),
-            "cvrp_max_route_energy": solution.max_route_energy(),
-            "cmvrp_max_vehicle_energy": bounds.constructive_capacity,
-            "cmvrp_lower_bound": bounds.omega_star,
+            "solver": heuristic,
+            "cvrp_total_route_length": solution.objective,
+            "cvrp_max_route_energy": solution.max_vehicle_energy,
+            "cmvrp_max_vehicle_energy": cmvrp.max_vehicle_energy,
+            "cmvrp_lower_bound": cmvrp.omega_star,
         }
     )
-    assert solution.is_feasible()
+    assert solution.feasible
     # The thesis's motivation: dispersing vehicles beats a central depot on
     # the min-max energy objective.
-    assert bounds.constructive_capacity <= solution.max_route_energy() + 1e-9
+    assert cmvrp.max_vehicle_energy <= solution.max_vehicle_energy + 1e-9
 
 
-def bench_transportation_problem(benchmark, rng):
+def bench_transportation_problem(benchmark):
     """The classical earth-mover LP on a supply/demand pair derived from a scenario."""
-    demand = SCENARIOS["clustered"].demand
-    # Supply: the same total mass spread uniformly over the demand's bounding box.
-    box = demand.bounding_box()
-    per_vertex = demand.total() / box.size
-    supplies = {point: per_vertex for point in box.points()}
+    spec = _spec("clustered")
+    config = RunConfig(
+        solver="transportation", scenario=spec, params={"supply": "uniform"}
+    )
 
-    result = benchmark(lambda: transportation_problem(supplies, demand.as_dict()))
+    result = benchmark(lambda: ExperimentEngine().run(config))
 
+    total_mass = SCENARIOS["clustered"].demand.total()
     benchmark.extra_info.update(
         {
-            "total_mass": demand.total(),
-            "earth_mover_cost": result.cost,
-            "mean_transport_distance": result.cost / demand.total(),
+            "total_mass": total_mass,
+            "earth_mover_cost": result.objective,
+            "mean_transport_distance": result.extra("mean_transport_distance"),
         }
     )
-    assert result.cost >= 0
+    assert result.objective >= 0

@@ -1,0 +1,65 @@
+"""E14 -- the batch execution engine: fan-out, caching, determinism.
+
+The :class:`~repro.api.ExperimentEngine` is the throughput path toward the
+ROADMAP's production-scale goal: one process should grind through large
+scenario x solver x seed matrices as fast as the hardware allows.  This
+benchmark measures
+
+* a full matrix executed serially vs over the worker pool,
+* the cache path (a warm engine re-running the same matrix), and
+
+asserts the load-bearing property: worker count never changes the results,
+and the cache returns the exact same records without re-solving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentEngine, ScenarioSpec, config_matrix
+from repro.core.demand import DemandMap
+
+#: Small inline scenarios so the benchmark measures engine overhead and
+#: fan-out, not one giant solve.
+_SPECS = [
+    ScenarioSpec.from_demand(
+        DemandMap({(0, 0): 6.0, (2, 1): 4.0, (x, x): 2.0}), name=f"diag{x}"
+    )
+    for x in range(3, 7)
+]
+_SOLVERS = ["offline", "greedy", "tsp"]
+_MATRIX = config_matrix(_SPECS, _SOLVERS, seeds=[0, 1])
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def bench_engine_matrix(benchmark, workers):
+    results = benchmark(lambda: ExperimentEngine(workers=workers).run_many(_MATRIX))
+
+    benchmark.extra_info.update(
+        {
+            "workers": workers,
+            "runs": len(results),
+            "feasible_runs": sum(1 for r in results if r.feasible),
+        }
+    )
+    assert len(results) == len(_MATRIX)
+    # Worker count must not change the results.
+    baseline = ExperimentEngine(workers=1).run_many(_MATRIX)
+    assert results == baseline
+
+
+def bench_engine_cache_hits(benchmark):
+    engine = ExperimentEngine()
+    cold = engine.run_many(_MATRIX)
+
+    warm = benchmark(lambda: engine.run_many(_MATRIX))
+
+    benchmark.extra_info.update(
+        {
+            "runs": len(_MATRIX),
+            "executed": engine.stats.executed,
+            "cache_hits": engine.stats.cache_hits,
+        }
+    )
+    assert warm == cold
+    assert engine.stats.executed == len(_MATRIX)  # nothing re-solved after warmup

@@ -3,20 +3,19 @@
 The decentralized online strategy must serve every job with per-vehicle
 capacity ``(4 * 3^l + l) * omega_c`` and its measured per-vehicle energy
 must stay within that constant of the offline lower bound.  The benchmark
-runs the actual message-passing protocol (Phase I/II included) on the
-paper scenarios and on a replacement-heavy burst, recording energies,
-replacements and message counts.
+runs the actual message-passing protocol (Phase I/II included) through the
+unified ``online`` solver on the paper scenarios and on a
+replacement-heavy burst, recording energies, replacements and message
+counts from the :class:`~repro.api.RunResult` record.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.demand import JobSequence
+from repro.api import ExperimentEngine, RunConfig, ScenarioSpec
+from repro.core.demand import DemandMap
 from repro.core.offline import online_upper_bound_factor
-from repro.core.online import run_online
-from repro.workloads.arrivals import random_arrivals
 from repro.workloads.scenarios import paper_scenarios
 
 SCENARIOS = {
@@ -35,11 +34,11 @@ SCENARIOS = {
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def bench_online_scenarios(benchmark, name):
-    demand = SCENARIOS[name].demand
-    jobs = random_arrivals(demand, np.random.default_rng(17))
+    spec = ScenarioSpec.from_demand(SCENARIOS[name].demand, name=name, seed=17)
+    config = RunConfig(solver="online", scenario=spec)
 
     result = benchmark.pedantic(
-        lambda: run_online(jobs), rounds=1, iterations=1, warmup_rounds=0
+        lambda: ExperimentEngine().run(config), rounds=1, iterations=1, warmup_rounds=0
     )
 
     factor = online_upper_bound_factor(2)
@@ -50,38 +49,39 @@ def bench_online_scenarios(benchmark, name):
             "offline_lower_bound_omega_star": result.omega_star,
             "provisioned_capacity": result.capacity,
             "measured_max_vehicle_energy": result.max_vehicle_energy,
-            "online_over_offline": result.online_to_offline_ratio,
+            "online_over_offline": result.capacity_ratio,
             "paper_constant": factor,
-            "replacements": result.replacements,
-            "messages": result.messages,
+            "replacements": result.extra("replacements"),
+            "messages": result.extra("messages"),
         }
     )
     assert result.feasible
     assert result.max_vehicle_energy <= result.capacity + 1e-9
-    assert result.max_vehicle_energy <= factor * max(result.omega, result.omega_star) + 1e-9
+    assert result.max_vehicle_energy <= factor * max(
+        result.capacity / factor, result.omega_star
+    ) + 1e-9
 
 
 def bench_online_replacement_burst(benchmark):
     """A tight-capacity burst that forces many Phase I/II replacements."""
-    jobs = JobSequence.from_positions([(0, 0)] * 40)
+    demand = DemandMap({(0, 0): 40.0})
+    spec = ScenarioSpec.from_demand(demand, name="burst", order="sequential")
+    config = RunConfig(solver="online", scenario=spec, omega=3.0, capacity=12.0)
 
     result = benchmark.pedantic(
-        lambda: run_online(jobs, omega=3.0, capacity=12.0),
-        rounds=1,
-        iterations=1,
-        warmup_rounds=0,
+        lambda: ExperimentEngine().run(config), rounds=1, iterations=1, warmup_rounds=0
     )
 
     benchmark.extra_info.update(
         {
             "jobs": result.jobs_total,
             "capacity": result.capacity,
-            "replacements": result.replacements,
-            "searches": result.searches,
-            "messages": result.messages,
+            "replacements": result.extra("replacements"),
+            "searches": result.extra("searches"),
+            "messages": result.extra("messages"),
             "max_vehicle_energy": result.max_vehicle_energy,
         }
     )
     assert result.feasible
-    assert result.replacements >= 2
-    assert result.messages > 0
+    assert result.extra("replacements") >= 2
+    assert result.extra("messages") > 0

@@ -1,15 +1,19 @@
-"""Quickstart: the CMVRP pipeline end to end on a small workload.
+"""Quickstart: the unified experiment API end to end on a small workload.
 
-This walks through the whole public API in one sitting:
+This walks through the :mod:`repro.api` surface in one sitting:
 
-1.  build a demand map (here: the thesis's square example -- a building
-    monitored by a grid of mobile sensors);
-2.  compute the offline characterization of Theorem 1.4.1: the lower bound
-    ``omega*``, the Corollary 2.2.7 fixed point ``omega_c``, the
-    Algorithm 1 estimate, and the audited constructive plan of Lemma 2.2.5;
-3.  turn the demand into an online job sequence and run the decentralized
-    strategy of Chapter 3 (Phase I/II diffusing computations included);
-4.  print everything as a small table.
+1.  describe a workload as a :class:`~repro.api.ScenarioSpec` (here: the
+    thesis's square example -- a building monitored by a grid of mobile
+    sensors);
+2.  build one frozen :class:`~repro.api.RunConfig` per solver -- the
+    offline characterization of Chapter 2, the decentralized online
+    strategy of Chapter 3, and the greedy heuristic baseline -- plus a
+    broken-vehicle run (Section 3.2.5 / Chapter 4) riding on the same
+    scenario;
+3.  fan them out over the :class:`~repro.api.ExperimentEngine` (parallel
+    workers, per-config seeding, result caching keyed on config hash);
+4.  print one comparison table and drill into a single
+    :class:`~repro.api.RunResult`.
 
 Run with::
 
@@ -18,70 +22,73 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    algorithm1,
-    audit_plan,
-    build_cube_plan,
-    offline_bounds,
-    run_online,
+from repro.api import (
+    ExperimentEngine,
+    FailureSpec,
+    RunConfig,
+    ScenarioSpec,
 )
 from repro.analysis.report import Table
-from repro.grid.lattice import Box
-from repro.workloads.arrivals import random_arrivals
 from repro.workloads.generators import square_demand
 
 
 def main() -> None:
     # An 8 x 8 building floor; every vertex hosts a sensor (vehicle) and the
-    # monitoring workload asks for 12 units of service per vertex.
+    # monitoring workload asks for 12 units of service per vertex.  The spec
+    # freezes the demand, the arrival ordering, and its seed, so every run
+    # below is a pure function of its config.
     demand = square_demand(side=8, demand=12.0)
+    scenario = ScenarioSpec.from_demand(demand, name="building", seed=0)
     print(f"Workload: {demand!r}\n")
 
-    # ---------------------------------------------------------------- #
-    # Offline characterization (Chapter 2)
-    # ---------------------------------------------------------------- #
-    window = Box.cube((0, 0), 8)  # power-of-two window for Algorithm 1
-    bounds = offline_bounds(demand, window=window)
+    # One config per solver; the same scenario drives all of them.
+    configs = [
+        RunConfig(solver="offline", scenario=scenario),
+        RunConfig(solver="online", scenario=scenario),
+        RunConfig(solver="greedy", scenario=scenario),
+        # Chapter 4 flavor: crash a vehicle inside the floor and let the
+        # Section 3.2.5 monitoring loop recover.
+        RunConfig(
+            solver="online-broken",
+            scenario=scenario,
+            failures=FailureSpec(crashed=((3, 3),)),
+            recovery_rounds=3,
+        ),
+    ]
 
-    offline_table = Table(
-        "Offline characterization (Theorem 1.4.1)",
-        ["quantity", "value"],
-    )
-    offline_table.add_row("omega_c (Cor. 2.2.7 lower bound)", bounds.omega_c)
-    offline_table.add_row("omega* = max_T omega_T (cubes)", bounds.omega_star)
-    offline_table.add_row("constructive plan max energy", bounds.constructive_capacity)
-    offline_table.add_row("(2*3^l + l) * omega* upper bound", bounds.upper_bound)
-    offline_table.add_row("Algorithm 1 estimate", bounds.algorithm1_estimate)
-    offline_table.add_row("realized upper/lower gap", bounds.sandwich_ratio)
-    print(offline_table.render())
+    engine = ExperimentEngine(workers=4)
+    results = engine.run_many(configs)
+
+    # ---------------------------------------------------------------- #
+    # The cross-solver comparison: every row reports the same quantities
+    # (omega*, capacity, feasibility, energies), which is what makes the
+    # Theorem 1.4.1 / 1.4.2 sandwich visible at a glance.
+    # ---------------------------------------------------------------- #
+    print(engine.summary(results, title="CMVRP solvers on the building workload").render())
     print()
 
-    # The constructive plan itself can be inspected and audited explicitly.
-    plan = build_cube_plan(demand)
-    audit = audit_plan(plan, demand, capacity=bounds.upper_bound)
-    print(f"Lemma 2.2.5 plan: {len(plan)} vehicles used; audit: {audit.summary()}\n")
-
     # ---------------------------------------------------------------- #
-    # Online strategy (Chapter 3)
+    # Drilling into one result: solver-specific counters ride in extras.
     # ---------------------------------------------------------------- #
-    jobs = random_arrivals(demand, np.random.default_rng(0))
-    result = run_online(jobs)
+    online = results[1]
+    detail = Table("Online strategy detail (Theorem 1.4.2)", ["quantity", "value"])
+    detail.add_row("jobs served / total", f"{online.jobs_served}/{online.jobs_total}")
+    detail.add_row("provisioned capacity (4*3^l + l) * omega", online.capacity)
+    detail.add_row("max per-vehicle energy used", online.max_vehicle_energy)
+    detail.add_row("online / offline lower bound ratio", online.capacity_ratio)
+    detail.add_row("replacements (Phase I/II runs)", online.extra("replacements"))
+    detail.add_row("protocol messages", online.extra("messages"))
+    print(detail.render())
+    print()
 
-    online_table = Table(
-        "Online strategy (Theorem 1.4.2)",
-        ["quantity", "value"],
+    # Caching: re-running a config is free (content-hash lookup, no solve).
+    engine.run_many(configs)
+    print(
+        f"engine stats: {engine.stats.executed} runs executed, "
+        f"{engine.stats.cache_hits} cache hits"
     )
-    online_table.add_row("jobs served / total", f"{result.jobs_served}/{result.jobs_total}")
-    online_table.add_row("provisioned capacity (4*3^l + l) * omega_c", result.capacity)
-    online_table.add_row("max per-vehicle energy used", result.max_vehicle_energy)
-    online_table.add_row("online / offline lower bound ratio", result.online_to_offline_ratio)
-    online_table.add_row("replacements (Phase I/II runs)", result.replacements)
-    online_table.add_row("protocol messages", result.messages)
-    print(online_table.render())
 
-    assert result.feasible, "the online strategy must serve every job"
+    assert all(result.feasible for result in results), "every run must serve all jobs"
 
 
 if __name__ == "__main__":

@@ -8,21 +8,37 @@ given demand -- offline (Chapter 2), online and decentralized (Chapter 3),
 with broken vehicles (Chapter 4), and with inter-vehicle energy transfers
 (Chapter 5).
 
-Quickstart::
+Quickstart -- the unified experiment API drives every solver (offline,
+online, broken vehicles, energy transfers, and the classical baselines)
+through one engine::
 
-    from repro import offline_bounds, run_online
-    from repro.workloads import square_demand
-    from repro.workloads.arrivals import random_arrivals
-    import numpy as np
+    from repro.api import ExperimentEngine, RunConfig, ScenarioSpec
 
-    demand = square_demand(side=6, demand=10.0)
-    bounds = offline_bounds(demand)            # omega*, upper bounds, plan
-    jobs = random_arrivals(demand, np.random.default_rng(0))
-    result = run_online(jobs)                  # decentralized simulation
-    print(bounds.omega_star, result.max_vehicle_energy)
+    scenario = ScenarioSpec.named("square", seed=0)   # or .from_demand(...)
+    configs = [
+        RunConfig(solver=name, scenario=scenario)
+        for name in ("offline", "online", "greedy")
+    ]
+    engine = ExperimentEngine(workers=4)              # parallel, cached
+    results = engine.run_many(configs)                # unified RunResults
+    print(engine.summary(results).render())           # one comparison table
+
+Every run is a pure function of its frozen :class:`~repro.api.RunConfig`
+(JSON round-trippable, content-hashed for caching), so sweeps are
+reproducible bit-for-bit regardless of worker count.  The same machinery
+backs the command line::
+
+    python -m repro compare --scenario square --solvers offline,online,greedy
+    python -m repro sweep --scenarios all --solvers offline,greedy --workers 4
+
+The chapter implementations remain importable directly (``offline_bounds``,
+``run_online``, ...) for fine-grained control.
 
 Subpackages
 -----------
+``repro.api``
+    The unified experiment API: solver registry, run configs, the batch
+    execution engine, and the unified result record.
 ``repro.grid``
     The lattice substrate (Manhattan metric, neighborhoods, cubes, coloring).
 ``repro.core``
@@ -44,6 +60,15 @@ Subpackages
     JSON serialization of workloads, plans, and results.
 """
 
+from repro.api import (
+    ExperimentEngine,
+    RunConfig,
+    RunResult,
+    ScenarioSpec,
+    available_solvers,
+    get_solver,
+    register_solver,
+)
 from repro.core.demand import DemandMap, Job, JobSequence
 from repro.core.offline import (
     Algorithm1Result,
@@ -68,6 +93,13 @@ from repro.grid.regions import Region
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentEngine",
+    "RunConfig",
+    "RunResult",
+    "ScenarioSpec",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
     "DemandMap",
     "Job",
     "JobSequence",

@@ -1,0 +1,65 @@
+"""The unified experiment API: solver registry, run configs, batch engine.
+
+One import gives everything needed to describe and execute experiments
+across every chapter of the thesis and every baseline::
+
+    from repro.api import ExperimentEngine, RunConfig, ScenarioSpec
+
+    configs = [
+        RunConfig(solver=name, scenario=ScenarioSpec.named("square", seed=0))
+        for name in ("offline", "online", "greedy")
+    ]
+    engine = ExperimentEngine(workers=4)
+    results = engine.run_many(configs)
+    print(engine.summary(results).render())
+
+Importing this package registers the built-in solvers (see
+:mod:`repro.api.solvers`), so :func:`get_solver` and the engine always see
+the full catalogue.
+"""
+
+from repro.api.config import (
+    ARRIVAL_ORDERS,
+    CapacitySpec,
+    ConfigError,
+    FailureSpec,
+    RunConfig,
+    ScenarioSpec,
+)
+from repro.api.engine import EngineStats, ExperimentEngine, config_matrix
+from repro.api.registry import (
+    Solver,
+    SolverEntry,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solver_descriptions,
+    solver_entry,
+    unregister_solver,
+)
+from repro.api.result import RunResult
+from repro.api.solvers import BUILTIN_SOLVERS
+
+__all__ = [
+    "ARRIVAL_ORDERS",
+    "BUILTIN_SOLVERS",
+    "CapacitySpec",
+    "ConfigError",
+    "EngineStats",
+    "ExperimentEngine",
+    "FailureSpec",
+    "RunConfig",
+    "RunResult",
+    "ScenarioSpec",
+    "Solver",
+    "SolverEntry",
+    "UnknownSolverError",
+    "available_solvers",
+    "config_matrix",
+    "get_solver",
+    "register_solver",
+    "solver_descriptions",
+    "solver_entry",
+    "unregister_solver",
+]

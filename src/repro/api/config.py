@@ -1,0 +1,387 @@
+"""Frozen run configurations: scenario + solver + knobs, hashable and JSON-safe.
+
+A :class:`RunConfig` is the *complete* description of one experiment run:
+which workload (:class:`ScenarioSpec`), which solver (a registry name), the
+capacity/omega provisioning, an optional failure plan, and solver-specific
+parameters.  Configs are frozen, comparable, and round-trip through JSON
+(:func:`RunConfig.to_json` / :func:`RunConfig.from_json`, also exposed via
+:mod:`repro.io.serialize`), and :meth:`RunConfig.config_hash` gives a
+stable content hash the engine uses as its cache key -- two configs with
+the same hash produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.demand import DemandMap, JobSequence
+from repro.distsim.failures import FailurePlan
+from repro.grid.lattice import Point
+from repro.workloads.arrivals import (
+    alternating_arrivals,
+    random_arrivals,
+    sequential_arrivals,
+)
+
+__all__ = [
+    "ARRIVAL_ORDERS",
+    "CapacitySpec",
+    "ConfigError",
+    "FailureSpec",
+    "ScenarioSpec",
+    "RunConfig",
+]
+
+#: Provisioning policy for the online family: ``"theorem"`` uses the
+#: Lemma 3.3.1 budget, a float provisions that amount, ``None`` measures
+#: with unbounded batteries.
+CapacitySpec = Union[None, float, str]
+
+ARRIVAL_ORDERS = ("random", "sequential", "alternating")
+
+
+class ConfigError(ValueError):
+    """A run configuration failed validation."""
+
+
+def _normalize_point(raw: Any) -> Point:
+    if isinstance(raw, str) or not hasattr(raw, "__iter__"):
+        raise ConfigError(f"not a lattice point: {raw!r}")
+    point = []
+    for coordinate in raw:
+        if isinstance(coordinate, bool):
+            raise ConfigError(f"not an integer coordinate: {coordinate!r} in {raw!r}")
+        try:
+            value = int(coordinate)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"not an integer coordinate: {coordinate!r} in {raw!r}"
+            ) from None
+        if value != coordinate:
+            raise ConfigError(f"non-integer coordinate {coordinate!r} in {raw!r}")
+        point.append(value)
+    return tuple(point)
+
+
+def _normalize_entries(raw: Any) -> Tuple[Tuple[Point, float], ...]:
+    entries = []
+    for item in raw:
+        point, value = item
+        value = float(value)
+        if value < 0 or not math.isfinite(value):
+            raise ConfigError(f"demand must be finite and non-negative, got {value}")
+        entries.append((_normalize_point(point), value))
+    entries.sort()
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Declarative failure injection for the online family (Section 3.2.5).
+
+    ``crashed`` vehicles are broken from the start (scenario 3): they cannot
+    move, serve, or heartbeat, but their radios still relay protocol
+    messages, so the monitoring loop can replace them.  ``suppressed``
+    vehicles never initiate their own diffusing computations (scenario 2).
+    Points name the vehicles' home vertices.
+    """
+
+    crashed: Tuple[Point, ...] = ()
+    suppressed: Tuple[Point, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "crashed", tuple(sorted(_normalize_point(p) for p in self.crashed))
+        )
+        object.__setattr__(
+            self, "suppressed", tuple(sorted(_normalize_point(p) for p in self.suppressed))
+        )
+
+    def is_empty(self) -> bool:
+        return not self.crashed and not self.suppressed
+
+    def to_plan(self) -> FailurePlan:
+        """The network-level :class:`FailurePlan` (scenario 2 suppression).
+
+        Scenario 3 crashes are fleet-level (the vehicle dies, its radio
+        lives) and are applied via :func:`repro.core.online.run_online`'s
+        ``dead_vehicles`` argument instead.
+        """
+        plan = FailurePlan()
+        for point in self.suppressed:
+            plan.suppress_initiation(point)
+        return plan
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "crashed": [list(p) for p in self.crashed],
+            "suppressed": [list(p) for p in self.suppressed],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "FailureSpec":
+        return cls(
+            crashed=tuple(tuple(p) for p in payload.get("crashed", ())),
+            suppressed=tuple(tuple(p) for p in payload.get("suppressed", ())),
+        )
+
+
+@functools.lru_cache(maxsize=None)
+def _named_scenario_demand(name: str) -> DemandMap:
+    """Demand map of a built-in paper scenario, generated once per process.
+
+    The paper suite includes randomized scenarios whose generation is not
+    free; the engine looks named scenarios up on every run, so the suite
+    must not be rebuilt per lookup.  Demand maps are immutable, so sharing
+    one instance across runs is safe.
+    """
+    from repro.workloads.scenarios import paper_scenarios
+
+    scenarios = paper_scenarios()
+    for scenario in scenarios:
+        if scenario.name == name:
+            return scenario.demand
+    known = ", ".join(s.name for s in scenarios)
+    raise ConfigError(f"unknown paper scenario {name!r}; known scenarios: {known}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A workload: either a named paper scenario or an inline demand map.
+
+    ``entries=None`` means "look up the paper scenario called ``name``"
+    (see :func:`repro.workloads.scenarios.paper_scenarios`); otherwise the
+    entries *are* the demand map and ``name`` is a free label.  The spec
+    also fixes the arrival ordering and its seed, so the job sequence a run
+    sees is a pure function of the spec.
+    """
+
+    name: str
+    entries: Optional[Tuple[Tuple[Point, float], ...]] = None
+    order: str = "random"
+    seed: int = 0
+    #: Lattice dimension; only needed for inline scenarios with no entries
+    #: (an empty demand map cannot infer it).
+    dim: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if self.dim is not None and (not isinstance(self.dim, int) or self.dim < 1):
+            raise ConfigError(f"dim must be a positive integer, got {self.dim!r}")
+        if self.order not in ARRIVAL_ORDERS:
+            raise ConfigError(
+                f"arrival order must be one of {ARRIVAL_ORDERS}, got {self.order!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ConfigError(f"seed must be a non-negative integer, got {self.seed!r}")
+        if self.entries is not None:
+            object.__setattr__(self, "entries", _normalize_entries(self.entries))
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_demand(
+        cls, demand: DemandMap, *, name: str = "custom", order: str = "random", seed: int = 0
+    ) -> "ScenarioSpec":
+        """Wrap a concrete demand map as an inline scenario."""
+        return cls(
+            name=name,
+            entries=tuple(demand.items()),
+            order=order,
+            seed=seed,
+            dim=demand.dim,
+        )
+
+    @classmethod
+    def named(cls, name: str, *, order: str = "random", seed: int = 0) -> "ScenarioSpec":
+        """Reference a built-in paper scenario by name (validated eagerly)."""
+        spec = cls(name=name, order=order, seed=seed)
+        spec.demand()  # raises ConfigError on unknown names
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # materialization
+    # ------------------------------------------------------------------ #
+
+    def demand(self) -> DemandMap:
+        """The demand map this spec describes."""
+        if self.entries is not None:
+            return DemandMap(dict(self.entries), dim=self.dim)
+        return _named_scenario_demand(self.name)
+
+    def jobs(self) -> JobSequence:
+        """The online job sequence: demand expanded under the spec's ordering."""
+        demand = self.demand()
+        if self.order == "sequential":
+            return sequential_arrivals(demand)
+        if self.order == "alternating":
+            return alternating_arrivals(demand)
+        return random_arrivals(demand, np.random.default_rng(self.seed))
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name, "order": self.order, "seed": self.seed}
+        if self.entries is not None:
+            payload["entries"] = [[list(point), value] for point, value in self.entries]
+        if self.dim is not None:
+            payload["dim"] = self.dim
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        entries = payload.get("entries")
+        return cls(
+            name=payload["name"],
+            entries=tuple((tuple(p), v) for p, v in entries) if entries is not None else None,
+            order=payload.get("order", "random"),
+            seed=payload.get("seed", 0),
+            dim=payload.get("dim"),
+        )
+
+
+def _normalize_params(raw: Any) -> Tuple[Tuple[str, Any], ...]:
+    if isinstance(raw, Mapping):
+        items = raw.items()
+    else:
+        items = tuple(raw)
+    normalized = []
+    for key, value in items:
+        if not isinstance(key, str) or not key:
+            raise ConfigError(f"param keys must be non-empty strings, got {key!r}")
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            raise ConfigError(f"param {key!r} is not JSON-serializable: {value!r}") from None
+        normalized.append((key, value))
+    normalized.sort(key=lambda item: item[0])
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The complete, frozen description of one experiment run."""
+
+    #: Registry name of the solver (see :mod:`repro.api.registry`).
+    solver: str
+    #: The workload (demand + arrival ordering + seed).
+    scenario: ScenarioSpec
+    #: Capacity provisioning for the online family (see :data:`CapacitySpec`).
+    capacity: CapacitySpec = "theorem"
+    #: Cube-partition parameter override (``None`` = the solver's default).
+    omega: Optional[float] = None
+    #: Failure injection (online-broken).
+    failures: Optional[FailureSpec] = None
+    #: Heartbeat rounds the monitoring loop may spend recovering a job.
+    recovery_rounds: int = 0
+    #: Solver-specific parameters, stored as a sorted tuple of pairs so the
+    #: config stays hashable; pass a dict, it is normalized on construction.
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.solver or not isinstance(self.solver, str):
+            raise ConfigError(f"solver must be a non-empty string, got {self.solver!r}")
+        if not isinstance(self.scenario, ScenarioSpec):
+            raise ConfigError(f"scenario must be a ScenarioSpec, got {self.scenario!r}")
+        if isinstance(self.capacity, str):
+            if self.capacity != "theorem":
+                raise ConfigError(
+                    f'capacity must be "theorem", a positive number, or None; '
+                    f"got {self.capacity!r}"
+                )
+        elif self.capacity is not None:
+            value = float(self.capacity)
+            if value <= 0 or not math.isfinite(value):
+                raise ConfigError(f"capacity must be positive and finite, got {value}")
+            object.__setattr__(self, "capacity", value)
+        if self.omega is not None:
+            omega = float(self.omega)
+            if omega <= 0 or not math.isfinite(omega):
+                raise ConfigError(f"omega must be positive and finite, got {omega}")
+            object.__setattr__(self, "omega", omega)
+        if not isinstance(self.recovery_rounds, int) or self.recovery_rounds < 0:
+            raise ConfigError(
+                f"recovery_rounds must be a non-negative integer, got {self.recovery_rounds!r}"
+            )
+        if self.failures is not None and not isinstance(self.failures, FailureSpec):
+            raise ConfigError(f"failures must be a FailureSpec, got {self.failures!r}")
+        object.__setattr__(self, "params", _normalize_params(self.params))
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+
+    def params_dict(self) -> Dict[str, Any]:
+        """Solver parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """One solver parameter with a default."""
+        return dict(self.params).get(key, default)
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy of the config with fields replaced (re-validated)."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return RunConfig(**current)
+
+    def validate(self) -> "RunConfig":
+        """Full validation: field checks (done eagerly) plus registry/scenario lookups."""
+        from repro.api.registry import solver_entry
+
+        solver_entry(self.solver)  # raises UnknownSolverError
+        self.scenario.demand()  # raises ConfigError on unknown names
+        return self
+
+    # ------------------------------------------------------------------ #
+    # serialization and hashing
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "type": "run_config",
+            "solver": self.solver,
+            "scenario": self.scenario.to_json(),
+            "capacity": self.capacity,
+            "omega": self.omega,
+            "recovery_rounds": self.recovery_rounds,
+            "params": {key: value for key, value in self.params},
+        }
+        if self.failures is not None and not self.failures.is_empty():
+            payload["failures"] = self.failures.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "RunConfig":
+        if payload.get("type") != "run_config":
+            raise ConfigError("payload is not a serialized run config")
+        failures = payload.get("failures")
+        return cls(
+            solver=payload["solver"],
+            scenario=ScenarioSpec.from_json(payload["scenario"]),
+            capacity=payload.get("capacity", "theorem"),
+            omega=payload.get("omega"),
+            failures=FailureSpec.from_json(failures) if failures else None,
+            recovery_rounds=payload.get("recovery_rounds", 0),
+            params=payload.get("params", ()),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON text (sorted keys, no whitespace drift)."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    def config_hash(self) -> str:
+        """Stable content hash -- the engine's cache key."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress lines and tables."""
+        return f"{self.solver}/{self.scenario.name}#{self.scenario.seed}"

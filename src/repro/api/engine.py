@@ -1,0 +1,278 @@
+"""The batch execution engine: fan configs out, cache, and summarize.
+
+:class:`ExperimentEngine` is the one place experiments execute.  It takes a
+list of :class:`~repro.api.config.RunConfig` objects and
+
+* resolves each config's solver through the registry,
+* runs them serially or over a ``concurrent.futures`` pool (threads by
+  default; processes on request for CPU-bound sweeps),
+* caches results keyed on the config's content hash -- in memory always,
+  and as one JSON file per run when a ``cache_dir`` is given, so repeated
+  sweeps are free and artifacts can be archived/diffed,
+* reports progress through a callback and renders a cross-solver
+  comparison table via :mod:`repro.analysis.report`.
+
+Because every run is a pure function of its config (seeds live in the
+config, never in ambient state), a sweep's results are byte-identical
+regardless of worker count -- the property the CLI's ``sweep`` command and
+the engine tests assert.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.report import Table
+from repro.api.config import CapacitySpec, RunConfig, ScenarioSpec
+from repro.api.registry import get_solver
+from repro.api.result import RunResult
+
+__all__ = ["EngineStats", "ExperimentEngine", "config_matrix"]
+
+PathLike = Union[str, Path]
+ProgressCallback = Callable[[int, int, RunResult], None]
+
+SUMMARY_HEADERS = (
+    "solver",
+    "scenario",
+    "feasible",
+    "omega*",
+    "capacity",
+    "max energy",
+    "objective",
+    "max/omega*",
+)
+
+
+def config_matrix(
+    scenarios: Iterable[ScenarioSpec],
+    solvers: Iterable[str],
+    *,
+    seeds: Iterable[int] = (0,),
+    capacity: CapacitySpec = "theorem",
+) -> List[RunConfig]:
+    """The cross product scenario x solver x seed as a list of configs.
+
+    The deterministic enumeration order (scenario-major, then solver, then
+    seed) is part of the sweep format: results are reported in this order.
+    """
+    scenario_list = list(scenarios)
+    solver_list = list(solvers)
+    seed_list = list(seeds)
+    configs = []
+    for scenario, solver, seed in itertools.product(scenario_list, solver_list, seed_list):
+        configs.append(
+            RunConfig(
+                solver=solver,
+                scenario=replace(scenario, seed=seed),
+                capacity=capacity,
+            )
+        )
+    return configs
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine accumulates across ``run``/``run_many`` calls."""
+
+    executed: int = 0
+    memory_cache_hits: int = 0
+    disk_cache_hits: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_cache_hits + self.disk_cache_hits
+
+
+def _solve_payload(payload: str) -> str:
+    """Process-pool entrypoint: JSON config in, canonical JSON result out.
+
+    Module-level (and string-typed) so it pickles cleanly and so the child
+    process repopulates the registry by importing :mod:`repro.api`.
+    """
+    import repro.api  # noqa: F401 - registers the built-in solvers
+
+    config = RunConfig.from_json(json.loads(payload))
+    result = get_solver(config.solver)(config)
+    result = replace(result, config_hash=config.config_hash())
+    return result.canonical_json()
+
+
+class ExperimentEngine:
+    """Run batches of configs with caching, workers, and progress reporting."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: Optional[PathLike] = None,
+        use_processes: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.use_processes = use_processes
+        self.progress = progress
+        self.stats = EngineStats()
+        self._stats_lock = threading.Lock()
+        self._memory_cache: Dict[str, RunResult] = {}
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # caching
+    # ------------------------------------------------------------------ #
+
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def _cached(self, key: str) -> Optional[RunResult]:
+        hit = self._memory_cache.get(key)
+        if hit is not None:
+            self.stats.memory_cache_hits += 1
+            return hit
+        path = self._cache_path(key)
+        if path is not None and path.exists():
+            result = RunResult.from_json(json.loads(path.read_text()))
+            self._memory_cache[key] = result
+            self.stats.disk_cache_hits += 1
+            return result
+        return None
+
+    def _store(self, key: str, result: RunResult) -> None:
+        self._memory_cache[key] = result
+        path = self._cache_path(key)
+        if path is not None:
+            path.write_text(result.canonical_json())
+
+    def clear_cache(self) -> None:
+        """Drop the in-memory cache and delete on-disk cache entries."""
+        self._memory_cache.clear()
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, config: RunConfig) -> RunResult:
+        """Execute one config (cache-aware)."""
+        config.validate()
+        key = config.config_hash()
+        cached = self._cached(key)
+        if cached is not None:
+            return cached
+        result = self._execute(config, key)
+        self._store(key, result)
+        return result
+
+    def _execute(self, config: RunConfig, key: str) -> RunResult:
+        solver = get_solver(config.solver)
+        result = replace(solver(config), config_hash=key)
+        with self._stats_lock:
+            self.stats.executed += 1
+        return result
+
+    def run_many(self, configs: Sequence[RunConfig]) -> List[RunResult]:
+        """Execute a batch, preserving input order in the returned list.
+
+        With ``workers == 1`` runs are strictly sequential; otherwise
+        uncached configs are fanned out over the pool.  Either way the
+        results (and their serialized form) are identical.
+        """
+        configs = list(configs)
+        for config in configs:
+            config.validate()
+        keys = [config.config_hash() for config in configs]
+        total = len(configs)
+        results: List[Optional[RunResult]] = [None] * total
+        done = 0
+
+        def report(index: int, result: RunResult) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, result)
+
+        # Duplicate configs in one batch are solved once: pending indices
+        # are grouped by cache key, and every index of a group receives the
+        # single result (the within-batch face of the caching promise).
+        pending: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            cached = self._cached(key)
+            if cached is not None:
+                results[index] = cached
+                report(index, cached)
+            else:
+                pending.setdefault(key, []).append(index)
+
+        def deliver(key: str, result: RunResult) -> None:
+            self._store(key, result)
+            for index in pending[key]:
+                results[index] = result
+                report(index, result)
+
+        if not pending:
+            return [result for result in results if result is not None]
+
+        unique = [(key, configs[indices[0]]) for key, indices in pending.items()]
+        if self.workers == 1:
+            for key, config in unique:
+                deliver(key, self._execute(config, key))
+        else:
+            with self._executor() as pool:
+                if self.use_processes:
+                    payloads = [
+                        json.dumps(config.to_json(), sort_keys=True)
+                        for _, config in unique
+                    ]
+                    for (key, _), text in zip(unique, pool.map(_solve_payload, payloads)):
+                        with self._stats_lock:
+                            self.stats.executed += 1
+                        deliver(key, RunResult.from_json(json.loads(text)))
+                else:
+                    futures = [
+                        (key, pool.submit(self._execute, config, key))
+                        for key, config in unique
+                    ]
+                    for key, future in futures:
+                        deliver(key, future.result())
+
+        return [result for result in results if result is not None]
+
+    def _executor(self) -> Executor:
+        if self.use_processes:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def summary(results: Iterable[RunResult], *, title: str = "Experiment results") -> Table:
+        """A cross-solver comparison table (one row per result)."""
+        table = Table(title, list(SUMMARY_HEADERS))
+        for result in results:
+            table.add_row(*result.comparison_row())
+        return table
+
+    @staticmethod
+    def results_payload(results: Iterable[RunResult]) -> str:
+        """The deterministic sweep artifact: one JSON document for a batch."""
+        return json.dumps(
+            {"type": "run_results", "results": [r.to_json() for r in results]},
+            sort_keys=True,
+            indent=2,
+        )

@@ -1,0 +1,130 @@
+"""The solver registry: one uniform calling convention for every chapter.
+
+The thesis develops one model per chapter (offline, online, broken
+vehicles, energy transfers) and the reproduction adds classical baselines;
+historically each had its own ad-hoc entrypoint.  The registry wraps them
+all behind a single :class:`Solver` calling convention
+
+    solver(config: RunConfig) -> RunResult
+
+so the :class:`~repro.api.engine.ExperimentEngine`, the CLI, benchmarks,
+and examples can drive any of them interchangeably.  Solvers are
+registered by name with :func:`register_solver`; the built-in set lives in
+:mod:`repro.api.solvers` and is installed when :mod:`repro.api` is
+imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.api.config import RunConfig
+    from repro.api.result import RunResult
+
+__all__ = [
+    "Solver",
+    "SolverEntry",
+    "UnknownSolverError",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "solver_entry",
+    "available_solvers",
+    "solver_descriptions",
+]
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Anything callable as ``solver(config) -> RunResult``."""
+
+    def __call__(self, config: "RunConfig") -> "RunResult":  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """A registered solver plus its catalogue metadata."""
+
+    name: str
+    solve: Solver
+    description: str
+
+
+class UnknownSolverError(KeyError):
+    """Raised when a solver name is not in the registry.
+
+    The message lists the registered names so CLI users and config authors
+    see the valid choices without digging through the source.
+    """
+
+    def __init__(self, name: str, available: List[str]) -> None:
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown solver {name!r}; registered solvers: {', '.join(available) or '(none)'}"
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+_REGISTRY: Dict[str, SolverEntry] = {}
+
+
+def register_solver(
+    name: str, *, description: str = "", override: bool = False
+) -> Callable[[Solver], Solver]:
+    """Class/function decorator registering a solver under ``name``.
+
+    Usage::
+
+        @register_solver("offline", description="Theorem 1.4.1 characterization")
+        def solve_offline(config: RunConfig) -> RunResult:
+            ...
+
+    Re-registering an existing name is an error unless ``override=True``
+    (tests use override to install probes).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"solver name must be a non-empty string, got {name!r}")
+
+    def decorator(solve: Solver) -> Solver:
+        if name in _REGISTRY and not override:
+            raise ValueError(f"solver {name!r} is already registered")
+        _REGISTRY[name] = SolverEntry(name=name, solve=solve, description=description)
+        return solve
+
+    return decorator
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a solver from the registry (primarily for tests)."""
+    if name not in _REGISTRY:
+        raise UnknownSolverError(name, available_solvers())
+    del _REGISTRY[name]
+
+
+def solver_entry(name: str) -> SolverEntry:
+    """The full registry entry for ``name`` (raises :class:`UnknownSolverError`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSolverError(name, available_solvers()) from None
+
+
+def get_solver(name: str) -> Solver:
+    """The solver callable registered under ``name``."""
+    return solver_entry(name).solve
+
+
+def available_solvers() -> List[str]:
+    """Registered solver names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def solver_descriptions() -> Dict[str, str]:
+    """Mapping of registered name -> one-line description (sorted by name)."""
+    return {name: _REGISTRY[name].description for name in available_solvers()}

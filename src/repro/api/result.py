@@ -1,0 +1,120 @@
+"""The unified run record: one result shape for every solver.
+
+:class:`RunResult` subsumes :class:`~repro.core.offline.OfflineBounds`,
+:class:`~repro.core.online.OnlineResult`, and the baseline outputs.  Every
+solver reports the same core quantities -- the ``omega*`` lower bound, the
+capacity it provisioned/required, feasibility, and the energy counters --
+so a comparison table can place, say, the Lemma 2.2.5 constructive plan
+next to the online strategy and the greedy heuristic without unit
+conversions.  Solver-specific counters (protocol messages, tour lengths,
+transfer overheads, ...) ride along in ``extras``.
+
+Results are frozen, comparable, and JSON round-trippable, which is what
+lets the engine cache them on disk keyed by config hash and what makes
+``sweep`` output byte-identical regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["RunResult"]
+
+
+def _normalize_extras(raw: Any) -> Tuple[Tuple[str, Any], ...]:
+    if isinstance(raw, Mapping):
+        items = raw.items()
+    else:
+        items = tuple(raw)
+    normalized = []
+    for key, value in items:
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"extras keys must be non-empty strings, got {key!r}")
+        json.dumps(value)  # extras must survive the JSON round-trip
+        normalized.append((key, value))
+    normalized.sort(key=lambda item: item[0])
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one solver run reports, in comparable units."""
+
+    #: Registry name of the solver that produced the result.
+    solver: str
+    #: Scenario label (from the config's :class:`~repro.api.config.ScenarioSpec`).
+    scenario: str
+    #: The offline lower bound ``max_T omega_T`` (over cubes) for the demand.
+    omega_star: float
+    #: Capacity provisioned or required per vehicle (``None`` = unbounded).
+    capacity: Optional[float]
+    #: Whether the run served every job / covered every demand.
+    feasible: bool
+    #: Largest per-vehicle energy drawn (the min-max objective of the thesis).
+    max_vehicle_energy: float
+    #: Total energy spent across the fleet (travel + service + overheads).
+    total_energy: float
+    #: The solver's native headline number (max energy for CMVRP solvers,
+    #: total route length for TSP/CVRP, transport cost for the LP).
+    objective: float
+    #: Unit jobs in the workload and how many were served.
+    jobs_total: int
+    jobs_served: int
+    #: Solver-specific counters, stored sorted so results hash/compare cleanly.
+    extras: Tuple[Tuple[str, Any], ...] = ()
+    #: Hash of the producing config (ties cached artifacts back to configs).
+    config_hash: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extras", _normalize_extras(self.extras))
+
+    @property
+    def capacity_ratio(self) -> float:
+        """``max_vehicle_energy / omega_star`` -- the constant the theorems bound."""
+        if self.omega_star == 0:
+            return 1.0
+        return self.max_vehicle_energy / self.omega_star
+
+    def extras_dict(self) -> Dict[str, Any]:
+        """Solver-specific counters as a plain dictionary."""
+        return dict(self.extras)
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        """One solver-specific counter with a default."""
+        return dict(self.extras).get(key, default)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["extras"] = {key: value for key, value in self.extras}
+        payload["type"] = "run_result"
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "RunResult":
+        if payload.get("type") != "run_result":
+            raise ValueError("payload is not a serialized run result")
+        kwargs = {f.name: payload[f.name] for f in fields(cls) if f.name in payload}
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON text (sorted keys) -- the cache/sweep format."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    def comparison_row(self) -> Tuple[Any, ...]:
+        """The row :meth:`ExperimentEngine.summary` prints for this result."""
+        return (
+            self.solver,
+            self.scenario,
+            "yes" if self.feasible else "NO",
+            self.omega_star,
+            "unbounded" if self.capacity is None else self.capacity,
+            self.max_vehicle_energy,
+            self.objective,
+            self.capacity_ratio,
+        )

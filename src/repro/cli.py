@@ -1,41 +1,89 @@
 """Command-line interface for the CMVRP reproduction.
 
-Three subcommands cover the workflows a user typically wants without
-writing Python:
+Every subcommand is a thin layer over :mod:`repro.api`: configs are built
+from the flags, executed by the :class:`~repro.api.engine.ExperimentEngine`,
+and rendered with :mod:`repro.analysis.report`.
 
 ``python -m repro scenarios``
     List the built-in paper scenarios with their parameters.
 
-``python -m repro bounds --scenario square``
-    Compute the offline characterization (Theorem 1.4.1 quantities) for a
-    built-in scenario or for a demand map loaded from JSON
-    (``--demand-json path``, in the :mod:`repro.io.serialize` format).
+``python -m repro solvers``
+    List the registered solvers (the names ``run``/``sweep``/``compare``
+    accept) with one-line descriptions.
 
-``python -m repro online --scenario point --seed 7``
-    Run the decentralized online strategy (Chapter 3) on the scenario's
-    demand with a random arrival order and report the Theorem 1.4.2
-    quantities.  ``--capacity`` overrides the provisioned battery and
-    ``--omega`` the cube parameter, which is how the replacement machinery
-    can be stress-tested from the command line.
+``python -m repro run --scenario square --solver online --seed 7``
+    Execute one solver on one workload and print the unified result
+    record.  ``--param key=value`` passes solver-specific parameters
+    (e.g. ``--param heuristic=sweep`` for ``cvrp``), ``--crash x,y`` /
+    ``--suppress x,y`` / ``--recovery-rounds n`` inject Section 3.2.5
+    failures for the ``online-broken`` solver, ``--json path`` archives
+    the :class:`~repro.api.result.RunResult`, and the exit code reflects
+    feasibility.
+
+``python -m repro sweep --scenarios square,line --solvers offline,greedy
+--seeds 0,1,2 --workers 4 --out results.json``
+    Fan the scenario x solver x seed matrix out over the engine's worker
+    pool.  Results are deterministic -- the artifact written by ``--out``
+    is byte-identical regardless of ``--workers`` -- and ``--cache-dir``
+    makes repeated sweeps incremental.
+
+``python -m repro compare --scenario square --solvers offline,online,greedy``
+    Run several solvers on the same workload and print one comparison
+    table, the omega*-anchored sandwich the thesis is about.  Exit code 1
+    if any run is infeasible.
+
+``python -m repro bounds --scenario square`` and ``python -m repro online
+--scenario point --seed 7``
+    The original detail views (Theorem 1.4.1 quantities, Theorem 1.4.2
+    quantities), kept for scripts that rely on them; both now execute
+    through the engine's ``offline``/``online`` solvers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
-
-import numpy as np
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import Table
+from repro.api import (
+    CapacitySpec,
+    ConfigError,
+    ExperimentEngine,
+    FailureSpec,
+    RunConfig,
+    RunResult,
+    ScenarioSpec,
+    UnknownSolverError,
+    available_solvers,
+    config_matrix,
+    solver_descriptions,
+)
 from repro.core.demand import DemandMap
 from repro.core.offline import offline_bounds
 from repro.core.online import run_online
-from repro.io.serialize import demand_from_json, load_json
-from repro.workloads.arrivals import random_arrivals, sequential_arrivals
-from repro.workloads.scenarios import Scenario, paper_scenarios
+from repro.io.serialize import demand_from_json, load_json, save_json
+from repro.workloads.arrivals import (
+    alternating_arrivals,
+    random_arrivals,
+    sequential_arrivals,
+)
+from repro.workloads.scenarios import paper_scenarios
 
 __all__ = ["main", "build_parser"]
+
+
+def _scenario_names() -> List[str]:
+    return [s.name for s in paper_scenarios()]
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +95,73 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("scenarios", help="list the built-in paper scenarios")
+    subparsers.add_parser("solvers", help="list the registered solvers")
+
+    run = subparsers.add_parser("run", help="execute one solver on one workload")
+    _add_workload_arguments(run)
+    _add_run_arguments(run)
+    run.add_argument(
+        "--solver",
+        required=True,
+        choices=available_solvers(),
+        help="registry name of the solver",
+    )
+    run.add_argument("--json", dest="json_out", help="write the RunResult to this path")
+    run.add_argument("--cache-dir", help="result cache directory (keyed on config hash)")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario x solver x seed matrix through the engine"
+    )
+    sweep.add_argument(
+        "--scenarios",
+        default="all",
+        help='comma-separated scenario names, or "all" (default)',
+    )
+    sweep.add_argument(
+        "--solvers",
+        required=True,
+        help="comma-separated solver names",
+    )
+    sweep.add_argument(
+        "--seeds", default="0", help='comma-separated seeds (default "0")'
+    )
+    sweep.add_argument(
+        "--order",
+        choices=["random", "sequential", "alternating"],
+        default="random",
+        help="arrival ordering of the unit jobs",
+    )
+    sweep.add_argument(
+        "--capacity",
+        default="theorem",
+        help='provisioned battery: "theorem", "unbounded", or a number',
+    )
+    sweep.add_argument("--workers", type=_positive_int, default=1, help="worker pool size")
+    sweep.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-run progress lines to stderr",
+    )
+    sweep.add_argument(
+        "--processes",
+        action="store_true",
+        help="use a process pool instead of threads",
+    )
+    sweep.add_argument("--cache-dir", help="result cache directory (keyed on config hash)")
+    sweep.add_argument("--out", help="write the deterministic results JSON to this path")
+
+    compare = subparsers.add_parser(
+        "compare", help="run several solvers on one workload and print one table"
+    )
+    _add_workload_arguments(compare)
+    _add_run_arguments(compare)
+    compare.add_argument(
+        "--solvers",
+        required=True,
+        help="comma-separated solver names",
+    )
+    compare.add_argument("--workers", type=_positive_int, default=1, help="worker pool size")
+    compare.add_argument("--cache-dir", help="result cache directory (keyed on config hash)")
 
     bounds = subparsers.add_parser(
         "bounds", help="compute the offline characterization for a workload"
@@ -57,22 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         "online", help="run the decentralized online strategy on a workload"
     )
     _add_workload_arguments(online)
-    online.add_argument("--seed", type=int, default=0, help="arrival-order seed")
-    online.add_argument(
-        "--order",
-        choices=["random", "sequential"],
-        default="random",
-        help="arrival ordering of the unit jobs",
-    )
-    online.add_argument(
-        "--capacity",
-        type=float,
-        default=None,
-        help="per-vehicle battery (default: the Lemma 3.3.1 theorem capacity)",
-    )
-    online.add_argument(
-        "--omega", type=float, default=None, help="cube parameter (default: omega_c)"
-    )
+    _add_run_arguments(online, engine=False)
     return parser
 
 
@@ -80,7 +180,7 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
         "--scenario",
-        choices=[s.name for s in paper_scenarios()],
+        choices=_scenario_names(),
         help="one of the built-in paper scenarios",
     )
     source.add_argument(
@@ -89,11 +189,139 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_demand(args: argparse.Namespace) -> DemandMap:
-    if args.demand_json:
-        return demand_from_json(load_json(args.demand_json))
-    scenario = next(s for s in paper_scenarios() if s.name == args.scenario)
-    return scenario.demand
+def _add_run_arguments(parser: argparse.ArgumentParser, *, engine: bool = True) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="arrival-order seed")
+    parser.add_argument(
+        "--order",
+        choices=["random", "sequential", "alternating"],
+        default="random",
+        help="arrival ordering of the unit jobs",
+    )
+    parser.add_argument(
+        "--capacity",
+        default=None,
+        help='per-vehicle battery: a number, "unbounded", or the default '
+        "Lemma 3.3.1 theorem capacity",
+    )
+    parser.add_argument(
+        "--omega", type=float, default=None, help="cube parameter (default: omega_c)"
+    )
+    if not engine:
+        return
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="solver-specific parameter (repeatable); values parse as JSON "
+        "when possible",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-run progress lines to stderr",
+    )
+    parser.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="X,Y",
+        help="home vertex of a vehicle broken from the start (repeatable; "
+        "scenario 3, for the online-broken solver)",
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="X,Y",
+        help="home vertex of a vehicle that never initiates diffusing "
+        "computations (repeatable; scenario 2, for the online-broken solver)",
+    )
+    parser.add_argument(
+        "--recovery-rounds",
+        type=int,
+        default=0,
+        help="heartbeat rounds the monitoring loop may spend recovering a job",
+    )
+
+
+def _parse_point(raw: str) -> tuple:
+    try:
+        return tuple(int(c) for c in raw.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"invalid point {raw!r}: expected comma-separated integers like 3,3"
+        ) from None
+
+
+def _parse_failures(args: argparse.Namespace) -> Optional[FailureSpec]:
+    crashed = tuple(_parse_point(p) for p in getattr(args, "crash", []))
+    suppressed = tuple(_parse_point(p) for p in getattr(args, "suppress", []))
+    if not crashed and not suppressed:
+        return None
+    return FailureSpec(crashed=crashed, suppressed=suppressed)
+
+
+def _parse_capacity(raw: Optional[str]) -> CapacitySpec:
+    if raw is None or raw == "theorem":
+        return "theorem"
+    if raw in ("unbounded", "none", "None"):
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise SystemExit(
+            f'invalid --capacity {raw!r}: expected "theorem", "unbounded", or a number'
+        ) from None
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"invalid --param {pair!r}: expected KEY=VALUE")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _scenario_spec(args: argparse.Namespace) -> ScenarioSpec:
+    order = getattr(args, "order", "random")
+    seed = getattr(args, "seed", 0)
+    if getattr(args, "demand_json", None):
+        demand = demand_from_json(load_json(args.demand_json))
+        name = Path(args.demand_json).stem
+        return ScenarioSpec.from_demand(demand, name=name, order=order, seed=seed)
+    return ScenarioSpec(name=args.scenario, order=order, seed=seed)
+
+
+def _split_csv(raw: str) -> List[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _engine(args: argparse.Namespace, *, workers: int = 1) -> ExperimentEngine:
+    def progress(done: int, total: int, result: RunResult) -> None:
+        status = "ok" if result.feasible else "INFEASIBLE"
+        print(
+            f"[{done}/{total}] {result.solver}/{result.scenario} "
+            f"max_energy={result.max_vehicle_energy:g} ({status})",
+            file=sys.stderr,
+        )
+
+    return ExperimentEngine(
+        workers=workers,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_processes=getattr(args, "processes", False),
+        progress=progress if workers > 1 or getattr(args, "verbose", False) else None,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
 
 
 def _command_scenarios() -> int:
@@ -109,8 +337,97 @@ def _command_scenarios() -> int:
     return 0
 
 
+def _command_solvers() -> int:
+    table = Table("Registered solvers", ["name", "description"])
+    for name, description in solver_descriptions().items():
+        table.add_row(name, description)
+    print(table.render())
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = RunConfig(
+        solver=args.solver,
+        scenario=_scenario_spec(args),
+        capacity=_parse_capacity(args.capacity),
+        omega=args.omega,
+        failures=_parse_failures(args),
+        recovery_rounds=args.recovery_rounds,
+        params=_parse_params(args.param),
+    )
+    engine = _engine(args)
+    result = engine.run(config)
+    print(ExperimentEngine.summary([result], title=f"Run {config.label()}").render())
+    extras = result.extras_dict()
+    if extras:
+        detail = Table("Solver detail", ["counter", "value"])
+        for key, value in extras.items():
+            detail.add_row(key, value)
+        print()
+        print(detail.render())
+    if args.json_out:
+        save_json(result.to_json(), args.json_out)
+    return 0 if result.feasible else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    names = _scenario_names() if args.scenarios == "all" else _split_csv(args.scenarios)
+    seeds = [int(seed) for seed in _split_csv(args.seeds)]
+    scenarios = [ScenarioSpec(name=name, order=args.order) for name in names]
+    configs = config_matrix(
+        scenarios,
+        _split_csv(args.solvers),
+        seeds=seeds,
+        capacity=_parse_capacity(args.capacity),
+    )
+    engine = _engine(args, workers=args.workers)
+    results = engine.run_many(configs)
+    print(
+        ExperimentEngine.summary(
+            results, title=f"Sweep: {len(results)} runs ({engine.stats.cache_hits} cached)"
+        ).render()
+    )
+    if args.out:
+        Path(args.out).write_text(ExperimentEngine.results_payload(results))
+        print(f"\nwrote {len(results)} results to {args.out}", file=sys.stderr)
+    return 0 if all(result.feasible for result in results) else 1
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_spec(args)
+    failures = _parse_failures(args)
+    configs = [
+        RunConfig(
+            solver=solver,
+            scenario=scenario,
+            capacity=_parse_capacity(args.capacity),
+            omega=args.omega,
+            # Failure flags only apply to the solver that models them.
+            failures=failures if solver == "online-broken" else None,
+            recovery_rounds=args.recovery_rounds if solver == "online-broken" else 0,
+            params=_parse_params(args.param),
+        )
+        for solver in _split_csv(args.solvers)
+    ]
+    engine = _engine(args, workers=args.workers)
+    results = engine.run_many(configs)
+    print(
+        ExperimentEngine.summary(
+            results, title=f"Comparison on scenario {scenario.name!r}"
+        ).render()
+    )
+    return 0 if all(result.feasible for result in results) else 1
+
+
+def _legacy_demand(args: argparse.Namespace) -> DemandMap:
+    if args.demand_json:
+        return demand_from_json(load_json(args.demand_json))
+    scenario = next(s for s in paper_scenarios() if s.name == args.scenario)
+    return scenario.demand
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
-    demand = _load_demand(args)
+    demand = _legacy_demand(args)
     bounds = offline_bounds(demand)
     table = Table("Offline characterization (Theorem 1.4.1)", ["quantity", "value"])
     table.add_row("support size", len(demand))
@@ -125,12 +442,16 @@ def _command_bounds(args: argparse.Namespace) -> int:
 
 
 def _command_online(args: argparse.Namespace) -> int:
-    demand = _load_demand(args)
-    if args.order == "random":
-        jobs = random_arrivals(demand, np.random.default_rng(args.seed))
-    else:
+    import numpy as np
+
+    demand = _legacy_demand(args)
+    if args.order == "sequential":
         jobs = sequential_arrivals(demand)
-    capacity = args.capacity if args.capacity is not None else "theorem"
+    elif args.order == "alternating":
+        jobs = alternating_arrivals(demand)
+    else:
+        jobs = random_arrivals(demand, np.random.default_rng(args.seed))
+    capacity = _parse_capacity(args.capacity)
     result = run_online(jobs, omega=args.omega, capacity=capacity)
     table = Table("Online strategy (Theorem 1.4.2)", ["quantity", "value"])
     table.add_row("jobs served / total", f"{result.jobs_served}/{result.jobs_total}")
@@ -150,14 +471,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "scenarios":
-        return _command_scenarios()
-    if args.command == "bounds":
-        return _command_bounds(args)
-    if args.command == "online":
-        return _command_online(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2  # pragma: no cover - parser.error raises
+    commands = {
+        "scenarios": lambda: _command_scenarios(),
+        "solvers": lambda: _command_solvers(),
+        "run": lambda: _command_run(args),
+        "sweep": lambda: _command_sweep(args),
+        "compare": lambda: _command_compare(args),
+        "bounds": lambda: _command_bounds(args),
+        "online": lambda: _command_online(args),
+    }
+    command = commands.get(args.command)
+    if command is None:  # pragma: no cover - argparse rejects unknown commands
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return command()
+    except (ConfigError, UnknownSolverError, OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,7 @@ be compared against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Literal, Optional, Union
+from typing import Dict, Iterable, Literal, Optional, Sequence, Union
 
 import numpy as np
 
@@ -80,6 +80,7 @@ def run_online(
     config: Optional[FleetConfig] = None,
     rng: Optional[np.random.Generator] = None,
     failure_plan: Optional[FailurePlan] = None,
+    dead_vehicles: Optional[Iterable[Sequence[int]]] = None,
     recovery_rounds: int = 0,
 ) -> OnlineResult:
     """Run the online strategy on a job sequence.
@@ -100,6 +101,9 @@ def run_online(
         ``capacity`` argument.
     failure_plan:
         Crash / suppression injection for the scenario 2/3 experiments.
+    dead_vehicles:
+        Home vertices of vehicles that are broken from the start (scenario
+        3); dead vehicles cannot act but their radios still relay.
     recovery_rounds:
         When a job cannot be served immediately (its pair's vehicle is dead
         or out of energy), run this many heartbeat rounds -- letting the
@@ -149,6 +153,15 @@ def run_online(
         heartbeat_miss_threshold=base.heartbeat_miss_threshold,
     )
     fleet = Fleet(demand, omega, fleet_config, rng=rng, failure_plan=failure_plan)
+    if dead_vehicles is not None:
+        # Scenario 3: these vehicles are dead from the start -- they cannot
+        # move, serve, or heartbeat, but their radios still relay protocol
+        # messages (communication is free in the thesis's model), so the
+        # monitoring loop can replace them.  Points that host no vehicle in
+        # this run are ignored.
+        for identity in sorted({tuple(int(c) for c in p) for p in dead_vehicles}):
+            if identity in fleet.vehicles:
+                fleet.crash_vehicle(identity)
 
     served_count = 0
     for job in jobs:

@@ -21,6 +21,10 @@ __all__ = [
     "jobs_from_json",
     "plan_to_json",
     "plan_from_json",
+    "run_config_to_json",
+    "run_config_from_json",
+    "run_result_to_json",
+    "run_result_from_json",
     "save_json",
     "load_json",
 ]
@@ -97,6 +101,35 @@ def plan_from_json(payload: Dict[str, Any]) -> ServicePlan:
             )
         )
     return plan
+
+
+def run_config_to_json(config: "Any") -> Dict[str, Any]:
+    """Serialize a :class:`repro.api.config.RunConfig` (delegates to the API)."""
+    return config.to_json()
+
+
+def run_config_from_json(payload: Dict[str, Any]) -> "Any":
+    """Rebuild a :class:`repro.api.config.RunConfig` from its JSON form.
+
+    The import is deferred to the call so this module never depends on the
+    API package's import order (the schema itself is owned by
+    :mod:`repro.api.config`; these helpers just round out the io surface).
+    """
+    from repro.api.config import RunConfig
+
+    return RunConfig.from_json(payload)
+
+
+def run_result_to_json(result: "Any") -> Dict[str, Any]:
+    """Serialize a :class:`repro.api.result.RunResult`."""
+    return result.to_json()
+
+
+def run_result_from_json(payload: Dict[str, Any]) -> "Any":
+    """Rebuild a :class:`repro.api.result.RunResult` from its JSON form."""
+    from repro.api.result import RunResult
+
+    return RunResult.from_json(payload)
 
 
 def save_json(payload: Dict[str, Any], path: PathLike) -> None:

@@ -1,0 +1,110 @@
+"""Tests for the solver registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BUILTIN_SOLVERS,
+    RunConfig,
+    ScenarioSpec,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solver_descriptions,
+    solver_entry,
+    unregister_solver,
+)
+
+
+class TestCatalogue:
+    def test_all_builtin_solvers_registered(self):
+        assert set(BUILTIN_SOLVERS) <= set(available_solvers())
+
+    def test_expected_names(self):
+        for name in (
+            "offline",
+            "online",
+            "online-broken",
+            "online-transfer",
+            "greedy",
+            "cvrp",
+            "tsp",
+            "transportation",
+        ):
+            assert name in available_solvers()
+
+    def test_available_solvers_sorted(self):
+        names = available_solvers()
+        assert names == sorted(names)
+
+    def test_every_solver_has_a_description(self):
+        for name, description in solver_descriptions().items():
+            assert description, f"solver {name!r} has no description"
+
+    def test_get_solver_returns_callable(self):
+        solver = get_solver("offline")
+        assert callable(solver)
+
+
+class TestLookupErrors:
+    def test_unknown_solver_raises(self):
+        with pytest.raises(UnknownSolverError) as excinfo:
+            get_solver("nonsense")
+        message = str(excinfo.value)
+        assert "nonsense" in message
+        # The error names the valid choices.
+        assert "offline" in message
+
+    def test_unknown_solver_entry_raises(self):
+        with pytest.raises(UnknownSolverError):
+            solver_entry("nope")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownSolverError):
+            unregister_solver("nope")
+
+    def test_config_validate_checks_registry(self):
+        config = RunConfig(solver="nonsense", scenario=ScenarioSpec.named("point"))
+        with pytest.raises(UnknownSolverError):
+            config.validate()
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        @register_solver("probe-solver", description="test probe")
+        def probe(config):  # pragma: no cover - never called
+            raise AssertionError
+
+        try:
+            assert "probe-solver" in available_solvers()
+            assert solver_entry("probe-solver").description == "test probe"
+        finally:
+            unregister_solver("probe-solver")
+        assert "probe-solver" not in available_solvers()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_solver("offline")
+            def shadow(config):  # pragma: no cover
+                raise AssertionError
+
+    def test_override_allowed_explicitly(self):
+        original = solver_entry("offline")
+
+        @register_solver("offline", override=True, description="shadow")
+        def shadow(config):  # pragma: no cover
+            raise AssertionError
+
+        try:
+            assert get_solver("offline") is shadow
+        finally:
+            register_solver(
+                "offline", override=True, description=original.description
+            )(original.solve)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_solver("")
