@@ -27,6 +27,7 @@ from repro.api.config import (
     ScenarioSpec,
 )
 from repro.api.engine import EngineStats, ExperimentEngine, config_matrix
+from repro.distsim.failures import ChurnSpec, PartitionSpec
 from repro.api.registry import (
     Solver,
     SolverEntry,
@@ -45,8 +46,10 @@ __all__ = [
     "ARRIVAL_ORDERS",
     "BUILTIN_SOLVERS",
     "CapacitySpec",
+    "ChurnSpec",
     "ConfigError",
     "EngineStats",
+    "PartitionSpec",
     "ExperimentEngine",
     "FailureSpec",
     "RunConfig",

@@ -22,10 +22,11 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.demand import DemandMap, JobSequence
-from repro.distsim.failures import FailurePlan
+from repro.distsim.failures import ChurnSpec, FailurePlan, PartitionSpec
 from repro.grid.lattice import Point
 from repro.workloads.arrivals import (
     alternating_arrivals,
+    bursty_arrivals,
     random_arrivals,
     sequential_arrivals,
 )
@@ -44,7 +45,7 @@ __all__ = [
 #: with unbounded batteries.
 CapacitySpec = Union[None, float, str]
 
-ARRIVAL_ORDERS = ("random", "sequential", "alternating")
+ARRIVAL_ORDERS = ("random", "sequential", "alternating", "bursty")
 
 
 class ConfigError(ValueError):
@@ -82,19 +83,56 @@ def _normalize_entries(raw: Any) -> Tuple[Tuple[Point, float], ...]:
     return tuple(entries)
 
 
+def _normalize_partition(raw: Any) -> PartitionSpec:
+    if isinstance(raw, PartitionSpec):
+        return raw
+    if isinstance(raw, Mapping):
+        try:
+            return PartitionSpec(
+                start=float(raw["start"]),
+                end=float(raw["end"]),
+                axis=int(raw.get("axis", 0)),
+                boundary=float(raw.get("boundary", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(f"invalid partition window {raw!r}: {error}") from None
+    raise ConfigError(f"not a partition window: {raw!r}")
+
+
+def _normalize_churn(raw: Any) -> ChurnSpec:
+    if isinstance(raw, ChurnSpec):
+        return raw
+    if isinstance(raw, Mapping):
+        try:
+            return ChurnSpec(
+                time=float(raw["time"]),
+                vertex=_normalize_point(raw["vertex"]),
+                action=raw.get("action", "leave"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(f"invalid churn event {raw!r}: {error}") from None
+    raise ConfigError(f"not a churn event: {raw!r}")
+
+
 @dataclass(frozen=True)
 class FailureSpec:
-    """Declarative failure injection for the online family (Section 3.2.5).
+    """Declarative failure injection for the online family.
 
     ``crashed`` vehicles are broken from the start (scenario 3): they cannot
     move, serve, or heartbeat, but their radios still relay protocol
     messages, so the monitoring loop can replace them.  ``suppressed``
     vehicles never initiate their own diffusing computations (scenario 2).
     Points name the vehicles' home vertices.
+
+    ``partitions`` are timed network cuts and ``churn`` is a timed
+    leave/join schedule (see :mod:`repro.distsim.failures`); both are
+    expressed on the job clock (job ``k`` arrives at time ``k + 1``).
     """
 
     crashed: Tuple[Point, ...] = ()
     suppressed: Tuple[Point, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    churn: Tuple[ChurnSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -103,64 +141,136 @@ class FailureSpec:
         object.__setattr__(
             self, "suppressed", tuple(sorted(_normalize_point(p) for p in self.suppressed))
         )
+        try:
+            partitions = tuple(_normalize_partition(p) for p in self.partitions)
+            churn = tuple(_normalize_churn(c) for c in self.churn)
+        except ValueError as error:
+            raise ConfigError(str(error)) from None
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(sorted(partitions, key=lambda p: (p.start, p.end, p.axis, p.boundary))),
+        )
+        object.__setattr__(
+            self,
+            "churn",
+            tuple(sorted(churn, key=lambda c: (c.time, c.vertex, c.action))),
+        )
 
     def is_empty(self) -> bool:
-        return not self.crashed and not self.suppressed
+        """Whether the spec injects nothing at all (every channel empty)."""
+        return not (self.crashed or self.suppressed or self.partitions or self.churn)
 
     def to_plan(self) -> FailurePlan:
-        """The network-level :class:`FailurePlan` (scenario 2 suppression).
+        """The network-level :class:`FailurePlan` (suppression + partitions).
 
         Scenario 3 crashes are fleet-level (the vehicle dies, its radio
         lives) and are applied via :func:`repro.core.online.run_online`'s
-        ``dead_vehicles`` argument instead.
+        ``dead_vehicles`` argument; churn is likewise harness-level, via
+        ``run_online``'s ``churn`` argument (see :meth:`churn_events`).
         """
         plan = FailurePlan()
         for point in self.suppressed:
             plan.suppress_initiation(point)
+        for window in self.partitions:
+            plan.add_partition(window)
         return plan
 
+    def churn_events(self) -> Tuple[ChurnSpec, ...]:
+        """The timed leave/join schedule for the run harness."""
+        return self.churn
+
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "crashed": [list(p) for p in self.crashed],
             "suppressed": [list(p) for p in self.suppressed],
         }
+        if self.partitions:
+            payload["partitions"] = [
+                {"start": p.start, "end": p.end, "axis": p.axis, "boundary": p.boundary}
+                for p in self.partitions
+            ]
+        if self.churn:
+            payload["churn"] = [
+                {"time": c.time, "vertex": list(c.vertex), "action": c.action}
+                for c in self.churn
+            ]
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "FailureSpec":
         return cls(
             crashed=tuple(tuple(p) for p in payload.get("crashed", ())),
             suppressed=tuple(tuple(p) for p in payload.get("suppressed", ())),
+            partitions=tuple(payload.get("partitions", ())),
+            churn=tuple(payload.get("churn", ())),
         )
 
 
 @functools.lru_cache(maxsize=None)
-def _named_scenario_demand(name: str) -> DemandMap:
+def _paper_scenario_demand(name: str) -> Optional[DemandMap]:
     """Demand map of a built-in paper scenario, generated once per process.
 
     The paper suite includes randomized scenarios whose generation is not
     free; the engine looks named scenarios up on every run, so the suite
     must not be rebuilt per lookup.  Demand maps are immutable, so sharing
-    one instance across runs is safe.
+    one instance across runs is safe (paper-scenario demands are
+    seed-independent: the spec's seed only shuffles arrivals).  Returns
+    ``None`` for names that are not paper scenarios.
     """
     from repro.workloads.scenarios import paper_scenarios
 
-    scenarios = paper_scenarios()
-    for scenario in scenarios:
+    for scenario in paper_scenarios():
         if scenario.name == name:
             return scenario.demand
-    known = ", ".join(s.name for s in scenarios)
-    raise ConfigError(f"unknown paper scenario {name!r}; known scenarios: {known}")
+    return None
+
+
+def _named_scenario_demand(name: str, seed: int = 0) -> DemandMap:
+    """Demand of a paper scenario, or of a scenario family as a fallback."""
+    from repro.workloads.library import available_families
+    from repro.workloads.scenarios import paper_scenarios
+
+    demand = _paper_scenario_demand(name)
+    if demand is not None:
+        return demand
+    if name in available_families():
+        return _family_demand(name, (), seed)
+    known = ", ".join(
+        [s.name for s in paper_scenarios()] + available_families()
+    )
+    raise ConfigError(f"unknown paper scenario or family {name!r}; known scenarios: {known}")
+
+
+def _family_demand(
+    family: str, params: Tuple[Tuple[str, Any], ...], seed: int
+) -> DemandMap:
+    """Demand map built by a scenario family (cached inside the library)."""
+    from repro.workloads.library import UnknownFamilyError, build_family_demand
+
+    try:
+        return build_family_demand(family, dict(params), seed=seed)
+    except (UnknownFamilyError, ValueError) as error:
+        raise ConfigError(str(error)) from None
 
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A workload: either a named paper scenario or an inline demand map.
+    """A workload: a paper scenario, a scenario family, or an inline demand.
 
-    ``entries=None`` means "look up the paper scenario called ``name``"
-    (see :func:`repro.workloads.scenarios.paper_scenarios`); otherwise the
-    entries *are* the demand map and ``name`` is a free label.  The spec
-    also fixes the arrival ordering and its seed, so the job sequence a run
-    sees is a pure function of the spec.
+    Three sources, in precedence order:
+
+    * ``entries`` set -- the entries *are* the demand map and ``name`` is a
+      free label;
+    * ``family`` set -- the demand is built by the named scenario family
+      (see :mod:`repro.workloads.library`) from ``family_params`` and the
+      spec's ``seed``;
+    * otherwise ``name`` is looked up among the built-in paper scenarios
+      (:func:`repro.workloads.scenarios.paper_scenarios`), falling back to
+      a family of that name with default parameters.
+
+    The spec also fixes the arrival ordering and its seed, so the job
+    sequence a run sees is a pure function of the spec.
     """
 
     name: str
@@ -170,6 +280,10 @@ class ScenarioSpec:
     #: Lattice dimension; only needed for inline scenarios with no entries
     #: (an empty demand map cannot infer it).
     dim: Optional[int] = None
+    #: Scenario family name (see :mod:`repro.workloads.library`).
+    family: Optional[str] = None
+    #: Family parameters, stored as a sorted tuple of pairs (hashable).
+    family_params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -184,6 +298,13 @@ class ScenarioSpec:
             raise ConfigError(f"seed must be a non-negative integer, got {self.seed!r}")
         if self.entries is not None:
             object.__setattr__(self, "entries", _normalize_entries(self.entries))
+        if self.family is not None and (not self.family or not isinstance(self.family, str)):
+            raise ConfigError(f"family must be a non-empty string, got {self.family!r}")
+        if self.entries is not None and self.family is not None:
+            raise ConfigError("a scenario is either inline (entries) or family-built, not both")
+        object.__setattr__(self, "family_params", _normalize_params(self.family_params))
+        if self.family_params and self.family is None:
+            raise ConfigError("family_params given without a family name")
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -204,20 +325,47 @@ class ScenarioSpec:
 
     @classmethod
     def named(cls, name: str, *, order: str = "random", seed: int = 0) -> "ScenarioSpec":
-        """Reference a built-in paper scenario by name (validated eagerly)."""
+        """Reference a built-in paper scenario or family by name (validated eagerly)."""
         spec = cls(name=name, order=order, seed=seed)
         spec.demand()  # raises ConfigError on unknown names
         return spec
+
+    @classmethod
+    def from_family(
+        cls,
+        family: str,
+        *,
+        order: Optional[str] = None,
+        seed: int = 0,
+        **params: Any,
+    ) -> "ScenarioSpec":
+        """A spec built by the named scenario family (validated eagerly).
+
+        Unspecified parameters take the family's defaults; the family's
+        preferred arrival order is used unless ``order`` is given.
+        """
+        from repro.workloads.library import family_spec
+
+        try:
+            return family_spec(family, seed=seed, order=order, **params)
+        except (KeyError, ValueError) as error:
+            raise ConfigError(str(error)) from None
 
     # ------------------------------------------------------------------ #
     # materialization
     # ------------------------------------------------------------------ #
 
+    def family_params_dict(self) -> Dict[str, Any]:
+        """Family parameters as a plain dictionary."""
+        return dict(self.family_params)
+
     def demand(self) -> DemandMap:
         """The demand map this spec describes."""
         if self.entries is not None:
             return DemandMap(dict(self.entries), dim=self.dim)
-        return _named_scenario_demand(self.name)
+        if self.family is not None:
+            return _family_demand(self.family, self.family_params, self.seed)
+        return _named_scenario_demand(self.name, self.seed)
 
     def jobs(self) -> JobSequence:
         """The online job sequence: demand expanded under the spec's ordering."""
@@ -226,6 +374,8 @@ class ScenarioSpec:
             return sequential_arrivals(demand)
         if self.order == "alternating":
             return alternating_arrivals(demand)
+        if self.order == "bursty":
+            return bursty_arrivals(demand, np.random.default_rng(self.seed))
         return random_arrivals(demand, np.random.default_rng(self.seed))
 
     def to_json(self) -> Dict[str, Any]:
@@ -234,6 +384,9 @@ class ScenarioSpec:
             payload["entries"] = [[list(point), value] for point, value in self.entries]
         if self.dim is not None:
             payload["dim"] = self.dim
+        if self.family is not None:
+            payload["family"] = self.family
+            payload["family_params"] = {key: value for key, value in self.family_params}
         return payload
 
     @classmethod
@@ -245,6 +398,8 @@ class ScenarioSpec:
             order=payload.get("order", "random"),
             seed=payload.get("seed", 0),
             dim=payload.get("dim"),
+            family=payload.get("family"),
+            family_params=payload.get("family_params", ()),
         )
 
 
@@ -355,7 +510,12 @@ class RunConfig:
             "recovery_rounds": self.recovery_rounds,
             "params": {key: value for key, value in self.params},
         }
-        if self.failures is not None and not self.failures.is_empty():
+        # Serialize the failure spec whenever one is attached, even when all
+        # of its channels are empty: dropping "empty-looking" specs made two
+        # configs that differ only in FailureSpec fields canonicalize (and
+        # hence hash) identically, so they collided in the engine's disk
+        # cache.  ``failures=None`` keeps its historical serialized form.
+        if self.failures is not None:
             payload["failures"] = self.failures.to_json()
         return payload
 

@@ -138,8 +138,10 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
     jobs = config.scenario.jobs()
     if len(jobs) == 0:
         return _empty_result(config)
+    engine = config.param("engine", "rounds")
     failure_plan = None
     dead_vehicles = None
+    churn = None
     monitoring = False
     if not broken and config.failures is not None and not config.failures.is_empty():
         raise ConfigError(
@@ -150,10 +152,11 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         if config.failures is None or config.failures.is_empty():
             raise ConfigError(
                 "the online-broken solver needs a non-empty failures spec "
-                "(crashed and/or suppressed vehicles)"
+                "(crashed/suppressed vehicles, partitions, or churn)"
             )
         failure_plan = config.failures.to_plan()
         dead_vehicles = config.failures.crashed
+        churn = config.failures.churn_events()
         monitoring = True
     fleet_config = FleetConfig(monitoring=monitoring)
     result = run_online(
@@ -165,6 +168,8 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         failure_plan=failure_plan,
         dead_vehicles=dead_vehicles,
         recovery_rounds=config.recovery_rounds,
+        churn=churn,
+        engine=engine,
     )
     extras = {
         "theorem_capacity": result.theorem_capacity,
@@ -175,10 +180,14 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         "failed_replacements": result.failed_replacements,
         "messages": result.messages,
         "heartbeat_rounds": result.heartbeat_rounds,
+        "engine": result.engine,
+        "events_processed": result.events_processed,
     }
     if broken and config.failures is not None:
         extras["crashed_vehicles"] = len(config.failures.crashed)
         extras["suppressed_vehicles"] = len(config.failures.suppressed)
+        extras["partition_windows"] = len(config.failures.partitions)
+        extras["churn_events"] = len(config.failures.churn)
     return RunResult(
         solver=config.solver,
         scenario=config.scenario.name,

@@ -70,13 +70,26 @@ from repro.workloads.arrivals import (
     random_arrivals,
     sequential_arrivals,
 )
+from repro.workloads.library import (
+    available_families,
+    family_descriptions,
+    family_matrix,
+    get_family,
+)
 from repro.workloads.scenarios import paper_scenarios
 
 __all__ = ["main", "build_parser"]
 
+ORDER_CHOICES = ["random", "sequential", "alternating", "bursty"]
+
 
 def _scenario_names() -> List[str]:
     return [s.name for s in paper_scenarios()]
+
+
+def _workload_names() -> List[str]:
+    """Every name ``--scenario`` accepts: paper scenarios plus families."""
+    return _scenario_names() + available_families()
 
 
 def _positive_int(raw: str) -> int:
@@ -95,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("scenarios", help="list the built-in paper scenarios")
+    subparsers.add_parser("families", help="list the registered scenario families")
     subparsers.add_parser("solvers", help="list the registered solvers")
 
     run = subparsers.add_parser("run", help="execute one solver on one workload")
@@ -115,7 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--scenarios",
         default="all",
-        help='comma-separated scenario names, or "all" (default)',
+        help='comma-separated paper-scenario names, "all" (default), or "none"',
+    )
+    sweep.add_argument(
+        "--families",
+        default="none",
+        help='comma-separated scenario-family names, "all", or "none" (default)',
+    )
+    sweep.add_argument(
+        "--preset",
+        choices=["default", "small"],
+        default="default",
+        help="family parameter preset (families only)",
     )
     sweep.add_argument(
         "--solvers",
@@ -127,9 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--order",
-        choices=["random", "sequential", "alternating"],
-        default="random",
-        help="arrival ordering of the unit jobs",
+        choices=ORDER_CHOICES,
+        default=None,
+        help="arrival ordering of the unit jobs (default: random; families "
+        "use their preferred ordering)",
     )
     sweep.add_argument(
         "--capacity",
@@ -180,8 +206,8 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
         "--scenario",
-        choices=_scenario_names(),
-        help="one of the built-in paper scenarios",
+        choices=_workload_names(),
+        help="a built-in paper scenario or a scenario family",
     )
     source.add_argument(
         "--demand-json",
@@ -193,9 +219,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser, *, engine: bool = True) 
     parser.add_argument("--seed", type=int, default=0, help="arrival-order seed")
     parser.add_argument(
         "--order",
-        choices=["random", "sequential", "alternating"],
-        default="random",
-        help="arrival ordering of the unit jobs",
+        choices=ORDER_CHOICES,
+        default=None,
+        help="arrival ordering of the unit jobs (default: random; families "
+        "use their preferred ordering)",
     )
     parser.add_argument(
         "--capacity",
@@ -254,12 +281,24 @@ def _parse_point(raw: str) -> tuple:
         ) from None
 
 
-def _parse_failures(args: argparse.Namespace) -> Optional[FailureSpec]:
+def _parse_failures(
+    args: argparse.Namespace, scenario: Optional[ScenarioSpec] = None
+) -> Optional[FailureSpec]:
     crashed = tuple(_parse_point(p) for p in getattr(args, "crash", []))
     suppressed = tuple(_parse_point(p) for p in getattr(args, "suppress", []))
-    if not crashed and not suppressed:
-        return None
-    return FailureSpec(crashed=crashed, suppressed=suppressed)
+    if crashed or suppressed:
+        return FailureSpec(crashed=crashed, suppressed=suppressed)
+    if scenario is not None and scenario.family is not None:
+        # No explicit failure flags: fall back to the scenario family's own
+        # failure plan (outage regions, churn schedules, partition windows),
+        # synthesized for failure-free families -- exactly what `sweep` uses,
+        # so every subcommand agrees on family x online-broken.
+        from repro.workloads.library import family_broken_failures
+
+        return family_broken_failures(
+            scenario.family, scenario.family_params_dict(), seed=scenario.seed
+        )
+    return None
 
 
 def _parse_capacity(raw: Optional[str]) -> CapacitySpec:
@@ -289,13 +328,15 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
 
 
 def _scenario_spec(args: argparse.Namespace) -> ScenarioSpec:
-    order = getattr(args, "order", "random")
+    order = getattr(args, "order", None)
     seed = getattr(args, "seed", 0)
     if getattr(args, "demand_json", None):
         demand = demand_from_json(load_json(args.demand_json))
         name = Path(args.demand_json).stem
-        return ScenarioSpec.from_demand(demand, name=name, order=order, seed=seed)
-    return ScenarioSpec(name=args.scenario, order=order, seed=seed)
+        return ScenarioSpec.from_demand(demand, name=name, order=order or "random", seed=seed)
+    if args.scenario in available_families():
+        return ScenarioSpec.from_family(args.scenario, order=order, seed=seed)
+    return ScenarioSpec(name=args.scenario, order=order or "random", seed=seed)
 
 
 def _split_csv(raw: str) -> List[str]:
@@ -337,6 +378,18 @@ def _command_scenarios() -> int:
     return 0
 
 
+def _command_families() -> int:
+    table = Table(
+        "Registered scenario families", ["name", "tags", "defaults", "description"]
+    )
+    for name, description in family_descriptions().items():
+        family = get_family(name)
+        defaults = ", ".join(f"{k}={v}" for k, v in sorted(family.defaults.items()))
+        table.add_row(name, ",".join(family.tags), defaults, description)
+    print(table.render())
+    return 0
+
+
 def _command_solvers() -> int:
     table = Table("Registered solvers", ["name", "description"])
     for name, description in solver_descriptions().items():
@@ -346,12 +399,17 @@ def _command_solvers() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_spec(args)
     config = RunConfig(
         solver=args.solver,
-        scenario=_scenario_spec(args),
+        scenario=scenario,
         capacity=_parse_capacity(args.capacity),
         omega=args.omega,
-        failures=_parse_failures(args),
+        # The family-failure fallback only applies to the solver that
+        # models failures; other solvers see the bare workload.
+        failures=_parse_failures(
+            args, scenario if args.solver == "online-broken" else None
+        ),
         recovery_rounds=args.recovery_rounds,
         params=_parse_params(args.param),
     )
@@ -371,15 +429,34 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    names = _scenario_names() if args.scenarios == "all" else _split_csv(args.scenarios)
+    if args.scenarios == "none":
+        names: List[str] = []
+    elif args.scenarios == "all":
+        names = _scenario_names()
+    else:
+        names = _split_csv(args.scenarios)
+    if args.families == "none":
+        families: List[str] = []
+    elif args.families == "all":
+        families = available_families()
+    else:
+        families = _split_csv(args.families)
     seeds = [int(seed) for seed in _split_csv(args.seeds)]
-    scenarios = [ScenarioSpec(name=name, order=args.order) for name in names]
-    configs = config_matrix(
-        scenarios,
-        _split_csv(args.solvers),
+    solvers = _split_csv(args.solvers)
+    capacity = _parse_capacity(args.capacity)
+    scenarios = [ScenarioSpec(name=name, order=args.order or "random") for name in names]
+    configs = config_matrix(scenarios, solvers, seeds=seeds, capacity=capacity)
+    configs += family_matrix(
+        families,
+        solvers,
         seeds=seeds,
-        capacity=_parse_capacity(args.capacity),
+        capacity=capacity,
+        order=args.order,
+        preset=None if args.preset == "default" else args.preset,
     )
+    if not configs:
+        print("error: nothing to sweep (no scenarios and no families)", file=sys.stderr)
+        return 2
     engine = _engine(args, workers=args.workers)
     results = engine.run_many(configs)
     print(
@@ -395,7 +472,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_spec(args)
-    failures = _parse_failures(args)
+    failures = _parse_failures(args, scenario)
     configs = [
         RunConfig(
             solver=solver,
@@ -422,8 +499,12 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _legacy_demand(args: argparse.Namespace) -> DemandMap:
     if args.demand_json:
         return demand_from_json(load_json(args.demand_json))
-    scenario = next(s for s in paper_scenarios() if s.name == args.scenario)
-    return scenario.demand
+    for scenario in paper_scenarios():
+        if scenario.name == args.scenario:
+            return scenario.demand
+    from repro.workloads.library import build_family_demand
+
+    return build_family_demand(args.scenario, seed=getattr(args, "seed", 0))
 
 
 def _command_bounds(args: argparse.Namespace) -> int:
@@ -449,6 +530,10 @@ def _command_online(args: argparse.Namespace) -> int:
         jobs = sequential_arrivals(demand)
     elif args.order == "alternating":
         jobs = alternating_arrivals(demand)
+    elif args.order == "bursty":
+        from repro.workloads.arrivals import bursty_arrivals
+
+        jobs = bursty_arrivals(demand, np.random.default_rng(args.seed))
     else:
         jobs = random_arrivals(demand, np.random.default_rng(args.seed))
     capacity = _parse_capacity(args.capacity)
@@ -473,6 +558,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     commands = {
         "scenarios": lambda: _command_scenarios(),
+        "families": lambda: _command_families(),
         "solvers": lambda: _command_solvers(),
         "run": lambda: _command_run(args),
         "sweep": lambda: _command_sweep(args),

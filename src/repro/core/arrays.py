@@ -18,6 +18,7 @@ from repro.grid.lattice import Box, Point
 
 __all__ = [
     "dense_demand_array",
+    "pairwise_manhattan",
     "sliding_cube_sums",
     "max_cube_sum",
     "max_cube_sums",
@@ -41,12 +42,38 @@ def dense_demand_array(
             f"(limit {MAX_DENSE_CELLS})"
         )
     array = np.zeros(box.side_lengths, dtype=np.float64)
-    for point, value in demand.items():
-        if point not in box:
-            raise ValueError(f"demand point {point} lies outside the window {box}")
-        index = tuple(c - l for c, l in zip(point, box.lo))
-        array[index] += float(value)
+    if not demand:
+        return array
+    points = np.array(list(demand.keys()), dtype=np.int64)
+    values = np.fromiter(demand.values(), dtype=np.float64, count=len(demand))
+    lo = np.array(box.lo, dtype=np.int64)
+    hi = np.array(box.hi, dtype=np.int64)
+    outside = np.any((points < lo) | (points > hi), axis=1)
+    if outside.any():
+        culprit = tuple(int(c) for c in points[np.argmax(outside)])
+        raise ValueError(f"demand point {culprit} lies outside the window {box}")
+    indices = (points - lo).T
+    # Bulk scatter-add: duplicate demand points accumulate, exactly as the
+    # per-point loop did.
+    np.add.at(array, tuple(indices), values)
     return array
+
+
+def pairwise_manhattan(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """L1 distance matrix between two point arrays.
+
+    ``sources`` is ``(m, dim)``, ``targets`` is ``(n, dim)``; the result is
+    ``(m, n)`` with ``result[i, j] = ||sources[i] - targets[j]||_1``.  This
+    is the shared inner primitive of the transport-feasibility oracle and
+    the greedy baseline, replacing their per-pair Python loops.
+    """
+    sources = np.asarray(sources)
+    targets = np.asarray(targets)
+    if sources.ndim != 2 or targets.ndim != 2 or sources.shape[1] != targets.shape[1]:
+        raise ValueError(
+            f"expected (m, dim) and (n, dim) arrays, got {sources.shape} and {targets.shape}"
+        )
+    return np.abs(sources[:, None, :] - targets[None, :, :]).sum(axis=2)
 
 
 def sliding_cube_sums(array: np.ndarray, side: int, *, pad: bool = True) -> np.ndarray:

@@ -23,9 +23,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
+from repro.core.arrays import pairwise_manhattan
 from repro.core.demand import DemandMap
-from repro.grid.lattice import Point, manhattan
+from repro.grid.lattice import Point
 from repro.grid.regions import neighborhood
 
 __all__ = [
@@ -99,7 +101,12 @@ def transport_feasible(
     for target in support:
         graph.add_edge(("d", target), sink, capacity=_as_int(demand[target]))
 
-    any_edges = False
+    # Vectorized reachability: one (vehicles x support) L1 distance matrix
+    # replaces the per-pair Python loop -- with a vehicle at every point of
+    # ``N_r(support)`` this inner product is the oracle's hot path.
+    vehicles = []
+    vehicle_supplies = []
+    reaches = []
     for vehicle, supply in supplies.items():
         if supply <= 0:
             continue
@@ -107,12 +114,25 @@ def transport_feasible(
         reach = radius[vehicle] if isinstance(radius, Mapping) else radius
         if reach < 0:
             continue
-        edges = [t for t in support if manhattan(vehicle, t) <= reach]
-        if not edges:
+        vehicles.append(vehicle)
+        vehicle_supplies.append(supply)
+        reaches.append(reach)
+    if not vehicles:
+        return FlowAssignment(False, {}, total_demand)
+    distances = pairwise_manhattan(
+        np.array(vehicles, dtype=np.int64), np.array(support, dtype=np.int64)
+    )
+    reachable = distances <= np.array(reaches, dtype=np.float64)[:, None]
+
+    any_edges = False
+    demand_capacity = _as_int(total_demand)
+    for row, vehicle in enumerate(vehicles):
+        targets = np.flatnonzero(reachable[row])
+        if targets.size == 0:
             continue
-        graph.add_edge(source, ("v", vehicle), capacity=_as_int(supply))
-        for target in edges:
-            graph.add_edge(("v", vehicle), ("d", target), capacity=_as_int(total_demand))
+        graph.add_edge(source, ("v", vehicle), capacity=_as_int(vehicle_supplies[row]))
+        for column in targets:
+            graph.add_edge(("v", vehicle), ("d", support[column]), capacity=demand_capacity)
             any_edges = True
     if not any_edges:
         return FlowAssignment(False, {}, total_demand)

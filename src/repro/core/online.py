@@ -6,6 +6,23 @@ the active vehicle of its black/white pair, exhausted vehicles are replaced
 through Phase I/II diffusing computations, and (optionally) the monitoring
 loop of Section 3.2.5 recovers from initiation failures and dead vehicles.
 
+Two drivers are available:
+
+* ``engine="rounds"`` (the historical default): the harness loop delivers a
+  job, drains the network to quiescence, and runs lockstep heartbeat
+  rounds.  Simple, and the semantics every existing experiment was written
+  against.
+* ``engine="events"``: arrivals, heartbeat ticks, churn and partition
+  windows are all scheduled on the fleet's discrete-event simulator at the
+  jobs' arrival times; protocol messages interleave in timestamp order.
+  On failure-free runs the two drivers produce identical results (the
+  conformance tests assert it); under timed failures only the event driver
+  gives failures a meaningful position on the clock.
+
+Failure timing (``FailurePlan`` partitions, churn schedules) is expressed
+on the *job clock*: job ``k`` of a sequence built by
+``JobSequence.from_positions`` arrives at time ``k + 1``.
+
 The harness reports everything Theorem 1.4.2 talks about: whether every job
 was served, the largest per-vehicle energy actually drawn (the empirical
 ``W_on``), the provisioned capacity, and the offline lower bound it should
@@ -15,20 +32,23 @@ be compared against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Literal, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.core.demand import DemandMap, JobSequence
 from repro.core.offline import online_upper_bound_factor
 from repro.core.omega import omega_c, omega_star_cubes
-from repro.distsim.failures import FailurePlan
+from repro.distsim.failures import ChurnSpec, FailurePlan, apply_churn
 from repro.grid.lattice import Point
 from repro.vehicles.fleet import Fleet, FleetConfig
 
-__all__ = ["OnlineResult", "run_online"]
+__all__ = ["OnlineResult", "run_online", "ONLINE_ENGINES"]
 
 CapacitySpec = Union[None, float, Literal["theorem"]]
+
+#: The two harness drivers (see the module docstring).
+ONLINE_ENGINES = ("rounds", "events")
 
 
 @dataclass
@@ -63,6 +83,12 @@ class OnlineResult:
     heartbeat_rounds: int
     #: Per-vehicle energies at the end of the run (home vertex -> energy).
     vehicle_energies: Dict[Point, float] = field(default_factory=dict)
+    #: Which harness driver produced the result.
+    engine: str = "rounds"
+    #: Simulator events executed during the run (messages, arrivals, ticks).
+    events_processed: int = 0
+    #: Final simulation-clock time.
+    sim_time: float = 0.0
 
     @property
     def online_to_offline_ratio(self) -> float:
@@ -70,6 +96,150 @@ class OnlineResult:
         if self.omega_star == 0:
             return 1.0
         return self.max_vehicle_energy / self.omega_star
+
+
+def _empty_online_result(engine: str) -> OnlineResult:
+    return OnlineResult(
+        jobs_total=0,
+        jobs_served=0,
+        feasible=True,
+        max_vehicle_energy=0.0,
+        total_travel=0.0,
+        total_service=0.0,
+        omega=0.0,
+        omega_star=0.0,
+        capacity=None,
+        theorem_capacity=0.0,
+        replacements=0,
+        searches=0,
+        failed_replacements=0,
+        messages=0,
+        heartbeat_rounds=0,
+        engine=engine,
+    )
+
+
+def _serve_with_recovery(
+    fleet: Fleet,
+    config: FleetConfig,
+    job,
+    recovery_rounds: int,
+) -> bool:
+    """Round-mode service: deliver, recover via heartbeat rounds, then tick."""
+    served = fleet.deliver_job(job.position, job.energy)
+    if not served and recovery_rounds > 0 and config.monitoring:
+        for _ in range(recovery_rounds):
+            fleet.run_heartbeat_round()
+        served = fleet.retry_job(job.position, job.energy)
+    if config.monitoring:
+        fleet.run_heartbeat_round()
+    return served
+
+
+def _churn_hooks(fleet: Fleet):
+    """The leave/join callbacks both drivers feed to :func:`apply_churn`.
+
+    Vertices that host no vehicle in this run are ignored, mirroring the
+    ``dead_vehicles`` contract.
+    """
+
+    def leave(vertex: Point) -> None:
+        if vertex in fleet.vehicles:
+            fleet.crash_vehicle(vertex)
+
+    def join(vertex: Point) -> None:
+        if vertex in fleet.vehicles:
+            fleet.revive_vehicle(vertex)
+
+    return leave, join
+
+
+def _run_rounds(
+    fleet: Fleet,
+    fleet_config: FleetConfig,
+    jobs: JobSequence,
+    recovery_rounds: int,
+    churn: Sequence[ChurnSpec],
+    plan: FailurePlan,
+) -> int:
+    """The lockstep driver: deliver, settle, heartbeat -- one job at a time."""
+    served_count = 0
+    churn_applied: Set[ChurnSpec] = set()
+    leave, join = _churn_hooks(fleet)
+
+    for job in jobs:
+        plan.set_time(job.time)
+        apply_churn(churn, job.time, churn_applied, leave=leave, join=join)
+        if _serve_with_recovery(fleet, fleet_config, job, recovery_rounds):
+            served_count += 1
+    return served_count
+
+
+def _run_events(
+    fleet: Fleet,
+    fleet_config: FleetConfig,
+    jobs: JobSequence,
+    recovery_rounds: int,
+    churn: Sequence[ChurnSpec],
+    plan: FailurePlan,
+) -> int:
+    """The event driver: arrivals and failure windows on the simulator clock.
+
+    Each job becomes an arrival event at its ``job.time``; churn events are
+    scheduled at their own times; the failure clock tracks the simulation
+    clock, so partition windows activate exactly when the clock enters
+    them.  Protocol messages drain between arrivals in timestamp order
+    (message delays are assumed small against the inter-arrival gap, which
+    is the thesis's standing assumption).
+    """
+    simulator = fleet.simulator
+    served: List[bool] = [False] * len(jobs)
+    churn_applied: Set[ChurnSpec] = set()
+    leave, join = _churn_hooks(fleet)
+
+    for spec in sorted(churn, key=lambda e: (e.time, e.vertex, e.action)):
+        def _churn_event(spec: ChurnSpec = spec) -> None:
+            plan.set_time(simulator.now)
+            apply_churn([spec], simulator.now, churn_applied, leave=leave, join=join)
+
+        simulator.schedule_at(spec.time, _churn_event, kind="churn")
+
+    def _heartbeat() -> None:
+        fleet.run_heartbeat_round(settle=False)
+
+    def _arrival(index: int, job) -> None:
+        plan.set_time(simulator.now)
+        if fleet.deliver_job(job.position, job.energy, settle=False):
+            served[index] = True
+            if fleet_config.monitoring:
+                _heartbeat()
+            return
+        if recovery_rounds > 0 and fleet_config.monitoring:
+            # Recovery must happen *on the clock*: each heartbeat round is a
+            # scheduled event so its protocol messages (watch initiations,
+            # Phase I/II replacements) are delivered before the retry fires
+            # -- all strictly before the next arrival at +1.
+            spacing = 0.5 / recovery_rounds
+            for round_index in range(1, recovery_rounds + 1):
+                simulator.schedule(spacing * round_index, _heartbeat, kind="heartbeat")
+
+            def _retry(index: int = index, job=job) -> None:
+                if fleet.retry_job(job.position, job.energy, settle=False):
+                    served[index] = True
+
+            simulator.schedule(0.7, _retry, kind="retry")
+            simulator.schedule(0.8, _heartbeat, kind="heartbeat")
+        elif fleet_config.monitoring:
+            _heartbeat()
+
+    for index, job in enumerate(jobs):
+        def _handler(index: int = index, job=job) -> None:
+            _arrival(index, job)
+
+        simulator.schedule_at(job.time, _handler, kind="arrival")
+
+    simulator.run_until_quiescent()
+    return sum(served)
 
 
 def run_online(
@@ -82,6 +252,8 @@ def run_online(
     failure_plan: Optional[FailurePlan] = None,
     dead_vehicles: Optional[Iterable[Sequence[int]]] = None,
     recovery_rounds: int = 0,
+    churn: Optional[Iterable[ChurnSpec]] = None,
+    engine: str = "rounds",
 ) -> OnlineResult:
     """Run the online strategy on a job sequence.
 
@@ -100,7 +272,8 @@ def run_online(
         Fleet configuration; its ``capacity`` field is overridden by the
         ``capacity`` argument.
     failure_plan:
-        Crash / suppression injection for the scenario 2/3 experiments.
+        Crash / suppression / partition injection for the failure-scenario
+        experiments.  Partition windows are expressed on the job clock.
     dead_vehicles:
         Home vertices of vehicles that are broken from the start (scenario
         3); dead vehicles cannot act but their radios still relay.
@@ -109,25 +282,18 @@ def run_online(
         or out of energy), run this many heartbeat rounds -- letting the
         monitoring loop install a replacement -- and retry once.  Requires
         ``config.monitoring``.
+    churn:
+        Timed :class:`~repro.distsim.failures.ChurnSpec` events (vehicles
+        leaving and rejoining), expressed on the job clock.  Vertices that
+        host no vehicle in this run are ignored.
+    engine:
+        ``"rounds"`` (lockstep compatibility driver) or ``"events"`` (the
+        event-driven driver; see the module docstring).
     """
+    if engine not in ONLINE_ENGINES:
+        raise ValueError(f"engine must be one of {ONLINE_ENGINES}, got {engine!r}")
     if len(jobs) == 0:
-        return OnlineResult(
-            jobs_total=0,
-            jobs_served=0,
-            feasible=True,
-            max_vehicle_energy=0.0,
-            total_travel=0.0,
-            total_service=0.0,
-            omega=0.0,
-            omega_star=0.0,
-            capacity=None,
-            theorem_capacity=0.0,
-            replacements=0,
-            searches=0,
-            failed_replacements=0,
-            messages=0,
-            heartbeat_rounds=0,
-        )
+        return _empty_online_result(engine)
 
     demand = jobs.demand_map()
     dim = demand.dim
@@ -163,17 +329,11 @@ def run_online(
             if identity in fleet.vehicles:
                 fleet.crash_vehicle(identity)
 
-    served_count = 0
-    for job in jobs:
-        served = fleet.deliver_job(job.position, job.energy)
-        if not served and recovery_rounds > 0 and fleet_config.monitoring:
-            for _ in range(recovery_rounds):
-                fleet.run_heartbeat_round()
-            served = fleet.retry_job(job.position, job.energy)
-        if served:
-            served_count += 1
-        if fleet_config.monitoring:
-            fleet.run_heartbeat_round()
+    churn_events = tuple(churn) if churn is not None else ()
+    driver = _run_events if engine == "events" else _run_rounds
+    served_count = driver(
+        fleet, fleet_config, jobs, recovery_rounds, churn_events, fleet.failure_plan
+    )
 
     return OnlineResult(
         jobs_total=len(jobs),
@@ -192,4 +352,7 @@ def run_online(
         messages=fleet.messages_sent(),
         heartbeat_rounds=fleet.stats.heartbeat_rounds,
         vehicle_energies=fleet.vehicle_energies(),
+        engine=engine,
+        events_processed=fleet.simulator.events_processed,
+        sim_time=fleet.simulator.now,
     )

@@ -14,22 +14,33 @@ computation.  This subpackage provides the substrate that protocol runs on:
   the Dijkstra--Scholten termination-detection scheme reviewed in
   Section 3.1, used both directly (tests, examples) and as the template for
   the vehicles' Phase I computation.
+* :mod:`repro.distsim.events` -- the event core: a monotonic simulation
+  clock, the deterministic event queue, and the counters the scenario
+  benchmarks report events/sec from.
 * :mod:`repro.distsim.failures` -- crash and omission failure injection used
-  by the Chapter 3 "scenario 2/3" experiments.
+  by the Chapter 3 "scenario 2/3" experiments, plus timed partition windows
+  and vehicle churn schedules for the adversarial scenario families.
 """
 
 from repro.distsim.engine import Event, Simulator
+from repro.distsim.events import EventQueue, EventStats, ScheduledEvent, SimClock
 from repro.distsim.network import Network
 from repro.distsim.process import Process
 from repro.distsim.diffusing import DiffusingNode, DiffusingComputation
-from repro.distsim.failures import FailurePlan
+from repro.distsim.failures import ChurnSpec, FailurePlan, PartitionSpec
 
 __all__ = [
     "Event",
     "Simulator",
+    "EventQueue",
+    "EventStats",
+    "ScheduledEvent",
+    "SimClock",
     "Network",
     "Process",
     "DiffusingNode",
     "DiffusingComputation",
+    "ChurnSpec",
     "FailurePlan",
+    "PartitionSpec",
 ]

@@ -1,34 +1,38 @@
-"""A small deterministic discrete-event simulation engine.
+"""The deterministic discrete-event simulation engine.
 
-The engine keeps a priority queue of timestamped events.  Ties are broken
-by insertion order, so a run is fully determined by the sequence of
-``schedule`` calls -- no wall-clock or hash-order nondeterminism leaks into
-protocol executions, which keeps the online experiments reproducible and
-the property-based tests meaningful.
+The engine composes the primitives of :mod:`repro.distsim.events` -- a
+monotonic :class:`~repro.distsim.events.SimClock` and a heap-based
+:class:`~repro.distsim.events.EventQueue` with ``(time, sequence)``
+ordering -- into the :class:`Simulator` every protocol run is driven by.
+Ties are broken by insertion order, so a run is fully determined by the
+sequence of ``schedule`` calls: no wall-clock or hash-order nondeterminism
+leaks into protocol executions, which keeps the online experiments
+reproducible and the property-based tests meaningful.
+
+Two execution styles are supported:
+
+* **event mode** (``run`` / ``run_until_quiescent``): events execute
+  strictly in timestamp order, the clock jumping from event to event.
+  This is the primary mode; timed arrivals, heartbeat ticks, partition
+  windows and churn all ride on the same queue.
+* **round compatibility mode** (``run_round`` / ``run_rounds``): time is
+  consumed in fixed-length windows, each window draining every event that
+  falls inside it before the clock advances to the next boundary.  This
+  reproduces the historical lockstep "settle everything, then tick"
+  behavior; on failure-free runs the two modes execute the same events in
+  the same order (asserted by the conformance tests).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
+
+from repro.distsim.events import EventQueue, EventStats, ScheduledEvent, SimClock
 
 __all__ = ["Event", "Simulator"]
 
-
-@dataclass(order=True)
-class Event:
-    """A scheduled callback.  Ordered by ``(time, sequence number)``."""
-
-    time: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-    def cancel(self) -> None:
-        """Mark the event so that it is skipped when its time comes."""
-        self.cancelled = True
+#: Backwards-compatible alias: the scheduled-event type used to live here.
+Event = ScheduledEvent
 
 
 class Simulator:
@@ -42,73 +46,82 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
-        self._counter = itertools.count()
-        self._now = 0.0
-        self._processed = 0
+        self.clock = SimClock()
+        self.queue = EventQueue()
 
     @property
     def now(self) -> float:
         """Current simulation time."""
-        return self._now
+        return self.clock.now
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far."""
-        return self._processed
+        return self.queue.stats.executed
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live events still queued."""
+        return len(self.queue)
 
-    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+    @property
+    def stats(self) -> EventStats:
+        """Scheduled/executed/cancelled counters (for the benchmarks)."""
+        return self.queue.stats
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], *, kind: str = "event"
+    ) -> ScheduledEvent:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._counter), action)
-        heapq.heappush(self._queue, event)
-        return event
+        return self.queue.push(self.now + delay, action, kind=kind)
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+    def schedule_at(
+        self, time: float, action: Callable[[], None], *, kind: str = "event"
+    ) -> ScheduledEvent:
         """Schedule ``action`` at an absolute simulation time."""
-        if time < self._now:
-            raise ValueError(f"cannot schedule into the past (time={time} < now={self._now})")
-        event = Event(time, next(self._counter), action)
-        heapq.heappush(self._queue, event)
-        return event
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past (time={time} < now={self.now})")
+        return self.queue.push(time, action, kind=kind)
+
+    # ------------------------------------------------------------------ #
+    # event-mode execution
+    # ------------------------------------------------------------------ #
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.action()
-            self._processed += 1
-            return True
-        return False
+        event = self.queue.pop()  # pop counts the execution in queue.stats
+        if event is None:
+            return False
+        self.clock.advance(event.time)
+        event.action()
+        return True
 
     def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or a time/event limit is hit).
 
-        Returns the number of events executed by this call.
+        Returns the number of events executed by this call.  With ``until``
+        set, events strictly later than ``until`` stay queued and the clock
+        is left at ``until`` when the queue drained early.
         """
         executed = 0
-        while self._queue:
-            next_event = self._queue[0]
-            if next_event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and next_event.time > until:
+        while True:
+            next_time = self.queue.next_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
                 break
             if max_events is not None and executed >= max_events:
                 break
             self.step()
             executed += 1
-        if until is not None and self._now < until and not self._queue:
-            self._now = until
+        if until is not None and self.now < until and not self.queue:
+            self.clock.advance(until)
         return executed
 
     def run_until_quiescent(self, *, max_events: int = 10_000_000) -> int:
@@ -119,4 +132,39 @@ class Simulator:
                 f"simulation did not quiesce within {max_events} events "
                 f"({self.pending} still pending)"
             )
+        return executed
+
+    # ------------------------------------------------------------------ #
+    # round compatibility mode
+    # ------------------------------------------------------------------ #
+
+    def run_round(self, *, round_length: float = 1.0, max_events: int = 10_000_000) -> int:
+        """Drain one fixed-length round: every event up to ``now + round_length``.
+
+        Events scheduled *during* the round that still fall inside the
+        window are executed too (the round "settles"); afterwards the clock
+        sits exactly on the round boundary.  Returns the number of events
+        executed.  When ``max_events`` truncates the round, the clock stays
+        at the last executed event (events inside the window are still
+        pending, so jumping to the boundary would strand them in the past);
+        the round is then incomplete and can be resumed by calling again.
+        """
+        if round_length <= 0:
+            raise ValueError(f"round_length must be positive, got {round_length}")
+        boundary = self.now + round_length
+        executed = self.run(until=boundary, max_events=max_events)
+        next_time = self.queue.next_time()
+        if self.now < boundary and (next_time is None or next_time > boundary):
+            self.clock.advance(boundary)
+        return executed
+
+    def run_rounds(
+        self, rounds: int, *, round_length: float = 1.0, max_events: int = 10_000_000
+    ) -> int:
+        """Execute ``rounds`` consecutive fixed-length rounds (compatibility mode)."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        executed = 0
+        for _ in range(rounds):
+            executed += self.run_round(round_length=round_length, max_events=max_events)
         return executed

@@ -9,9 +9,10 @@ never share memory.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Hashable, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distsim.engine import Event
     from repro.distsim.network import Network
 
 __all__ = ["Process"]
@@ -65,11 +66,37 @@ class Process:
         self.on_message(sender, message)
 
     # ------------------------------------------------------------------ #
+    # timers
+    # ------------------------------------------------------------------ #
+
+    def set_timer(
+        self, delay: float, callback: Optional[Callable[[], None]] = None
+    ) -> "Event":
+        """Schedule a local timer ``delay`` time units from now.
+
+        Fires ``callback`` (default: :meth:`on_timer`) on the network's
+        simulator.  A timer of a process that has crashed by the time it
+        fires is silently discarded -- crashed processes take no local
+        steps.  The returned event can be cancelled.
+        """
+        fire = callback if callback is not None else self.on_timer
+
+        def _fire() -> None:
+            if self.network.failure_plan.is_crashed(self.identity):
+                return
+            fire()
+
+        return self.network.simulator.schedule(delay, _fire, kind="timer")
+
+    # ------------------------------------------------------------------ #
     # overridables
     # ------------------------------------------------------------------ #
 
     def on_start(self) -> None:
         """Hook invoked once when the network starts all processes."""
+
+    def on_timer(self) -> None:
+        """Default target of :meth:`set_timer`; subclasses may override."""
 
     def on_message(self, sender: Hashable, message: Any) -> None:
         """Handle one received message.  Subclasses must override."""

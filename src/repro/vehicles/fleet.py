@@ -222,12 +222,17 @@ class Fleet:
             return None
         return self.vehicles[identity]
 
-    def deliver_job(self, position: Point, energy: float = 1.0) -> bool:
-        """Route one job to its pair's active vehicle and settle the network.
+    def deliver_job(self, position: Point, energy: float = 1.0, *, settle: bool = True) -> bool:
+        """Route one job to its pair's active vehicle.
 
         Returns whether the job was actually served.  The caller decides how
         to handle a refusal (retry after recovery rounds, or count it as
-        unserved).
+        unserved).  With ``settle=True`` (the round-mode default) the network
+        is drained before returning -- the thesis assumes inter-arrival gaps
+        long enough for any protocol activity (Phase I/II) to complete.  The
+        event-mode harness passes ``settle=False`` and lets the shared
+        simulator process protocol messages in timestamp order between
+        arrival events instead.
         """
         self.stats.jobs_delivered += 1
         vehicle = self.responsible_vehicle(position)
@@ -236,12 +241,11 @@ class Fleet:
             served = vehicle.serve_job(tuple(int(c) for c in position), energy)
         if not served:
             self.stats.jobs_unserved += 1
-        # The thesis assumes inter-arrival gaps long enough for any protocol
-        # activity (Phase I/II) to complete; draining the network models that.
-        self.settle()
+        if settle:
+            self.settle()
         return served
 
-    def retry_job(self, position: Point, energy: float = 1.0) -> bool:
+    def retry_job(self, position: Point, energy: float = 1.0, *, settle: bool = True) -> bool:
         """Retry a previously unserved job (after recovery); adjusts counters."""
         vehicle = self.responsible_vehicle(position)
         if vehicle is None or vehicle.broken:
@@ -249,7 +253,8 @@ class Fleet:
         served = vehicle.serve_job(tuple(int(c) for c in position), energy)
         if served:
             self.stats.jobs_unserved -= 1
-        self.settle()
+        if settle:
+            self.settle()
         return served
 
     def settle(self) -> None:
@@ -260,13 +265,14 @@ class Fleet:
     # monitoring
     # ------------------------------------------------------------------ #
 
-    def run_heartbeat_round(self) -> None:
+    def run_heartbeat_round(self, *, settle: bool = True) -> None:
         """One monitoring round: every live active vehicle heartbeats."""
         self._heartbeat_round += 1
         self.stats.heartbeat_rounds += 1
         for vehicle in self.vehicles.values():
             vehicle.heartbeat(self._heartbeat_round, self.config.heartbeat_miss_threshold)
-        self.settle()
+        if settle:
+            self.settle()
 
     def crash_vehicle(self, identity: Point) -> None:
         """Scenario 3: the vehicle breaks down and becomes dead.
@@ -279,6 +285,18 @@ class Fleet:
         if identity not in self.vehicles:
             raise KeyError(f"no vehicle at {identity}")
         self.vehicles[identity].mark_broken()
+
+    def revive_vehicle(self, identity: Point) -> None:
+        """Churn rejoin: the broken vehicle at ``identity`` is repaired.
+
+        The repaired vehicle keeps its working state; if a replacement has
+        already taken over its pair it simply rejoins as a healthy idle
+        peer available to later searches.
+        """
+        identity = tuple(int(c) for c in identity)
+        if identity not in self.vehicles:
+            raise KeyError(f"no vehicle at {identity}")
+        self.vehicles[identity].mark_repaired()
 
     # ------------------------------------------------------------------ #
     # measurements

@@ -192,6 +192,15 @@ class VehicleProcess(Process):
     def _become_done(self) -> None:
         if self.status.working != WorkingState.ACTIVE:
             return
+        if self.status.transfer == TransferState.SEARCHING:
+            # A relayed search the vehicle joined never terminated -- possible
+            # only when failures (partitions, drops) ate its replies.  The
+            # thesis assumes searches complete; under message loss the stale
+            # engagement is abandoned through the legal Figure 3.1 arrow
+            # (active, searching) -> (active, waiting) before going done, so
+            # the state machine's invariant survives the adversary.
+            self.engaged_tag = None
+            self.status.set_transfer(TransferState.WAITING)
         pair_key = self.pair_key
         if self.fleet.failure_plan.is_initiation_suppressed(self.identity):
             # Scenario 2: the done vehicle silently fails to start Phase I;
@@ -381,6 +390,15 @@ class VehicleProcess(Process):
         still receive a (negative) reply and terminate.
         """
         self.broken = True
+
+    def mark_repaired(self) -> None:
+        """Churn rejoin: the broken vehicle is repaired in place.
+
+        Its working state and registry entry are untouched -- if a
+        replacement already answers for its pair, the repaired vehicle
+        simply becomes a healthy idle peer again.
+        """
+        self.broken = False
 
     # ------------------------------------------------------------------ #
     # diagnostics

@@ -9,6 +9,10 @@ demand map into an online job sequence.
 
 from repro.workloads.generators import (
     clustered_demand,
+    corner_demand,
+    grid_demand,
+    heavy_tailed_demand,
+    hotspot_demand,
     line_demand,
     point_demand,
     random_uniform_demand,
@@ -17,8 +21,23 @@ from repro.workloads.generators import (
 )
 from repro.workloads.arrivals import (
     alternating_arrivals,
+    bursty_arrivals,
     random_arrivals,
     sequential_arrivals,
+)
+from repro.workloads.library import (
+    ScenarioFamily,
+    UnknownFamilyError,
+    available_families,
+    build_family_demand,
+    build_family_failures,
+    family_broken_failures,
+    family_config,
+    family_descriptions,
+    family_matrix,
+    family_spec,
+    get_family,
+    register_family,
 )
 from repro.workloads.scenarios import Scenario, paper_scenarios
 
@@ -29,9 +48,26 @@ __all__ = [
     "random_uniform_demand",
     "zipf_demand",
     "clustered_demand",
+    "hotspot_demand",
+    "heavy_tailed_demand",
+    "corner_demand",
+    "grid_demand",
     "sequential_arrivals",
     "random_arrivals",
     "alternating_arrivals",
+    "bursty_arrivals",
+    "ScenarioFamily",
+    "UnknownFamilyError",
+    "register_family",
+    "get_family",
+    "available_families",
+    "family_descriptions",
+    "build_family_demand",
+    "build_family_failures",
+    "family_broken_failures",
+    "family_spec",
+    "family_config",
+    "family_matrix",
     "Scenario",
     "paper_scenarios",
 ]

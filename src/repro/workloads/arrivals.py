@@ -10,6 +10,9 @@ used in the experiments:
 * :func:`random_arrivals` -- a uniformly random interleaving.
 * :func:`alternating_arrivals` -- round-robin over the positions, the
   adversarial pattern of the Figure 4.1 instance.
+* :func:`bursty_arrivals` -- all of one position's jobs back to back, but
+  positions in random order and split into bursts: the "flash crowd"
+  pattern the scenario library's bursty family uses.
 """
 
 from __future__ import annotations
@@ -22,7 +25,12 @@ import numpy as np
 from repro.core.demand import DemandMap, Job, JobSequence
 from repro.grid.lattice import Point
 
-__all__ = ["sequential_arrivals", "random_arrivals", "alternating_arrivals"]
+__all__ = [
+    "sequential_arrivals",
+    "random_arrivals",
+    "alternating_arrivals",
+    "bursty_arrivals",
+]
 
 
 def _unit_positions(demand: DemandMap) -> List[Point]:
@@ -64,4 +72,34 @@ def alternating_arrivals(demand: DemandMap, *, rounds: Optional[int] = None) -> 
                 positions.append(point)
                 remaining[point] -= 1
         executed += 1
+    return JobSequence.from_positions(positions)
+
+
+def bursty_arrivals(
+    demand: DemandMap,
+    rng: np.random.Generator,
+    *,
+    burst_size: int = 8,
+) -> JobSequence:
+    """Bursts of up to ``burst_size`` same-position jobs, burst order random.
+
+    Each position's unit jobs are chopped into runs of ``burst_size``; the
+    runs are then shuffled.  A region therefore sees its load arrive in
+    concentrated slams separated by unrelated traffic -- the arrival-side
+    stress pattern of the scenario library's bursty family (the demand map,
+    and hence all offline quantities, are unchanged).
+    """
+    if burst_size < 1:
+        raise ValueError("burst_size must be at least 1")
+    bursts: List[List[Point]] = []
+    for point, value in sorted(demand.items()):
+        count = int(math.ceil(value - 1e-12))
+        while count > 0:
+            take = min(burst_size, count)
+            bursts.append([point] * take)
+            count -= take
+    order = rng.permutation(len(bursts))
+    positions: List[Point] = []
+    for index in order:
+        positions.extend(bursts[index])
     return JobSequence.from_positions(positions)

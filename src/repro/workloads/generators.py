@@ -23,6 +23,10 @@ __all__ = [
     "random_uniform_demand",
     "zipf_demand",
     "clustered_demand",
+    "hotspot_demand",
+    "heavy_tailed_demand",
+    "corner_demand",
+    "grid_demand",
 ]
 
 
@@ -138,3 +142,119 @@ def clustered_demand(
             point: Point = tuple(int(c) for c in point_arr)
             demands[point] = demands.get(point, 0.0) + 1.0
     return DemandMap(demands, dim=window.dim)
+
+
+def hotspot_demand(
+    window: Box,
+    hotspots: int,
+    jobs: int,
+    rng: np.random.Generator,
+    *,
+    hotspot_share: float = 0.8,
+    spread: int = 1,
+) -> DemandMap:
+    """A thin uniform background with a few cells carrying most of the load.
+
+    ``hotspot_share`` of the jobs land in tight neighborhoods of
+    ``hotspots`` random cells; the rest scatter uniformly.  This is the
+    "flash crowd" pattern: the cube maximization must find the hot cells
+    while the background keeps every region non-trivial.
+    """
+    if hotspots < 1 or jobs < 0:
+        raise ValueError("hotspots must be >= 1 and jobs >= 0")
+    if not 0.0 <= hotspot_share <= 1.0:
+        raise ValueError("hotspot_share must lie in [0, 1]")
+    hot_jobs = int(round(jobs * hotspot_share))
+    hot = clustered_demand(
+        window, hotspots, hot_jobs // hotspots if hotspots else 0, rng, spread=spread
+    )
+    background = random_uniform_demand(window, jobs - hot_jobs, rng)
+    return hot.merged_with(background)
+
+
+def heavy_tailed_demand(
+    window: Box,
+    points: int,
+    rng: np.random.Generator,
+    *,
+    alpha: float = 1.3,
+    scale: float = 1.0,
+) -> DemandMap:
+    """Per-point demands drawn from a Pareto(``alpha``) distribution.
+
+    Unlike :func:`zipf_demand` (many unit jobs at skewed *positions*), the
+    tail here lives in the per-point *magnitudes*: a few points demand
+    orders of magnitude more than the median, the regime where the
+    single-point worked example dominates the cube maximization.
+    """
+    if points < 0:
+        raise ValueError("points must be non-negative")
+    if alpha <= 0 or scale <= 0:
+        raise ValueError("alpha and scale must be positive")
+    demands: dict = {}
+    lo = np.array(window.lo)
+    lengths = np.array(window.side_lengths)
+    for _ in range(points):
+        offset = rng.integers(0, lengths)
+        point: Point = tuple(int(c) for c in (lo + offset))
+        magnitude = float(np.ceil(scale * (1.0 + rng.pareto(alpha))))
+        demands[point] = demands.get(point, 0.0) + magnitude
+    return DemandMap(demands, dim=window.dim)
+
+
+def corner_demand(
+    window: Box,
+    per_corner: float,
+    *,
+    center_jobs: float = 0.0,
+) -> DemandMap:
+    """Adversarial placement: all demand at the corners of ``window``.
+
+    The ``2^dim`` corners are the points at maximum distance from the
+    window's center, so depot-based baselines (transportation with a
+    central supply, single-depot CVRP/TSP) pay the worst-case travel while
+    the per-cube characterization stays small.  ``center_jobs`` optionally
+    adds demand at the center, forcing plans to straddle both extremes.
+    """
+    if per_corner < 0 or center_jobs < 0:
+        raise ValueError("demands must be non-negative")
+    demands: dict = {}
+    corners = [window.lo, window.hi]
+    for mask in range(2 ** window.dim):
+        corner = tuple(
+            corners[(mask >> axis) & 1][axis] for axis in range(window.dim)
+        )
+        demands[corner] = demands.get(corner, 0.0) + per_corner
+    if center_jobs > 0:
+        center = tuple(int(c) for c in window.center())
+        demands[center] = demands.get(center, 0.0) + center_jobs
+    return DemandMap({p: v for p, v in demands.items() if v > 0}, dim=window.dim)
+
+
+def grid_demand(
+    side: int,
+    demand_per_point: float,
+    *,
+    stride: int = 1,
+    origin: Optional[Sequence[int]] = None,
+    dim: int = 2,
+) -> DemandMap:
+    """Uniform demand on a regular ``side x side`` grid with ``stride`` spacing.
+
+    The scale-up workhorse: ``side**dim`` demand points spread over a
+    ``(side * stride)``-wide window, which makes the resulting fleet size
+    grow with ``side**dim`` in a predictable way.  ``origin`` defaults to
+    the all-zeros point of ``Z^dim``.
+    """
+    if side < 1 or stride < 1:
+        raise ValueError("side and stride must be at least 1")
+    if demand_per_point < 0:
+        raise ValueError("demand must be non-negative")
+    origin = (0,) * dim if origin is None else tuple(int(c) for c in origin)
+    if len(origin) != dim:
+        raise ValueError("origin dimension mismatch")
+    demands = {}
+    for index in np.ndindex(*([side] * dim)):
+        point = tuple(o + i * stride for o, i in zip(origin, index))
+        demands[point] = demand_per_point
+    return DemandMap(demands, dim=dim)

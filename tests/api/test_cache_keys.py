@@ -1,0 +1,95 @@
+"""Regression tests: configs differing only in failure fields never collide.
+
+The engine's disk cache is keyed on ``RunConfig.config_hash()``.  The hash
+used to drop the ``failures`` payload whenever the spec "looked empty",
+and emptiness only consulted the crash/suppression channels -- so two
+configs that differed only in the newer FailureSpec fields (partitions,
+churn), or in ``None`` vs an all-default spec, canonicalized identically
+and shared one cache entry.  These tests pin the fix.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.api import (
+    ChurnSpec,
+    ExperimentEngine,
+    FailureSpec,
+    PartitionSpec,
+    RunConfig,
+    ScenarioSpec,
+)
+
+SCENARIO = ScenarioSpec(name="point", order="sequential")
+
+
+def _config(failures, solver="online-broken") -> RunConfig:
+    return RunConfig(solver=solver, scenario=SCENARIO, failures=failures)
+
+
+def _spec_variants():
+    return {
+        "none": None,
+        "empty": FailureSpec(),
+        "crashed": FailureSpec(crashed=((0, 0),)),
+        "suppressed": FailureSpec(suppressed=((0, 0),)),
+        "partition": FailureSpec(partitions=(PartitionSpec(1.0, 5.0, 0, 0.5),)),
+        "partition-later": FailureSpec(partitions=(PartitionSpec(2.0, 5.0, 0, 0.5),)),
+        "churn": FailureSpec(churn=(ChurnSpec(1.0, (0, 0), "leave"),)),
+        "churn-join": FailureSpec(churn=(ChurnSpec(1.0, (0, 0), "join"),)),
+    }
+
+
+class TestFailureSpecHashing:
+    def test_all_failure_variants_hash_distinctly(self):
+        hashes = {
+            label: _config(spec).config_hash() for label, spec in _spec_variants().items()
+        }
+        for (label_a, hash_a), (label_b, hash_b) in itertools.combinations(
+            hashes.items(), 2
+        ):
+            assert hash_a != hash_b, f"{label_a} collides with {label_b}"
+
+    def test_none_and_default_spec_hash_differently(self):
+        assert _config(None).config_hash() != _config(FailureSpec()).config_hash()
+
+    def test_empty_spec_round_trips_through_json(self):
+        config = _config(FailureSpec())
+        restored = RunConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.failures is not None and restored.failures.is_empty()
+
+    def test_is_empty_covers_every_channel(self):
+        assert FailureSpec().is_empty()
+        for label, spec in _spec_variants().items():
+            if spec is None or label == "empty":
+                continue
+            assert not spec.is_empty(), label
+
+
+class TestDiskCacheSeparation:
+    def test_partition_and_churn_configs_get_separate_cache_entries(self, tmp_path):
+        partition = _config(_spec_variants()["partition"])
+        churn = _config(_spec_variants()["churn"])
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        first = engine.run(partition)
+        second = engine.run(churn)
+        assert engine.stats.executed == 2
+        cached = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert cached == sorted({partition.config_hash(), churn.config_hash()})
+        assert first.config_hash != second.config_hash
+
+    def test_fresh_engine_reads_back_the_right_entry(self, tmp_path):
+        partition = _config(_spec_variants()["partition"])
+        churn = _config(_spec_variants()["churn"])
+        writer = ExperimentEngine(cache_dir=tmp_path)
+        expected = {
+            "partition": writer.run(partition),
+            "churn": writer.run(churn),
+        }
+        reader = ExperimentEngine(cache_dir=tmp_path)
+        assert reader.run(partition) == expected["partition"]
+        assert reader.run(churn) == expected["churn"]
+        assert reader.stats.executed == 0
+        assert reader.stats.disk_cache_hits == 2

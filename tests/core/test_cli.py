@@ -27,7 +27,9 @@ class TestParser:
     def test_online_defaults(self):
         args = build_parser().parse_args(["online", "--scenario", "point"])
         assert args.seed == 0
-        assert args.order == "random"
+        # No explicit ordering: paper scenarios fall back to "random",
+        # scenario families to their preferred ordering.
+        assert args.order is None
         assert args.capacity is None
 
 
@@ -97,3 +99,68 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "replacements" in output
+
+
+class TestFamilyCommands:
+    def test_families_lists_the_registry(self, capsys):
+        from repro.workloads.library import available_families
+
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        for name in available_families():
+            assert name in output
+
+    def test_run_on_a_family_scenario(self, capsys):
+        code = main(["run", "--scenario", "scale-up", "--solver", "offline"])
+        assert code == 0
+        assert "scale-up" in capsys.readouterr().out
+
+    def test_run_online_broken_inherits_family_failures(self, capsys):
+        # No --crash/--suppress flags: the partition family's own failure
+        # plan must be attached instead of erroring out.
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "partition",
+                "--solver",
+                "online-broken",
+                "--recovery-rounds",
+                "2",
+            ]
+        )
+        assert code in (0, 1)  # feasibility depends on the adversary
+        output = capsys.readouterr().out
+        assert "partition_windows" in output
+
+    def test_sweep_over_families(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        code = main(
+            [
+                "sweep",
+                "--scenarios",
+                "none",
+                "--families",
+                "hotspot,scale-up",
+                "--preset",
+                "small",
+                "--solvers",
+                "offline,greedy",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        output = capsys.readouterr().out
+        assert "hotspot" in output and "scale-up" in output
+
+    def test_sweep_with_nothing_selected_errors(self, capsys):
+        code = main(
+            ["sweep", "--scenarios", "none", "--families", "none", "--solvers", "offline"]
+        )
+        assert code == 2
+
+    def test_bounds_on_a_family_scenario(self, capsys):
+        assert main(["bounds", "--scenario", "hotspot"]) == 0
+        assert "omega*" in capsys.readouterr().out

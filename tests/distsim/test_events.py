@@ -1,0 +1,325 @@
+"""Conformance tests for the event core and the two online drivers.
+
+Covers the three properties the ISSUE pins down: deterministic event
+ordering, clock monotonicity, and round-mode vs event-mode equivalence of
+the online harness on failure-free runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online import run_online
+from repro.distsim.engine import Simulator
+from repro.distsim.events import EventQueue, ScheduledEvent, SimClock
+from repro.distsim.failures import ChurnSpec, FailurePlan, PartitionSpec
+from repro.grid.lattice import Box
+from repro.vehicles.fleet import FleetConfig
+from repro.workloads.arrivals import random_arrivals
+from repro.workloads.generators import clustered_demand, square_demand
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_advancing_to_now_is_a_noop(self):
+        clock = SimClock(3.0)
+        clock.advance(3.0)
+        assert clock.now == 3.0
+
+    def test_rewinding_raises(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance(4.999)
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for tag in "abc":
+            queue.push(1.0, lambda: None, kind=tag)
+        while queue:
+            order.append(queue.pop().kind)
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped_lazily(self):
+        queue = EventQueue()
+        keep = queue.push(2.0, lambda: None)
+        drop = queue.push(1.0, lambda: None)
+        drop.cancel()
+        assert len(queue) == 1
+        assert queue.pop() is keep
+        assert queue.pop() is None
+
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(4)]
+        events[0].cancel()
+        events[2].cancel()
+        assert len(queue) == 2
+
+    def test_stats_track_scheduled_and_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        queue.push(2.0, lambda: None)
+        queue.pop()
+        assert queue.stats.scheduled == 2
+        assert queue.stats.cancelled_skipped == 1
+
+
+class TestSimulatorClockMonotonicity:
+    def test_clock_never_regresses_across_a_run(self):
+        sim = Simulator()
+        observed = []
+        for delay in (5.0, 1.0, 3.0, 1.0):
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert sim.now == 5.0
+
+    def test_scheduling_into_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_executes_in_order(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(0.5, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.schedule(2.0, lambda: log.append(("later", sim.now)))
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 1.5), ("later", 2.0)]
+
+    def test_stats_executed_matches_events_processed(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run_until_quiescent()
+        assert sim.stats.executed == sim.events_processed == 5
+
+
+class TestRoundCompatibilityMode:
+    def test_run_round_drains_exactly_one_window(self):
+        sim = Simulator()
+        fired = []
+        for delay in (0.25, 0.75, 1.5):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        executed = sim.run_round(round_length=1.0)
+        assert executed == 2
+        assert fired == [0.25, 0.75]
+        assert sim.now == 1.0
+
+    def test_events_scheduled_inside_a_round_settle_within_it(self):
+        sim = Simulator()
+        fired = []
+
+        def cascade():
+            fired.append("first")
+            sim.schedule(0.1, lambda: fired.append("second"))
+
+        sim.schedule(0.5, cascade)
+        sim.run_round(round_length=1.0)
+        assert fired == ["first", "second"]
+
+    def test_run_rounds_equals_one_event_mode_run(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for delay in (0.2, 1.3, 2.8, 3.9):
+                sim.schedule(delay, lambda d=delay: log.append(d))
+            return sim, log
+
+        event_sim, event_log = build()
+        event_sim.run_until_quiescent()
+        round_sim, round_log = build()
+        round_sim.run_rounds(4, round_length=1.0)
+        assert round_log == event_log
+        assert round_sim.events_processed == event_sim.events_processed
+
+    def test_invalid_round_parameters_raise(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="round_length"):
+            sim.run_round(round_length=0.0)
+        with pytest.raises(ValueError, match="rounds"):
+            sim.run_rounds(-1)
+
+    def test_truncated_round_leaves_clock_resumable(self):
+        """max_events truncation must not advance past pending events."""
+        sim = Simulator()
+        fired = []
+        for delay in (0.1, 0.2, 0.6):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_round(round_length=1.0, max_events=1)
+        assert fired == [0.1]
+        assert sim.now == 0.1  # not the boundary: events are still pending
+        sim.run_round(round_length=1.0)
+        assert fired == [0.1, 0.2, 0.6]
+
+
+def _result_fingerprint(result):
+    return (
+        result.jobs_served,
+        result.feasible,
+        result.max_vehicle_energy,
+        result.total_travel,
+        result.total_service,
+        result.replacements,
+        result.searches,
+        result.messages,
+        tuple(sorted(result.vehicle_energies.items())),
+    )
+
+
+class TestRoundVsEventModeEquivalence:
+    """On failure-free runs the two drivers must agree exactly."""
+
+    @pytest.mark.parametrize("monitoring", [False, True])
+    def test_square_workload_identical(self, monitoring):
+        jobs = random_arrivals(square_demand(5, 3.0), np.random.default_rng(0))
+        config = FleetConfig(monitoring=monitoring)
+        rounds = run_online(
+            jobs, config=config, rng=np.random.default_rng(7), engine="rounds"
+        )
+        events = run_online(
+            jobs, config=config, rng=np.random.default_rng(7), engine="events"
+        )
+        assert _result_fingerprint(rounds) == _result_fingerprint(events)
+        assert rounds.engine == "rounds"
+        assert events.engine == "events"
+
+    def test_clustered_workload_with_tight_capacity_identical(self):
+        demand = clustered_demand(Box.cube((0, 0), 10), 3, 20, np.random.default_rng(1))
+        jobs = random_arrivals(demand, np.random.default_rng(2))
+        rounds = run_online(jobs, capacity=9.0, omega=2.0, engine="rounds")
+        events = run_online(jobs, capacity=9.0, omega=2.0, engine="events")
+        assert _result_fingerprint(rounds) == _result_fingerprint(events)
+
+    def test_event_mode_clock_reaches_last_arrival(self):
+        jobs = random_arrivals(square_demand(3, 2.0), np.random.default_rng(0))
+        result = run_online(jobs, engine="events")
+        assert result.sim_time >= float(len(jobs))
+        assert result.events_processed >= len(jobs)
+
+    def test_event_mode_is_deterministic(self):
+        jobs = random_arrivals(square_demand(4, 2.0), np.random.default_rng(3))
+        first = run_online(jobs, engine="events", rng=np.random.default_rng(11))
+        second = run_online(jobs, engine="events", rng=np.random.default_rng(11))
+        assert _result_fingerprint(first) == _result_fingerprint(second)
+
+    def test_unknown_engine_rejected(self):
+        jobs = random_arrivals(square_demand(2, 1.0), np.random.default_rng(0))
+        with pytest.raises(ValueError, match="engine"):
+            run_online(jobs, engine="warp")
+
+
+class TestTimedFailures:
+    def test_partition_drops_cross_cut_messages(self):
+        plan = FailurePlan()
+        plan.add_partition(PartitionSpec(start=2.0, end=4.0, axis=0, boundary=0.5))
+        plan.set_time(3.0)
+        assert plan.is_partitioned((0, 0), (1, 0))
+        assert not plan.is_partitioned((0, 0), (0, 5))
+        plan.set_time(4.0)  # window is half-open
+        assert not plan.is_partitioned((0, 0), (1, 0))
+
+    def test_crash_and_recover_toggle_message_delivery(self):
+        plan = FailurePlan()
+        plan.crash("p")
+        assert plan.should_drop("p", "q", "hello")
+        plan.recover("p")
+        assert not plan.should_drop("p", "q", "hello")
+        plan.recover("never-crashed")  # unknown identities are ignored
+
+    def test_partition_ignores_non_coordinate_identities(self):
+        plan = FailurePlan()
+        plan.add_partition(PartitionSpec(start=0.0, end=10.0, axis=0, boundary=0.5))
+        plan.set_time(1.0)
+        assert not plan.is_partitioned("alice", "bob")
+
+    def test_churn_schedule_changes_a_run(self):
+        demand = square_demand(4, 3.0)
+        jobs = random_arrivals(demand, np.random.default_rng(0))
+        quiet = run_online(jobs, capacity=20.0, omega=2.0, engine="events")
+        churned = run_online(
+            jobs,
+            capacity=20.0,
+            omega=2.0,
+            engine="events",
+            churn=[ChurnSpec(time=1.0, vertex=v, action="leave") for v in demand.support()],
+        )
+        assert quiet.feasible
+        assert churned.jobs_served < quiet.jobs_served
+
+    def test_churn_rejoin_restores_service(self):
+        demand = square_demand(4, 3.0)
+        jobs = random_arrivals(demand, np.random.default_rng(0))
+        churn = [
+            ChurnSpec(time=1.0, vertex=v, action="leave") for v in demand.support()
+        ] + [ChurnSpec(time=5.0, vertex=v, action="join") for v in demand.support()]
+        partial = run_online(jobs, capacity=20.0, omega=2.0, engine="events", churn=churn)
+        all_gone = run_online(
+            jobs,
+            capacity=20.0,
+            omega=2.0,
+            engine="events",
+            churn=[ChurnSpec(time=1.0, vertex=v, action="leave") for v in demand.support()],
+        )
+        assert partial.jobs_served > all_gone.jobs_served
+
+    def test_event_driver_recovery_installs_replacement_before_retry(self):
+        """Recovery heartbeats must run on the clock ahead of the retry.
+
+        Six jobs hit one point whose active vehicle goes done but is
+        initiation-suppressed; only the monitoring loop can replace it.
+        The event driver must serve everything the round driver serves.
+        """
+        from repro.core.demand import JobSequence
+
+        jobs = JobSequence.from_positions([(0, 0)] * 6)
+        results = {}
+        for engine in ("rounds", "events"):
+            plan = FailurePlan()
+            plan.suppress_initiation((0, 0))
+            results[engine] = run_online(
+                jobs,
+                capacity=4.0,
+                omega=2.0,
+                config=FleetConfig(monitoring=True),
+                failure_plan=plan,
+                recovery_rounds=4,
+                engine=engine,
+            )
+        assert results["rounds"].feasible
+        assert results["events"].feasible
+        assert results["events"].jobs_served == results["rounds"].jobs_served
+        assert results["events"].replacements >= 1
+
+    def test_churn_applies_identically_in_both_drivers(self):
+        demand = square_demand(4, 3.0)
+        jobs = random_arrivals(demand, np.random.default_rng(0))
+        churn = [ChurnSpec(time=7.0, vertex=demand.support()[0], action="leave")]
+        rounds = run_online(jobs, capacity=20.0, omega=2.0, engine="rounds", churn=churn)
+        events = run_online(jobs, capacity=20.0, omega=2.0, engine="events", churn=churn)
+        assert _result_fingerprint(rounds) == _result_fingerprint(events)

@@ -1,0 +1,177 @@
+"""Differential suite: every scenario family x every registered solver.
+
+No golden values: correctness is pinned by *relations* that must hold
+between solvers on the same workload --
+
+* every pair runs to completion with internally consistent numbers,
+* all solvers agree on the offline lower bound ``omega*`` of a workload,
+* any feasible CMVRP-model run costs at least the offline bound
+  (``max_vehicle_energy >= omega*``),
+* feasibility is monotone under added capacity,
+* ``omega*`` itself is monotone under added demand.
+
+The whole family x solver matrix is solved once (CI-scale presets) and
+shared across the assertions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import BUILTIN_SOLVERS, ExperimentEngine, RunResult
+from repro.core.omega import omega_star_cubes
+from repro.workloads.library import (
+    available_families,
+    build_family_demand,
+    family_config,
+    get_family,
+)
+
+SEED = 1
+FAMILIES = sorted(available_families())
+SOLVERS = list(BUILTIN_SOLVERS)
+
+#: Solvers whose objective lives in the thesis's model (one vehicle per
+#: lattice vertex, min-max per-vehicle energy), for which ``omega*`` is a
+#: true lower bound on any feasible execution.  The depot-based baselines
+#: (cvrp/tsp/transportation) answer a different question.
+CMVRP_SOLVERS = ("offline", "online", "online-broken", "greedy")
+
+RELATIVE_TOLERANCE = 1e-6
+
+
+def _small_params(family: str) -> dict:
+    return get_family(family).params(preset="small")
+
+
+@pytest.fixture(scope="module")
+def matrix_results():
+    """One solved family x solver matrix, shared by every test in the module."""
+    engine = ExperimentEngine()
+    results = {}
+    for family in FAMILIES:
+        for solver in SOLVERS:
+            config = family_config(family, solver, seed=SEED, preset="small")
+            results[(family, solver)] = engine.run(config)
+    return results
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestEveryPairRuns:
+    def test_result_is_internally_consistent(self, matrix_results, family, solver):
+        result: RunResult = matrix_results[(family, solver)]
+        assert result.solver == solver
+        assert result.scenario == family
+        assert 0 <= result.jobs_served <= result.jobs_total
+        assert result.jobs_total > 0
+        for value in (
+            result.omega_star,
+            result.max_vehicle_energy,
+            result.total_energy,
+            result.objective,
+        ):
+            assert math.isfinite(value)
+            assert value >= 0.0
+        if result.capacity is not None:
+            assert result.capacity > 0
+
+    def test_feasibility_matches_served_count(self, matrix_results, family, solver):
+        result: RunResult = matrix_results[(family, solver)]
+        assert result.feasible == (result.jobs_served == result.jobs_total)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestCrossSolverInvariants:
+    def test_omega_star_agrees_across_all_solvers(self, matrix_results, family):
+        values = {
+            solver: matrix_results[(family, solver)].omega_star for solver in SOLVERS
+        }
+        reference = values["offline"]
+        assert reference > 0
+        for solver, value in values.items():
+            assert value == pytest.approx(reference, rel=RELATIVE_TOLERANCE), solver
+
+    def test_feasible_cmvrp_runs_cost_at_least_the_offline_bound(
+        self, matrix_results, family
+    ):
+        for solver in CMVRP_SOLVERS:
+            result = matrix_results[(family, solver)]
+            if not result.feasible:
+                continue
+            floor = result.omega_star * (1.0 - RELATIVE_TOLERANCE)
+            assert result.max_vehicle_energy >= floor, solver
+
+    def test_offline_bound_sandwich_holds(self, matrix_results, family):
+        result = matrix_results[(family, "offline")]
+        assert result.feasible
+        upper = result.extra("upper_bound")
+        assert upper is not None
+        assert result.omega_star * (1.0 - RELATIVE_TOLERANCE) <= result.capacity
+        assert result.capacity <= upper * (1.0 + RELATIVE_TOLERANCE)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestMonotonicity:
+    def test_online_feasibility_is_monotone_under_added_capacity(
+        self, matrix_results, family
+    ):
+        """A feasible provisioning stays feasible (and serves no fewer jobs)
+        when every battery is doubled."""
+        base = matrix_results[(family, "online")]
+        provisioned = base.capacity
+        assert provisioned is not None and provisioned > 0
+        engine = ExperimentEngine()
+        doubled = engine.run(
+            family_config(
+                family, "online", seed=SEED, preset="small", capacity=2.0 * provisioned
+            )
+        )
+        if base.feasible:
+            assert doubled.feasible
+        assert doubled.jobs_served >= base.jobs_served
+
+    def test_omega_star_is_monotone_under_added_demand(self, family):
+        demand = build_family_demand(family, _small_params(family), seed=SEED)
+        base = omega_star_cubes(demand).omega
+        scaled = omega_star_cubes(demand.scaled(2.0)).omega
+        assert scaled >= base * (1.0 - RELATIVE_TOLERANCE)
+        extra = build_family_demand(family, _small_params(family), seed=SEED + 1)
+        merged = omega_star_cubes(demand.merged_with(extra)).omega
+        assert merged >= base * (1.0 - RELATIVE_TOLERANCE)
+
+
+class TestFamilyRegistryContract:
+    def test_at_least_eight_families_are_registered(self):
+        assert len(FAMILIES) >= 8
+
+    def test_family_demands_are_deterministic_per_seed(self):
+        for family in FAMILIES:
+            a = build_family_demand(family, _small_params(family), seed=SEED)
+            b = build_family_demand(family, _small_params(family), seed=SEED)
+            assert a.as_dict() == b.as_dict()
+
+    def test_failure_families_have_failure_specs(self):
+        from repro.workloads.library import build_family_failures
+
+        tagged = [f for f in FAMILIES if "failures" in get_family(f).tags]
+        assert tagged  # the library must include adversarial failure families
+        for family in tagged:
+            spec = build_family_failures(family, _small_params(family), seed=SEED)
+            assert spec is not None and not spec.is_empty()
+
+    def test_family_configs_round_trip_through_json(self):
+        import json
+
+        from repro.api import RunConfig
+
+        for family in FAMILIES:
+            for solver in ("offline", "online-broken"):
+                config = family_config(family, solver, seed=SEED, preset="small")
+                payload = json.loads(json.dumps(config.to_json()))
+                restored = RunConfig.from_json(payload)
+                assert restored == config
+                assert restored.config_hash() == config.config_hash()

@@ -1,0 +1,178 @@
+"""Unit tests for the scenario-family registry and its spec integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ConfigError, ScenarioSpec
+from repro.workloads.library import (
+    ScenarioFamily,
+    UnknownFamilyError,
+    available_families,
+    build_family_demand,
+    build_family_failures,
+    family_config,
+    family_descriptions,
+    family_matrix,
+    family_spec,
+    get_family,
+    register_family,
+)
+
+
+class TestRegistry:
+    def test_unknown_family_raises_with_catalogue(self):
+        with pytest.raises(UnknownFamilyError, match="hotspot"):
+            get_family("nope")
+
+    def test_descriptions_cover_every_family(self):
+        descriptions = family_descriptions()
+        assert sorted(descriptions) == available_families()
+        assert all(descriptions.values())
+
+    def test_duplicate_registration_is_an_error(self):
+        family = get_family("hotspot")
+        with pytest.raises(ValueError, match="already registered"):
+            register_family(family)
+
+    def test_register_and_unregister_a_custom_family(self):
+        custom = ScenarioFamily(
+            name="test-custom",
+            description="a square for the tests",
+            build=lambda params, rng: build_family_demand("scale-up", {"side": 3}),
+            defaults={"side": 3},
+        )
+        register_family(custom)
+        try:
+            assert "test-custom" in available_families()
+            assert not build_family_demand("test-custom").is_empty()
+        finally:
+            from repro.workloads import library
+
+            del library._FAMILIES["test-custom"]
+
+
+class TestParams:
+    def test_small_preset_overlays_defaults(self):
+        family = get_family("hotspot")
+        small = family.params(preset="small")
+        assert small["side"] == 8
+        assert small["hotspot_share"] == family.defaults["hotspot_share"]
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            get_family("hotspot").params({"bogus": 1})
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            get_family("hotspot").params(preset="huge")
+
+
+class TestSpecs:
+    def test_family_spec_uses_family_default_order(self):
+        spec = family_spec("bursty")
+        assert spec.order == "bursty"
+        assert spec.family == "bursty"
+
+    def test_from_family_classmethod_round_trips(self):
+        spec = ScenarioSpec.from_family("hotspot", seed=3, side=10)
+        assert spec.family_params_dict()["side"] == 10
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.demand().as_dict() == spec.demand().as_dict()
+
+    def test_from_family_unknown_name_is_config_error(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec.from_family("nope")
+
+    def test_bare_name_falls_back_to_family_defaults(self):
+        named = ScenarioSpec(name="scale-up", seed=0)
+        explicit = family_spec("scale-up", order="random")
+        assert named.demand().as_dict() == explicit.demand().as_dict()
+
+    def test_demand_depends_on_seed_for_random_families(self):
+        a = build_family_demand("hotspot", seed=0)
+        b = build_family_demand("hotspot", seed=1)
+        assert a.as_dict() != b.as_dict()
+
+    def test_scale_up_defaults_reach_hundred_vehicle_fleets(self):
+        demand = build_family_demand("scale-up")
+        assert len(demand) >= 100  # one vehicle per support vertex at minimum
+
+    def test_inline_and_family_are_mutually_exclusive(self):
+        with pytest.raises(ConfigError, match="not both"):
+            ScenarioSpec(name="x", entries=(((0, 0), 1.0),), family="hotspot")
+
+    def test_family_params_require_a_family(self):
+        with pytest.raises(ConfigError, match="without a family"):
+            ScenarioSpec(name="x", family_params=(("side", 8),))
+
+
+class TestFailureBuilders:
+    def test_partition_family_emits_job_clock_window(self):
+        params = get_family("partition").params(preset="small")
+        spec = build_family_failures("partition", params)
+        assert len(spec.partitions) == 1
+        window = spec.partitions[0]
+        assert 0 < window.start < window.end
+
+    def test_churn_family_pairs_leaves_with_joins(self):
+        params = get_family("churn").params(preset="small")
+        spec = build_family_failures("churn", params)
+        leaves = [c for c in spec.churn if c.action == "leave"]
+        joins = [c for c in spec.churn if c.action == "join"]
+        assert len(leaves) == len(joins) == params["churn_vehicles"]
+        assert all(j.time > l.time for l, j in zip(leaves, joins))
+
+    def test_failure_free_family_returns_none(self):
+        assert build_family_failures("hotspot") is None
+
+    def test_failures_deterministic_per_seed(self):
+        params = get_family("regional-outage").params(preset="small")
+        a = build_family_failures("regional-outage", params, seed=5)
+        b = build_family_failures("regional-outage", params, seed=5)
+        assert a == b
+
+
+class TestFamilyConfigs:
+    def test_online_broken_gets_synthesized_crash_for_quiet_family(self):
+        config = family_config("hotspot", "online-broken", preset="small")
+        assert config.failures is not None
+        assert not config.failures.is_empty()
+
+    def test_family_broken_failures_is_the_single_source_of_truth(self):
+        from repro.workloads.library import family_broken_failures
+
+        synthesized = family_broken_failures("hotspot")
+        assert synthesized is not None and synthesized.crashed
+        own_plan = family_broken_failures("partition")
+        assert own_plan.partitions  # failure families keep their own plan
+        config = family_config("hotspot", "online-broken")
+        assert config.failures == family_broken_failures(
+            "hotspot", config.scenario.family_params_dict()
+        )
+
+    def test_grid_demand_supports_other_dimensions(self):
+        from repro.workloads.generators import grid_demand
+
+        demand = grid_demand(3, 1.0, dim=3)
+        assert len(demand) == 27
+        assert demand.dim == 3
+
+    def test_non_failure_solvers_get_no_failures(self):
+        for solver in ("offline", "online", "greedy", "cvrp"):
+            assert family_config("partition", solver, preset="small").failures is None
+
+    def test_matrix_enumeration_is_family_major(self):
+        configs = family_matrix(("hotspot", "bursty"), ("offline", "greedy"), seeds=(0, 1))
+        labels = [(c.scenario.name, c.solver, c.scenario.seed) for c in configs]
+        assert labels == [
+            ("hotspot", "offline", 0),
+            ("hotspot", "offline", 1),
+            ("hotspot", "greedy", 0),
+            ("hotspot", "greedy", 1),
+            ("bursty", "offline", 0),
+            ("bursty", "offline", 1),
+            ("bursty", "greedy", 0),
+            ("bursty", "greedy", 1),
+        ]
