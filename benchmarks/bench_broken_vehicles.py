@@ -5,13 +5,21 @@ instance while the true requirement (executed as the single surviving
 vehicle's shuttle) is ``Theta(r1^2)``: the gap grows linearly with ``r1``.
 The benchmark sweeps ``r1``, times the bound computation, executes the
 shuttle, and asserts the widening gap -- the chapter's main message.
+
+The executable pieces run through :class:`repro.api.ExperimentEngine`: the
+Figure 4.1 demand goes through the ``offline`` solver (whose healthy-model
+``omega*`` also misses the broken requirement, sharpening the gap story),
+and a fleet-level broken-vehicle run goes through ``online-broken`` with
+events/sec reported like ``bench_scenarios.py``.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api import ExperimentEngine, FailureSpec, RunConfig, ScenarioSpec
 from repro.core.broken import (
+    LongevityMap,
     broken_lower_bound,
     figure41_actual_requirement,
     figure41_instance,
@@ -19,7 +27,6 @@ from repro.core.broken import (
     simulate_single_vehicle_shuttle,
 )
 from repro.core.demand import DemandMap
-from repro.core.broken import LongevityMap
 
 
 @pytest.mark.parametrize("r1", [2, 4, 8, 16])
@@ -30,11 +37,22 @@ def bench_figure41_gap(benchmark, r1):
 
     shuttle = simulate_single_vehicle_shuttle(instance.jobs, instance.point_k)
     closed_form = figure41_actual_requirement(r1)
+    # The healthy-model characterization through the engine: omega* of the
+    # same demand, which (like the LP) is blind to the broken fleet.
+    offline = ExperimentEngine().run(
+        RunConfig(
+            solver="offline",
+            scenario=ScenarioSpec.from_demand(
+                instance.demand, name=f"figure41-r{r1}", order="alternating"
+            ),
+        )
+    )
     benchmark.extra_info.update(
         {
             "r1": r1,
             "paper_lp_lower_bound": 2 * r1,
             "measured_lp_lower_bound": lp_bound,
+            "healthy_model_omega_star": offline.omega_star,
             "paper_actual_requirement": closed_form,
             "simulated_shuttle_energy": shuttle,
             "gap_ratio": shuttle / lp_bound,
@@ -43,6 +61,7 @@ def bench_figure41_gap(benchmark, r1):
     assert lp_bound == pytest.approx(2 * r1, rel=1e-6)
     assert shuttle == pytest.approx(closed_form)
     assert shuttle / lp_bound >= 0.9 * r1  # the gap grows linearly in r1
+    assert offline.omega_star <= shuttle  # the healthy bound misses it too
 
 
 def bench_healthy_fleet_matches_chapter2(benchmark, rng):
@@ -59,10 +78,55 @@ def bench_healthy_fleet_matches_chapter2(benchmark, rng):
 
     broken_value = benchmark(lambda: broken_lower_bound(demand, healthy))
 
+    plain = ExperimentEngine().run(
+        RunConfig(
+            solver="offline",
+            scenario=ScenarioSpec.from_demand(demand, name="healthy-fleet"),
+        )
+    )
+    benchmark.extra_info.update(
+        {"broken_model_bound": broken_value, "chapter2_bound": plain.omega_star}
+    )
     from repro.core.omega import omega_star_exhaustive
 
-    plain = omega_star_exhaustive(demand).omega
-    benchmark.extra_info.update(
-        {"broken_model_bound": broken_value, "chapter2_bound": plain}
+    exhaustive = omega_star_exhaustive(demand).omega
+    assert broken_value == pytest.approx(exhaustive, rel=1e-6)
+
+
+def bench_broken_fleet_through_engine(benchmark):
+    """A fleet-level broken-vehicle run (scenario 3) on the event driver.
+
+    A 4x4 uniform demand with the two lexicographically first vehicles
+    crashed; the monitoring loop must replace them.  Reported events/sec is
+    the distsim hot-path number transport regressions would move.
+    """
+    demand = DemandMap({(x, y): 3.0 for x in range(4) for y in range(4)})
+    config = RunConfig(
+        solver="online-broken",
+        scenario=ScenarioSpec.from_demand(demand, name="broken-grid", order="sequential"),
+        # omega=3 makes 3x3 cubes, so every pair has peers to watch it;
+        # omega_c of this demand is < 1 (singleton cubes, nothing to
+        # replace a dead vehicle with).
+        omega=3.0,
+        failures=FailureSpec(crashed=((0, 0), (0, 1))),
+        recovery_rounds=3,
     )
-    assert broken_value == pytest.approx(plain, rel=1e-6)
+    engine = ExperimentEngine()
+
+    result = benchmark.pedantic(
+        lambda: engine.run(config), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        {
+            "jobs_served": result.jobs_served,
+            "jobs_total": result.jobs_total,
+            "replacements": result.extra("replacements"),
+            "events_processed": result.extra("events_processed"),
+            "events_per_sec": (
+                int(result.extra("events_processed", 0)) / mean if mean else 0.0
+            ),
+        }
+    )
+    assert result.jobs_served == result.jobs_total

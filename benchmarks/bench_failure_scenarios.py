@@ -4,34 +4,49 @@ Scenario 2: a done vehicle fails to start its diffusing computation.
 Scenario 3: a constant number of active vehicles die.  In both cases the
 monitoring loop (heartbeats + watch pointers) must still get every job
 served, at the cost of extra messages and a bounded number of extra
-replacements.  The benchmark runs both scenarios through the real protocol
-and records the recovery statistics.
+replacements.
+
+Both scenarios now run through :class:`repro.api.ExperimentEngine` as
+ordinary ``online-broken`` configs (failure injection via
+:class:`~repro.api.FailureSpec`), so the benchmark exercises the same path
+every sweep does, and events/sec of the event-driven driver is reported
+like ``bench_scenarios.py``.  A third benchmark layers a lossy transport on
+scenario 2 -- the recovery loop must survive message loss too.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.core.demand import DemandMap, JobSequence
-from repro.core.online import run_online
-from repro.distsim.failures import FailurePlan
+from repro.api import ExperimentEngine, FailureSpec, RunConfig, ScenarioSpec, TransportSpec
+from repro.core.demand import DemandMap
 from repro.vehicles.fleet import Fleet, FleetConfig
 
 
+def _events_per_sec(result, benchmark) -> float:
+    mean = benchmark.stats.stats.mean
+    return int(result.extra("events_processed", 0)) / mean if mean else 0.0
+
+
+def _scenario2_config(transport: TransportSpec | None = None) -> RunConfig:
+    scenario = ScenarioSpec.from_demand(
+        DemandMap({(0, 0): 20.0}), name="scenario2-point", order="sequential"
+    )
+    return RunConfig(
+        solver="online-broken",
+        scenario=scenario,
+        capacity=8.0,
+        omega=3.0,
+        failures=FailureSpec(suppressed=((0, 0),)),
+        transport=transport,
+        recovery_rounds=4,
+    )
+
+
 def bench_scenario2_initiation_failure(benchmark):
-    jobs = JobSequence.from_positions([(0, 0)] * 20)
-    plan = FailurePlan()
-    plan.suppress_initiation((0, 0))
+    engine = ExperimentEngine()
+    config = _scenario2_config()
 
     result = benchmark.pedantic(
-        lambda: run_online(
-            jobs,
-            omega=3.0,
-            capacity=8.0,
-            config=FleetConfig(monitoring=True),
-            failure_plan=plan,
-            recovery_rounds=4,
-        ),
+        lambda: engine.run(config),
         rounds=1,
         iterations=1,
         warmup_rounds=0,
@@ -42,49 +57,83 @@ def bench_scenario2_initiation_failure(benchmark):
             "scenario": "2 (done vehicle fails to initiate)",
             "jobs_served": result.jobs_served,
             "jobs_total": result.jobs_total,
-            "replacements": result.replacements,
-            "messages": result.messages,
-            "heartbeat_rounds": result.heartbeat_rounds,
+            "replacements": result.extra("replacements"),
+            "messages": result.extra("messages"),
+            "heartbeat_rounds": result.extra("heartbeat_rounds"),
+            "events_processed": result.extra("events_processed"),
+            "events_per_sec": _events_per_sec(result, benchmark),
         }
     )
     assert result.feasible
 
 
-def _run_scenario3() -> Fleet:
-    demand = DemandMap({(0, 0): 12.0, (1, 1): 6.0})
-    config = FleetConfig(capacity=40.0, monitoring=True)
-    fleet = Fleet(demand, 3.0, config)
-    # Two active vehicles die before any job arrives (a constant number, as
-    # scenario 3 allows).
-    victims = list(fleet.registry.values())[:2]
-    for victim in victims:
-        fleet.crash_vehicle(victim)
-    unserved = 0
-    positions = [(0, 0)] * 12 + [(1, 1)] * 6
-    for position in positions:
-        served = fleet.deliver_job(position)
-        if not served:
-            for _ in range(4):
-                fleet.run_heartbeat_round()
-            served = fleet.retry_job(position)
-        if not served:
-            unserved += 1
-        fleet.run_heartbeat_round()
-    assert unserved == 0
-    return fleet
+def _scenario3_victims(demand: DemandMap) -> tuple:
+    """The first two initially-active vehicles (the pairs' black vertices)."""
+    fleet = Fleet(demand, 3.0, FleetConfig(capacity=40.0, monitoring=True))
+    return tuple(list(fleet.registry.values())[:2])
 
 
 def bench_scenario3_dead_vehicles(benchmark):
-    fleet = benchmark.pedantic(_run_scenario3, rounds=1, iterations=1, warmup_rounds=0)
+    demand = DemandMap({(0, 0): 12.0, (1, 1): 6.0})
+    scenario = ScenarioSpec.from_demand(
+        demand, name="scenario3-dead", order="sequential"
+    )
+    config = RunConfig(
+        solver="online-broken",
+        scenario=scenario,
+        capacity=40.0,
+        omega=3.0,
+        failures=FailureSpec(crashed=_scenario3_victims(demand)),
+        recovery_rounds=4,
+    )
+    engine = ExperimentEngine()
+
+    result = benchmark.pedantic(
+        lambda: engine.run(config),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
     benchmark.extra_info.update(
         {
             "scenario": "3 (dead active vehicles)",
-            "jobs_unserved": fleet.stats.jobs_unserved,
-            "watch_initiations": fleet.stats.watch_initiations,
-            "replacements": fleet.stats.replacements,
-            "messages": fleet.messages_sent(),
-            "max_vehicle_energy": fleet.max_energy_used(),
+            "jobs_served": result.jobs_served,
+            "jobs_total": result.jobs_total,
+            "watch_initiations": result.extra("searches"),
+            "replacements": result.extra("replacements"),
+            "messages": result.extra("messages"),
+            "max_vehicle_energy": result.max_vehicle_energy,
+            "events_processed": result.extra("events_processed"),
+            "events_per_sec": _events_per_sec(result, benchmark),
         }
     )
-    assert fleet.stats.jobs_unserved == 0
-    assert fleet.stats.replacements >= 1
+    assert result.feasible
+    assert result.extra("replacements") >= 1
+
+
+def bench_scenario2_over_lossy_transport(benchmark):
+    """Scenario 2 recovery with 10% seeded message loss on the channel."""
+    engine = ExperimentEngine()
+    config = _scenario2_config(TransportSpec("lossy", {"loss": 0.1, "seed": 3}))
+
+    result = benchmark.pedantic(
+        lambda: engine.run(config),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    benchmark.extra_info.update(
+        {
+            "scenario": "2 + lossy transport",
+            "jobs_served": result.jobs_served,
+            "jobs_total": result.jobs_total,
+            "messages_dropped": result.extra("messages_dropped"),
+            "events_processed": result.extra("events_processed"),
+            "events_per_sec": _events_per_sec(result, benchmark),
+        }
+    )
+    # Loss may cost retries but the monitoring loop must keep serving.
+    assert result.jobs_served >= result.jobs_total // 2
+    assert result.extra("messages_dropped") > 0

@@ -14,6 +14,36 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: keep one family solve plus the "
+        "event-driver events/sec benchmark, deselect the rest (the CI "
+        "smoke job runs bench_scenarios.py this way)",
+    )
+
+
+#: The --quick selection: one end-to-end family solve and the event-driver
+#: throughput number -- the two lines a transport regression would move.
+_QUICK_KEEP = (
+    "bench_family_solve_time[hotspot]",
+    "bench_online_driver_events_per_sec[events]",
+)
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
+    if not config.getoption("--quick"):
+        return
+    keep, drop = [], []
+    for item in items:
+        (keep if item.name in _QUICK_KEEP else drop).append(item)
+    if drop:
+        config.hook.pytest_deselected(items=drop)
+        items[:] = keep
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator shared by the randomized benchmarks."""

@@ -28,6 +28,7 @@ from repro.api.config import (
 )
 from repro.api.engine import EngineStats, ExperimentEngine, config_matrix
 from repro.distsim.failures import ChurnSpec, PartitionSpec
+from repro.distsim.transport import TransportSpec, available_transports
 from repro.api.registry import (
     Solver,
     SolverEntry,
@@ -57,8 +58,10 @@ __all__ = [
     "ScenarioSpec",
     "Solver",
     "SolverEntry",
+    "TransportSpec",
     "UnknownSolverError",
     "available_solvers",
+    "available_transports",
     "config_matrix",
     "get_solver",
     "register_solver",

@@ -2,8 +2,9 @@
 
 A :class:`RunConfig` is the *complete* description of one experiment run:
 which workload (:class:`ScenarioSpec`), which solver (a registry name), the
-capacity/omega provisioning, an optional failure plan, and solver-specific
-parameters.  Configs are frozen, comparable, and round-trip through JSON
+capacity/omega provisioning, an optional failure plan, an optional message
+transport (:class:`~repro.distsim.transport.TransportSpec`), and
+solver-specific parameters.  Configs are frozen, comparable, and round-trip through JSON
 (:func:`RunConfig.to_json` / :func:`RunConfig.from_json`, also exposed via
 :mod:`repro.io.serialize`), and :meth:`RunConfig.config_hash` gives a
 stable content hash the engine uses as its cache key -- two configs with
@@ -12,6 +13,7 @@ the same hash produce byte-identical results.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import hashlib
 import json
@@ -23,6 +25,7 @@ import numpy as np
 
 from repro.core.demand import DemandMap, JobSequence
 from repro.distsim.failures import ChurnSpec, FailurePlan, PartitionSpec
+from repro.distsim.transport import TransportSpec
 from repro.grid.lattice import Point
 from repro.workloads.arrivals import (
     alternating_arrivals,
@@ -38,6 +41,7 @@ __all__ = [
     "FailureSpec",
     "ScenarioSpec",
     "RunConfig",
+    "TransportSpec",
 ]
 
 #: Provisioning policy for the online family: ``"theorem"`` uses the
@@ -114,6 +118,19 @@ def _normalize_churn(raw: Any) -> ChurnSpec:
     raise ConfigError(f"not a churn event: {raw!r}")
 
 
+def _normalize_transport(raw: Any) -> Optional[TransportSpec]:
+    if raw is None or isinstance(raw, TransportSpec):
+        return raw
+    try:
+        if isinstance(raw, str):
+            return TransportSpec(kind=raw)
+        if isinstance(raw, Mapping):
+            return TransportSpec.from_json(raw)
+    except ValueError as error:
+        raise ConfigError(str(error)) from None
+    raise ConfigError(f"not a transport spec: {raw!r}")
+
+
 @dataclass(frozen=True)
 class FailureSpec:
     """Declarative failure injection for the online family.
@@ -127,12 +144,19 @@ class FailureSpec:
     ``partitions`` are timed network cuts and ``churn`` is a timed
     leave/join schedule (see :mod:`repro.distsim.failures`); both are
     expressed on the job clock (job ``k`` arrives at time ``k + 1``).
+
+    ``transport`` is an adversarial delivery model
+    (:class:`~repro.distsim.transport.TransportSpec`, e.g. seeded loss or
+    Byzantine corruption) bundled with the rest of the failure plan --
+    scenario-family failure builders use this channel.  A transport on a
+    *failure-free* run belongs on :attr:`RunConfig.transport` instead.
     """
 
     crashed: Tuple[Point, ...] = ()
     suppressed: Tuple[Point, ...] = ()
     partitions: Tuple[PartitionSpec, ...] = ()
     churn: Tuple[ChurnSpec, ...] = ()
+    transport: Optional[TransportSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -156,10 +180,22 @@ class FailureSpec:
             "churn",
             tuple(sorted(churn, key=lambda c: (c.time, c.vertex, c.action))),
         )
+        object.__setattr__(self, "transport", _normalize_transport(self.transport))
 
     def is_empty(self) -> bool:
         """Whether the spec injects nothing at all (every channel empty)."""
-        return not (self.crashed or self.suppressed or self.partitions or self.churn)
+        return not (
+            self.crashed
+            or self.suppressed
+            or self.partitions
+            or self.churn
+            or self.transport is not None
+        )
+
+    def without_transport(self) -> "FailureSpec":
+        """A copy with the transport channel cleared (an explicit transport
+        elsewhere -- RunConfig, a CLI flag -- overrides the bundled one)."""
+        return dataclasses.replace(self, transport=None)
 
     def to_plan(self) -> FailurePlan:
         """The network-level :class:`FailurePlan` (suppression + partitions).
@@ -195,6 +231,8 @@ class FailureSpec:
                 {"time": c.time, "vertex": list(c.vertex), "action": c.action}
                 for c in self.churn
             ]
+        if self.transport is not None:
+            payload["transport"] = self.transport.to_json()
         return payload
 
     @classmethod
@@ -204,6 +242,7 @@ class FailureSpec:
             suppressed=tuple(tuple(p) for p in payload.get("suppressed", ())),
             partitions=tuple(payload.get("partitions", ())),
             churn=tuple(payload.get("churn", ())),
+            transport=payload.get("transport"),
         )
 
 
@@ -435,6 +474,9 @@ class RunConfig:
     omega: Optional[float] = None
     #: Failure injection (online-broken).
     failures: Optional[FailureSpec] = None
+    #: Message transport for the online family (``None`` = the historical
+    #: channel).  Mutually exclusive with ``failures.transport``.
+    transport: Optional[TransportSpec] = None
     #: Heartbeat rounds the monitoring loop may spend recovering a job.
     recovery_rounds: int = 0
     #: Solver-specific parameters, stored as a sorted tuple of pairs so the
@@ -468,6 +510,16 @@ class RunConfig:
             )
         if self.failures is not None and not isinstance(self.failures, FailureSpec):
             raise ConfigError(f"failures must be a FailureSpec, got {self.failures!r}")
+        object.__setattr__(self, "transport", _normalize_transport(self.transport))
+        if (
+            self.transport is not None
+            and self.failures is not None
+            and self.failures.transport is not None
+        ):
+            raise ConfigError(
+                "transport is set both on the config and inside its failure "
+                "spec; pick one place"
+            )
         object.__setattr__(self, "params", _normalize_params(self.params))
 
     # ------------------------------------------------------------------ #
@@ -481,6 +533,14 @@ class RunConfig:
     def param(self, key: str, default: Any = None) -> Any:
         """One solver parameter with a default."""
         return dict(self.params).get(key, default)
+
+    def effective_transport(self) -> Optional[TransportSpec]:
+        """The transport this run should use, wherever it was configured."""
+        if self.transport is not None:
+            return self.transport
+        if self.failures is not None:
+            return self.failures.transport
+        return None
 
     def replace(self, **changes: Any) -> "RunConfig":
         """A copy of the config with fields replaced (re-validated)."""
@@ -503,6 +563,12 @@ class RunConfig:
     def to_json(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "type": "run_config",
+            # Execution-semantics version, part of the content hash.  Bumped
+            # when an unchanged config would no longer reproduce its cached
+            # result -- e.g. v2: the online family's default engine flipped
+            # from the lockstep rounds driver to the event driver, so
+            # pre-transport disk caches must not be served for these hashes.
+            "schema": 2,
             "solver": self.solver,
             "scenario": self.scenario.to_json(),
             "capacity": self.capacity,
@@ -517,6 +583,10 @@ class RunConfig:
         # cache.  ``failures=None`` keeps its historical serialized form.
         if self.failures is not None:
             payload["failures"] = self.failures.to_json()
+        # Same reasoning for the transport: absent and present-but-default
+        # must canonicalize differently.
+        if self.transport is not None:
+            payload["transport"] = self.transport.to_json()
         return payload
 
     @classmethod
@@ -530,6 +600,7 @@ class RunConfig:
             capacity=payload.get("capacity", "theorem"),
             omega=payload.get("omega"),
             failures=FailureSpec.from_json(failures) if failures else None,
+            transport=payload.get("transport"),
             recovery_rounds=payload.get("recovery_rounds", 0),
             params=payload.get("params", ()),
         )

@@ -138,7 +138,8 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
     jobs = config.scenario.jobs()
     if len(jobs) == 0:
         return _empty_result(config)
-    engine = config.param("engine", "rounds")
+    engine = config.param("engine", "events")
+    transport = config.effective_transport()
     failure_plan = None
     dead_vehicles = None
     churn = None
@@ -146,7 +147,8 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
     if not broken and config.failures is not None and not config.failures.is_empty():
         raise ConfigError(
             'the "online" solver ignores failure specs; use "online-broken" '
-            "to run with crashed/suppressed vehicles"
+            "to run with crashed/suppressed vehicles (a bare transport "
+            "belongs on RunConfig.transport)"
         )
     if broken:
         if config.failures is None or config.failures.is_empty():
@@ -170,6 +172,7 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         recovery_rounds=config.recovery_rounds,
         churn=churn,
         engine=engine,
+        transport=transport,
     )
     extras = {
         "theorem_capacity": result.theorem_capacity,
@@ -182,6 +185,9 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         "heartbeat_rounds": result.heartbeat_rounds,
         "engine": result.engine,
         "events_processed": result.events_processed,
+        "transport": result.transport,
+        "messages_dropped": result.messages_dropped,
+        "messages_corrupted": result.messages_corrupted,
     }
     if broken and config.failures is not None:
         extras["crashed_vehicles"] = len(config.failures.crashed)

@@ -56,8 +56,10 @@ from repro.api import (
     RunConfig,
     RunResult,
     ScenarioSpec,
+    TransportSpec,
     UnknownSolverError,
     available_solvers,
+    available_transports,
     config_matrix,
     solver_descriptions,
 )
@@ -175,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--cache-dir", help="result cache directory (keyed on config hash)")
     sweep.add_argument("--out", help="write the deterministic results JSON to this path")
+    _add_transport_arguments(sweep)
 
     compare = subparsers.add_parser(
         "compare", help="run several solvers on one workload and print one table"
@@ -270,6 +273,25 @@ def _add_run_arguments(parser: argparse.ArgumentParser, *, engine: bool = True) 
         default=0,
         help="heartbeat rounds the monitoring loop may spend recovering a job",
     )
+    _add_transport_arguments(parser)
+
+
+def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transport",
+        choices=list(available_transports()),
+        default=None,
+        help="message-delivery model for the online solvers (default: the "
+        "historical reliable channel)",
+    )
+    parser.add_argument(
+        "--transport-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="transport parameter, e.g. loss=0.1 or seed=3 (repeatable; "
+        "values parse as JSON when possible)",
+    )
 
 
 def _parse_point(raw: str) -> tuple:
@@ -299,6 +321,19 @@ def _parse_failures(
             scenario.family, scenario.family_params_dict(), seed=scenario.seed
         )
     return None
+
+
+def _parse_transport(args: argparse.Namespace) -> Optional[TransportSpec]:
+    kind = getattr(args, "transport", None)
+    params = _parse_params(getattr(args, "transport_param", []))
+    if kind is None:
+        if params:
+            raise SystemExit("--transport-param given without --transport")
+        return None
+    try:
+        return TransportSpec(kind=kind, params=tuple(sorted(params.items())))
+    except ValueError as error:
+        raise SystemExit(f"invalid transport: {error}") from None
 
 
 def _parse_capacity(raw: Optional[str]) -> CapacitySpec:
@@ -398,8 +433,26 @@ def _command_solvers() -> int:
     return 0
 
 
+#: Solvers that simulate the message-passing protocol (and hence a transport).
+_TRANSPORT_SOLVERS = ("online", "online-broken")
+
+
 def _command_run(args: argparse.Namespace) -> int:
     scenario = _scenario_spec(args)
+    transport = _parse_transport(args)
+    if transport is not None and args.solver not in _TRANSPORT_SOLVERS:
+        print(
+            f"error: --transport only applies to the message-passing solvers "
+            f"({', '.join(_TRANSPORT_SOLVERS)}), not {args.solver!r}",
+            file=sys.stderr,
+        )
+        return 2
+    failures = _parse_failures(
+        args, scenario if args.solver == "online-broken" else None
+    )
+    if transport is not None and failures is not None and failures.transport is not None:
+        # An explicit --transport overrides the family failure plan's own.
+        failures = failures.without_transport()
     config = RunConfig(
         solver=args.solver,
         scenario=scenario,
@@ -407,9 +460,8 @@ def _command_run(args: argparse.Namespace) -> int:
         omega=args.omega,
         # The family-failure fallback only applies to the solver that
         # models failures; other solvers see the bare workload.
-        failures=_parse_failures(
-            args, scenario if args.solver == "online-broken" else None
-        ),
+        failures=failures,
+        transport=transport,
         recovery_rounds=args.recovery_rounds,
         params=_parse_params(args.param),
     )
@@ -457,6 +509,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if not configs:
         print("error: nothing to sweep (no scenarios and no families)", file=sys.stderr)
         return 2
+    transport = _parse_transport(args)
+    if transport is not None:
+        if not any(config.solver in _TRANSPORT_SOLVERS for config in configs):
+            print(
+                f"error: --transport needs at least one message-passing solver "
+                f"({', '.join(_TRANSPORT_SOLVERS)}) in --solvers",
+                file=sys.stderr,
+            )
+            return 2
+        # The transport rides only on the solvers that simulate messaging;
+        # when a family's failure plan already bundles one, the explicit
+        # flag wins (mirroring `run`).
+        configs = [
+            config.replace(
+                transport=transport,
+                failures=(
+                    config.failures.without_transport()
+                    if config.failures is not None and config.failures.transport is not None
+                    else config.failures
+                ),
+            )
+            if config.solver in _TRANSPORT_SOLVERS
+            else config
+            for config in configs
+        ]
     engine = _engine(args, workers=args.workers)
     results = engine.run_many(configs)
     print(
@@ -473,14 +550,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_spec(args)
     failures = _parse_failures(args, scenario)
+    transport = _parse_transport(args)
+    if transport is not None and failures is not None and failures.transport is not None:
+        failures = failures.without_transport()
     configs = [
         RunConfig(
             solver=solver,
             scenario=scenario,
             capacity=_parse_capacity(args.capacity),
             omega=args.omega,
-            # Failure flags only apply to the solver that models them.
+            # Failure flags only apply to the solver that models them; the
+            # transport rides on every solver that simulates messaging.
             failures=failures if solver == "online-broken" else None,
+            transport=transport if solver in _TRANSPORT_SOLVERS else None,
             recovery_rounds=args.recovery_rounds if solver == "online-broken" else 0,
             params=_parse_params(args.param),
         )

@@ -6,18 +6,26 @@ the active vehicle of its black/white pair, exhausted vehicles are replaced
 through Phase I/II diffusing computations, and (optionally) the monitoring
 loop of Section 3.2.5 recovers from initiation failures and dead vehicles.
 
-Two drivers are available:
+Both drivers now run on the same event clock:
 
-* ``engine="rounds"`` (the historical default): the harness loop delivers a
-  job, drains the network to quiescence, and runs lockstep heartbeat
-  rounds.  Simple, and the semantics every existing experiment was written
-  against.
-* ``engine="events"``: arrivals, heartbeat ticks, churn and partition
-  windows are all scheduled on the fleet's discrete-event simulator at the
-  jobs' arrival times; protocol messages interleave in timestamp order.
-  On failure-free runs the two drivers produce identical results (the
-  conformance tests assert it); under timed failures only the event driver
-  gives failures a meaningful position on the clock.
+* ``engine="events"`` (the default): arrivals, heartbeat ticks, churn and
+  partition windows are all scheduled on the fleet's discrete-event
+  simulator at the jobs' arrival times; protocol messages interleave in
+  timestamp order.  This is the asynchronous system the paper actually
+  analyzes, and the only driver under which timed failures and non-trivial
+  transports (latency, loss, corruption) have a meaningful clock position.
+* ``engine="rounds"``: a thin adapter over the same clock that schedules
+  each job as a *round barrier* event and settles the network to quiescence
+  inside the barrier -- the historical lockstep "deliver, settle,
+  heartbeat" semantics, byte-identical to the pre-adapter rounds driver on
+  failure-free runs (the conformance tests assert both the adapter/event
+  equivalence and the physical fingerprint).
+
+Message delivery itself is owned by a pluggable
+:class:`~repro.distsim.transport.Transport`; pass ``transport=`` (an
+instance, a :class:`~repro.distsim.transport.TransportSpec`, or a bare kind
+name) to run the protocol over latency jitter, seeded loss, or Byzantine
+corruption.
 
 Failure timing (``FailurePlan`` partitions, churn schedules) is expressed
 on the *job clock*: job ``k`` of a sequence built by
@@ -31,6 +39,8 @@ be compared against.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Literal, Optional, Sequence, Set, Union
 
@@ -40,6 +50,7 @@ from repro.core.demand import DemandMap, JobSequence
 from repro.core.offline import online_upper_bound_factor
 from repro.core.omega import omega_c, omega_star_cubes
 from repro.distsim.failures import ChurnSpec, FailurePlan, apply_churn
+from repro.distsim.transport import Transport, TransportSpec, build_transport
 from repro.grid.lattice import Point
 from repro.vehicles.fleet import Fleet, FleetConfig
 
@@ -47,8 +58,8 @@ __all__ = ["OnlineResult", "run_online", "ONLINE_ENGINES"]
 
 CapacitySpec = Union[None, float, Literal["theorem"]]
 
-#: The two harness drivers (see the module docstring).
-ONLINE_ENGINES = ("rounds", "events")
+#: The two harness drivers (see the module docstring); the first is the default.
+ONLINE_ENGINES = ("events", "rounds")
 
 
 @dataclass
@@ -84,21 +95,33 @@ class OnlineResult:
     #: Per-vehicle energies at the end of the run (home vertex -> energy).
     vehicle_energies: Dict[Point, float] = field(default_factory=dict)
     #: Which harness driver produced the result.
-    engine: str = "rounds"
+    engine: str = "events"
     #: Simulator events executed during the run (messages, arrivals, ticks).
     events_processed: int = 0
     #: Final simulation-clock time.
     sim_time: float = 0.0
+    #: Registry name of the message transport the run used.
+    transport: str = "reliable"
+    #: Messages lost to failures or the transport.
+    messages_dropped: int = 0
+    #: Messages the transport mutated in flight (Byzantine corruption).
+    messages_corrupted: int = 0
 
     @property
     def online_to_offline_ratio(self) -> float:
-        """``max_vehicle_energy / omega_star`` -- the constant Theorem 1.4.2 bounds."""
+        """``max_vehicle_energy / omega_star`` -- the constant Theorem 1.4.2 bounds.
+
+        A degenerate scenario with ``omega_star == 0`` but positive energy
+        spent violates *any* multiplicative bound, so it reports ``inf``
+        rather than masquerading as meeting the Theorem 1.4.2 constant;
+        only a run that spent nothing against a zero bound is a clean 1.0.
+        """
         if self.omega_star == 0:
-            return 1.0
+            return math.inf if self.max_vehicle_energy > 0 else 1.0
         return self.max_vehicle_energy / self.omega_star
 
 
-def _empty_online_result(engine: str) -> OnlineResult:
+def _empty_online_result(engine: str, transport: str = "reliable") -> OnlineResult:
     return OnlineResult(
         jobs_total=0,
         jobs_served=0,
@@ -116,6 +139,7 @@ def _empty_online_result(engine: str) -> OnlineResult:
         messages=0,
         heartbeat_rounds=0,
         engine=engine,
+        transport=transport,
     )
 
 
@@ -162,15 +186,38 @@ def _run_rounds(
     churn: Sequence[ChurnSpec],
     plan: FailurePlan,
 ) -> int:
-    """The lockstep driver: deliver, settle, heartbeat -- one job at a time."""
+    """The lockstep driver as a thin adapter over the event clock.
+
+    Each job becomes one *round barrier* event scheduled at the job's
+    arrival time; the barrier delivers the job, runs the recovery heartbeat
+    rounds, and settles the network to quiescence before the next barrier
+    is scheduled -- exactly the historical "deliver, settle, heartbeat"
+    sequence, so the physical outcome (energies, messages, counters) is
+    byte-identical to the pre-adapter rounds driver on failure-free runs.
+    The only difference is that the barriers now *live on the clock*: the
+    simulation time of a round-mode run advances through the jobs' arrival
+    times instead of idling near zero.
+    """
+    simulator = fleet.simulator
     served_count = 0
     churn_applied: Set[ChurnSpec] = set()
     leave, join = _churn_hooks(fleet)
 
     for job in jobs:
-        plan.set_time(job.time)
-        apply_churn(churn, job.time, churn_applied, leave=leave, join=join)
-        if _serve_with_recovery(fleet, fleet_config, job, recovery_rounds):
+        served = False
+
+        def _barrier(job=job) -> None:
+            nonlocal served
+            plan.set_time(job.time)
+            apply_churn(churn, job.time, churn_applied, leave=leave, join=join)
+            served = _serve_with_recovery(fleet, fleet_config, job, recovery_rounds)
+
+        # A message storm may already have pushed the clock past this job's
+        # arrival time; the barrier then fires immediately (the failure
+        # clock still uses job.time, as the lockstep driver always did).
+        simulator.schedule_at(max(job.time, simulator.now), _barrier, kind="round-barrier")
+        simulator.run_until_quiescent()
+        if served:
             served_count += 1
     return served_count
 
@@ -253,7 +300,8 @@ def run_online(
     dead_vehicles: Optional[Iterable[Sequence[int]]] = None,
     recovery_rounds: int = 0,
     churn: Optional[Iterable[ChurnSpec]] = None,
-    engine: str = "rounds",
+    engine: str = "events",
+    transport: Union[Transport, TransportSpec, str, None] = None,
 ) -> OnlineResult:
     """Run the online strategy on a job sequence.
 
@@ -287,13 +335,21 @@ def run_online(
         leaving and rejoining), expressed on the job clock.  Vertices that
         host no vehicle in this run are ignored.
     engine:
-        ``"rounds"`` (lockstep compatibility driver) or ``"events"`` (the
-        event-driven driver; see the module docstring).
+        ``"events"`` (the event-driven driver, the default) or ``"rounds"``
+        (the lockstep compatibility adapter; see the module docstring).
+    transport:
+        The message delivery model: a
+        :class:`~repro.distsim.transport.Transport` instance (single-use),
+        a :class:`~repro.distsim.transport.TransportSpec`, or a bare kind
+        name such as ``"lossy"``.  Defaults to the historical channel
+        (fixed ``config.message_delay``, randomized when ``rng`` is given).
     """
     if engine not in ONLINE_ENGINES:
         raise ValueError(f"engine must be one of {ONLINE_ENGINES}, got {engine!r}")
+    transport_instance = build_transport(transport)
     if len(jobs) == 0:
-        return _empty_online_result(engine)
+        kind = transport_instance.kind if transport_instance is not None else "reliable"
+        return _empty_online_result(engine, kind)
 
     demand = jobs.demand_map()
     dim = demand.dim
@@ -310,15 +366,15 @@ def run_online(
         provisioned = capacity  # a float or None
 
     base = config if config is not None else FleetConfig()
-    fleet_config = FleetConfig(
-        capacity=provisioned,
-        neighbor_radius=base.neighbor_radius,
-        message_delay=base.message_delay,
-        done_threshold=base.done_threshold,
-        monitoring=base.monitoring,
-        heartbeat_miss_threshold=base.heartbeat_miss_threshold,
+    fleet_config = dataclasses.replace(base, capacity=provisioned)
+    fleet = Fleet(
+        demand,
+        omega,
+        fleet_config,
+        rng=rng,
+        failure_plan=failure_plan,
+        transport=transport_instance,
     )
-    fleet = Fleet(demand, omega, fleet_config, rng=rng, failure_plan=failure_plan)
     if dead_vehicles is not None:
         # Scenario 3: these vehicles are dead from the start -- they cannot
         # move, serve, or heartbeat, but their radios still relay protocol
@@ -355,4 +411,7 @@ def run_online(
         engine=engine,
         events_processed=fleet.simulator.events_processed,
         sim_time=fleet.simulator.now,
+        transport=fleet.transport_kind,
+        messages_dropped=fleet.messages_dropped(),
+        messages_corrupted=fleet.messages_corrupted(),
     )

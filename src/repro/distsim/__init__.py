@@ -6,8 +6,13 @@ network and coordinate replacements with a Dijkstra--Scholten diffusing
 computation.  This subpackage provides the substrate that protocol runs on:
 
 * :mod:`repro.distsim.engine` -- a deterministic discrete-event simulator.
-* :mod:`repro.distsim.network` -- reliable FIFO message delivery between
-  registered processes, with per-link delays and failure injection hooks.
+* :mod:`repro.distsim.network` -- message delivery between registered
+  processes: registration, failure injection hooks, and routing through a
+  transport.
+* :mod:`repro.distsim.transport` -- the pluggable delivery models (reliable,
+  per-edge latency jitter, seeded loss, Byzantine corruption) plus the
+  frozen :class:`~repro.distsim.transport.TransportSpec` the run configs
+  and the CLI use to select one.
 * :mod:`repro.distsim.process` -- the process abstraction (local state,
   message handlers, unbounded input buffer).
 * :mod:`repro.distsim.diffusing` -- a standalone, reusable implementation of
@@ -28,6 +33,17 @@ from repro.distsim.network import Network
 from repro.distsim.process import Process
 from repro.distsim.diffusing import DiffusingNode, DiffusingComputation
 from repro.distsim.failures import ChurnSpec, FailurePlan, PartitionSpec
+from repro.distsim.transport import (
+    CorruptingTransport,
+    LatencyTransport,
+    LossyTransport,
+    RandomJitterTransport,
+    ReliableTransport,
+    Transport,
+    TransportSpec,
+    available_transports,
+    build_transport,
+)
 
 __all__ = [
     "Event",
@@ -43,4 +59,13 @@ __all__ = [
     "ChurnSpec",
     "FailurePlan",
     "PartitionSpec",
+    "Transport",
+    "TransportSpec",
+    "ReliableTransport",
+    "LatencyTransport",
+    "LossyTransport",
+    "CorruptingTransport",
+    "RandomJitterTransport",
+    "available_transports",
+    "build_transport",
 ]

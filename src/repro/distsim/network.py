@@ -1,31 +1,42 @@
-"""Reliable FIFO message delivery between registered processes.
+"""Message delivery between registered processes, routed through a transport.
 
 The communication model of Section 3.2 assumes: bidirectional links,
 error-free transmission, per-link FIFO ordering ("synchronous communication:
 messages sent from P to Q arrive in the order sent"), finite but arbitrary
-delays, and negligible energy cost for communication.  This network layer
-implements exactly that model on top of the discrete-event engine:
+delays, and negligible energy cost for communication.  The network layer
+owns *who* can talk (process registration, crash/partition failure
+injection via :class:`~repro.distsim.failures.FailurePlan`); the *channel
+itself* -- delays, loss, corruption, FIFO scheduling on the simulation
+clock -- lives in a pluggable :class:`~repro.distsim.transport.Transport`:
 
-* each ``send`` schedules a delivery after a (possibly randomized) delay;
-* deliveries on the same directed link never overtake one another;
-* an optional :class:`~repro.distsim.failures.FailurePlan` may crash
-  processes (all their messages are dropped) or drop specific messages,
-  which the Chapter 3 failure-scenario experiments use.
+* each ``send`` first consults the failure plan (crashed endpoints,
+  partitions, drop rules), then hands the message to the transport, which
+  schedules the delivery event;
+* deliveries on the same directed link never overtake one another
+  (FIFO clamping is a :class:`~repro.distsim.transport.Transport`
+  invariant, shared by every delivery model);
+* when no transport is given, the historical behavior is reproduced
+  exactly: a fixed (or callable) delay, or -- when an RNG is supplied --
+  the randomized uniform ``[d/2, 3d/2]`` delays of the original model.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional
 
 import numpy as np
 
 from repro.distsim.engine import Simulator
 from repro.distsim.failures import FailurePlan
 from repro.distsim.process import Process
+from repro.distsim.transport import (
+    DelayFunction,
+    RandomJitterTransport,
+    ReliableTransport,
+    Transport,
+)
 
 __all__ = ["Network"]
-
-DelayFunction = Callable[[Hashable, Hashable, Any], float]
 
 
 class Network:
@@ -37,14 +48,19 @@ class Network:
         The discrete-event engine driving the run.  A fresh one is created
         when omitted.
     delay:
-        Either a fixed non-negative delay applied to every message, or a
+        Legacy channel description, used only when no ``transport`` is
+        given: a fixed non-negative delay applied to every message, or a
         callable ``(sender, destination, message) -> delay``.  When ``rng``
         is supplied and ``delay`` is a number, delays are drawn uniformly
         from ``[delay/2, 3*delay/2]`` to exercise asynchrony.
     rng:
-        Optional ``numpy`` random generator for randomized delays.
+        Optional ``numpy`` random generator for the legacy randomized
+        delays.
     failure_plan:
         Optional failure injection (crashed processes, dropped messages).
+    transport:
+        The delivery model (see :mod:`repro.distsim.transport`).  Overrides
+        ``delay``/``rng`` when given; the network binds it to its simulator.
     """
 
     def __init__(
@@ -54,15 +70,17 @@ class Network:
         delay: float | DelayFunction = 1.0,
         rng: Optional[np.random.Generator] = None,
         failure_plan: Optional[FailurePlan] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
-        self._delay = delay
-        self._rng = rng
+        if transport is None:
+            if not callable(delay) and rng is not None:
+                transport = RandomJitterTransport(float(delay), rng)
+            else:
+                transport = ReliableTransport(delay)
+        self.transport = transport.bind(self.simulator)
         self.failure_plan = failure_plan if failure_plan is not None else FailurePlan()
         self._processes: Dict[Hashable, Process] = {}
-        #: Time of the last scheduled delivery per directed link, used to
-        #: enforce FIFO ordering even with randomized delays.
-        self._last_delivery: Dict[Tuple[Hashable, Hashable], float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -104,20 +122,8 @@ class Network:
     # messaging
     # ------------------------------------------------------------------ #
 
-    def _draw_delay(self, sender: Hashable, destination: Hashable, message: Any) -> float:
-        if callable(self._delay):
-            value = float(self._delay(sender, destination, message))
-        elif self._rng is not None:
-            base = float(self._delay)
-            value = float(self._rng.uniform(base / 2, 3 * base / 2))
-        else:
-            value = float(self._delay)
-        if value < 0:
-            raise ValueError("message delay must be non-negative")
-        return value
-
     def send(self, sender: Hashable, destination: Hashable, message: Any) -> None:
-        """Send a message; delivery is scheduled on the simulator."""
+        """Send a message; the transport schedules its delivery event."""
         if destination not in self._processes:
             raise KeyError(f"unknown destination {destination!r}")
         self.messages_sent += 1
@@ -128,20 +134,16 @@ class Network:
             # Messages to crashed processes vanish; the sender is not told.
             self.messages_dropped += 1
             return
-        delay = self._draw_delay(sender, destination, message)
-        now = self.simulator.now
-        link = (sender, destination)
-        delivery_time = max(now + delay, self._last_delivery.get(link, 0.0))
-        self._last_delivery[link] = delivery_time
 
-        def _deliver() -> None:
+        def _deliver(delivered: Any) -> None:
             if self.failure_plan.is_crashed(destination):
                 self.messages_dropped += 1
                 return
             self.messages_delivered += 1
-            self._processes[destination].deliver(sender, message)
+            self._processes[destination].deliver(sender, delivered)
 
-        self.simulator.schedule_at(delivery_time, _deliver)
+        if not self.transport.send(sender, destination, message, _deliver):
+            self.messages_dropped += 1
 
     # ------------------------------------------------------------------ #
     # execution helpers

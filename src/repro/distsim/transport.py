@@ -1,0 +1,487 @@
+"""The pluggable message-transport layer.
+
+Section 3.2's communication model (bidirectional links, per-link FIFO,
+finite but arbitrary delays) used to be hard-wired into
+:class:`~repro.distsim.network.Network`: every send scheduled an
+instantaneous-or-fixed-delay delivery, which quietly turned the
+"asynchronous message-passing system" the protocol is analyzed over into a
+lockstep harness.  This module makes the delivery model a first-class,
+swappable object:
+
+* :class:`Transport` -- the base class.  It owns delivery scheduling on the
+  simulation clock (FIFO clamping per directed link, the delivery event
+  itself) and exposes three hooks -- :meth:`~Transport.latency`,
+  :meth:`~Transport.drops`, :meth:`~Transport.mutate` -- that concrete
+  transports override.
+* :class:`ReliableTransport` -- delay zero or fixed (or a callable, the
+  historical ``DelayFunction`` escape hatch).  The paper's error-free model.
+* :class:`LatencyTransport` -- per-edge deterministic jitter: every directed
+  link gets its own fixed latency derived from a keyed hash of
+  ``(seed, sender, destination)``.  No RNG state is consumed, so delays are
+  independent of send order *and* stable across processes (Python's
+  ``hash()`` is salted per process; the keyed blake2b digest is not).
+* :class:`LossyTransport` -- seeded i.i.d. message loss.  The drop stream is
+  drawn from the transport's own ``numpy`` generator in send order, which is
+  deterministic because every run constructs its own transport from a spec.
+* :class:`CorruptingTransport` -- seeded Byzantine corruption of the Phase
+  I/II protocol messages (query/reply/move): reply flags flip, destination
+  and pair coordinates drift, computation tags are scrambled into phantom
+  rounds.  The vehicle state machine must survive every such mutation
+  legally -- the transport only ever emits well-typed messages, never
+  exceptions-in-waiting.
+* :class:`RandomJitterTransport` -- the historical randomized-delay model
+  (uniform on ``[d/2, 3d/2]`` from a shared generator); kept for
+  byte-compatibility with pre-transport runs, not spec-constructible.
+
+:class:`TransportSpec` is the frozen, JSON-round-trippable description used
+by run configs (:mod:`repro.api.config`), the workload library, and the CLI
+(``--transport``): ``TransportSpec("lossy", {"loss": 0.1, "seed": 3})``
+builds the same transport everywhere, which is what makes transport sweeps
+cacheable and byte-identical across worker pools.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.distsim.engine import Simulator
+
+__all__ = [
+    "Transport",
+    "ReliableTransport",
+    "LatencyTransport",
+    "LossyTransport",
+    "CorruptingTransport",
+    "RandomJitterTransport",
+    "TransportSpec",
+    "TRANSPORT_KINDS",
+    "available_transports",
+    "build_transport",
+]
+
+DelayFunction = Callable[[Hashable, Hashable, Any], float]
+Deliver = Callable[[Any], None]
+
+#: Seed salts so a transport's loss stream and corruption stream never
+#: collide with the demand/failure/arrival streams of the same scenario seed.
+_LOSS_SALT = 0x10E55
+_CORRUPT_SALT = 0xBADB17
+
+
+class Transport:
+    """Owns message delivery scheduling on the simulation clock.
+
+    The base class implements the invariants every delivery model shares --
+    per-directed-link FIFO ordering (deliveries on a link never overtake one
+    another, Section 3.2's "messages arrive in the order sent") and
+    scheduling on the bound :class:`~repro.distsim.engine.Simulator` --
+    and delegates the model itself to three hooks:
+
+    ``latency(sender, destination, message)``
+        Non-negative delivery delay for this message.
+    ``drops(sender, destination, message)``
+        Whether the channel loses this message.
+    ``mutate(sender, destination, message)``
+        The (possibly corrupted) message that actually arrives.
+
+    A transport instance belongs to exactly one run: :meth:`bind` attaches
+    it to the simulator and resets the per-link FIFO state.
+    """
+
+    #: Registry name of the transport model (overridden by subclasses).
+    kind = "reliable"
+
+    def __init__(self) -> None:
+        self._simulator: Optional[Simulator] = None
+        #: Time of the last scheduled delivery per directed link.
+        self._last_delivery: Dict[Tuple[Hashable, Hashable], float] = {}
+        self.messages_scheduled = 0
+        self.messages_dropped = 0
+        self.messages_corrupted = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def bind(self, simulator: Simulator) -> "Transport":
+        """Attach to the simulator driving a run.
+
+        Binding resets everything a previous run may have left behind --
+        FIFO state, counters, and seeded streams -- so reusing an instance
+        across runs still reproduces a fresh run bit for bit.  (The
+        exception is :class:`RandomJitterTransport`, whose stream belongs
+        to the caller.)
+        """
+        self._simulator = simulator
+        self._last_delivery.clear()
+        self.messages_scheduled = 0
+        self.messages_dropped = 0
+        self.messages_corrupted = 0
+        self._reset_streams()
+        return self
+
+    def _reset_streams(self) -> None:
+        """Rewind any seeded randomness to its initial state (hook)."""
+
+    @property
+    def simulator(self) -> Simulator:
+        if self._simulator is None:
+            raise RuntimeError(f"transport {self.kind!r} is not bound to a simulator")
+        return self._simulator
+
+    # ------------------------------------------------------------------ #
+    # the model hooks
+    # ------------------------------------------------------------------ #
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        """Delivery delay for one message (default: instantaneous)."""
+        return 0.0
+
+    def drops(self, sender: Hashable, destination: Hashable, message: Any) -> bool:
+        """Whether the channel loses this message (default: never)."""
+        return False
+
+    def mutate(self, sender: Hashable, destination: Hashable, message: Any) -> Any:
+        """The message that actually arrives (default: the one sent)."""
+        return message
+
+    # ------------------------------------------------------------------ #
+    # delivery scheduling
+    # ------------------------------------------------------------------ #
+
+    def send(
+        self, sender: Hashable, destination: Hashable, message: Any, deliver: Deliver
+    ) -> bool:
+        """Schedule delivery of ``message``; returns ``False`` when dropped.
+
+        ``deliver`` is invoked with the (possibly mutated) message at the
+        scheduled delivery time.  FIFO clamping guarantees deliveries on the
+        same directed link execute in send order even when later messages
+        draw shorter latencies.
+        """
+        simulator = self.simulator
+        if self.drops(sender, destination, message):
+            self.messages_dropped += 1
+            return False
+        delivered = self.mutate(sender, destination, message)
+        if delivered is not message:
+            self.messages_corrupted += 1
+        delay = float(self.latency(sender, destination, delivered))
+        if delay < 0:
+            raise ValueError("message delay must be non-negative")
+        link = (sender, destination)
+        delivery_time = max(simulator.now + delay, self._last_delivery.get(link, 0.0))
+        self._last_delivery[link] = delivery_time
+        simulator.schedule_at(delivery_time, lambda: deliver(delivered), kind="message")
+        self.messages_scheduled += 1
+        return True
+
+
+class ReliableTransport(Transport):
+    """Error-free delivery with a zero/fixed delay (the paper's model).
+
+    ``delay`` may also be a callable ``(sender, destination, message) ->
+    delay`` -- the historical ``DelayFunction`` form the network layer has
+    always accepted.
+    """
+
+    kind = "reliable"
+
+    def __init__(self, delay: float | DelayFunction = 0.0) -> None:
+        super().__init__()
+        if not callable(delay):
+            delay = float(delay)  # ValueError on junk, before any comparison
+            if delay < 0:
+                raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        if callable(self.delay):
+            return float(self.delay(sender, destination, message))
+        return float(self.delay)
+
+
+def _edge_unit(seed: int, sender: Hashable, destination: Hashable) -> float:
+    """A deterministic uniform-ish value in ``[0, 1)`` per directed edge.
+
+    Keyed blake2b over the canonical edge encoding: stable across runs,
+    processes, and interpreter hash randomization (``hash()`` is not).
+    The seed is folded into 64 bits, so any Python int is a valid seed.
+    """
+    key = (int(seed) & (2**64 - 1)).to_bytes(8, "little")
+    digest = hashlib.blake2b(
+        repr((sender, destination)).encode("utf-8"), key=key, digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2**64
+
+
+class LatencyTransport(Transport):
+    """Per-edge deterministic jitter: each directed link has a fixed latency.
+
+    ``delay`` is the floor every message pays; each edge adds its own
+    deterministic share of ``jitter``.  Because the latency is a pure
+    function of ``(seed, sender, destination)``, no stream state is
+    consumed: results do not depend on send order and are identical under
+    thread or process pools.
+    """
+
+    kind = "latency"
+
+    def __init__(self, delay: float = 0.01, jitter: float = 0.02, seed: int = 0) -> None:
+        super().__init__()
+        delay, jitter = float(delay), float(jitter)
+        if delay < 0 or jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        self.delay = delay
+        self.jitter = jitter
+        self.seed = int(seed)
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        return self.delay + self.jitter * _edge_unit(self.seed, sender, destination)
+
+
+class LossyTransport(Transport):
+    """Seeded i.i.d. message loss on top of a fixed delay.
+
+    Each send consumes one draw from the transport's own generator, in send
+    order -- deterministic per run because each run builds its transport
+    fresh from the spec, and the protocol's send sequence is itself
+    deterministic.
+    """
+
+    kind = "lossy"
+
+    def __init__(self, loss: float = 0.05, delay: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        loss, delay = float(loss), float(delay)
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss probability must lie in [0, 1], got {loss}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.loss = loss
+        self.delay = delay
+        self.seed = int(seed)
+        self._reset_streams()
+
+    def _reset_streams(self) -> None:
+        self._rng = np.random.default_rng((self.seed, _LOSS_SALT))
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        return self.delay
+
+    def drops(self, sender: Hashable, destination: Hashable, message: Any) -> bool:
+        return bool(self._rng.random() < self.loss)
+
+
+class CorruptingTransport(Transport):
+    """Seeded Byzantine corruption of the Phase I/II protocol messages.
+
+    With probability ``rate`` per message, one of three well-typed
+    mutations is applied to a query/reply/move message (heartbeats and
+    activation notices pass through untouched -- the adversary targets the
+    replacement machinery, where corruption actually bites):
+
+    * **flag flip** (replies): a negative answer becomes positive or vice
+      versa, so initiators chase vehicles that never volunteered or give up
+      on ones that did;
+    * **coordinate drift** (queries/moves): one coordinate of the
+      destination or pair key moves by one lattice step, possibly naming a
+      vertex outside the cube -- the receiving vehicle must reject it as a
+      failed replacement, not crash;
+    * **phantom tag** (all three): the computation round number is shifted
+      far out of range, detaching the message from its diffusing
+      computation.
+
+    Every mutation preserves the message type and field types, so the
+    damage is semantic, never structural: the state machine has to survive
+    it through its own legal transitions.
+    """
+
+    kind = "corrupting"
+
+    def __init__(self, rate: float = 0.05, delay: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        rate, delay = float(rate), float(delay)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must lie in [0, 1], got {rate}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.rate = rate
+        self.delay = delay
+        self.seed = int(seed)
+        self._reset_streams()
+
+    def _reset_streams(self) -> None:
+        self._rng = np.random.default_rng((self.seed, _CORRUPT_SALT))
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        return self.delay
+
+    def _drift_point(self, point: Tuple[int, ...]) -> Tuple[int, ...]:
+        axis = int(self._rng.integers(0, len(point)))
+        step = 1 if self._rng.random() < 0.5 else -1
+        return tuple(
+            int(c) + (step if index == axis else 0) for index, c in enumerate(point)
+        )
+
+    def _phantom_tag(self, tag: Tuple[Hashable, int]) -> Tuple[Hashable, int]:
+        initiator, round_id = tag
+        return (initiator, int(round_id) + 1_000_003)
+
+    def mutate(self, sender: Hashable, destination: Hashable, message: Any) -> Any:
+        # Imported lazily: distsim is a layer below the vehicle protocol and
+        # must not depend on it at import time.
+        from repro.vehicles.messages import MoveMessage, QueryMessage, ReplyMessage
+
+        if not isinstance(message, (QueryMessage, ReplyMessage, MoveMessage)):
+            return message
+        if self._rng.random() >= self.rate:
+            return message
+        arm = int(self._rng.integers(0, 3))
+        if isinstance(message, ReplyMessage):
+            if arm == 0:
+                return dataclass_replace(message, tag=self._phantom_tag(message.tag))
+            return dataclass_replace(message, flag=not message.flag)
+        if arm == 0:
+            return dataclass_replace(message, tag=self._phantom_tag(message.tag))
+        if arm == 1:
+            return dataclass_replace(
+                message, destination=self._drift_point(message.destination)
+            )
+        return dataclass_replace(message, pair_key=self._drift_point(message.pair_key))
+
+
+class RandomJitterTransport(Transport):
+    """The historical randomized-delay model: uniform on ``[d/2, 3d/2]``.
+
+    Draws come from a *shared* generator (the fleet's run RNG), exactly as
+    the pre-transport network did, so existing seeded runs keep their
+    byte-identical histories.  Because the generator is shared it cannot be
+    described by a :class:`TransportSpec`; new experiments should prefer
+    :class:`LatencyTransport`.
+    """
+
+    kind = "random-jitter"
+
+    def __init__(self, delay: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = float(delay)
+        self._rng = rng
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        return float(self._rng.uniform(self.delay / 2, 3 * self.delay / 2))
+
+
+# --------------------------------------------------------------------------- #
+# the spec: frozen, JSON-safe, hashable
+# --------------------------------------------------------------------------- #
+
+#: Spec-constructible transport models: kind -> (factory, allowed params).
+TRANSPORT_KINDS: Dict[str, Tuple[Callable[..., Transport], Tuple[str, ...]]] = {
+    "reliable": (ReliableTransport, ("delay",)),
+    "latency": (LatencyTransport, ("delay", "jitter", "seed")),
+    "lossy": (LossyTransport, ("loss", "delay", "seed")),
+    "corrupting": (CorruptingTransport, ("rate", "delay", "seed")),
+}
+
+
+def available_transports() -> Tuple[str, ...]:
+    """Spec-constructible transport kinds, sorted."""
+    return tuple(sorted(TRANSPORT_KINDS))
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """A frozen, JSON-round-trippable description of one transport.
+
+    ``params`` is normalized to a sorted tuple of pairs so specs are
+    hashable and canonicalize identically regardless of construction order
+    -- the property run-config content hashing relies on.
+    """
+
+    kind: str = "reliable"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport kind {self.kind!r}; "
+                f"available: {', '.join(available_transports())}"
+            )
+        if isinstance(self.params, Mapping):
+            items = tuple(self.params.items())
+        else:
+            items = tuple(tuple(pair) for pair in self.params)
+        allowed = TRANSPORT_KINDS[self.kind][1]
+        normalized = []
+        for key, value in items:
+            if key not in allowed:
+                raise ValueError(
+                    f"unknown parameter {key!r} for transport {self.kind!r}; "
+                    f"allowed: {', '.join(allowed)}"
+                )
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"transport param {key!r} is not JSON-serializable: {value!r}"
+                ) from None
+            normalized.append((key, value))
+        normalized.sort(key=lambda pair: pair[0])
+        object.__setattr__(self, "params", tuple(normalized))
+        try:
+            self.build()  # validate parameter values eagerly
+        except TypeError as error:
+            # Funnel junk-typed params (e.g. a JSON list for a float knob)
+            # into the ValueError channel every caller already handles.
+            raise ValueError(
+                f"invalid parameters for transport {self.kind!r}: {error}"
+            ) from None
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def build(self) -> Transport:
+        """A fresh transport instance (one per run -- transports are stateful)."""
+        factory = TRANSPORT_KINDS[self.kind][0]
+        return factory(**self.params_dict())
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params_dict()}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "TransportSpec":
+        return cls(
+            kind=payload.get("kind", "reliable"),
+            params=tuple(sorted(dict(payload.get("params", {})).items())),
+        )
+
+
+def build_transport(
+    transport: "Transport | TransportSpec | str | None",
+    *,
+    default: Optional[Callable[[], Transport]] = None,
+) -> Optional[Transport]:
+    """Resolve any accepted transport description to an instance.
+
+    Accepts a ready transport (returned as-is), a spec, a bare kind name
+    (default parameters), or ``None`` (resolved through ``default`` when
+    given).
+    """
+    if transport is None:
+        return default() if default is not None else None
+    if isinstance(transport, Transport):
+        return transport
+    if isinstance(transport, TransportSpec):
+        return transport.build()
+    if isinstance(transport, str):
+        return TransportSpec(kind=transport).build()
+    raise TypeError(f"not a transport, spec, or kind name: {transport!r}")

@@ -28,6 +28,7 @@ from repro.core.plan import plan_window
 from repro.distsim.engine import Simulator
 from repro.distsim.failures import FailurePlan
 from repro.distsim.network import Network
+from repro.distsim.transport import Transport
 from repro.grid.coloring import Coloring
 from repro.grid.cubes import CubeGrid
 from repro.grid.lattice import Box, Point, manhattan
@@ -59,6 +60,12 @@ class FleetConfig:
     #: Heartbeat rounds a watcher waits before initiating a replacement on
     #: behalf of a silent pair.
     heartbeat_miss_threshold: int = 3
+    #: Consecutive heartbeat rounds a vehicle may stay engaged in one
+    #: diffusing computation before the monitoring loop abandons it as
+    #: starved.  Under a reliable channel computations terminate between
+    #: rounds and the timeout never fires; under message loss or corruption
+    #: it is what frees stuck searchers (and watchers) to make progress.
+    search_timeout_rounds: int = 6
 
 
 @dataclass
@@ -87,6 +94,7 @@ class Fleet:
         *,
         rng: Optional[np.random.Generator] = None,
         failure_plan: Optional[FailurePlan] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         if demand.is_empty():
             raise ValueError("cannot build a fleet for an empty demand map")
@@ -105,6 +113,7 @@ class Fleet:
             delay=config.message_delay,
             rng=rng,
             failure_plan=self.failure_plan,
+            transport=transport,
         )
 
         self.window: Box = plan_window(demand, self.cube_side)
@@ -266,9 +275,18 @@ class Fleet:
     # ------------------------------------------------------------------ #
 
     def run_heartbeat_round(self, *, settle: bool = True) -> None:
-        """One monitoring round: every live active vehicle heartbeats."""
+        """One monitoring round: every live active vehicle heartbeats.
+
+        Before the heartbeats, every vehicle's search-starvation clock
+        ticks: a diffusing computation stuck across
+        ``config.search_timeout_rounds`` rounds (possible only when the
+        transport lost or corrupted its replies) is abandoned through the
+        legal Figure 3.1 arrows, so the watch loop cannot deadlock.
+        """
         self._heartbeat_round += 1
         self.stats.heartbeat_rounds += 1
+        for vehicle in self.vehicles.values():
+            vehicle.tick_search_timeout(self.config.search_timeout_rounds)
         for vehicle in self.vehicles.values():
             vehicle.heartbeat(self._heartbeat_round, self.config.heartbeat_miss_threshold)
         if settle:
@@ -329,3 +347,16 @@ class Fleet:
     def messages_sent(self) -> int:
         """Total protocol messages sent so far."""
         return self.network.messages_sent
+
+    def messages_dropped(self) -> int:
+        """Messages lost to failures or the transport so far."""
+        return self.network.messages_dropped
+
+    def messages_corrupted(self) -> int:
+        """Messages the transport mutated in flight so far."""
+        return self.network.transport.messages_corrupted
+
+    @property
+    def transport_kind(self) -> str:
+        """Registry name of the delivery model this run uses."""
+        return self.network.transport.kind

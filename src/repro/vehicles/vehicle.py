@@ -140,6 +140,10 @@ class VehicleProcess(Process):
 
         # Monitoring bookkeeping: last heartbeat round heard per pair.
         self.last_heard: Dict[Point, int] = {}
+        # Search-starvation clock: how many consecutive heartbeat rounds the
+        # vehicle has been engaged in the same diffusing computation.
+        self._engaged_tag_seen: Optional[ComputationTag] = None
+        self._engaged_rounds = 0
 
     # ------------------------------------------------------------------ #
     # energy accounting
@@ -330,6 +334,13 @@ class VehicleProcess(Process):
         if self.broken or self.status.working != WorkingState.IDLE:
             self.fleet.record_failed_replacement(message.pair_key)
             return
+        if not self._is_local_pair_key(message.pair_key):
+            # A Byzantine transport may scramble the pair key into a vertex
+            # that names no pair of this cube; taking such an order over
+            # would corrupt the registry and the watch loop.  Refusing it is
+            # the legal outcome (the search failed), not an error.
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
         walk = manhattan(self.position, message.destination)
         if not self._can_spend(walk):
             self.fleet.record_failed_replacement(message.pair_key)
@@ -343,6 +354,14 @@ class VehicleProcess(Process):
         for peer in self.cube_peers:
             self.send(peer, ActivationNotice(self.identity, message.pair_key, self.position))
 
+    def _is_local_pair_key(self, pair_key: Point) -> bool:
+        """Whether ``pair_key`` is the black vertex of a pair of this cube."""
+        try:
+            pair = self.coloring.pair_of(pair_key)
+        except ValueError:
+            return False
+        return pair.black == tuple(int(c) for c in pair_key)
+
     # ------------------------------------------------------------------ #
     # Monitoring handlers (Section 3.2.5)
     # ------------------------------------------------------------------ #
@@ -354,6 +373,44 @@ class VehicleProcess(Process):
     def _on_activation_notice(self, message: ActivationNotice) -> None:
         # A fresh activation counts as having just heard from that pair.
         self.last_heard[message.pair_key] = self.fleet.heartbeat_round
+
+    def tick_search_timeout(self, timeout: int) -> None:
+        """Abandon a diffusing computation stuck for ``timeout`` heartbeat rounds.
+
+        Under a reliable channel every Phase I computation terminates
+        between rounds, so this never fires.  Under message loss or
+        corruption the replies funding the deficit counters can vanish,
+        leaving the vehicle engaged forever -- and an engaged vehicle
+        refuses new computations and stops watching its monitored pair.
+        After ``timeout`` consecutive rounds on one tag the engagement is
+        released through the legal ``(*, searching) -> (*, waiting)``
+        arrow.  A starved *initiator* treats the timeout as best-effort
+        termination detection: a positive reply travels up the child chain
+        immediately (not waiting for deficits), so if a child is already
+        known the move order is launched along the located path -- only the
+        chain's own messages needed to survive the lossy channel, not the
+        whole flood.  With no child the search is recorded as failed and
+        the monitoring loop can start a fresh computation for the
+        still-silent pair.
+        """
+        if self.broken or self.engaged_tag is None:
+            self._engaged_tag_seen = None
+            self._engaged_rounds = 0
+            return
+        if self.engaged_tag == self._engaged_tag_seen:
+            self._engaged_rounds += 1
+        else:
+            self._engaged_tag_seen = self.engaged_tag
+            self._engaged_rounds = 1
+        if self._engaged_rounds < timeout:
+            return
+        tag = self.engaged_tag
+        self.engaged_tag = None
+        self._engaged_tag_seen = None
+        self._engaged_rounds = 0
+        self.status.set_transfer(TransferState.WAITING)
+        if tag in self.initiated:
+            self._finish_own_computation(tag)
 
     def heartbeat(self, round_id: int, miss_threshold: int) -> None:
         """One heartbeat round: announce existence and check the watched pair."""

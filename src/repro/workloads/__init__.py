@@ -10,6 +10,7 @@ demand map into an online job sequence.
 from repro.workloads.generators import (
     clustered_demand,
     corner_demand,
+    diurnal_demand,
     grid_demand,
     heavy_tailed_demand,
     hotspot_demand,
@@ -51,6 +52,7 @@ __all__ = [
     "hotspot_demand",
     "heavy_tailed_demand",
     "corner_demand",
+    "diurnal_demand",
     "grid_demand",
     "sequential_arrivals",
     "random_arrivals",

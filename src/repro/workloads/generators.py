@@ -27,6 +27,7 @@ __all__ = [
     "heavy_tailed_demand",
     "corner_demand",
     "grid_demand",
+    "diurnal_demand",
 ]
 
 
@@ -229,6 +230,52 @@ def corner_demand(
         center = tuple(int(c) for c in window.center())
         demands[center] = demands.get(center, 0.0) + center_jobs
     return DemandMap({p: v for p, v in demands.items() if v > 0}, dim=window.dim)
+
+
+def diurnal_demand(
+    window: Box,
+    jobs: int,
+    rng: np.random.Generator,
+    *,
+    periods: float = 1.0,
+    trough: float = 0.2,
+    axis: int = 0,
+) -> DemandMap:
+    """A time-of-day sinusoidal load curve laid out along one axis.
+
+    Coordinate ``axis`` plays the role of the clock: slice ``x`` of the
+    window receives jobs in proportion to ``trough + (1 - trough) *
+    (1 + sin(2 pi * periods * x / width)) / 2`` -- a day's worth of load
+    rising to a peak and falling to a ``trough``-deep night, repeated
+    ``periods`` times across the window.  Within a slice, jobs scatter
+    uniformly over the remaining axes.  Served with ``sequential`` arrivals
+    (slices in sorted order), the *arrival rate* then follows the same
+    sinusoid as the simulation clock advances, which is what makes the
+    family a temporal stress test and not just another spatial shape.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    if periods <= 0:
+        raise ValueError("periods must be positive")
+    if not 0.0 <= trough <= 1.0:
+        raise ValueError("trough must lie in [0, 1]")
+    if not 0 <= axis < window.dim:
+        raise ValueError("axis out of range")
+    lo = np.array(window.lo)
+    lengths = np.array(window.side_lengths)
+    width = int(lengths[axis])
+    phases = 2.0 * np.pi * periods * np.arange(width) / width
+    weights = trough + (1.0 - trough) * (1.0 + np.sin(phases)) / 2.0
+    weights /= weights.sum()
+    counts = rng.multinomial(jobs, weights)
+    demands: dict = {}
+    for slice_index, count in enumerate(counts):
+        for _ in range(int(count)):
+            offset = rng.integers(0, lengths)
+            offset[axis] = slice_index
+            point: Point = tuple(int(c) for c in (lo + offset))
+            demands[point] = demands.get(point, 0.0) + 1.0
+    return DemandMap(demands, dim=window.dim)
 
 
 def grid_demand(

@@ -45,6 +45,7 @@ from repro.grid.lattice import Box
 from repro.workloads.generators import (
     clustered_demand,
     corner_demand,
+    diurnal_demand,
     grid_demand,
     heavy_tailed_demand,
     hotspot_demand,
@@ -74,10 +75,11 @@ FailureBuilder = Callable[[Dict[str, Any], DemandMap, np.random.Generator], Any]
 #: "small" overlays the CI-scale overrides.
 FAMILY_PRESETS = ("default", "small")
 
-#: Seed salts so the demand rng, the failure rng, and the arrival rng of
-#: one scenario seed never share a stream.
+#: Seed salts so the demand rng, the failure rng, the transport seed, and
+#: the arrival rng of one scenario seed never share a stream.
 _DEMAND_SALT = 0xD117
 _FAILURE_SALT = 0xFA11
+_TRANSPORT_SALT = 0x7A4
 
 
 class UnknownFamilyError(KeyError):
@@ -247,6 +249,7 @@ def family_config(
     preset: Optional[str] = None,
     recovery_rounds: Optional[int] = None,
     params: Optional[Mapping[str, Any]] = None,
+    transport: Any = None,
     **overrides: Any,
 ):
     """A ready-to-run :class:`~repro.api.config.RunConfig` for family x solver.
@@ -255,6 +258,9 @@ def family_config(
     (currently ``online-broken``) -- other solvers see the bare workload,
     which is what lets one family drive the full solver catalogue.  For
     ``online-broken`` the spec comes from :func:`family_broken_failures`.
+    ``transport`` (a :class:`~repro.distsim.transport.TransportSpec`, kind
+    name, or JSON mapping) rides on the config; when the family's own
+    failure plan already carries one, the explicit argument wins.
     """
     from repro.api.config import RunConfig
 
@@ -268,11 +274,14 @@ def family_config(
             if recovery_rounds is not None
             else get_family(name).defaults.get("recovery_rounds", 2)
         )
+        if transport is not None and failures is not None and failures.transport is not None:
+            failures = failures.without_transport()
     return RunConfig(
         solver=solver,
         scenario=spec,
         capacity=capacity,
         failures=failures,
+        transport=transport,
         recovery_rounds=rounds,
         params=params if params is not None else (),
     )
@@ -404,8 +413,15 @@ def _churn_failures(params: Dict[str, Any], demand: DemandMap, rng: np.random.Ge
 
 
 def _partition_failures(params: Dict[str, Any], demand: DemandMap, rng: np.random.Generator):
-    """Cut the window in half for the middle third of the job sequence."""
+    """Cut the window in half for the middle third of the job sequence.
+
+    With ``corruption_rate > 0`` the partition rides on a Byzantine
+    :class:`~repro.distsim.transport.CorruptingTransport` (seeded from the
+    family's failure stream), layering message corruption on top of the
+    partition machinery.
+    """
     from repro.api.config import FailureSpec
+    from repro.distsim.transport import TransportSpec
 
     jobs = max(3, _job_count(demand))
     boundary = (int(params["side"]) - 1) / 2.0
@@ -415,7 +431,14 @@ def _partition_failures(params: Dict[str, Any], demand: DemandMap, rng: np.rando
         axis=0,
         boundary=boundary,
     )
-    return FailureSpec(partitions=(window,))
+    transport = None
+    rate = float(params.get("corruption_rate", 0.0))
+    if rate > 0.0:
+        transport = TransportSpec(
+            "corrupting",
+            {"rate": rate, "seed": int(rng.integers(0, 2**31)) ^ _TRANSPORT_SALT},
+        )
+    return FailureSpec(partitions=(window,), transport=transport)
 
 
 register_family(
@@ -505,10 +528,30 @@ register_family(
         name="partition",
         description="the network splits into two halves for the middle third of the run",
         build=_build_uniform,
-        defaults={"side": 14, "jobs": 200, "recovery_rounds": 2},
+        defaults={"side": 14, "jobs": 200, "recovery_rounds": 2, "corruption_rate": 0.0},
         small={"side": 8, "jobs": 36},
         failures=_partition_failures,
         tags=("failures", "partition"),
+    )
+)
+
+register_family(
+    ScenarioFamily(
+        name="diurnal",
+        description="time-of-day sinusoidal load curve laid out along the x-axis",
+        build=lambda params, rng: diurnal_demand(
+            _window(params),
+            int(params["jobs"]),
+            rng,
+            periods=float(params["periods"]),
+            trough=float(params["trough"]),
+        ),
+        defaults={"side": 16, "jobs": 240, "periods": 1.0, "trough": 0.2},
+        small={"side": 8, "jobs": 40},
+        # Sequential arrivals sweep the slices in sorted order, so the
+        # arrival rate follows the sinusoid as the clock advances.
+        default_order="sequential",
+        tags=("demand", "temporal"),
     )
 )
 

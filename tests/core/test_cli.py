@@ -164,3 +164,100 @@ class TestFamilyCommands:
     def test_bounds_on_a_family_scenario(self, capsys):
         assert main(["bounds", "--scenario", "hotspot"]) == 0
         assert "omega*" in capsys.readouterr().out
+
+
+class TestTransportFlags:
+    def test_run_with_transport(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "point",
+                "--solver",
+                "online",
+                "--transport",
+                "lossy",
+                "--transport-param",
+                "loss=0.05",
+                "--transport-param",
+                "seed=3",
+            ]
+        )
+        assert code in (0, 1)
+        output = capsys.readouterr().out
+        assert "lossy" in output
+        assert "messages_dropped" in output
+
+    def test_transport_param_without_transport_errors(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--scenario",
+                    "point",
+                    "--solver",
+                    "online",
+                    "--transport-param",
+                    "loss=0.1",
+                ]
+            )
+
+    def test_transport_rejected_for_non_messaging_solver(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "point",
+                "--solver",
+                "offline",
+                "--transport",
+                "latency",
+            ]
+        )
+        assert code == 2
+        assert "--transport" in capsys.readouterr().err
+
+    def test_sweep_attaches_transport_to_online_solvers_only(self, tmp_path):
+        import json
+
+        out = tmp_path / "results.json"
+        code = main(
+            [
+                "sweep",
+                "--scenarios",
+                "none",
+                "--families",
+                "hotspot",
+                "--preset",
+                "small",
+                "--solvers",
+                "offline,online",
+                "--transport",
+                "latency",
+                "--transport-param",
+                "jitter=0.05",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        by_solver = {r["solver"]: r for r in payload["results"]}
+        assert by_solver["online"]["extras"]["transport"] == "latency"
+        assert "transport" not in by_solver["offline"].get("extras", {})
+
+    def test_sweep_transport_without_messaging_solver_errors(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scenarios",
+                "none",
+                "--families",
+                "hotspot",
+                "--solvers",
+                "offline",
+                "--transport",
+                "lossy",
+            ]
+        )
+        assert code == 2

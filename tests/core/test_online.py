@@ -120,6 +120,24 @@ class TestExplicitOmegaAndCapacity:
             result.max_vehicle_energy / result.omega_star
         )
 
+    def test_ratio_is_infinite_when_energy_spent_against_zero_bound(self):
+        """A degenerate scenario with omega* == 0 but positive energy drawn
+        violates any multiplicative bound -- it must not masquerade as
+        meeting the Theorem 1.4.2 constant with a clean-looking 1.0."""
+        import dataclasses
+        import math
+
+        base = run_online(JobSequence.from_positions([(0, 0)] * 3))
+        degenerate = dataclasses.replace(base, omega_star=0.0)
+        assert degenerate.max_vehicle_energy > 0
+        assert degenerate.online_to_offline_ratio == math.inf
+
+    def test_ratio_is_one_when_nothing_spent_against_zero_bound(self):
+        result = run_online(JobSequence([]))
+        assert result.omega_star == 0.0
+        assert result.max_vehicle_energy == 0.0
+        assert result.online_to_offline_ratio == 1.0
+
 
 class TestFailuresThroughHarness:
     def test_dead_vehicle_recovered_via_monitoring(self):

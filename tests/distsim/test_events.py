@@ -222,6 +222,20 @@ class TestRoundVsEventModeEquivalence:
         assert result.sim_time >= float(len(jobs))
         assert result.events_processed >= len(jobs)
 
+    def test_events_is_the_default_engine(self):
+        jobs = random_arrivals(square_demand(3, 2.0), np.random.default_rng(0))
+        result = run_online(jobs)
+        assert result.engine == "events"
+
+    def test_round_mode_barriers_live_on_the_clock(self):
+        """engine="rounds" is an adapter over the event clock: each job is a
+        round-barrier event, so the simulation time advances through the
+        arrival times instead of idling near zero."""
+        jobs = random_arrivals(square_demand(3, 2.0), np.random.default_rng(0))
+        result = run_online(jobs, engine="rounds")
+        assert result.sim_time >= float(len(jobs))
+        assert result.events_processed >= len(jobs)
+
     def test_event_mode_is_deterministic(self):
         jobs = random_arrivals(square_demand(4, 2.0), np.random.default_rng(3))
         first = run_online(jobs, engine="events", rng=np.random.default_rng(11))

@@ -1,0 +1,274 @@
+"""Tests for the pluggable message-transport layer."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Hashable, List
+
+import pytest
+
+from repro.distsim.engine import Simulator
+from repro.distsim.network import Network
+from repro.distsim.process import Process
+from repro.distsim.transport import (
+    CorruptingTransport,
+    LatencyTransport,
+    LossyTransport,
+    ReliableTransport,
+    Transport,
+    TransportSpec,
+    available_transports,
+    build_transport,
+)
+from repro.vehicles.messages import MoveMessage, QueryMessage, ReplyMessage
+
+
+class Recorder(Process):
+    def __init__(self, identity: Hashable) -> None:
+        super().__init__(identity)
+        self.received: List[Any] = []
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        self.received.append((sender, message))
+
+
+def _network(transport: Transport, identities=("a", "b")) -> Network:
+    net = Network(transport=transport)
+    net.register_all([Recorder(identity) for identity in identities])
+    return net
+
+
+class TestReliableTransport:
+    def test_zero_delay_delivers_at_send_time(self):
+        net = _network(ReliableTransport())
+        net.send("a", "b", "hi")
+        net.run_until_quiescent()
+        assert net.process("b").received == [("a", "hi")]
+        assert net.simulator.now == 0.0
+
+    def test_fixed_delay(self):
+        net = _network(ReliableTransport(delay=2.5))
+        net.send("a", "b", "hi")
+        net.run_until_quiescent()
+        assert net.simulator.now == 2.5
+
+    def test_callable_delay_still_fifo(self):
+        net = _network(ReliableTransport(delay=lambda s, d, m: float(10 - m)))
+        net.send("a", "b", 0)  # delay 10
+        net.send("a", "b", 9)  # delay 1, must not overtake
+        net.run_until_quiescent()
+        assert [m for _, m in net.process("b").received] == [0, 9]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ReliableTransport(delay=-1.0)
+
+
+class TestLatencyTransport:
+    def test_per_edge_delay_is_deterministic_and_stable(self):
+        first = LatencyTransport(delay=0.1, jitter=0.5, seed=7)
+        second = LatencyTransport(delay=0.1, jitter=0.5, seed=7)
+        for transport in (first, second):
+            transport.bind(Simulator())
+        edges = [("a", "b"), ("b", "a"), ((0, 0), (1, 0))]
+        assert [first.latency(s, d, None) for s, d in edges] == [
+            second.latency(s, d, None) for s, d in edges
+        ]
+        # Independent of call order and of message content.
+        assert first.latency("a", "b", "x") == first.latency("a", "b", "y")
+
+    def test_different_edges_and_seeds_get_different_delays(self):
+        transport = LatencyTransport(delay=0.0, jitter=1.0, seed=0)
+        other_seed = LatencyTransport(delay=0.0, jitter=1.0, seed=1)
+        assert transport.latency("a", "b", None) != transport.latency("b", "a", None)
+        assert transport.latency("a", "b", None) != other_seed.latency("a", "b", None)
+
+    def test_delay_bounded_by_floor_and_jitter(self):
+        transport = LatencyTransport(delay=0.2, jitter=0.3, seed=5)
+        for edge in [((i, 0), (0, i)) for i in range(20)]:
+            delay = transport.latency(edge[0], edge[1], None)
+            assert 0.2 <= delay < 0.5
+
+    def test_fifo_survives_jitter(self):
+        net = _network(LatencyTransport(delay=0.0, jitter=1.0, seed=3))
+        for i in range(20):
+            net.send("a", "b", i)
+        net.run_until_quiescent()
+        assert [m for _, m in net.process("b").received] == list(range(20))
+
+
+class TestLossyTransport:
+    def test_zero_loss_delivers_everything(self):
+        net = _network(LossyTransport(loss=0.0))
+        for i in range(30):
+            net.send("a", "b", i)
+        net.run_until_quiescent()
+        assert len(net.process("b").received) == 30
+        assert net.messages_dropped == 0
+
+    def test_total_loss_delivers_nothing(self):
+        net = _network(LossyTransport(loss=1.0))
+        for i in range(10):
+            net.send("a", "b", i)
+        net.run_until_quiescent()
+        assert net.process("b").received == []
+        assert net.messages_dropped == 10
+        assert net.transport.messages_dropped == 10
+
+    def test_seeded_loss_is_deterministic(self):
+        def deliveries(seed: int) -> List[int]:
+            net = _network(LossyTransport(loss=0.4, seed=seed))
+            for i in range(50):
+                net.send("a", "b", i)
+            net.run_until_quiescent()
+            return [m for _, m in net.process("b").received]
+
+        first = deliveries(11)
+        assert first == deliveries(11)
+        assert first != deliveries(12)
+        assert 0 < len(first) < 50
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            LossyTransport(loss=1.5)
+
+
+class TestCorruptingTransport:
+    def _protocol_messages(self) -> List[Any]:
+        tag = ((0, 0), 1)
+        return [
+            QueryMessage(tag, (0, 0), (1, 1), (2, 2)),
+            ReplyMessage(tag, (1, 1), True),
+            MoveMessage(tag, (0, 0), (1, 1), (2, 2)),
+        ]
+
+    def test_only_protocol_messages_are_corrupted(self):
+        transport = CorruptingTransport(rate=1.0, seed=0)
+        transport.bind(Simulator())
+        assert transport.mutate("a", "b", "heartbeat") == "heartbeat"
+        for message in self._protocol_messages():
+            mutated = transport.mutate("a", "b", message)
+            assert type(mutated) is type(message)
+            assert mutated != message
+
+    def test_mutations_preserve_field_types(self):
+        transport = CorruptingTransport(rate=1.0, seed=42)
+        transport.bind(Simulator())
+        for _ in range(50):
+            for message in self._protocol_messages():
+                mutated = transport.mutate("a", "b", message)
+                initiator, round_id = mutated.tag
+                assert isinstance(round_id, int)
+                if isinstance(mutated, ReplyMessage):
+                    assert isinstance(mutated.flag, bool)
+                else:
+                    assert all(isinstance(c, int) for c in mutated.destination)
+                    assert all(isinstance(c, int) for c in mutated.pair_key)
+
+    def test_zero_rate_never_corrupts(self):
+        transport = CorruptingTransport(rate=0.0, seed=0)
+        transport.bind(Simulator())
+        for message in self._protocol_messages():
+            assert transport.mutate("a", "b", message) is message
+
+    def test_corruption_counter_tracks_mutations(self):
+        net = _network(CorruptingTransport(rate=1.0, seed=1), identities=[(0, 0), (1, 1)])
+        tag = ((0, 0), 1)
+        net.send((0, 0), (1, 1), ReplyMessage(tag, (0, 0), True))
+        net.run_until_quiescent()
+        assert net.transport.messages_corrupted == 1
+        ((_, delivered),) = net.process((1, 1)).received
+        assert isinstance(delivered, ReplyMessage)
+
+
+class TestTransportSpec:
+    def test_round_trips_through_json(self):
+        for kind in available_transports():
+            spec = TransportSpec(kind=kind)
+            restored = TransportSpec.from_json(json.loads(json.dumps(spec.to_json())))
+            assert restored == spec
+
+    def test_params_round_trip_and_normalize(self):
+        spec = TransportSpec("lossy", {"seed": 3, "loss": 0.25})
+        assert spec.params == (("loss", 0.25), ("seed", 3))
+        restored = TransportSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.build().loss == 0.25
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport kind"):
+            TransportSpec("warp-drive")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            TransportSpec("reliable", {"loss": 0.5})
+
+    def test_invalid_param_value_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="probability"):
+            TransportSpec("lossy", {"loss": 2.0})
+
+    def test_junk_typed_params_raise_value_error_not_type_error(self):
+        # The CLI and config layers catch ValueError only; junk params must
+        # never escape as TypeError tracebacks.
+        with pytest.raises(ValueError):
+            TransportSpec("lossy", {"loss": "abc"})
+        with pytest.raises(ValueError):
+            TransportSpec("latency", {"delay": [1, 2]})
+        with pytest.raises(ValueError):
+            TransportSpec("corrupting", {"rate": "high"})
+
+    def test_huge_latency_seed_is_valid(self):
+        spec = TransportSpec("latency", {"seed": 2**63, "jitter": 1.0})
+        transport = spec.build()
+        delay = transport.latency("a", "b", None)
+        assert 0.0 <= delay < transport.delay + transport.jitter
+
+    def test_build_returns_fresh_instances(self):
+        spec = TransportSpec("lossy", {"loss": 0.5, "seed": 1})
+        assert spec.build() is not spec.build()
+
+    def test_build_transport_resolution(self):
+        assert build_transport(None) is None
+        assert isinstance(build_transport("latency"), LatencyTransport)
+        assert isinstance(build_transport(TransportSpec("lossy")), LossyTransport)
+        instance = ReliableTransport()
+        assert build_transport(instance) is instance
+        with pytest.raises(TypeError):
+            build_transport(42)
+
+
+class TestTransportOwnership:
+    def test_unbound_transport_cannot_send(self):
+        transport = ReliableTransport()
+        with pytest.raises(RuntimeError, match="not bound"):
+            transport.send("a", "b", "hi", lambda m: None)
+
+    def test_bind_resets_fifo_state(self):
+        transport = ReliableTransport(delay=1.0)
+        sim = Simulator()
+        transport.bind(sim)
+        transport.send("a", "b", "x", lambda m: None)
+        assert transport._last_delivery
+        transport.bind(Simulator())
+        assert not transport._last_delivery
+
+    def test_rebinding_rewinds_counters_and_streams(self):
+        """A transport instance reused across runs must reproduce a fresh
+        run bit for bit: counters zeroed, seeded streams rewound."""
+        transport = LossyTransport(loss=0.4, seed=7)
+
+        def run() -> tuple:
+            net = Network(transport=transport)
+            net.register_all([Recorder("a"), Recorder("b")])
+            for i in range(40):
+                net.send("a", "b", i)
+            net.run_until_quiescent()
+            return (
+                [m for _, m in net.process("b").received],
+                transport.messages_dropped,
+            )
+
+        first = run()
+        second = run()
+        assert first == second
+        assert 0 < len(first[0]) < 40

@@ -8,6 +8,7 @@ import pytest
 from repro.grid.lattice import Box
 from repro.workloads.generators import (
     clustered_demand,
+    diurnal_demand,
     line_demand,
     point_demand,
     random_uniform_demand,
@@ -108,3 +109,50 @@ class TestRandomGenerators:
     def test_clustered_invalid_arguments(self, rng):
         with pytest.raises(ValueError):
             clustered_demand(Box.cube((0, 0), 4), 0, 10, rng)
+
+
+class TestDiurnalDemand:
+    def test_total_matches_jobs_and_stays_inside_window(self, rng):
+        window = Box.cube((0, 0), 16)
+        demand = diurnal_demand(window, 200, rng)
+        assert demand.total() == pytest.approx(200.0)
+        for point in demand.support():
+            assert point in window
+
+    def test_load_follows_the_sinusoid(self):
+        """Peak-of-day slices must carry visibly more load than the trough."""
+        window = Box.cube((0, 0), 16)
+        demand = diurnal_demand(window, 4000, np.random.default_rng(0), trough=0.1)
+        per_slice = [0.0] * 16
+        for point, value in demand.items():
+            per_slice[point[0]] += value
+        # sin peaks a quarter period in (slice ~4) and bottoms out at ~12.
+        peak = max(per_slice[2:7])
+        trough = min(per_slice[10:15])
+        assert peak > 2.0 * trough
+
+    def test_deterministic_per_seed(self):
+        window = Box.cube((0, 0), 8)
+        a = diurnal_demand(window, 60, np.random.default_rng(3))
+        b = diurnal_demand(window, 60, np.random.default_rng(3))
+        assert a.as_dict() == b.as_dict()
+
+    def test_periods_repeat_the_curve(self, rng):
+        window = Box.cube((0, 0), 16)
+        demand = diurnal_demand(window, 3000, rng, periods=2.0, trough=0.1)
+        per_slice = [0.0] * 16
+        for point, value in demand.items():
+            per_slice[point[0]] += value
+        # Two days across the window: both peak bands outweigh both troughs.
+        assert min(per_slice[1:4]) > max(per_slice[5:8]) * 0.5
+
+    def test_invalid_arguments_rejected(self, rng):
+        window = Box.cube((0, 0), 8)
+        with pytest.raises(ValueError):
+            diurnal_demand(window, -1, rng)
+        with pytest.raises(ValueError):
+            diurnal_demand(window, 10, rng, periods=0.0)
+        with pytest.raises(ValueError):
+            diurnal_demand(window, 10, rng, trough=1.5)
+        with pytest.raises(ValueError):
+            diurnal_demand(window, 10, rng, axis=5)

@@ -176,3 +176,39 @@ class TestFamilyConfigs:
             ("bursty", "greedy", 0),
             ("bursty", "greedy", 1),
         ]
+
+
+class TestTransportChannels:
+    def test_partition_family_can_bundle_byzantine_corruption(self):
+        from repro.workloads.library import build_family_failures
+
+        params = get_family("partition").params(preset="small")
+        assert build_family_failures("partition", params).transport is None
+        params["corruption_rate"] = 0.1
+        spec = build_family_failures("partition", params, seed=2)
+        assert spec.transport is not None
+        assert spec.transport.kind == "corrupting"
+        assert spec.transport.params_dict()["rate"] == 0.1
+        # Deterministic per seed, distinct across seeds.
+        again = build_family_failures("partition", params, seed=2)
+        assert again.transport == spec.transport
+        other = build_family_failures("partition", params, seed=3)
+        assert other.transport != spec.transport
+
+    def test_family_config_accepts_an_explicit_transport(self):
+        config = family_config("hotspot", "online", preset="small", transport="lossy")
+        assert config.transport is not None
+        assert config.transport.kind == "lossy"
+        assert config.effective_transport() is config.transport
+
+    def test_explicit_transport_wins_over_family_bundled_one(self):
+        config = family_config(
+            "partition",
+            "online-broken",
+            preset="small",
+            corruption_rate=0.2,
+            transport="lossy",
+        )
+        assert config.transport.kind == "lossy"
+        assert config.failures.transport is None  # no ambiguity left behind
+        assert config.effective_transport().kind == "lossy"
