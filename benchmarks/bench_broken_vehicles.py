@@ -105,8 +105,9 @@ def bench_broken_fleet_through_engine(benchmark):
         solver="online-broken",
         scenario=ScenarioSpec.from_demand(demand, name="broken-grid", order="sequential"),
         # omega=3 makes 3x3 cubes, so every pair has peers to watch it;
-        # omega_c of this demand is < 1 (singleton cubes, nothing to
-        # replace a dead vehicle with).
+        # the natural omega_c partition of spread demand yields singleton
+        # cubes -- see bench_singleton_cube_escalation, which runs that
+        # regime through the cross-cube escalation path instead.
         omega=3.0,
         failures=FailureSpec(crashed=((0, 0), (0, 1))),
         recovery_rounds=3,
@@ -130,3 +131,65 @@ def bench_broken_fleet_through_engine(benchmark):
         }
     )
     assert result.jobs_served == result.jobs_total
+
+
+def bench_singleton_cube_escalation(benchmark):
+    """The omega_c < 1 singleton-cube regime, recovered by escalation.
+
+    Historical note (this used to be a gap, worked around by forcing
+    omega=3 above): with spread-out demand the natural partition makes
+    every cube a single vertex, every vehicle starts active, and a dead
+    vehicle's pair has no idle peer anywhere in its cube -- Phase I floods
+    stopped at cube boundaries, so replacement was *impossible* and jobs at
+    crashed vertices were abandoned.  With ``escalation=True`` the
+    fleet-wide watch ring detects the silent pair across the cube
+    boundary, the watcher's search escalates through the cube hierarchy,
+    and an active vehicle with spare battery adopts the dead pair: every
+    job is served whenever fleet-wide capacity suffices, which is the
+    paper's own claim.  The benchmark executes both runs and asserts the
+    before/after story.
+    """
+    demand = DemandMap({(3 * x, 3 * y): 2.0 for x in range(3) for y in range(3)})
+    from repro.core.omega import omega_c
+
+    assert omega_c(demand) < 1.0  # the singleton-cube regime, for real
+    base = dict(
+        solver="online-broken",
+        scenario=ScenarioSpec.from_demand(
+            demand, name="singleton-cubes", order="sequential"
+        ),
+        capacity=24.0,
+        failures=FailureSpec(crashed=((0, 0), (0, 3))),
+        recovery_rounds=6,
+    )
+    engine = ExperimentEngine()
+    escalated_config = RunConfig(**base, escalation=True)
+
+    escalated = benchmark.pedantic(
+        lambda: engine.run(escalated_config), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    intra_cube = engine.run(RunConfig(**base))
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        {
+            "omega_c": omega_c(demand),
+            "note": "singleton cubes: intra-cube search has no replacement path; "
+            "escalation adopts across cube boundaries",
+            "jobs_served_intra_cube": intra_cube.jobs_served,
+            "jobs_served_escalated": escalated.jobs_served,
+            "jobs_total": escalated.jobs_total,
+            "escalations": escalated.extra("escalations"),
+            "adoptions": escalated.extra("adoptions"),
+            "events_processed": escalated.extra("events_processed"),
+            "events_per_sec": (
+                int(escalated.extra("events_processed", 0)) / mean if mean else 0.0
+            ),
+        }
+    )
+    # Without escalation the crashed singleton cubes' jobs are abandoned...
+    assert intra_cube.jobs_served < intra_cube.jobs_total
+    # ...with escalation, replacement *succeeds* and every job is served.
+    assert escalated.jobs_served == escalated.jobs_total
+    assert int(escalated.extra("escalations", 0)) >= 1
+    assert int(escalated.extra("adoptions", 0)) >= 1

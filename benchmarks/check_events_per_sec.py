@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Events/sec regression gate for the bench-smoke CI job.
+
+Reads a ``pytest-benchmark`` JSON report (``--benchmark-json`` output of
+``bench_scenarios.py --quick``), extracts the event-driver throughput
+number (``bench_online_driver_events_per_sec[events]`` -- the scale-up
+distsim hot path), writes it to ``BENCH_events_per_sec.json`` next to the
+committed baseline, and fails when throughput regressed more than the
+allowed fraction (default 20%) below the baseline.
+
+The committed baseline (``benchmarks/bench_baseline.json``) is calibrated
+conservatively for shared CI runners, which are typically 2-3x slower than
+a development machine; the gate therefore catches order-of-magnitude event
+core regressions (an accidental O(n) queue scan, a per-event allocation
+storm), not single-digit noise.  After a deliberate performance change,
+refresh it with::
+
+    python benchmarks/check_events_per_sec.py bench-smoke.json --update
+
+Usage::
+
+    python benchmarks/check_events_per_sec.py REPORT.json \
+        [--baseline benchmarks/bench_baseline.json] \
+        [--out BENCH_events_per_sec.json] \
+        [--tolerance 0.2] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The benchmark whose throughput the gate tracks.
+GATED_BENCHMARK = "bench_online_driver_events_per_sec[events]"
+
+
+def extract_events_per_sec(report: dict) -> float:
+    """The gated benchmark's events/sec from a pytest-benchmark report."""
+    for bench in report.get("benchmarks", []):
+        if bench.get("name") == GATED_BENCHMARK:
+            value = bench.get("extra_info", {}).get("events_per_sec")
+            if value is None:
+                raise SystemExit(
+                    f"benchmark {GATED_BENCHMARK!r} carries no events_per_sec "
+                    "extra_info; did bench_scenarios.py change?"
+                )
+            return float(value)
+    raise SystemExit(
+        f"benchmark {GATED_BENCHMARK!r} not found in the report; "
+        "run: pytest benchmarks/bench_scenarios.py -o python_functions='bench_*' "
+        "--quick --benchmark-json=REPORT.json"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="pytest-benchmark JSON report path")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "bench_baseline.json"),
+        help="committed baseline JSON (default: benchmarks/bench_baseline.json)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_events_per_sec.json",
+        help="where to write the measured-number artifact",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression below the baseline (default 0.2)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with the measured number instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text())
+    measured = extract_events_per_sec(report)
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        refreshed = {"benchmark": GATED_BENCHMARK, "events_per_sec": measured}
+        if baseline_path.exists():
+            # Preserve calibration notes and any other extra keys.
+            previous = json.loads(baseline_path.read_text())
+            refreshed = {**previous, **refreshed}
+        baseline_path.write_text(json.dumps(refreshed, indent=2) + "\n")
+        print(f"baseline updated: {measured:.0f} events/sec -> {baseline_path}")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())["events_per_sec"]
+    floor = baseline * (1.0 - args.tolerance)
+    passed = measured >= floor
+
+    artifact = {
+        "benchmark": GATED_BENCHMARK,
+        "events_per_sec": measured,
+        "baseline_events_per_sec": baseline,
+        "floor_events_per_sec": floor,
+        "tolerance": args.tolerance,
+        "ratio_vs_baseline": measured / baseline if baseline else None,
+        "pass": passed,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+
+    status = "ok" if passed else "REGRESSION"
+    print(
+        f"{GATED_BENCHMARK}: {measured:.0f} events/sec "
+        f"(baseline {baseline:.0f}, floor {floor:.0f}) -> {status}"
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

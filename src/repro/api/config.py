@@ -477,6 +477,9 @@ class RunConfig:
     #: Message transport for the online family (``None`` = the historical
     #: channel).  Mutually exclusive with ``failures.transport``.
     transport: Optional[TransportSpec] = None
+    #: Whether an exhausted Phase I replacement search may escalate through
+    #: the cube hierarchy (cross-cube replacement; online family only).
+    escalation: bool = False
     #: Heartbeat rounds the monitoring loop may spend recovering a job.
     recovery_rounds: int = 0
     #: Solver-specific parameters, stored as a sorted tuple of pairs so the
@@ -504,6 +507,8 @@ class RunConfig:
             if omega <= 0 or not math.isfinite(omega):
                 raise ConfigError(f"omega must be positive and finite, got {omega}")
             object.__setattr__(self, "omega", omega)
+        if not isinstance(self.escalation, bool):
+            raise ConfigError(f"escalation must be a bool, got {self.escalation!r}")
         if not isinstance(self.recovery_rounds, int) or self.recovery_rounds < 0:
             raise ConfigError(
                 f"recovery_rounds must be a non-negative integer, got {self.recovery_rounds!r}"
@@ -587,6 +592,10 @@ class RunConfig:
         # must canonicalize differently.
         if self.transport is not None:
             payload["transport"] = self.transport.to_json()
+        # Emitted only when enabled so every pre-escalation config keeps its
+        # historical content hash (and hence its disk-cache entries).
+        if self.escalation:
+            payload["escalation"] = True
         return payload
 
     @classmethod
@@ -601,6 +610,7 @@ class RunConfig:
             omega=payload.get("omega"),
             failures=FailureSpec.from_json(failures) if failures else None,
             transport=payload.get("transport"),
+            escalation=payload.get("escalation", False),
             recovery_rounds=payload.get("recovery_rounds", 0),
             params=payload.get("params", ()),
         )

@@ -160,7 +160,7 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         dead_vehicles = config.failures.crashed
         churn = config.failures.churn_events()
         monitoring = True
-    fleet_config = FleetConfig(monitoring=monitoring)
+    fleet_config = FleetConfig(monitoring=monitoring, escalation=config.escalation)
     result = run_online(
         jobs,
         omega=config.omega,
@@ -189,6 +189,11 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         "messages_dropped": result.messages_dropped,
         "messages_corrupted": result.messages_corrupted,
     }
+    if config.escalation:
+        extras["escalation"] = True
+        extras["escalations"] = result.escalations
+        extras["escalated_replacements"] = result.escalated_replacements
+        extras["adoptions"] = result.adoptions
     if broken and config.failures is not None:
         extras["crashed_vehicles"] = len(config.failures.crashed)
         extras["suppressed_vehicles"] = len(config.failures.suppressed)

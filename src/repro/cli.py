@@ -292,6 +292,12 @@ def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
         help="transport parameter, e.g. loss=0.1 or seed=3 (repeatable; "
         "values parse as JSON when possible)",
     )
+    parser.add_argument(
+        "--escalation",
+        action="store_true",
+        help="let exhausted replacement searches escalate through the cube "
+        "hierarchy (cross-cube replacement; online solvers only)",
+    )
 
 
 def _parse_point(raw: str) -> tuple:
@@ -447,6 +453,13 @@ def _command_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.escalation and args.solver not in _TRANSPORT_SOLVERS:
+        print(
+            f"error: --escalation only applies to the message-passing solvers "
+            f"({', '.join(_TRANSPORT_SOLVERS)}), not {args.solver!r}",
+            file=sys.stderr,
+        )
+        return 2
     failures = _parse_failures(
         args, scenario if args.solver == "online-broken" else None
     )
@@ -462,6 +475,7 @@ def _command_run(args: argparse.Namespace) -> int:
         # models failures; other solvers see the bare workload.
         failures=failures,
         transport=transport,
+        escalation=args.escalation,
         recovery_rounds=args.recovery_rounds,
         params=_parse_params(args.param),
     )
@@ -534,6 +548,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
             else config
             for config in configs
         ]
+    if args.escalation:
+        # Like the transport, escalation rides only on the solvers that
+        # simulate the message-passing protocol.
+        configs = [
+            config.replace(escalation=True)
+            if config.solver in _TRANSPORT_SOLVERS
+            else config
+            for config in configs
+        ]
     engine = _engine(args, workers=args.workers)
     results = engine.run_many(configs)
     print(
@@ -563,6 +586,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             # transport rides on every solver that simulates messaging.
             failures=failures if solver == "online-broken" else None,
             transport=transport if solver in _TRANSPORT_SOLVERS else None,
+            escalation=args.escalation and solver in _TRANSPORT_SOLVERS,
             recovery_rounds=args.recovery_rounds if solver == "online-broken" else 0,
             params=_parse_params(args.param),
         )

@@ -31,14 +31,20 @@ from repro.distsim.engine import Event, Simulator
 from repro.distsim.events import EventQueue, EventStats, ScheduledEvent, SimClock
 from repro.distsim.network import Network
 from repro.distsim.process import Process
-from repro.distsim.diffusing import DiffusingNode, DiffusingComputation
+from repro.distsim.diffusing import (
+    DiffusingComputation,
+    DiffusingNode,
+    HierarchicalSearch,
+)
 from repro.distsim.failures import ChurnSpec, FailurePlan, PartitionSpec
 from repro.distsim.transport import (
     CorruptingTransport,
+    DistanceLatencyTransport,
     LatencyTransport,
     LossyTransport,
     RandomJitterTransport,
     ReliableTransport,
+    RetransmitTransport,
     Transport,
     TransportSpec,
     available_transports,
@@ -56,6 +62,7 @@ __all__ = [
     "Process",
     "DiffusingNode",
     "DiffusingComputation",
+    "HierarchicalSearch",
     "ChurnSpec",
     "FailurePlan",
     "PartitionSpec",
@@ -65,6 +72,8 @@ __all__ = [
     "LatencyTransport",
     "LossyTransport",
     "CorruptingTransport",
+    "DistanceLatencyTransport",
+    "RetransmitTransport",
     "RandomJitterTransport",
     "available_transports",
     "build_transport",

@@ -36,7 +36,14 @@ from repro.distsim.engine import Simulator
 from repro.distsim.network import Network
 from repro.distsim.process import Process
 
-__all__ = ["QueryMessage", "ReplyMessage", "DiffusingNode", "DiffusingComputation"]
+__all__ = [
+    "QueryMessage",
+    "ReplyMessage",
+    "DiffusingNode",
+    "DiffusingComputation",
+    "HierarchicalSearch",
+    "HierarchicalSearchResult",
+]
 
 
 @dataclass(frozen=True)
@@ -267,3 +274,95 @@ class SearchResult:
     path: List[Hashable]
     target: Optional[Hashable]
     messages: int
+
+
+@dataclass(frozen=True)
+class HierarchicalSearchResult:
+    """Outcome of a group-local search plus its escalation ladder."""
+
+    found: bool
+    target: Optional[Hashable]
+    #: 0 = found inside the root's own group; k = found in the k-th
+    #: escalation ring; ``None`` = exhausted every ring without a hit.
+    level: Optional[int]
+    messages: int
+
+
+class HierarchicalSearch:
+    """The protocol-agnostic reference for cross-group escalation.
+
+    The vehicle protocol's cross-cube replacement search composes two
+    mechanisms: a Dijkstra--Scholten flood *inside* a group, and a
+    star-shaped widening *across* groups along a deterministic escalation
+    order.  This class provides exactly that composition over arbitrary
+    node groups, serving the same role for escalation that
+    :class:`DiffusingComputation` serves for Phase I: a small, directly
+    testable model the vehicle implementation is checked against.
+
+    Parameters
+    ----------
+    groups:
+        Mapping of group id -> ``{node: neighbors}`` intra-group topology
+        (each group must satisfy :class:`DiffusingComputation`'s
+        symmetric-link requirement).
+    targets:
+        Predicate evaluated per node when a query reaches it.
+    escalation_order:
+        Mapping of group id -> the sequence of *rings*, each ring a list
+        of group ids queried together at that escalation level (the
+        analogue of :meth:`repro.grid.cubes.CubeHierarchy.escalation_order`).
+    """
+
+    def __init__(
+        self,
+        groups: Mapping[Hashable, Mapping[Hashable, Iterable[Hashable]]],
+        targets: Callable[[Hashable], bool],
+        escalation_order: Mapping[Hashable, Sequence[Sequence[Hashable]]],
+    ) -> None:
+        self.targets = targets
+        self.computations: Dict[Hashable, DiffusingComputation] = {
+            group: DiffusingComputation(topology, targets)
+            for group, topology in groups.items()
+        }
+        self.escalation_order = {
+            group: [list(ring) for ring in rings]
+            for group, rings in escalation_order.items()
+        }
+        self._group_of: Dict[Hashable, Hashable] = {}
+        for group, computation in self.computations.items():
+            for identity in computation.nodes:
+                if identity in self._group_of:
+                    raise ValueError(f"node {identity!r} appears in two groups")
+                self._group_of[identity] = group
+
+    def _ring_hit(self, ring: Sequence[Hashable]) -> Optional[Hashable]:
+        """First satisfied node of a ring, in deterministic enumeration
+        order (groups as given, nodes in registration order) -- the
+        analogue of the initiator choosing among its boundary replies."""
+        for group in ring:
+            for identity in self.computations[group].nodes:
+                if self.targets(identity):
+                    return identity
+        return None
+
+    def search(self, root: Hashable) -> HierarchicalSearchResult:
+        """Search the root's group, then escalate ring by ring."""
+        group = self._group_of[root]
+        local = self.computations[group].search(root)
+        if local.found:
+            return HierarchicalSearchResult(
+                found=True, target=local.target, level=0, messages=local.messages
+            )
+        messages = local.messages
+        for level, ring in enumerate(self.escalation_order.get(group, []), start=1):
+            # One boundary query + one reply per ring node: the star-shaped
+            # escalated round of the vehicle protocol.
+            messages += 2 * sum(len(self.computations[g].nodes) for g in ring)
+            hit = self._ring_hit(ring)
+            if hit is not None:
+                return HierarchicalSearchResult(
+                    found=True, target=hit, level=level, messages=messages
+                )
+        return HierarchicalSearchResult(
+            found=False, target=None, level=None, messages=messages
+        )

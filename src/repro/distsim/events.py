@@ -9,11 +9,28 @@ partition windows, churn) need those pieces as first-class objects:
   immediate failures instead of silently reordered histories.
 * :class:`ScheduledEvent` -- a timestamped callback with a deterministic
   ``(time, sequence)`` order and an optional ``kind`` tag for tracing.
-* :class:`EventQueue` -- the heap itself, with lazy deletion of cancelled
-  events and counters for the benchmark harness.
+* :class:`EventQueue` -- a bucketed *calendar queue* with lazy deletion of
+  cancelled events and counters for the benchmark harness.
 * :class:`EventStats` -- scheduled/executed/cancelled counters; the
   scenario benchmarks divide ``executed`` by wall time to report
   events/sec.
+
+The queue used to be a binary heap of events; profiling the scale-up
+scenarios showed the per-event ``heappush``/``heappop`` comparisons
+dominating the hot path, because protocol traffic is intensely *clustered
+in time*: a zero-delay message storm lands hundreds of events on one
+timestamp, and the heap pays ``O(log n)`` comparisons for every one of
+them.  The calendar-queue layout exploits exactly that clustering: events
+live in per-timestamp FIFO buckets (a dict keyed by the exact float time),
+and only the *distinct* timestamps go through a small heap.  Pushing into
+an existing bucket is O(1); within a bucket, FIFO order *is* sequence
+order, so the pop order -- ``(time, sequence)`` -- is bit-for-bit the
+order the old heap produced and every run replays byte-identically.
+
+:meth:`EventQueue.pop_batch` additionally drains one whole timestamp
+bucket in a single call, which is what lets the
+:class:`~repro.distsim.engine.Simulator` dispatch a same-time batch with
+one clock advance instead of one peek/advance cycle per event.
 
 :class:`~repro.distsim.engine.Simulator` composes these; protocols and
 harnesses may also use the queue directly for non-message events (timers,
@@ -25,7 +42,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["SimClock", "ScheduledEvent", "EventQueue", "EventStats"]
 
@@ -90,44 +107,118 @@ class EventStats:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`ScheduledEvent` objects.
+    """A deterministic calendar queue of :class:`ScheduledEvent` objects.
 
-    Cancelled events stay in the heap and are discarded lazily when they
-    reach the front (heap deletion is O(n); lazy skipping keeps pops at
-    O(log n) amortized).
+    Events are stored in per-timestamp FIFO buckets; a heap orders only the
+    distinct timestamps.  Each bucket's append order equals its events'
+    sequence order, so pops come out in exactly the ``(time, sequence)``
+    order the historical binary heap produced.  Cancelled events stay in
+    their bucket and are discarded lazily when they reach the front.
     """
 
-    __slots__ = ("_heap", "_counter", "stats")
+    __slots__ = ("_buckets", "_times", "_counter", "stats")
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledEvent] = []
+        #: Exact timestamp -> FIFO list of events pushed at that time.  A
+        #: cursor-free plain list with ``pop``-from-front replaced by batch
+        #: extraction keeps the common paths allocation-light.
+        self._buckets: Dict[float, List[ScheduledEvent]] = {}
+        #: Heap of the distinct timestamps that currently own a bucket.
+        self._times: List[float] = []
         self._counter = itertools.count()
         self.stats = EventStats()
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(
+            1
+            for bucket in self._buckets.values()
+            for event in bucket
+            if not event.cancelled
+        )
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return any(
+            not event.cancelled
+            for bucket in self._buckets.values()
+            for event in bucket
+        )
 
     def __iter__(self) -> Iterator[ScheduledEvent]:
-        """Live queued events in arbitrary (heap) order."""
-        return (event for event in self._heap if not event.cancelled)
+        """Live queued events in arbitrary (bucket) order."""
+        return (
+            event
+            for bucket in self._buckets.values()
+            for event in bucket
+            if not event.cancelled
+        )
 
     def push(self, time: float, action: Action, *, kind: str = "event") -> ScheduledEvent:
         """Queue ``action`` at absolute time ``time``."""
-        event = ScheduledEvent(float(time), next(self._counter), action, kind=kind)
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        event = ScheduledEvent(time, next(self._counter), action, kind=kind)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
         self.stats.scheduled += 1
         return event
 
+    def push_many(
+        self, entries: Iterable[Tuple[float, Action]], *, kind: str = "event"
+    ) -> List[ScheduledEvent]:
+        """Batch-queue ``(time, action)`` pairs in order; one sequence range.
+
+        Byte-identical to pushing the entries one by one (same sequence
+        numbers, same pop order); the loop is inlined so a whole arrival
+        sequence or a round of heartbeat ticks pays one method call and
+        one stats update instead of one per event.
+        """
+        buckets = self._buckets
+        times = self._times
+        counter = self._counter
+        events = []
+        for time, action in entries:
+            time = float(time)
+            event = ScheduledEvent(time, next(counter), action, kind=kind)
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [event]
+                heapq.heappush(times, time)
+            else:
+                bucket.append(event)
+            events.append(event)
+        self.stats.scheduled += len(events)
+        return events
+
+    # ------------------------------------------------------------------ #
+    # front-of-queue access
+    # ------------------------------------------------------------------ #
+
+    def _front_bucket(self) -> Optional[List[ScheduledEvent]]:
+        """The earliest bucket, with leading cancelled events pruned.
+
+        Empty (or fully cancelled) buckets are retired as a side effect,
+        so the returned bucket always starts with a live event.
+        """
+        while self._times:
+            time = self._times[0]
+            bucket = self._buckets[time]
+            while bucket and bucket[0].cancelled:
+                del bucket[0]
+                self.stats.cancelled_skipped += 1
+            if bucket:
+                return bucket
+            del self._buckets[time]
+            heapq.heappop(self._times)
+        return None
+
     def peek(self) -> Optional[ScheduledEvent]:
         """The next live event without removing it (skips cancelled ones)."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self.stats.cancelled_skipped += 1
-        return self._heap[0] if self._heap else None
+        bucket = self._front_bucket()
+        return bucket[0] if bucket else None
 
     def next_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when empty."""
@@ -141,9 +232,49 @@ class EventQueue:
         event to exactly one consumer, so the counter stays correct for
         direct users as well as for the :class:`~repro.distsim.engine.Simulator`.
         """
-        event = self.peek()
-        if event is None:
+        bucket = self._front_bucket()
+        if bucket is None:
             return None
-        heapq.heappop(self._heap)
+        event = bucket[0]
+        if len(bucket) == 1:
+            del self._buckets[event.time]
+            heapq.heappop(self._times)
+        else:
+            del bucket[0]
         self.stats.executed += 1
         return event
+
+    def pop_batch(
+        self, *, until: Optional[float] = None, limit: Optional[int] = None
+    ) -> List[ScheduledEvent]:
+        """Drain every event at the next timestamp into one batch.
+
+        Returns the (sequence-ordered) events sharing the earliest queued
+        timestamp -- the *batched delivery* unit: the simulator advances
+        the clock once and dispatches the whole batch.  Events the batch's
+        own actions schedule back at the same timestamp form a new bucket
+        and come out in a later batch, still in global ``(time, sequence)``
+        order.
+
+        ``until`` leaves batches strictly later than that time queued (an
+        empty list is returned); ``limit`` truncates the batch, leaving the
+        remainder of the bucket in place.  Executions are *not* counted
+        here: the consumer skips events cancelled mid-batch, so it owns
+        the executed/cancelled accounting (see ``Simulator.run``).
+        """
+        bucket = self._front_bucket()
+        if bucket is None:
+            return []
+        time = bucket[0].time
+        if until is not None and time > until:
+            return []
+        if limit is None or limit >= len(bucket):
+            batch = bucket
+            del self._buckets[time]
+            heapq.heappop(self._times)
+        else:
+            if limit <= 0:
+                return []
+            batch = bucket[:limit]
+            del bucket[:limit]
+        return batch

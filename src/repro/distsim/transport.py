@@ -20,6 +20,13 @@ swappable object:
   ``(seed, sender, destination)``.  No RNG state is consumed, so delays are
   independent of send order *and* stable across processes (Python's
   ``hash()`` is salted per process; the keyed blake2b digest is not).
+* :class:`DistanceLatencyTransport` -- delay growing linearly with the
+  Manhattan distance between the endpoints' lattice identities: the
+  physical radio model the mobility scenarios run over.
+* :class:`RetransmitTransport` -- per-message ack/retransmission wrapper
+  around any inner transport: up to ``retries`` re-sends, each lost
+  attempt paying one ``timeout`` of extra delay, so an inner loss rate
+  ``p`` becomes ``p^(retries + 1)`` end to end.
 * :class:`LossyTransport` -- seeded i.i.d. message loss.  The drop stream is
   drawn from the transport's own ``numpy`` generator in send order, which is
   deterministic because every run constructs its own transport from a spec.
@@ -55,8 +62,10 @@ __all__ = [
     "Transport",
     "ReliableTransport",
     "LatencyTransport",
+    "DistanceLatencyTransport",
     "LossyTransport",
     "CorruptingTransport",
+    "RetransmitTransport",
     "RandomJitterTransport",
     "TransportSpec",
     "TRANSPORT_KINDS",
@@ -245,6 +254,51 @@ class LatencyTransport(Transport):
         return self.delay + self.jitter * _edge_unit(self.seed, sender, destination)
 
 
+class DistanceLatencyTransport(Transport):
+    """Delay growing linearly with the lattice distance between endpoints.
+
+    ``delay`` is the per-message floor; each message additionally pays
+    ``per_step`` per unit of Manhattan distance between the sender's and
+    destination's identities (vehicle identities *are* lattice points).
+    This is the physical radio model the mobility scenarios pair with:
+    nearby chatter is cheap, cross-cube escalation traffic pays for the
+    distance it covers.  Identities that are not same-dimension coordinate
+    tuples (non-vehicle processes) pay only the floor.
+
+    The latency is a pure function of the edge -- no stream state -- so
+    results are independent of send order and identical under thread or
+    process pools, like :class:`LatencyTransport`.
+    """
+
+    kind = "distance-latency"
+
+    def __init__(self, delay: float = 0.005, per_step: float = 0.002) -> None:
+        super().__init__()
+        delay, per_step = float(delay), float(per_step)
+        if delay < 0 or per_step < 0:
+            raise ValueError("delay and per_step must be non-negative")
+        self.delay = delay
+        self.per_step = per_step
+
+    @staticmethod
+    def _lattice_distance(sender: Hashable, destination: Hashable) -> Optional[int]:
+        if (
+            isinstance(sender, tuple)
+            and isinstance(destination, tuple)
+            and len(sender) == len(destination)
+            and all(isinstance(c, int) for c in sender)
+            and all(isinstance(c, int) for c in destination)
+        ):
+            return sum(abs(a - b) for a, b in zip(sender, destination))
+        return None
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        distance = self._lattice_distance(sender, destination)
+        if distance is None:
+            return self.delay
+        return self.delay + self.per_step * distance
+
+
 class LossyTransport(Transport):
     """Seeded i.i.d. message loss on top of a fixed delay.
 
@@ -356,6 +410,88 @@ class CorruptingTransport(Transport):
         return dataclass_replace(message, pair_key=self._drift_point(message.pair_key))
 
 
+class RetransmitTransport(Transport):
+    """Per-message ack/retransmission wrapper around any inner transport.
+
+    Models the standard reliability layer: every message is (implicitly)
+    acknowledged; a sender that hears no ack within ``timeout`` simulation
+    time re-sends, up to ``retries`` times.  Semantically each attempt is
+    one independent pass through the *inner* transport's loss model, so a
+    message is lost only when **all** ``retries + 1`` attempts are lost --
+    an inner loss rate ``p`` becomes ``p^(retries + 1)`` end to end, which
+    is what lets "eventual job service" hold at loss rates far beyond what
+    the monitoring timeout alone can absorb.  Each lost attempt charges one
+    ``timeout`` of extra delivery delay (the ack wait), so reliability is
+    paid for in latency, never bought for free.
+
+    The wrapper composes with the hook architecture rather than scheduling
+    its own events: :meth:`drops` rolls the inner loss die up to
+    ``retries + 1`` times (in send order, deterministic), :meth:`mutate`
+    and the delay floor delegate to the inner transport, and
+    :meth:`latency` adds the retransmission waits of the attempts that
+    failed.  FIFO clamping still comes from the shared base class.
+
+    ``inner`` accepts a :class:`TransportSpec`, its JSON form, a bare kind
+    name, or a ready instance; the default inner channel is lossless (the
+    wrapper is then a no-op with counters).
+    """
+
+    kind = "retransmit"
+
+    def __init__(
+        self,
+        inner: "Transport | TransportSpec | Mapping | str | None" = None,
+        retries: int = 3,
+        timeout: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if isinstance(inner, Mapping):
+            inner = TransportSpec.from_json(inner)
+        resolved = build_transport(inner, default=ReliableTransport)
+        assert resolved is not None
+        self.inner = resolved
+        retries = int(retries)
+        timeout = float(timeout)
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        if timeout <= 0:
+            raise ValueError(f"retransmit timeout must be positive, got {timeout}")
+        self.retries = retries
+        self.timeout = timeout
+        #: Extra attempts spent recovering lost first transmissions.
+        self.retransmissions = 0
+        #: Attempts the inner channel ate (including exhausted messages).
+        self.attempts_lost = 0
+        #: Delay surcharge of the message being scheduled (set by ``drops``,
+        #: consumed by ``latency`` -- ``send`` calls the hooks in order).
+        self._pending_wait = 0.0
+
+    def _reset_streams(self) -> None:
+        self.retransmissions = 0
+        self.attempts_lost = 0
+        self._pending_wait = 0.0
+        self.inner._reset_streams()
+
+    def drops(self, sender: Hashable, destination: Hashable, message: Any) -> bool:
+        for attempt in range(self.retries + 1):
+            if not self.inner.drops(sender, destination, message):
+                self.retransmissions += attempt
+                self.attempts_lost += attempt
+                self._pending_wait = attempt * self.timeout
+                return False
+        self.retransmissions += self.retries
+        self.attempts_lost += self.retries + 1
+        self._pending_wait = 0.0
+        return True
+
+    def mutate(self, sender: Hashable, destination: Hashable, message: Any) -> Any:
+        return self.inner.mutate(sender, destination, message)
+
+    def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
+        wait, self._pending_wait = self._pending_wait, 0.0
+        return wait + float(self.inner.latency(sender, destination, message))
+
+
 class RandomJitterTransport(Transport):
     """The historical randomized-delay model: uniform on ``[d/2, 3d/2]``.
 
@@ -387,8 +523,10 @@ class RandomJitterTransport(Transport):
 TRANSPORT_KINDS: Dict[str, Tuple[Callable[..., Transport], Tuple[str, ...]]] = {
     "reliable": (ReliableTransport, ("delay",)),
     "latency": (LatencyTransport, ("delay", "jitter", "seed")),
+    "distance-latency": (DistanceLatencyTransport, ("delay", "per_step")),
     "lossy": (LossyTransport, ("loss", "delay", "seed")),
     "corrupting": (CorruptingTransport, ("rate", "delay", "seed")),
+    "retransmit": (RetransmitTransport, ("inner", "retries", "timeout")),
 }
 
 
@@ -444,6 +582,14 @@ class TransportSpec:
             raise ValueError(
                 f"invalid parameters for transport {self.kind!r}: {error}"
             ) from None
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash tuples the fields, which breaks on
+        # structured parameter values (e.g. retransmit's nested ``inner``
+        # spec, a dict).  Hash the canonical JSON instead: equal specs
+        # canonicalize identically, so the eq/hash contract holds for every
+        # JSON-serializable parameter shape.
+        return hash(json.dumps(self.to_json(), sort_keys=True, separators=(",", ":")))
 
     def params_dict(self) -> Dict[str, Any]:
         """The parameters as a plain dictionary."""

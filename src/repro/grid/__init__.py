@@ -23,7 +23,7 @@ from repro.grid.lattice import (
     manhattan,
 )
 from repro.grid.regions import Region, neighborhood, neighborhood_size
-from repro.grid.cubes import CubeGrid, CoarseningPyramid, cube_partition
+from repro.grid.cubes import CubeGrid, CubeHierarchy, CoarseningPyramid, cube_partition
 from repro.grid.coloring import Coloring, chessboard_color, pair_vertices
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "neighborhood",
     "neighborhood_size",
     "CubeGrid",
+    "CubeHierarchy",
     "CoarseningPyramid",
     "cube_partition",
     "Coloring",

@@ -16,6 +16,7 @@ implements that aggregation pyramid exactly as written in the pseudo-code
 
 from __future__ import annotations
 
+import functools
 import itertools
 import math
 from dataclasses import dataclass
@@ -23,7 +24,7 @@ from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.grid.lattice import Box, Point
 
-__all__ = ["CubeGrid", "CoarseningPyramid", "cube_partition"]
+__all__ = ["CubeGrid", "CubeHierarchy", "CoarseningPyramid", "cube_partition"]
 
 
 @dataclass(frozen=True)
@@ -55,9 +56,9 @@ class CubeGrid:
         """Dimension of the ambient lattice."""
         return self.box.dim
 
-    @property
+    @functools.cached_property
     def shape(self) -> Tuple[int, ...]:
-        """Number of cubes along each axis."""
+        """Number of cubes along each axis (computed once; the grid is frozen)."""
         return tuple(
             math.ceil(length / self.side) for length in self.box.side_lengths
         )
@@ -125,6 +126,100 @@ def cube_partition(box: Box, side: int) -> CubeGrid:
     """Convenience constructor mirroring the thesis phrase
     "partition the grid into ``ceil(w)``-cubes"."""
     return CubeGrid(box=box, side=side)
+
+
+class CubeHierarchy:
+    """The dyadic cube hierarchy over a :class:`CubeGrid` partition.
+
+    Level 0 is the base partition itself; a *level-k cube* is the union of
+    a ``2^k x ... x 2^k`` dyadic block of base cubes (clipped to the
+    window), exactly the coarsening geometry of Algorithm 1's pyramid but
+    over cube *indices* instead of demand counts.  The hierarchy gives the
+    online protocol a deterministic escalation geometry: when a Phase I
+    replacement search exhausts its own base cube, it widens to the
+    sibling base cubes inside the level-1 ancestor, then to the base cubes
+    newly covered by the level-2 ancestor, and so on until the top-level
+    cube covers the whole window.
+
+    All enumeration orders are lexicographic over multi-indices, so every
+    vehicle derives the same escalation sequence locally -- no coordination
+    messages are needed to agree on where a search widens next.
+    """
+
+    def __init__(self, grid: CubeGrid) -> None:
+        self.grid = grid
+        #: Levels above the base partition: the smallest ``L`` with
+        #: ``2^L >= max axis cube count``, so the level-``L`` ancestor of
+        #: any base cube covers the entire partitioned window.
+        self.levels = max(
+            (count - 1).bit_length() for count in grid.shape
+        )
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the underlying partition."""
+        return self.grid.dim
+
+    def _check_index(self, index: Sequence[int]) -> Tuple[int, ...]:
+        index = tuple(int(i) for i in index)
+        if len(index) != self.dim:
+            raise ValueError("cube index dimension mismatch")
+        for i, count in zip(index, self.grid.shape):
+            if not 0 <= i < count:
+                raise ValueError(f"cube index {index} out of range {self.grid.shape}")
+        return index
+
+    def ancestor(self, index: Sequence[int], level: int) -> Tuple[int, ...]:
+        """Multi-index of the level-``level`` cube containing base cube ``index``."""
+        index = self._check_index(index)
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must lie in [0, {self.levels}], got {level}")
+        return tuple(i >> level for i in index)
+
+    def level_box(self, index: Sequence[int], level: int) -> Box:
+        """The (clipped) lattice box of the level-``level`` ancestor of ``index``."""
+        base = self.ancestor(index, level)
+        side = self.grid.side << level
+        lo = tuple(l + i * side for l, i in zip(self.grid.box.lo, base))
+        hi = tuple(min(l + side - 1, h) for l, h in zip(lo, self.grid.box.hi))
+        return Box(lo, hi)
+
+    def children(self, index: Sequence[int], level: int) -> List[Tuple[int, ...]]:
+        """Base-cube multi-indices covered by the level-``level`` ancestor of
+        ``index``, in lexicographic order (clipped to the partition)."""
+        base = self.ancestor(index, level)
+        ranges = [
+            range(i << level, min((i + 1) << level, count))
+            for i, count in zip(base, self.grid.shape)
+        ]
+        return [tuple(combo) for combo in itertools.product(*ranges)]
+
+    def siblings(self, index: Sequence[int], level: int) -> List[Tuple[int, ...]]:
+        """The *escalation ring* at ``level``: base cubes newly reachable when
+        a search widens from the level-``level - 1`` ancestor to the
+        level-``level`` ancestor of ``index``.
+
+        These are exactly the base cubes inside the level-``level``
+        ancestor but outside the level-``level - 1`` ancestor, in
+        lexicographic order.  The union of the rings over
+        ``level = 1 .. levels`` plus the base cube itself is the whole
+        partition, with no overlaps -- the property that makes escalation
+        both exhaustive and non-redundant.
+        """
+        index = self._check_index(index)
+        if not 1 <= level <= max(self.levels, 1):
+            raise ValueError(f"level must lie in [1, {max(self.levels, 1)}], got {level}")
+        inner = self.ancestor(index, min(level - 1, self.levels))
+        shift = min(level - 1, self.levels)
+        return [
+            child
+            for child in self.children(index, min(level, self.levels))
+            if tuple(i >> shift for i in child) != inner
+        ]
+
+    def escalation_order(self, index: Sequence[int]) -> List[List[Tuple[int, ...]]]:
+        """Per-level escalation rings for base cube ``index`` (levels 1..top)."""
+        return [self.siblings(index, level) for level in range(1, self.levels + 1)]
 
 
 class CoarseningPyramid:

@@ -28,6 +28,8 @@ Modules:
 from repro.vehicles.state import WorkingState, TransferState, VehicleStatus
 from repro.vehicles.messages import (
     ActivationNotice,
+    EscalateQuery,
+    EscalateReply,
     ExistingMessage,
     MoveMessage,
     QueryMessage,
@@ -45,6 +47,8 @@ __all__ = [
     "MoveMessage",
     "ExistingMessage",
     "ActivationNotice",
+    "EscalateQuery",
+    "EscalateReply",
     "VehicleProcess",
     "Fleet",
     "FleetConfig",

@@ -17,6 +17,8 @@ replacements -- happens through messages between the vehicles themselves.
 
 from __future__ import annotations
 
+import bisect
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -30,12 +32,26 @@ from repro.distsim.failures import FailurePlan
 from repro.distsim.network import Network
 from repro.distsim.transport import Transport
 from repro.grid.coloring import Coloring
-from repro.grid.cubes import CubeGrid
+from repro.grid.cubes import CubeGrid, CubeHierarchy
 from repro.grid.lattice import Box, Point, manhattan
+from repro.vehicles.monitoring import hierarchical_watch_ring, watch_ring_inverse
 from repro.vehicles.state import WorkingState
 from repro.vehicles.vehicle import VehicleProcess
 
 __all__ = ["FleetConfig", "Fleet"]
+
+
+@functools.lru_cache(maxsize=8192)
+def _coloring_for_box(box: Box) -> Coloring:
+    """One shared :class:`Coloring` per cube box.
+
+    Colorings are immutable after construction (pairs, lookup dict, box),
+    and building one walks the whole cube in snake order -- a measurable
+    share of fleet construction on scale-up workloads where the same cube
+    geometry recurs across runs.  Caching is what makes repeated
+    ``run_online`` calls (sweeps, benchmarks) pay the pairing cost once.
+    """
+    return Coloring(box)
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,17 @@ class FleetConfig:
     #: rounds and the timeout never fires; under message loss or corruption
     #: it is what frees stuck searchers (and watchers) to make progress.
     search_timeout_rounds: int = 6
+    #: Whether an exhausted Phase I search may escalate through the cube
+    #: hierarchy (cross-cube replacement; see
+    #: :class:`~repro.grid.cubes.CubeHierarchy` and the vehicle docstring).
+    #: Off by default: intra-cube runs stay byte-identical to the thesis
+    #: protocol.
+    escalation: bool = False
+    #: Battery an *active* vehicle must keep (beyond the walk) to volunteer
+    #: as a spare-capacity adopter in an escalated search.  The reserve
+    #: keeps adopters from immediately going done themselves; it should
+    #: exceed ``done_threshold`` by a comfortable service margin.
+    escalation_reserve: float = 4.0
 
 
 @dataclass
@@ -81,6 +108,9 @@ class FleetStats:
     suppressed_initiations: int = 0
     watch_initiations: int = 0
     heartbeat_rounds: int = 0
+    escalations_started: int = 0
+    escalated_replacements: int = 0
+    adoptions: int = 0
 
 
 class Fleet:
@@ -118,10 +148,24 @@ class Fleet:
 
         self.window: Box = plan_window(demand, self.cube_side)
         self.cube_grid = CubeGrid(self.window, self.cube_side)
+        #: The dyadic coarsening of the cube partition -- the escalation
+        #: geometry of cross-cube replacement searches.
+        self.hierarchy = CubeHierarchy(self.cube_grid)
         self.colorings: Dict[Tuple[int, ...], Coloring] = {}
         self.vehicles: Dict[Point, VehicleProcess] = {}
         #: pair black vertex -> identity of the vehicle currently responsible.
         self.registry: Dict[Point, Point] = {}
+        #: Any vertex of a built cube -> its pair's black vertex.  The job
+        #: router's hot path: one dict lookup instead of a cube-index /
+        #: coloring walk per delivered job.
+        self._pair_of_position: Dict[Point, Point] = {}
+        #: Pair black vertex -> multi-index of the cube it belongs to.
+        self._pair_cube: Dict[Point, Tuple[int, ...]] = {}
+        #: Cube multi-index -> sorted identities of the vehicles currently
+        #: resident there.  Static after construction in intra-cube mode;
+        #: escalated takeovers and adoptions keep it current as vehicles
+        #: cross boundaries.
+        self._cube_members: Dict[Tuple[int, ...], List[Point]] = {}
 
         self.stats = FleetStats()
         self._computation_round = 0
@@ -132,27 +176,52 @@ class Fleet:
 
         self._build_vehicles()
 
+        #: The fleet-wide monitoring ring of escalation mode (pair ->
+        #: watched pair); ``None`` when running the cube-local loop.
+        self.watch_ring: Optional[Dict[Point, Point]] = None
+        self._ring_inverse: Dict[Point, Point] = {}
+        if config.escalation:
+            self.watch_ring = hierarchical_watch_ring(
+                {
+                    index: [pair.black for pair in coloring.pairs]
+                    for index, coloring in self.colorings.items()
+                }
+            )
+            self._ring_inverse = watch_ring_inverse(self.watch_ring)
+            for vehicle in self.vehicles.values():
+                if vehicle.pair_key is not None:
+                    vehicle.monitored_pair = self.watched_pair(vehicle.pair_key)
+
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
 
     def _cubes_with_demand(self) -> List[Tuple[int, ...]]:
-        indices = {self.cube_grid.cube_index(p) for p in self.demand.support()}
-        return sorted(indices)
+        support = self.demand.support()
+        lo = np.array(self.window.lo)
+        indices = (np.array(support) - lo) // self.cube_side
+        return sorted({tuple(int(i) for i in row) for row in indices})
 
     def _build_vehicles(self) -> None:
+        radius = self.config.neighbor_radius
         for index in self._cubes_with_demand():
             cube = self.cube_grid.cube_box(index)
-            coloring = Coloring(cube)
+            coloring = _coloring_for_box(cube)
             self.colorings[index] = coloring
             vertices = list(cube.points())
+            self._cube_members[index] = sorted(vertices)
+            for pair in coloring.pairs:
+                self._pair_cube[pair.black] = index
+                self._pair_of_position[pair.black] = pair.black
+                if pair.white is not None:
+                    self._pair_of_position[pair.white] = pair.black
             for vertex in vertices:
                 initially_active = coloring.initially_active(vertex)
                 neighbors = [
                     other
                     for other in vertices
                     if other != vertex
-                    and manhattan(other, vertex) <= self.config.neighbor_radius
+                    and manhattan(other, vertex) <= radius
                 ]
                 peers = [other for other in vertices if other != vertex]
                 vehicle = VehicleProcess(
@@ -200,6 +269,13 @@ class Fleet:
     def record_watch_initiation(self, identity: Point, pair_key: Point) -> None:
         self.stats.watch_initiations += 1
 
+    def record_escalation_started(self, tag) -> None:
+        self.stats.escalations_started += 1
+
+    def record_escalated_replacement(self, *, spare: bool) -> None:
+        """An escalated move order was *accepted* (migration or adoption)."""
+        self.stats.escalated_replacements += 1
+
     def on_activation(self, identity: Point, pair_key: Point) -> None:
         """A replacement vehicle took over ``pair_key``."""
         self.registry[pair_key] = identity
@@ -210,19 +286,134 @@ class Fleet:
         return self.registry.get(pair_key)
 
     # ------------------------------------------------------------------ #
+    # cross-cube escalation plumbing (escalation mode)
+    # ------------------------------------------------------------------ #
+
+    def is_pair_key(self, pair_key: Point) -> bool:
+        """Whether ``pair_key`` names a real pair of some built cube."""
+        return pair_key in self._pair_cube
+
+    def watched_pair(self, pair_key: Point) -> Optional[Point]:
+        """The fleet-wide ring's watch target for ``pair_key`` (escalation
+        mode); falls back to the pair itself only in a one-pair fleet."""
+        if self.watch_ring is None:
+            return None
+        return self.watch_ring.get(pair_key)
+
+    def escalation_targets(
+        self, cube_index: Tuple[int, ...], level: int, *, exclude: Point
+    ) -> List[Point]:
+        """Identities queried by escalation level ``level`` of a search
+        rooted in ``cube_index``: every vehicle resident in the built cubes
+        of the hierarchy's level-``level`` escalation ring, deterministic
+        (ring cubes lexicographic, members sorted)."""
+        targets: List[Point] = []
+        for index in self.hierarchy.siblings(cube_index, level):
+            members = self._cube_members.get(index)
+            if not members:
+                continue
+            targets.extend(m for m in members if m != exclude)
+        return targets
+
+    def escalation_rings(
+        self, origin_index: Tuple[int, ...], pair_key: Point, *, exclude: Point
+    ) -> List[List[Point]]:
+        """The full escalation ladder for a search serving ``pair_key``.
+
+        The ladder is rooted at the *destination pair's* cube, not the
+        initiator's: a watcher may sit arbitrarily far from the pair it
+        monitors (the fleet-wide ring wraps around), and rooting the
+        widening at the initiator would find "nearby" volunteers that are
+        nearby *the watcher* -- maximally far from where the replacement
+        must walk to.  Ring 0 is the destination cube itself (the one cube
+        the initiator's intra-cube flood never visited when the search
+        crossed a boundary); ring ``k`` adds the base cubes newly covered
+        by the destination cube's level-``k`` ancestor.  Empty rings are
+        skipped; only non-empty ones are returned, nearest first.
+        """
+        root = self._pair_cube.get(pair_key, origin_index)
+        rings: List[List[Point]] = []
+        if root != origin_index:
+            members = [m for m in self._cube_members.get(root, ()) if m != exclude]
+            if members:
+                rings.append(members)
+        for level in range(1, self.hierarchy.levels + 1):
+            targets = self.escalation_targets(root, level, exclude=exclude)
+            if targets:
+                rings.append(targets)
+        return rings
+
+    def heartbeat_audience(self, pair_key: Point, *, exclude: Point) -> List[Point]:
+        """Who must hear the heartbeat for ``pair_key``: the pair's own cube
+        plus the cube of its ring watcher (monitoring pointers may cross
+        cube boundaries in escalation mode)."""
+        cubes = {self._pair_cube[pair_key]}
+        watcher = self._ring_inverse.get(pair_key)
+        if watcher is not None:
+            cubes.add(self._pair_cube[watcher])
+        audience = {
+            member
+            for index in cubes
+            for member in self._cube_members.get(index, ())
+        }
+        audience.discard(exclude)
+        return sorted(audience)
+
+    def activation_audience(self, pair_key: Point, *, exclude: Point) -> List[Point]:
+        """Members of the pair's cube (minus the activating vehicle)."""
+        members = self._cube_members.get(self._pair_cube[pair_key], ())
+        return [m for m in members if m != exclude]
+
+    def rehome_vehicle(self, vehicle: VehicleProcess, pair_key: Point) -> None:
+        """An idle vehicle took over a pair in *another* cube: move its
+        residency -- coloring, cube index, member lists, and communication
+        graph -- to that cube.  Without the graph rewire the migrant's
+        later Phase I floods would query its *old* cube's vehicles (an
+        intra-cube query crossing a boundary) and miss idle peers standing
+        right next to it."""
+        new_index = self._pair_cube[pair_key]
+        old_members = self._cube_members.get(vehicle.cube_index)
+        if old_members is not None and vehicle.identity in old_members:
+            old_members.remove(vehicle.identity)
+        self._insert_member(new_index, vehicle.identity)
+        vehicle.cube_index = new_index
+        coloring = self.colorings[new_index]
+        vehicle.coloring = coloring
+        vertices = list(coloring.cube.points())
+        vehicle.neighbors = [
+            vertex
+            for vertex in vertices
+            if vertex != vehicle.identity
+            and manhattan(vertex, vehicle.position) <= self.config.neighbor_radius
+        ]
+        vehicle.cube_peers = [v for v in vertices if v != vehicle.identity]
+
+    def on_adoption(self, identity: Point, pair_key: Point) -> None:
+        """An active vehicle adopted a far pair: it now *also* resides in
+        the pair's cube (it hears and is heard by that cube's broadcasts)."""
+        self.stats.adoptions += 1
+        self._insert_member(self._pair_cube[pair_key], identity)
+
+    def _insert_member(self, index: Tuple[int, ...], identity: Point) -> None:
+        members = self._cube_members.setdefault(index, [])
+        position = bisect.bisect_left(members, identity)
+        if position >= len(members) or members[position] != identity:
+            members.insert(position, identity)
+
+    # ------------------------------------------------------------------ #
     # job routing
     # ------------------------------------------------------------------ #
 
     def pair_key_of(self, position: Point) -> Point:
         """The black vertex of the pair containing ``position``."""
         position = tuple(int(c) for c in position)
+        pair_key = self._pair_of_position.get(position)
+        if pair_key is not None:
+            return pair_key
+        # Slow path only for error reporting on unroutable positions.
         if position not in self.window:
             raise KeyError(f"position {position} lies outside the fleet's window")
-        index = self.cube_grid.cube_index(position)
-        coloring = self.colorings.get(index)
-        if coloring is None:
-            raise KeyError(f"no vehicles were built for the cube containing {position}")
-        return coloring.pair_of(position).black
+        raise KeyError(f"no vehicles were built for the cube containing {position}")
 
     def responsible_vehicle(self, position: Point) -> Optional[VehicleProcess]:
         """The vehicle currently answering for ``position``'s pair, if any."""

@@ -27,6 +27,8 @@ __all__ = [
     "MoveMessage",
     "ExistingMessage",
     "ActivationNotice",
+    "EscalateQuery",
+    "EscalateReply",
 ]
 
 #: ``(initiator identity, round number)`` -- uniquely names one diffusing
@@ -57,12 +59,18 @@ class ReplyMessage:
 
 @dataclass(frozen=True)
 class MoveMessage:
-    """Phase II order relayed along the child path to the located idle vehicle."""
+    """Phase II order relayed along the child path to the located idle vehicle.
+
+    ``escalated`` marks an order dispatched by a cross-cube escalated round
+    (so the endpoint can attribute the success to the escalation counters;
+    intra-cube orders leave it ``False``).
+    """
 
     tag: ComputationTag
     sender: Hashable
     destination: Point
     pair_key: Point
+    escalated: bool = False
 
 
 @dataclass(frozen=True)
@@ -83,3 +91,54 @@ class ActivationNotice:
     sender: Hashable
     pair_key: Point
     position: Point
+
+
+@dataclass(frozen=True)
+class EscalateQuery:
+    """Cross-cube boundary query of an escalated replacement search.
+
+    When a Phase I flood exhausts its own cube without locating a free
+    vehicle, the initiator widens the diffusing computation through the
+    cube hierarchy: at escalation level ``k`` it queries every vehicle of
+    the base cubes newly covered by its level-``k`` ancestor cube (the
+    hierarchy's deterministic escalation ring).  The query crosses cube
+    boundaries -- the one thing an intra-cube ``query`` may never do --
+    and is answered directly to the initiator, so the escalated round is a
+    star-shaped diffusing computation whose deficit counter lives at the
+    initiator: the termination-detection tree stays a tree across levels.
+    """
+
+    tag: ComputationTag
+    #: The initiator; recipients reply straight back to it.
+    sender: Hashable
+    #: The position the eventual replacement must move to.
+    destination: Point
+    #: The black vertex identifying the pair to take over.
+    pair_key: Point
+    #: Escalation level the query belongs to (1 = parent cube).
+    level: int
+
+
+@dataclass(frozen=True)
+class EscalateReply:
+    """Answer to an :class:`EscalateQuery`.
+
+    ``flag`` says whether the sender can take the pair over; ``spare``
+    distinguishes an idle volunteer (``False`` -- it migrates, the
+    classical Phase II takeover) from an *active* vehicle volunteering
+    surplus battery (``True`` -- it adopts the far pair in addition to its
+    own, the cross-cube move that makes ``omega_c < 1`` fleets, where no
+    vehicle is ever idle, recoverable at all).  ``level`` echoes the
+    query's escalation level so a reply delayed past the level's
+    starvation timeout cannot drain a *later* ring's deficit counter, and
+    ``position`` reports where the volunteer currently stands (the walk is
+    paid from there, not from its home vertex) so the initiator ranks
+    candidates by the energy they would actually spend.
+    """
+
+    tag: ComputationTag
+    sender: Hashable
+    flag: bool
+    spare: bool = False
+    level: int = 0
+    position: Point = ()

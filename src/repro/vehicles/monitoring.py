@@ -19,12 +19,17 @@ locally from the cube's coloring.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.grid.coloring import Coloring
 from repro.grid.lattice import Point
 
-__all__ = ["watched_pair_key", "build_watch_assignment"]
+__all__ = [
+    "watched_pair_key",
+    "build_watch_assignment",
+    "hierarchical_watch_ring",
+    "watch_ring_inverse",
+]
 
 
 def watched_pair_key(coloring: Coloring, pair_key: Point) -> Optional[Point]:
@@ -44,3 +49,42 @@ def watched_pair_key(coloring: Coloring, pair_key: Point) -> Optional[Point]:
 def build_watch_assignment(coloring: Coloring) -> Dict[Point, Optional[Point]]:
     """The full pair -> watched-pair map for one cube."""
     return {pair.black: watched_pair_key(coloring, pair.black) for pair in coloring.pairs}
+
+
+def hierarchical_watch_ring(
+    pairs_by_cube: Mapping[Tuple[int, ...], Sequence[Point]]
+) -> Dict[Point, Point]:
+    """One watch ring over *all* pairs of *all* cubes (escalation mode).
+
+    The cube-local loop above has a blind spot the cross-cube escalation
+    must close: a cube with a single pair has no peer to monitor it, so a
+    dead vehicle there goes unnoticed forever -- precisely the
+    ``omega_c < 1`` regime where every cube is a singleton.  In escalation
+    mode the monitoring pointers therefore form a single fleet-wide loop:
+    pairs are ordered by (cube multi-index, pair key), both lexicographic,
+    and the vehicle responsible for each pair watches the next one.  The
+    order is derivable from static fleet structure alone, so -- exactly as
+    with the cube-local loop -- a replacement that takes a pair over also
+    inherits its watch duty with no hand-off message, and the ring stays
+    intact across any sequence of replacements.
+
+    A fleet with a single pair maps it to itself (nothing to watch).
+    """
+    keys = [
+        pair_key
+        for index in sorted(pairs_by_cube)
+        for pair_key in sorted(pairs_by_cube[index])
+    ]
+    return {
+        pair_key: keys[(rank + 1) % len(keys)] for rank, pair_key in enumerate(keys)
+    }
+
+
+def watch_ring_inverse(ring: Mapping[Point, Point]) -> Dict[Point, Point]:
+    """Watched pair -> watcher pair (the ring walked backwards).
+
+    Heartbeats must *reach* the watcher: an active vehicle uses this map to
+    learn which pair's cube its existence announcements additionally go to
+    when its watcher lives across a cube boundary.
+    """
+    return {watched: watcher for watcher, watched in ring.items()}

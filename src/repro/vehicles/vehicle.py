@@ -19,6 +19,23 @@ receive jobs.  The process implements, faithfully to Algorithm 2:
   the watcher of a silent pair starts a replacement computation on its
   behalf.  This covers scenario 2 (initiation failure) and scenario 3
   (dead vehicles).
+* **Cross-cube escalation (extension).**  The thesis keeps every search
+  inside one cube, which leaves ``omega_c < 1`` workloads -- singleton
+  cubes with no idle vehicles at all -- without any replacement path.
+  When the fleet runs with ``FleetConfig.escalation`` enabled, an
+  initiator whose intra-cube flood terminates empty widens the diffusing
+  computation through the dyadic cube hierarchy
+  (:class:`~repro.grid.cubes.CubeHierarchy`): level by level it sends
+  ``EscalateQuery`` boundary messages to every vehicle of the newly
+  covered base cubes and aggregates ``EscalateReply`` answers with a
+  deficit counter at the initiator, so the termination-detection tree of
+  the escalated round is a star rooted where Phase I's tree was rooted.
+  An *idle* responder migrates exactly as in Phase II; an *active*
+  responder with surplus battery may instead **adopt** the far pair in
+  addition to its own -- the move that makes all-active fleets
+  recoverable.  Escalation adds two arrows' worth of behavior but no new
+  states: initiating, relaying and taking over all reuse the Figure 3.1
+  state machine unchanged.
 
 Energy accounting is the whole point of the thesis, so it is explicit:
 travel and service energies are tracked separately, a finite capacity is
@@ -37,6 +54,8 @@ from repro.grid.lattice import Point, manhattan
 from repro.vehicles.messages import (
     ActivationNotice,
     ComputationTag,
+    EscalateQuery,
+    EscalateReply,
     ExistingMessage,
     MoveMessage,
     QueryMessage,
@@ -145,6 +164,16 @@ class VehicleProcess(Process):
         self._engaged_tag_seen: Optional[ComputationTag] = None
         self._engaged_rounds = 0
 
+        # Cross-cube escalation bookkeeping (escalation mode only).
+        #: Pairs this vehicle *adopted* on top of its own (spare-battery
+        #: volunteering across cube boundaries); it serves and heartbeats
+        #: for them without giving up its own pair.
+        self.adopted_pairs: List[Point] = []
+        #: Escalated searches this vehicle is aggregating, keyed by tag:
+        #: ``{"level", "pending", "candidates", "rounds"}`` -- the deficit
+        #: counter and volunteer list of the star-shaped escalated round.
+        self.escalations: Dict[ComputationTag, Dict[str, Any]] = {}
+
     # ------------------------------------------------------------------ #
     # energy accounting
     # ------------------------------------------------------------------ #
@@ -236,6 +265,15 @@ class VehicleProcess(Process):
         self.deficit = len(self.neighbors)
         self.fleet.record_search_started(tag)
         if self.deficit == 0:
+            # No neighbors to flood (a singleton cube): the computation
+            # terminates on the spot, so release the engagement before
+            # finishing -- a lingering ``engaged_tag`` would make the
+            # starvation clock re-enter ``_finish_own_computation`` later
+            # (double-counting the failure, or restarting a whole
+            # escalation ladder for an already-dispatched replacement) and
+            # would suspend the initiator's watch duty for nothing.
+            self.engaged_tag = None
+            self.status.set_transfer(TransferState.WAITING)
             self._finish_own_computation(tag)
             return
         for neighbor in self.neighbors:
@@ -256,6 +294,10 @@ class VehicleProcess(Process):
             self._on_existing(message)
         elif isinstance(message, ActivationNotice):
             self._on_activation_notice(message)
+        elif isinstance(message, EscalateQuery):
+            self._on_escalate_query(sender, message)
+        elif isinstance(message, EscalateReply):
+            self._on_escalate_reply(sender, message)
         else:
             raise TypeError(f"unexpected message {message!r}")
 
@@ -309,12 +351,17 @@ class VehicleProcess(Process):
                 self.send(self.parent, ReplyMessage(tag, self.identity, False))
 
     def _finish_own_computation(self, tag: ComputationTag) -> None:
-        """Initiator termination: launch Phase II or record failure."""
+        """Initiator termination: launch Phase II, escalate, or record failure."""
         info = self.initiated.get(tag)
         if info is None:
             return
         if self.child is None:
-            self.fleet.record_failed_replacement(info["pair_key"])
+            if self.fleet.config.escalation and tag not in self.escalations:
+                # The intra-cube flood came back empty: widen the diffusing
+                # computation to the parent cube instead of giving up.
+                self._begin_escalation(tag)
+            else:
+                self.fleet.record_failed_replacement(info["pair_key"])
             return
         self.send(
             self.child,
@@ -322,23 +369,179 @@ class VehicleProcess(Process):
         )
 
     # ------------------------------------------------------------------ #
+    # cross-cube escalation (escalation mode)
+    # ------------------------------------------------------------------ #
+
+    def _begin_escalation(self, tag: ComputationTag) -> None:
+        """Start the ring-by-ring widening of an exhausted Phase I search.
+
+        The ladder of rings is computed up front from static fleet
+        structure, rooted at the cube of the pair being replaced (see
+        :meth:`~repro.vehicles.fleet.Fleet.escalation_rings`); the
+        initiator then walks it outward one deficit-counted round at a
+        time.
+        """
+        info = self.initiated[tag]
+        rings = self.fleet.escalation_rings(
+            self.cube_index, info["pair_key"], exclude=self.identity
+        )
+        self.escalations[tag] = {
+            "rings": rings,
+            "level": 0,
+            "pending": 0,
+            "candidates": [],
+            "rounds": 0,
+        }
+        self.fleet.record_escalation_started(tag)
+        self._escalate_next_level(tag)
+
+    def _escalate_next_level(self, tag: ComputationTag) -> None:
+        """Query the next escalation ring, or fail out past the last one."""
+        esc = self.escalations[tag]
+        info = self.initiated[tag]
+        if esc["level"] >= len(esc["rings"]):
+            del self.escalations[tag]
+            self.fleet.record_failed_replacement(info["pair_key"])
+            return
+        targets = esc["rings"][esc["level"]]
+        esc["level"] += 1
+        esc["pending"] = len(targets)
+        esc["candidates"] = []
+        esc["rounds"] = 0
+        for target in targets:
+            self.send(
+                target,
+                EscalateQuery(
+                    tag, self.identity, info["destination"], info["pair_key"], esc["level"]
+                ),
+            )
+
+    def _on_escalate_query(self, sender: Hashable, message: EscalateQuery) -> None:
+        """Answer a boundary query: can this vehicle take the far pair over?
+
+        Answering is stateless -- no engagement, no parent pointer -- so a
+        boundary query can never entangle two diffusing computations; the
+        deficit lives entirely at the escalating initiator.  A vehicle
+        volunteers when it is healthy, unengaged, and either idle (the
+        classical Phase II candidate) or active with battery to spare
+        beyond ``FleetConfig.escalation_reserve`` after the walk (the
+        adoption candidate that keeps all-active fleets serviceable).
+        """
+        flag = False
+        spare = False
+        if not self.broken and self.engaged_tag is None and not self.escalations:
+            walk = manhattan(self.position, message.destination)
+            if self.status.working == WorkingState.IDLE:
+                flag = self._can_spend(walk)
+            elif self.status.working == WorkingState.ACTIVE:
+                reserve = self.fleet.config.escalation_reserve
+                flag = (
+                    self.capacity is None
+                    or self.energy_remaining - walk > reserve
+                )
+                spare = flag
+        self.send(
+            message.sender,
+            EscalateReply(
+                message.tag, self.identity, flag, spare, message.level, self.position
+            ),
+        )
+
+    def _on_escalate_reply(self, sender: Hashable, message: EscalateReply) -> None:
+        esc = self.escalations.get(message.tag)
+        if esc is None:
+            return  # stale reply from an already-settled escalation
+        if message.level != esc["level"]:
+            # A reply from a ring the starvation clock already abandoned:
+            # counting it against the *current* ring's deficit would settle
+            # that ring before its own replies return and could cascade the
+            # ladder to a premature failure.
+            return
+        esc["pending"] -= 1
+        if message.flag:
+            esc["candidates"].append((message.spare, message.sender, message.position))
+        if esc["pending"] <= 0:
+            self._conclude_escalation_level(message.tag)
+
+    def _conclude_escalation_level(self, tag: ComputationTag) -> None:
+        """All replies of the current ring are in: dispatch or widen further.
+
+        The energy bill of a cross-cube replacement is the volunteer's
+        walk *from where it currently stands* (reported in its reply --
+        homes are immutable but positions drift with every served job), so
+        candidates are ranked by that distance first (a ring can span many
+        cubes; picking a far volunteer when a near one answered burns
+        battery for nothing and can cascade into further replacements),
+        then idle-before-spare, then identity.  The ranking is a pure
+        function of the reply set, so the choice is independent of message
+        delays and the run stays deterministic under any transport.
+        """
+        esc = self.escalations[tag]
+        info = self.initiated[tag]
+        if esc["candidates"]:
+            destination = info["destination"]
+            spare, chosen, _ = min(
+                esc["candidates"],
+                key=lambda item: (
+                    manhattan(item[2] if item[2] else item[1], destination),
+                    item[0],
+                    item[1],
+                ),
+            )
+            del self.escalations[tag]
+            self.send(
+                chosen,
+                MoveMessage(
+                    tag, self.identity, info["destination"], info["pair_key"],
+                    escalated=True,
+                ),
+            )
+            return
+        self._escalate_next_level(tag)
+
+    # ------------------------------------------------------------------ #
     # Phase II handler
     # ------------------------------------------------------------------ #
 
     def _on_move(self, sender: Hashable, message: MoveMessage) -> None:
-        if message.tag == self.last_tag and self.child is not None:
-            # Not the endpoint: copy the order to the next vehicle on the path.
+        if (
+            not message.escalated
+            and message.tag == self.last_tag
+            and self.child is not None
+        ):
+            # Not the endpoint: copy the order to the next vehicle on the
+            # path.  Escalated orders are addressed *directly* to the chosen
+            # volunteer and never relayed -- a volunteer that once served as
+            # a Phase I relay for the same tag (its forwarded True reply
+            # lost in transit) would otherwise bounce the order down its
+            # stale child chain, bypassing the initiator's candidate choice.
             self.send(self.child, MoveMessage(message.tag, self.identity, message.destination, message.pair_key))
             return
-        # Endpoint: this should be the idle candidate located in Phase I.
-        if self.broken or self.status.working != WorkingState.IDLE:
+        # Endpoint: the candidate located in Phase I or by an escalated round.
+        escalation = self.fleet.config.escalation
+        if self.broken:
             self.fleet.record_failed_replacement(message.pair_key)
             return
-        if not self._is_local_pair_key(message.pair_key):
+        if message.escalated and self.status.working == WorkingState.ACTIVE:
+            self._adopt_pair(message)
+            return
+        if self.status.working != WorkingState.IDLE:
+            # Includes an active endpoint receiving a plain intra-cube order
+            # (the located idle vehicle was activated in the meantime): the
+            # historical legal refusal; the monitoring loop retries.
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
+        local = self._is_local_pair_key(message.pair_key)
+        if not local and not (
+            escalation and message.escalated and self.fleet.is_pair_key(message.pair_key)
+        ):
             # A Byzantine transport may scramble the pair key into a vertex
             # that names no pair of this cube; taking such an order over
             # would corrupt the registry and the watch loop.  Refusing it is
-            # the legal outcome (the search failed), not an error.
+            # the legal outcome (the search failed), not an error.  Only an
+            # *escalated* order may name a real pair of another cube (a
+            # legitimate cross-cube takeover) -- a plain intra-cube order
+            # with a foreign key can only be corruption, escalation or not.
             self.fleet.record_failed_replacement(message.pair_key)
             return
         walk = manhattan(self.position, message.destination)
@@ -349,10 +552,92 @@ class VehicleProcess(Process):
         self.position = tuple(int(c) for c in message.destination)
         self.status.transition(WorkingState.ACTIVE, TransferState.WAITING)
         self.pair_key = message.pair_key
-        self.monitored_pair = watched_pair_key(self.coloring, message.pair_key)
+        if not local:
+            # The vehicle physically relocated into another cube: it adopts
+            # that cube's coloring, membership and (hence) watch duties.
+            self.fleet.rehome_vehicle(self, message.pair_key)
+        if escalation:
+            self.monitored_pair = self.fleet.watched_pair(message.pair_key)
+            self._grace_new_watch(self.monitored_pair)
+        else:
+            self.monitored_pair = watched_pair_key(self.coloring, message.pair_key)
+        if message.escalated:
+            # Counted here, on acceptance -- a dispatched order the endpoint
+            # refuses must not inflate the escalation success counters.
+            self.fleet.record_escalated_replacement(spare=False)
         self.fleet.on_activation(self.identity, message.pair_key)
-        for peer in self.cube_peers:
+        for peer in self._activation_audience(message.pair_key):
             self.send(peer, ActivationNotice(self.identity, message.pair_key, self.position))
+
+    def _adopt_pair(self, message: MoveMessage) -> None:
+        """Spare-battery adoption: an active vehicle takes a far pair *too*.
+
+        The adopter keeps its own pair and working state (no Figure 3.1
+        transition happens -- it stays ``(active, waiting)``); it walks to
+        the far pair, registers as its responsible vehicle, and from now
+        on serves and heartbeats for both.  This is the only replacement
+        path in an all-active fleet (every ``omega_c < 1`` workload).
+        """
+        if not self.fleet.is_pair_key(message.pair_key):
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
+        if message.pair_key == self.pair_key or message.pair_key in self.adopted_pairs:
+            return  # duplicate move order for a pair it already answers for
+        walk = manhattan(self.position, message.destination)
+        if (
+            self.capacity is not None
+            and self.energy_remaining - walk <= self.fleet.config.escalation_reserve
+        ):
+            # Re-check the volunteer invariant at acceptance time: jobs may
+            # have drained the battery between the reply and the move order,
+            # and adopting below the reserve would just mint the next done
+            # vehicle.  Refusing is legal; the monitoring loop retries.
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
+        if not self._can_spend(walk):
+            # Belt over braces: a zero/negative reserve configuration must
+            # still never let the battery physically overspend.
+            self.fleet.record_failed_replacement(message.pair_key)
+            return
+        self.travel_energy += walk
+        self.position = tuple(int(c) for c in message.destination)
+        self.adopted_pairs.append(message.pair_key)
+        self._grace_new_watch(self.fleet.watched_pair(message.pair_key))
+        if message.escalated:
+            self.fleet.record_escalated_replacement(spare=True)
+        self.fleet.on_adoption(self.identity, message.pair_key)
+        self.fleet.on_activation(self.identity, message.pair_key)
+        for peer in self._activation_audience(message.pair_key):
+            self.send(peer, ActivationNotice(self.identity, message.pair_key, self.position))
+
+    def _grace_new_watch(self, watched: Optional[Point]) -> None:
+        """Reset the silence clock of a freshly acquired watch target.
+
+        A replacement or adopter inherits the watch duty of its new pair,
+        but it has never been in that target's heartbeat audience: without
+        a grace period the stale (or absent) ``last_heard`` entry reads as
+        ``miss_threshold`` rounds of silence and fires a *spurious*
+        replacement for a perfectly healthy pair -- each adoption would
+        spawn the next one, a fleet-wide replacement storm.  Treating the
+        target as heard at the acquisition round gives its real heartbeats
+        time to start arriving.
+        """
+        if watched is None:
+            return
+        current = self.fleet.heartbeat_round
+        if self.last_heard.get(watched, -1) < current:
+            self.last_heard[watched] = current
+
+    def _activation_audience(self, pair_key: Point) -> List[Point]:
+        """Who hears the activation notice for ``pair_key``.
+
+        Intra-cube (the historical behavior): the vehicle's own cube peers.
+        In escalation mode the notice goes to the members of the *pair's*
+        cube -- the watchers whose timers it must reset may live there.
+        """
+        if not self.fleet.config.escalation:
+            return self.cube_peers
+        return self.fleet.activation_audience(pair_key, exclude=self.identity)
 
     def _is_local_pair_key(self, pair_key: Point) -> bool:
         """Whether ``pair_key`` is the black vertex of a pair of this cube."""
@@ -393,6 +678,7 @@ class VehicleProcess(Process):
         the monitoring loop can start a fresh computation for the
         still-silent pair.
         """
+        self._tick_escalation_timeouts(timeout)
         if self.broken or self.engaged_tag is None:
             self._engaged_tag_seen = None
             self._engaged_rounds = 0
@@ -412,11 +698,34 @@ class VehicleProcess(Process):
         if tag in self.initiated:
             self._finish_own_computation(tag)
 
+    def _tick_escalation_timeouts(self, timeout: int) -> None:
+        """Starvation clock for escalated rounds (the cross-level analogue).
+
+        An escalation level whose boundary replies were eaten by the
+        channel would leave its deficit counter funded forever; after
+        ``timeout`` heartbeat rounds stuck on one level the missing replies
+        are treated as negative -- best-effort termination detection, the
+        same contract the intra-cube clock provides.  Any volunteer that
+        *did* reply is dispatched; otherwise the search widens or fails.
+        """
+        if self.broken or not self.escalations:
+            return
+        for tag in list(self.escalations):
+            esc = self.escalations.get(tag)
+            if esc is None:
+                continue
+            esc["rounds"] += 1
+            if esc["rounds"] >= timeout:
+                self._conclude_escalation_level(tag)
+
     def heartbeat(self, round_id: int, miss_threshold: int) -> None:
         """One heartbeat round: announce existence and check the watched pair."""
         if self.broken or self.status.working != WorkingState.ACTIVE:
             return
         assert self.pair_key is not None
+        if self.fleet.config.escalation:
+            self._heartbeat_hierarchical(round_id, miss_threshold)
+            return
         for peer in self.cube_peers:
             self.send(peer, ExistingMessage(self.identity, self.pair_key, round_id))
         if self.monitored_pair is None or self.monitored_pair == self.pair_key:
@@ -434,6 +743,37 @@ class VehicleProcess(Process):
         self.start_replacement_search(
             destination=self.monitored_pair, pair_key=self.monitored_pair
         )
+
+    def _heartbeat_hierarchical(self, round_id: int, miss_threshold: int) -> None:
+        """The escalation-mode heartbeat: fleet-wide watch ring, adopted pairs.
+
+        The vehicle announces existence for its own pair *and* every pair
+        it adopted; each announcement reaches the pair's cube and the cube
+        of the pair's ring watcher (the monitoring pointer may now cross a
+        cube boundary).  Watch duty likewise follows the fleet-wide ring,
+        and an adopter watches on behalf of its adopted pairs too, so the
+        ring stays closed across adoptions.
+        """
+        answered = [self.pair_key] + self.adopted_pairs
+        for pair_key in answered:
+            for peer in self.fleet.heartbeat_audience(pair_key, exclude=self.identity):
+                self.send(peer, ExistingMessage(self.identity, pair_key, round_id))
+        if self.engaged_tag is not None or self.escalations:
+            # Busy with another computation; re-check on the next round.
+            return
+        seen = set(answered)
+        for pair_key in answered:
+            watched = self.fleet.watched_pair(pair_key)
+            if watched is None or watched in seen:
+                continue
+            seen.add(watched)
+            last = self.last_heard.get(watched, self.fleet.monitoring_baseline)
+            if round_id - last < miss_threshold:
+                continue
+            self.fleet.record_watch_initiation(self.identity, watched)
+            self.last_heard[watched] = round_id  # debounce
+            self.start_replacement_search(destination=watched, pair_key=watched)
+            return  # one diffusing computation at a time
 
     # ------------------------------------------------------------------ #
     # failures (scenario 3)
@@ -468,6 +808,7 @@ class VehicleProcess(Process):
             "position": self.position,
             "state": str(self.status),
             "pair": self.pair_key,
+            "adopted_pairs": list(self.adopted_pairs),
             "energy_used": self.energy_used,
             "travel": self.travel_energy,
             "service": self.service_energy,

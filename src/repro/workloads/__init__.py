@@ -15,6 +15,7 @@ from repro.workloads.generators import (
     heavy_tailed_demand,
     hotspot_demand,
     line_demand,
+    mobility_demand,
     point_demand,
     random_uniform_demand,
     square_demand,
@@ -54,6 +55,7 @@ __all__ = [
     "corner_demand",
     "diurnal_demand",
     "grid_demand",
+    "mobility_demand",
     "sequential_arrivals",
     "random_arrivals",
     "alternating_arrivals",

@@ -28,6 +28,7 @@ __all__ = [
     "corner_demand",
     "grid_demand",
     "diurnal_demand",
+    "mobility_demand",
 ]
 
 
@@ -275,6 +276,46 @@ def diurnal_demand(
             offset[axis] = slice_index
             point: Point = tuple(int(c) for c in (lo + offset))
             demands[point] = demands.get(point, 0.0) + 1.0
+    return DemandMap(demands, dim=window.dim)
+
+
+def mobility_demand(
+    window: Box,
+    walkers: int,
+    steps: int,
+    rng: np.random.Generator,
+    *,
+    step: int = 1,
+) -> DemandMap:
+    """Demand deposited by drifting service consumers (a mobility trace).
+
+    ``walkers`` independent consumers start at random positions and perform
+    lattice random walks of ``steps`` moves (each move shifts one axis by
+    up to ``step``, clamping at the window boundary -- a walker drawing an
+    outward move stays pinned at the edge); every position visited deposits
+    one unit job.  The result is the spatial footprint of *moving* demand -- smeared
+    trails rather than fixed hotspots -- so between consecutive jobs of one
+    walker the service position drifts by at most ``step`` per axis.  This
+    is the workload regime where a transport whose delay grows with lattice
+    distance (``distance-latency``) separates near-field from far-field
+    traffic instead of charging a flat rate.
+    """
+    if walkers < 1 or steps < 1:
+        raise ValueError("walkers and steps must be at least 1")
+    if step < 1:
+        raise ValueError("step must be at least 1")
+    lo = np.array(window.lo)
+    hi = np.array(window.hi)
+    lengths = np.array(window.side_lengths)
+    demands: dict = {}
+    for _ in range(walkers):
+        position = lo + rng.integers(0, lengths)
+        for _ in range(steps):
+            point: Point = tuple(int(c) for c in position)
+            demands[point] = demands.get(point, 0.0) + 1.0
+            axis = int(rng.integers(0, window.dim))
+            delta = int(rng.integers(-step, step + 1))
+            position[axis] = int(np.clip(position[axis] + delta, lo[axis], hi[axis]))
     return DemandMap(demands, dim=window.dim)
 
 

@@ -49,6 +49,7 @@ from repro.workloads.generators import (
     grid_demand,
     heavy_tailed_demand,
     hotspot_demand,
+    mobility_demand,
     random_uniform_demand,
 )
 
@@ -212,10 +213,18 @@ def family_broken_failures(
     from repro.api.config import FailureSpec
 
     spec = build_family_failures(name, params, seed=seed)
-    if spec is not None and not spec.is_empty():
+    if spec is not None and not spec.without_transport().is_empty():
         return spec
+    # Failure-free family, or one whose only contribution is a transport
+    # (e.g. mobility's distance-latency channel): synthesize the minimal
+    # deterministic crash so the solver always has a physical failure --
+    # and so an explicit transport stripping the bundled one (CLI/engine
+    # precedence) can never leave the spec empty.
     demand = build_family_demand(name, params, seed=seed)
-    return FailureSpec(crashed=(min(demand.support()),))
+    crashed = (min(demand.support()),)
+    if spec is not None and spec.transport is not None:
+        return FailureSpec(crashed=crashed, transport=spec.transport)
+    return FailureSpec(crashed=crashed)
 
 
 def family_spec(
@@ -250,6 +259,7 @@ def family_config(
     recovery_rounds: Optional[int] = None,
     params: Optional[Mapping[str, Any]] = None,
     transport: Any = None,
+    escalation: bool = False,
     **overrides: Any,
 ):
     """A ready-to-run :class:`~repro.api.config.RunConfig` for family x solver.
@@ -282,6 +292,7 @@ def family_config(
         capacity=capacity,
         failures=failures,
         transport=transport,
+        escalation=escalation,
         recovery_rounds=rounds,
         params=params if params is not None else (),
     )
@@ -552,6 +563,50 @@ register_family(
         # arrival rate follows the sinusoid as the clock advances.
         default_order="sequential",
         tags=("demand", "temporal"),
+    )
+)
+
+def _build_mobility(params: Dict[str, Any], rng: np.random.Generator) -> DemandMap:
+    return mobility_demand(
+        _window(params),
+        int(params["walkers"]),
+        int(params["steps"]),
+        rng,
+        step=int(params["step"]),
+    )
+
+
+def _mobility_failures(params: Dict[str, Any], demand: DemandMap, rng: np.random.Generator):
+    """Pair the drifting workload with its physical radio model: a transport
+    whose delay grows with the lattice distance a message covers."""
+    from repro.api.config import FailureSpec
+    from repro.distsim.transport import TransportSpec
+
+    transport = TransportSpec(
+        "distance-latency",
+        {"delay": float(params["link_delay"]), "per_step": float(params["step_delay"])},
+    )
+    return FailureSpec(transport=transport)
+
+
+register_family(
+    ScenarioFamily(
+        name="mobility",
+        description="drifting consumers deposit jobs along random-walk trails "
+        "(paired with the distance-latency transport)",
+        build=_build_mobility,
+        defaults={
+            "side": 16,
+            "walkers": 4,
+            "steps": 60,
+            "step": 1,
+            "link_delay": 0.005,
+            "step_delay": 0.002,
+            "recovery_rounds": 2,
+        },
+        small={"side": 8, "walkers": 2, "steps": 18},
+        failures=_mobility_failures,
+        tags=("demand", "mobility", "transport"),
     )
 )
 

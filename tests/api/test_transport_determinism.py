@@ -25,8 +25,21 @@ SEED = 0
 TRANSPORT_SPECS = {
     "reliable": TransportSpec("reliable", {"delay": 0.01}),
     "latency": TransportSpec("latency", {"delay": 0.01, "jitter": 0.05, "seed": 2}),
+    "distance-latency": TransportSpec(
+        "distance-latency", {"delay": 0.01, "per_step": 0.003}
+    ),
     "lossy": TransportSpec("lossy", {"loss": 0.08, "seed": 2}),
     "corrupting": TransportSpec("corrupting", {"rate": 0.08, "seed": 2}),
+    # The nested-spec channel: a retransmit wrapper over a lossy inner
+    # transport exercises spec-in-spec JSON round-tripping too.
+    "retransmit": TransportSpec(
+        "retransmit",
+        {
+            "inner": {"kind": "lossy", "params": {"loss": 0.2, "seed": 2}},
+            "retries": 2,
+            "timeout": 0.05,
+        },
+    ),
 }
 
 

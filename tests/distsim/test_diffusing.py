@@ -130,3 +130,58 @@ class TestValidation:
         state["idle"] = set()
         second = comp.search(0)
         assert not second.found
+
+
+class TestHierarchicalSearch:
+    """The protocol-agnostic escalation reference (cross-group widening)."""
+
+    def _line_groups(self):
+        # Three groups of three nodes each, chained intra-group.
+        groups = {}
+        for g in range(3):
+            nodes = [f"g{g}n{i}" for i in range(3)]
+            groups[g] = {
+                nodes[0]: [nodes[1]],
+                nodes[1]: [nodes[0], nodes[2]],
+                nodes[2]: [nodes[1]],
+            }
+        order = {g: [[(g + 1) % 3], [(g + 2) % 3]] for g in range(3)}
+        return groups, order
+
+    def test_local_hit_never_escalates(self):
+        from repro.distsim.diffusing import HierarchicalSearch
+
+        groups, order = self._line_groups()
+        search = HierarchicalSearch(groups, lambda n: n == "g0n2", order)
+        result = search.search("g0n0")
+        assert result.found and result.level == 0 and result.target == "g0n2"
+
+    def test_escalates_to_the_ring_holding_a_target(self):
+        from repro.distsim.diffusing import HierarchicalSearch
+
+        groups, order = self._line_groups()
+        search = HierarchicalSearch(groups, lambda n: n == "g2n1", order)
+        result = search.search("g0n0")
+        assert result.found
+        assert result.level == 2  # group 2 is in g0's second ring
+        assert result.target == "g2n1"
+        # Boundary traffic was charged: strictly more messages than the
+        # local flood alone.
+        local_only = HierarchicalSearch(groups, lambda n: False, {0: []})
+        assert result.messages > local_only.search("g0n0").messages
+
+    def test_exhausting_every_ring_reports_failure(self):
+        from repro.distsim.diffusing import HierarchicalSearch
+
+        groups, order = self._line_groups()
+        search = HierarchicalSearch(groups, lambda n: False, order)
+        result = search.search("g1n1")
+        assert not result.found and result.level is None and result.target is None
+
+    def test_duplicate_node_ids_rejected(self):
+        from repro.distsim.diffusing import HierarchicalSearch
+
+        with pytest.raises(ValueError, match="two groups"):
+            HierarchicalSearch(
+                {0: {"a": []}, 1: {"a": []}}, lambda n: False, {0: [], 1: []}
+            )

@@ -337,3 +337,75 @@ class TestTimedFailures:
         rounds = run_online(jobs, capacity=20.0, omega=2.0, engine="rounds", churn=churn)
         events = run_online(jobs, capacity=20.0, omega=2.0, engine="events", churn=churn)
         assert _result_fingerprint(rounds) == _result_fingerprint(events)
+
+
+class TestCalendarQueueBatching:
+    """The batched-delivery API of the calendar queue."""
+
+    def test_pop_batch_drains_one_timestamp(self):
+        queue = EventQueue()
+        for kind in "abc":
+            queue.push(1.0, lambda: None, kind=kind)
+        queue.push(2.0, lambda: None, kind="later")
+        batch = queue.pop_batch()
+        assert [event.kind for event in batch] == ["a", "b", "c"]
+        assert queue.next_time() == 2.0
+
+    def test_pop_batch_respects_until_and_limit(self):
+        queue = EventQueue()
+        for _ in range(4):
+            queue.push(5.0, lambda: None)
+        assert queue.pop_batch(until=4.0) == []
+        partial = queue.pop_batch(limit=3)
+        assert len(partial) == 3
+        assert len(queue.pop_batch()) == 1
+
+    def test_push_many_preserves_sequence_order(self):
+        queue = EventQueue()
+        queue.push_many([(2.0, lambda: None), (1.0, lambda: None), (2.0, lambda: None)])
+        order = [queue.pop().sequence for _ in range(3)]
+        assert order == [1, 0, 2]  # (time, sequence) order, exactly as push()
+
+    def test_same_time_events_scheduled_mid_batch_run_after_it(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(0.0, lambda: log.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second", "nested"]
+
+    def test_cancellation_inside_a_batch_is_honored(self):
+        """An event may cancel a same-timestamp event later in its batch."""
+        sim = Simulator()
+        log = []
+        holder = {}
+
+        def assassin():
+            log.append("assassin")
+            holder["victim"].cancel()
+
+        sim.schedule(1.0, assassin)
+        holder["victim"] = sim.schedule(1.0, lambda: log.append("victim"))
+        executed = sim.run()
+        assert log == ["assassin"]
+        assert executed == 1
+        assert sim.queue.stats.cancelled_skipped == 1
+
+    def test_batched_run_counts_match_per_event_pops(self):
+        def build():
+            sim = Simulator()
+            for delay in (1.0, 1.0, 2.0, 2.0, 2.0):
+                sim.schedule(delay, lambda: None)
+            return sim
+
+        batched = build()
+        assert batched.run() == 5
+        stepped = build()
+        while stepped.step():
+            pass
+        assert stepped.events_processed == batched.events_processed == 5

@@ -272,3 +272,133 @@ class TestTransportOwnership:
         second = run()
         assert first == second
         assert 0 < len(first[0]) < 40
+
+
+class TestDistanceLatencyTransport:
+    def test_delay_grows_with_manhattan_distance(self):
+        from repro.distsim.transport import DistanceLatencyTransport
+
+        transport = DistanceLatencyTransport(delay=0.01, per_step=0.002)
+        near = transport.latency((0, 0), (1, 0), "m")
+        far = transport.latency((0, 0), (5, 5), "m")
+        assert near == pytest.approx(0.012)
+        assert far == pytest.approx(0.01 + 0.002 * 10)
+
+    def test_non_lattice_identities_pay_only_the_floor(self):
+        from repro.distsim.transport import DistanceLatencyTransport
+
+        transport = DistanceLatencyTransport(delay=0.01, per_step=0.002)
+        assert transport.latency("alice", "bob", "m") == pytest.approx(0.01)
+        assert transport.latency((0, 0), "bob", "m") == pytest.approx(0.01)
+
+    def test_pure_function_of_the_edge(self):
+        from repro.distsim.transport import DistanceLatencyTransport
+
+        transport = DistanceLatencyTransport()
+        first = [transport.latency((0, 0), (3, 1), i) for i in range(5)]
+        assert len(set(first)) == 1  # no stream state consumed
+
+    def test_negative_parameters_rejected(self):
+        from repro.distsim.transport import DistanceLatencyTransport
+
+        with pytest.raises(ValueError):
+            DistanceLatencyTransport(delay=-0.1)
+        with pytest.raises(ValueError):
+            DistanceLatencyTransport(per_step=-0.1)
+
+    def test_spec_round_trip(self):
+        spec = TransportSpec("distance-latency", {"delay": 0.02, "per_step": 0.001})
+        restored = TransportSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert restored == spec
+        assert restored.build().per_step == pytest.approx(0.001)
+
+
+class TestRetransmitTransport:
+    def _lossy_inner(self, loss=0.5, seed=1):
+        return {"kind": "lossy", "params": {"loss": loss, "seed": seed}}
+
+    def test_wraps_loss_down_to_the_power_of_attempts(self):
+        from repro.distsim.transport import RetransmitTransport
+
+        simulator = Simulator()
+        transport = RetransmitTransport(
+            inner=self._lossy_inner(loss=0.5, seed=3), retries=3, timeout=0.1
+        ).bind(simulator)
+        sends = 2000
+        delivered = sum(
+            0 if transport.drops("a", "b", i) else 1 for i in range(sends)
+        )
+        # End-to-end loss 0.5^4 = 6.25%; allow generous sampling slack.
+        assert delivered / sends > 0.9
+
+    def test_lost_attempts_charge_timeout_latency(self):
+        from repro.distsim.transport import RetransmitTransport
+
+        simulator = Simulator()
+        transport = RetransmitTransport(
+            inner=self._lossy_inner(loss=0.7, seed=5), retries=5, timeout=0.25
+        ).bind(simulator)
+        for message in range(50):
+            if not transport.drops("a", "b", message):
+                wait = transport.latency("a", "b", message)
+                # Each lost attempt before success costs one timeout.
+                assert wait == pytest.approx((wait // 0.25) * 0.25, abs=1e-9)
+        assert transport.retransmissions > 0
+
+    def test_reliable_inner_is_a_noop(self):
+        from repro.distsim.transport import RetransmitTransport
+
+        simulator = Simulator()
+        transport = RetransmitTransport(retries=3, timeout=0.1).bind(simulator)
+        assert not transport.drops("a", "b", "m")
+        assert transport.latency("a", "b", "m") == 0.0
+        assert transport.retransmissions == 0
+
+    def test_bind_rewinds_the_inner_stream(self):
+        from repro.distsim.transport import RetransmitTransport
+
+        transport = RetransmitTransport(
+            inner=self._lossy_inner(loss=0.5, seed=9), retries=1, timeout=0.1
+        )
+        first = [transport.bind(Simulator()).drops("a", "b", i) for i in range(64)]
+        second = [transport.bind(Simulator()).drops("a", "b", i) for i in range(64)]
+        assert first == second
+
+    def test_invalid_parameters_rejected(self):
+        from repro.distsim.transport import RetransmitTransport
+
+        with pytest.raises(ValueError):
+            RetransmitTransport(retries=-1)
+        with pytest.raises(ValueError):
+            RetransmitTransport(timeout=0.0)
+        with pytest.raises(ValueError):
+            TransportSpec("retransmit", {"retries": -2})
+
+    def test_nested_spec_round_trip_and_hashability(self):
+        spec = TransportSpec(
+            "retransmit",
+            {
+                "inner": {"kind": "lossy", "params": {"loss": 0.3, "seed": 4}},
+                "retries": 2,
+                "timeout": 0.2,
+            },
+        )
+        restored = TransportSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert restored == spec
+        assert hash(restored) == hash(spec)
+        built = restored.build()
+        assert built.inner.kind == "lossy"
+
+    def test_mutation_delegates_to_the_inner_transport(self):
+        from repro.distsim.transport import RetransmitTransport
+
+        simulator = Simulator()
+        transport = RetransmitTransport(
+            inner={"kind": "corrupting", "params": {"rate": 1.0, "seed": 2}},
+            retries=0,
+            timeout=0.1,
+        ).bind(simulator)
+        message = ReplyMessage(((0, 0), 1), (0, 0), True)
+        mutated = transport.mutate("a", "b", message)
+        assert isinstance(mutated, ReplyMessage)
+        assert mutated != message

@@ -145,3 +145,71 @@ class TestCoarseningPyramid:
     def test_one_dimensional(self):
         pyramid = CoarseningPyramid(Box((0,), (7,)), {(0,): 1.0, (7,): 3.0})
         assert pyramid.level_for_side(8) == {(0,): 4.0}
+
+
+class TestCubeHierarchy:
+    def _hierarchy(self, side=1, n=8):
+        from repro.grid.cubes import CubeHierarchy
+
+        grid = CubeGrid(Box((0, 0), (n - 1, n - 1)), side)
+        return CubeHierarchy(grid)
+
+    def test_levels_cover_the_whole_partition(self):
+        hierarchy = self._hierarchy(side=1, n=8)  # 8x8 base cubes
+        assert hierarchy.levels == 3
+        assert hierarchy.ancestor((7, 7), 3) == (0, 0)
+        assert hierarchy.ancestor((7, 7), 0) == (7, 7)
+
+    def test_single_cube_has_no_levels(self):
+        hierarchy = self._hierarchy(side=8, n=8)
+        assert hierarchy.levels == 0
+        assert hierarchy.escalation_order((0, 0)) == []
+
+    def test_children_partition_the_ancestor(self):
+        hierarchy = self._hierarchy(side=1, n=8)
+        children = hierarchy.children((3, 5), 1)
+        assert children == [(2, 4), (2, 5), (3, 4), (3, 5)]
+
+    def test_children_are_clipped_to_the_partition(self):
+        hierarchy = self._hierarchy(side=1, n=6)  # 6x6 base cubes, L=3
+        top = hierarchy.children((5, 5), hierarchy.levels)
+        assert len(top) == 36  # all base cubes, not 8x8
+
+    def test_escalation_rings_are_disjoint_and_exhaustive(self):
+        hierarchy = self._hierarchy(side=1, n=8)
+        index = (2, 6)
+        rings = hierarchy.escalation_order(index)
+        seen = {index}
+        for ring in rings:
+            assert ring == sorted(ring)  # deterministic lexicographic order
+            for cube in ring:
+                assert cube not in seen  # no overlaps between levels
+                seen.add(cube)
+        assert len(seen) == 64  # the union is the whole partition
+
+    def test_sibling_ring_excludes_the_inner_ancestor(self):
+        hierarchy = self._hierarchy(side=1, n=4)
+        ring1 = hierarchy.siblings((0, 0), 1)
+        assert ring1 == [(0, 1), (1, 0), (1, 1)]
+        ring2 = hierarchy.siblings((0, 0), 2)
+        assert (0, 1) not in ring2 and (1, 1) not in ring2
+        assert len(ring2) == 12  # 16 base cubes minus the 4 of level 1
+
+    def test_level_box_is_the_clipped_dyadic_block(self):
+        from repro.grid.cubes import CubeHierarchy
+
+        grid = CubeGrid(Box((0, 0), (5, 5)), 2)  # 3x3 cubes of side 2
+        hierarchy = CubeHierarchy(grid)
+        assert hierarchy.levels == 2
+        assert hierarchy.level_box((0, 0), 1) == Box((0, 0), (3, 3))
+        assert hierarchy.level_box((2, 2), 1) == Box((4, 4), (5, 5))  # clipped
+        assert hierarchy.level_box((2, 2), 2) == Box((0, 0), (5, 5))
+
+    def test_out_of_range_arguments_raise(self):
+        hierarchy = self._hierarchy(side=1, n=4)
+        with pytest.raises(ValueError):
+            hierarchy.ancestor((4, 0), 1)
+        with pytest.raises(ValueError):
+            hierarchy.ancestor((0, 0), 5)
+        with pytest.raises(ValueError):
+            hierarchy.siblings((0, 0), 0)

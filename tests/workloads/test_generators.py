@@ -156,3 +156,50 @@ class TestDiurnalDemand:
             diurnal_demand(window, 10, rng, trough=1.5)
         with pytest.raises(ValueError):
             diurnal_demand(window, 10, rng, axis=5)
+
+
+class TestMobilityDemand:
+    def test_total_equals_walkers_times_steps(self):
+        from repro.workloads.generators import mobility_demand
+
+        window = Box((0, 0), (9, 9))
+        demand = mobility_demand(window, 3, 40, np.random.default_rng(0))
+        assert demand.total() == pytest.approx(120.0)
+
+    def test_stays_inside_the_window(self):
+        from repro.workloads.generators import mobility_demand
+
+        window = Box((2, 2), (6, 6))
+        demand = mobility_demand(window, 4, 50, np.random.default_rng(1))
+        for point in demand.support():
+            assert point in window
+
+    def test_trails_are_connected_per_step_bound(self):
+        from repro.workloads.generators import mobility_demand
+
+        # step=1 means single-walker trails move at most one per axis, so
+        # the support of one walker is far from uniform scatter: many
+        # repeat visits concentrate demand above 1 somewhere.
+        window = Box((0, 0), (4, 4))
+        demand = mobility_demand(window, 1, 60, np.random.default_rng(2))
+        assert max(v for _, v in demand.items()) > 1.0
+
+    def test_deterministic_per_seed(self):
+        from repro.workloads.generators import mobility_demand
+
+        window = Box((0, 0), (9, 9))
+        first = mobility_demand(window, 2, 30, np.random.default_rng(7))
+        second = mobility_demand(window, 2, 30, np.random.default_rng(7))
+        assert first == second
+
+    def test_invalid_parameters_rejected(self):
+        from repro.workloads.generators import mobility_demand
+
+        window = Box((0, 0), (5, 5))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mobility_demand(window, 0, 10, rng)
+        with pytest.raises(ValueError):
+            mobility_demand(window, 1, 0, rng)
+        with pytest.raises(ValueError):
+            mobility_demand(window, 1, 10, rng, step=0)

@@ -11,6 +11,7 @@ from repro.workloads.library import (
     available_families,
     build_family_demand,
     build_family_failures,
+    family_broken_failures,
     family_config,
     family_descriptions,
     family_matrix,
@@ -212,3 +213,45 @@ class TestTransportChannels:
         assert config.transport.kind == "lossy"
         assert config.failures.transport is None  # no ambiguity left behind
         assert config.effective_transport().kind == "lossy"
+
+
+class TestMobilityFamily:
+    def test_registered_with_presets(self):
+        family = get_family("mobility")
+        assert family.small["side"] == 8
+        demand = build_family_demand("mobility", seed=3)
+        assert not demand.is_empty()
+
+    def test_bundles_the_distance_latency_transport(self):
+        spec = build_family_failures("mobility", seed=0)
+        assert spec is not None
+        assert spec.transport is not None
+        assert spec.transport.kind == "distance-latency"
+        params = spec.transport.params_dict()
+        assert params["per_step"] > 0
+
+    def test_broken_failures_add_a_crash_and_keep_the_transport(self):
+        spec = family_broken_failures("mobility", seed=0)
+        assert spec.crashed  # a physical failure was synthesized
+        assert spec.transport is not None and spec.transport.kind == "distance-latency"
+
+    def test_explicit_transport_still_leaves_a_nonempty_spec(self):
+        from repro.api import TransportSpec
+
+        config = family_config(
+            "mobility",
+            "online-broken",
+            preset="small",
+            transport=TransportSpec("lossy", {"loss": 0.05, "seed": 1}),
+        )
+        assert config.failures is not None and not config.failures.is_empty()
+        assert config.failures.transport is None  # explicit transport won
+        assert config.effective_transport().kind == "lossy"
+
+    def test_online_run_uses_the_family_transport(self):
+        from repro.api import ExperimentEngine
+
+        config = family_config("mobility", "online-broken", preset="small")
+        result = ExperimentEngine().run(config)
+        assert result.extra("transport") == "distance-latency"
+        assert result.jobs_total > 0
