@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Fleet-scale benchmark: construction time and events/sec at 10^3/10^4.
+
+The flat-array fleet core (vectorized construction, indexed registry,
+batched dispatch) is aimed squarely at the ``10^4``-vehicle regime; this
+benchmark is its regression gate.  For each scale it measures
+
+* **construction**: wall-clock of ``Fleet(...)`` for a scale-up demand
+  (the full pipeline -- window planning, cube discovery, templates,
+  vehicle objects, registries), best of ``--repeat`` runs;
+* **events/sec**: simulator-event throughput of a full ``run_online``
+  events-engine run over a random arrival order of the same demand (the
+  number the bench-smoke CI gate tracks on the quick preset).
+
+Results go to ``BENCH_fleet_scale.json`` (uploaded as a CI artifact) and
+are gated against the committed ``benchmarks/bench_baseline.json`` by
+``check_events_per_sec.py --scale-report``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--quick] \
+        [--out BENCH_fleet_scale.json] [--repeat N]
+
+``--quick`` (the CI mode) runs one repetition fewer and skips the
+``10^4``-vehicle *throughput* run (construction is still measured at both
+scales -- it is the quantity this PR's acceptance criterion tracks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.online import run_online
+from repro.vehicles.fleet import Fleet, FleetConfig
+from repro.workloads.arrivals import random_arrivals
+from repro.workloads.library import build_family_demand
+
+#: side -> label: side 32 builds a ~10^3-vehicle fleet, side 100 ~10^4
+#: (one vehicle per vertex of every 3-cube with demand, plus slack rows).
+SCALES = {"1e3": 32, "1e4": 100}
+
+#: The omega the scale-up family resolves to under default provisioning.
+OMEGA = 3.0
+
+
+def measure_construction(demand, repeat: int) -> dict:
+    """Best-of-``repeat`` fleet construction time (seconds)."""
+    times = []
+    vehicles = 0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fleet = Fleet(demand, omega=OMEGA, config=FleetConfig())
+        times.append(time.perf_counter() - start)
+        vehicles = len(fleet.vehicles)
+    return {
+        "vehicles": vehicles,
+        "construction_seconds": min(times),
+        "construction_seconds_all": [round(t, 6) for t in times],
+    }
+
+
+def measure_throughput(demand, seed: int = 0) -> dict:
+    """Events/sec of one full events-engine online run."""
+    jobs = random_arrivals(demand, np.random.default_rng(seed))
+    start = time.perf_counter()
+    result = run_online(jobs, capacity="theorem", config=FleetConfig(), engine="events")
+    elapsed = time.perf_counter() - start
+    if not result.feasible:
+        raise SystemExit("scale benchmark run was infeasible; workload broken?")
+    return {
+        "jobs": result.jobs_total,
+        "events_processed": result.events_processed,
+        "events_per_sec": result.events_processed / elapsed if elapsed else 0.0,
+        "run_seconds": elapsed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI mode: fewer reps")
+    parser.add_argument(
+        "--out", default="BENCH_fleet_scale.json", help="output artifact path"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None, help="construction repetitions (default 5, quick 3)"
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (3 if args.quick else 5)
+
+    report = {"quick": bool(args.quick), "scales": {}}
+    for label, side in SCALES.items():
+        demand = build_family_demand("scale-up", {"side": side, "per_point": 2.0})
+        entry = measure_construction(demand, repeat)
+        if label == "1e3" or not args.quick:
+            entry.update(measure_throughput(demand))
+        report["scales"][label] = entry
+        throughput = entry.get("events_per_sec")
+        print(
+            f"{label}: {entry['vehicles']} vehicles, "
+            f"construction {entry['construction_seconds']:.4f}s"
+            + (f", {throughput:,.0f} events/sec" if throughput else "")
+        )
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Events/sec regression gate for the bench-smoke CI job.
+"""Events/sec + construction-time regression gate for the bench-smoke CI job.
 
 Reads a ``pytest-benchmark`` JSON report (``--benchmark-json`` output of
 ``bench_scenarios.py --quick``), extracts the event-driver throughput
@@ -8,18 +8,26 @@ distsim hot path), writes it to ``BENCH_events_per_sec.json`` next to the
 committed baseline, and fails when throughput regressed more than the
 allowed fraction (default 20%) below the baseline.
 
+With ``--scale-report`` it additionally gates the ``10^4``-vehicle fleet
+*construction time* measured by ``bench_scale.py`` (the
+``BENCH_fleet_scale.json`` artifact) against the committed
+``construction_seconds_1e4`` ceiling -- same tolerance, inverted sense
+(construction regresses by getting *slower*).
+
 The committed baseline (``benchmarks/bench_baseline.json``) is calibrated
 conservatively for shared CI runners, which are typically 2-3x slower than
 a development machine; the gate therefore catches order-of-magnitude event
 core regressions (an accidental O(n) queue scan, a per-event allocation
-storm), not single-digit noise.  After a deliberate performance change,
-refresh it with::
+storm, a de-vectorized construction loop), not single-digit noise.  After
+a deliberate performance change, refresh both numbers with::
 
-    python benchmarks/check_events_per_sec.py bench-smoke.json --update
+    python benchmarks/check_events_per_sec.py bench-smoke.json \
+        --scale-report BENCH_fleet_scale.json --update
 
 Usage::
 
     python benchmarks/check_events_per_sec.py REPORT.json \
+        [--scale-report BENCH_fleet_scale.json] \
         [--baseline benchmarks/bench_baseline.json] \
         [--out BENCH_events_per_sec.json] \
         [--tolerance 0.2] [--update]
@@ -34,6 +42,9 @@ from pathlib import Path
 
 #: The benchmark whose throughput the gate tracks.
 GATED_BENCHMARK = "bench_online_driver_events_per_sec[events]"
+
+#: The bench_scale.py scale whose construction time the gate tracks.
+GATED_SCALE = "1e4"
 
 
 def extract_events_per_sec(report: dict) -> float:
@@ -54,9 +65,25 @@ def extract_events_per_sec(report: dict) -> float:
     )
 
 
+def extract_construction_seconds(scale_report: dict) -> float:
+    """The gated scale's construction time from a bench_scale.py report."""
+    entry = scale_report.get("scales", {}).get(GATED_SCALE)
+    if entry is None or "construction_seconds" not in entry:
+        raise SystemExit(
+            f"scale report carries no construction_seconds for scale {GATED_SCALE!r}; "
+            "run: python benchmarks/bench_scale.py --quick --out BENCH_fleet_scale.json"
+        )
+    return float(entry["construction_seconds"])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="pytest-benchmark JSON report path")
+    parser.add_argument(
+        "--scale-report",
+        default=None,
+        help="bench_scale.py JSON artifact; enables the construction-time gate",
+    )
     parser.add_argument(
         "--baseline",
         default=str(Path(__file__).parent / "bench_baseline.json"),
@@ -82,19 +109,29 @@ def main(argv=None) -> int:
 
     report = json.loads(Path(args.report).read_text())
     measured = extract_events_per_sec(report)
+    construction = None
+    if args.scale_report is not None:
+        construction = extract_construction_seconds(
+            json.loads(Path(args.scale_report).read_text())
+        )
 
     baseline_path = Path(args.baseline)
     if args.update:
         refreshed = {"benchmark": GATED_BENCHMARK, "events_per_sec": measured}
+        if construction is not None:
+            refreshed["construction_seconds_1e4"] = construction
         if baseline_path.exists():
             # Preserve calibration notes and any other extra keys.
             previous = json.loads(baseline_path.read_text())
             refreshed = {**previous, **refreshed}
         baseline_path.write_text(json.dumps(refreshed, indent=2) + "\n")
         print(f"baseline updated: {measured:.0f} events/sec -> {baseline_path}")
+        if construction is not None:
+            print(f"baseline updated: {construction:.4f}s construction (1e4)")
         return 0
 
-    baseline = json.loads(baseline_path.read_text())["events_per_sec"]
+    baseline_payload = json.loads(baseline_path.read_text())
+    baseline = baseline_payload["events_per_sec"]
     floor = baseline * (1.0 - args.tolerance)
     passed = measured >= floor
 
@@ -107,14 +144,40 @@ def main(argv=None) -> int:
         "ratio_vs_baseline": measured / baseline if baseline else None,
         "pass": passed,
     }
-    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
 
     status = "ok" if passed else "REGRESSION"
     print(
         f"{GATED_BENCHMARK}: {measured:.0f} events/sec "
         f"(baseline {baseline:.0f}, floor {floor:.0f}) -> {status}"
     )
-    return 0 if passed else 1
+
+    construction_passed = True
+    if construction is not None:
+        ceiling_base = baseline_payload.get("construction_seconds_1e4")
+        if ceiling_base is None:
+            raise SystemExit(
+                "--scale-report given but the baseline carries no "
+                "construction_seconds_1e4; refresh it with --update"
+            )
+        ceiling = float(ceiling_base) * (1.0 + args.tolerance)
+        construction_passed = construction <= ceiling
+        artifact.update(
+            {
+                "construction_seconds_1e4": construction,
+                "baseline_construction_seconds_1e4": float(ceiling_base),
+                "ceiling_construction_seconds_1e4": ceiling,
+                "construction_pass": construction_passed,
+            }
+        )
+        cstatus = "ok" if construction_passed else "REGRESSION"
+        print(
+            f"fleet construction (1e4): {construction:.4f}s "
+            f"(baseline {float(ceiling_base):.4f}, ceiling {ceiling:.4f}) -> {cstatus}"
+        )
+
+    artifact["pass"] = passed and construction_passed
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    return 0 if passed and construction_passed else 1
 
 
 if __name__ == "__main__":

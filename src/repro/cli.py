@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", dest="json_out", help="write the RunResult to this path")
     run.add_argument("--cache-dir", help="result cache directory (keyed on config hash)")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the solve under cProfile and print the top-20 "
+        "cumulative entries to stderr (perf work starts from data)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario x solver x seed matrix through the engine"
@@ -480,7 +486,21 @@ def _command_run(args: argparse.Namespace) -> int:
         params=_parse_params(args.param),
     )
     engine = _engine(args)
-    result = engine.run(config)
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = engine.run(config)
+        finally:
+            profiler.disable()
+            pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+                "cumulative"
+            ).print_stats(20)
+    else:
+        result = engine.run(config)
     print(ExperimentEngine.summary([result], title=f"Run {config.label()}").render())
     extras = result.extras_dict()
     if extras:

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
-from repro.grid.lattice import Box, Point, bounding_box
+from repro.grid.lattice import Box, Point
 
 __all__ = ["DemandMap", "Job", "JobSequence"]
 
@@ -140,6 +140,23 @@ class DemandMap:
         """Sorted list of points with strictly positive demand."""
         return sorted(self._demands)
 
+    def support_array(self) -> "np.ndarray":
+        """The support as an ``(n, dim)`` int array, unsorted.
+
+        The batch fleet constructor only needs the support's *set* of
+        points (it derives cube indices and uniquifies), so this skips the
+        Python tuple sort :meth:`support` pays.
+        """
+        import numpy as np
+
+        if not self._demands:
+            return np.empty((0, self._dim), dtype=np.int64)
+        return np.fromiter(
+            (c for point in self._demands for c in point),
+            dtype=np.int64,
+            count=len(self._demands) * self._dim,
+        ).reshape(len(self._demands), self._dim)
+
     def is_empty(self) -> bool:
         """Whether the demand map has empty support."""
         return not self._demands
@@ -179,7 +196,12 @@ class DemandMap:
         """Smallest box containing the support (raises when empty)."""
         if not self._demands:
             raise ValueError("empty demand map has no bounding box")
-        return bounding_box(self._demands)
+        # One vectorized min/max pass; DemandMap keys are canonical int
+        # tuples of uniform dimension, so this equals lattice.bounding_box.
+        support = self.support_array()
+        return Box(
+            tuple(support.min(axis=0).tolist()), tuple(support.max(axis=0).tolist())
+        )
 
     def scaled(self, factor: float) -> "DemandMap":
         """A copy with every demand multiplied by ``factor >= 0``."""

@@ -114,6 +114,26 @@ class Simulator:
 
         return self.queue.push_many(_validated(), kind=kind)
 
+    def schedule_batch_at(
+        self,
+        time: float,
+        actions: Iterable[Callable[[], None]],
+        *,
+        kind: str = "event",
+    ) -> list:
+        """Schedule many actions at one absolute time in a single call.
+
+        Byte-identical to calling :meth:`schedule_at` per action (same
+        sequence numbers, same execution order); the shared timestamp is
+        validated once and the whole batch lands in one calendar-queue
+        bucket (see :meth:`~repro.distsim.events.EventQueue.push_many_at`).
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time} < now={self.now})"
+            )
+        return self.queue.push_many_at(time, actions, kind=kind)
+
     # ------------------------------------------------------------------ #
     # event-mode execution
     # ------------------------------------------------------------------ #

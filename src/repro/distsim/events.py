@@ -193,6 +193,33 @@ class EventQueue:
         self.stats.scheduled += len(events)
         return events
 
+    def push_many_at(
+        self, time: float, actions: Iterable[Action], *, kind: str = "event"
+    ) -> List[ScheduledEvent]:
+        """Batch-queue many actions at one shared timestamp.
+
+        The single-bucket fast path of the batched dispatch pipeline: one
+        bucket lookup and one extend for the whole batch (a heartbeat
+        round's broadcast, a Phase I flood over a reliable fixed-delay
+        channel) instead of one per event.  Sequence numbers are assigned
+        in iteration order, so the pop order is byte-identical to pushing
+        the actions one by one.
+        """
+        time = float(time)
+        counter = self._counter
+        events = [
+            ScheduledEvent(time, next(counter), action, kind=kind)
+            for action in actions
+        ]
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = list(events)
+            heapq.heappush(self._times, time)
+        else:
+            bucket.extend(events)
+        self.stats.scheduled += len(events)
+        return events
+
     # ------------------------------------------------------------------ #
     # front-of-queue access
     # ------------------------------------------------------------------ #

@@ -97,9 +97,13 @@ class Network:
         process.attach(self)
 
     def register_all(self, processes: Iterable[Process]) -> None:
-        """Register many processes."""
+        """Register many processes (one loop, no per-process call stack)."""
+        registered = self._processes
         for process in processes:
-            self.register(process)
+            if process.identity in registered:
+                raise ValueError(f"duplicate process identity {process.identity!r}")
+            registered[process.identity] = process
+            process.attach(self)
 
     def process(self, identity: Hashable) -> Process:
         """Look up a registered process by identity."""
@@ -144,6 +148,59 @@ class Network:
 
         if not self.transport.send(sender, destination, message, _deliver):
             self.messages_dropped += 1
+
+    def send_many(self, sender: Hashable, destinations: Iterable[Hashable], message: Any) -> None:
+        """Send one message to many destinations, batched when possible.
+
+        The common case of the protocol's traffic is a *broadcast*: the
+        same heartbeat, query, or notice to every peer of a cube.  When
+        the transport reports a shared batch delay (the reliable
+        fixed-delay channel), the whole broadcast pays one failure-plan
+        pass, one transport call and one calendar-queue batch push instead
+        of a per-message ``send`` stack.  Otherwise -- lossy, corrupting,
+        per-edge-latency and jitter transports, whose streams must be
+        consumed in per-message send order -- it falls back to
+        :meth:`send`, byte-identically.
+        """
+        transport = self.transport
+        delay = transport.batch_latency(sender, destinations, message)
+        if delay is None:
+            for destination in destinations:
+                self.send(sender, destination, message)
+            return
+        plan = self.failure_plan
+        processes = self._processes
+
+        def make_deliver(destination: Hashable) -> Any:
+            def _deliver() -> None:
+                if plan.is_crashed(destination):
+                    self.messages_dropped += 1
+                    return
+                self.messages_delivered += 1
+                processes[destination].deliver(sender, message)
+
+            return _deliver
+
+        survivors = []
+        try:
+            for destination in destinations:
+                if destination not in processes:
+                    raise KeyError(f"unknown destination {destination!r}")
+                self.messages_sent += 1
+                if plan.should_drop(sender, destination, message) or plan.is_crashed(
+                    destination
+                ):
+                    # Dropped by the plan, or addressed to a crashed process
+                    # (the sender is not told) -- exactly `send`'s two cases.
+                    self.messages_dropped += 1
+                    continue
+                survivors.append(destination)
+        finally:
+            # On an unknown destination mid-broadcast the messages accepted
+            # so far are still scheduled -- the same state a sequential
+            # `send` loop leaves behind when it raises.
+            if survivors:
+                transport.send_batch(sender, survivors, message, make_deliver, delay)
 
     # ------------------------------------------------------------------ #
     # execution helpers

@@ -60,6 +60,16 @@ class Process:
         """Send ``message`` to the process with identity ``destination``."""
         self.network.send(self.identity, destination, message)
 
+    def send_many(self, destinations: Any, message: Any) -> None:
+        """Broadcast one message to many destinations.
+
+        Semantically identical to calling :meth:`send` per destination (in
+        order); the network batches the whole broadcast through one
+        transport call on channels that allow it (see
+        :meth:`~repro.distsim.network.Network.send_many`).
+        """
+        self.network.send_many(self.identity, destinations, message)
+
     def deliver(self, sender: Hashable, message: Any) -> None:
         """Entry point used by the network; records and dispatches the message."""
         self.message_log.append((sender, message))

@@ -190,6 +190,71 @@ class Transport:
         self.messages_scheduled += 1
         return True
 
+    # ------------------------------------------------------------------ #
+    # batched dispatch (the reliable fixed-delay fast path)
+    # ------------------------------------------------------------------ #
+
+    def batch_latency(
+        self, sender: Hashable, destinations: Any, message: Any
+    ) -> Optional[float]:
+        """The shared delay of a batchable broadcast, or ``None``.
+
+        A transport may return a single non-negative delay when delivering
+        ``message`` from ``sender`` to every destination (i) cannot drop,
+        (ii) cannot mutate, and (iii) costs the same delay on every link --
+        the network then routes the whole broadcast through one
+        :meth:`send_batch` call instead of one :meth:`send` per
+        destination.  The default ``None`` keeps the per-message path;
+        only :class:`ReliableTransport` (the differential suites' common
+        case) opts in.
+        """
+        return None
+
+    def send_batch(
+        self,
+        sender: Hashable,
+        destinations: Any,
+        message: Any,
+        make_deliver: Callable[[Hashable], Callable[[], None]],
+        delay: float,
+    ) -> None:
+        """Schedule one message to many destinations in a single batch.
+
+        Only valid after :meth:`batch_latency` returned ``delay`` for this
+        broadcast (no drops, no mutation, uniform delay).  FIFO clamping
+        per directed link is applied exactly as :meth:`send` does; when no
+        link needs clamping -- the overwhelmingly common case -- the whole
+        batch lands in one calendar-queue bucket via ``push_many_at``.
+        Sequence numbers are assigned in destination order, so event
+        execution is byte-identical to per-message sends.
+        """
+        simulator = self.simulator
+        base = simulator.now + delay
+        last = self._last_delivery
+        queue = simulator.queue
+        actions = []
+        clamped = None
+        for destination in destinations:
+            link = (sender, destination)
+            previous = last.get(link)
+            if previous is not None and previous > base:
+                last[link] = previous
+                if clamped is None:
+                    clamped = []
+                clamped.append((previous, len(actions)))
+            else:
+                last[link] = base
+            actions.append(make_deliver(destination))
+        self.messages_scheduled += len(actions)
+        if clamped is None:
+            queue.push_many_at(base, actions, kind="message")
+            return
+        # Rare: some link's previous delivery lands later than this batch.
+        entries = [(base, action) for action in actions]
+        for time, position in clamped:
+            entries[position] = (time, entries[position][1])
+        queue.push_many(entries, kind="message")
+
 
 class ReliableTransport(Transport):
     """Error-free delivery with a zero/fixed delay (the paper's model).
@@ -213,6 +278,17 @@ class ReliableTransport(Transport):
         if callable(self.delay):
             return float(self.delay(sender, destination, message))
         return float(self.delay)
+
+    def batch_latency(
+        self, sender: Hashable, destinations: Any, message: Any
+    ) -> Optional[float]:
+        # The fixed-delay reliable channel satisfies the batch contract
+        # (never drops, never mutates, uniform delay).  The ``type`` check
+        # keeps subclasses that override any hook off the fast path unless
+        # they opt in themselves; a callable delay may vary per link.
+        if type(self) is ReliableTransport and not callable(self.delay):
+            return self.delay
+        return None
 
 
 def _edge_unit(seed: int, sender: Hashable, destination: Hashable) -> float:

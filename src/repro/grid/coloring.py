@@ -18,9 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.grid.lattice import Box, Point
 
-__all__ = ["chessboard_color", "pair_vertices", "Coloring", "Pair"]
+__all__ = [
+    "chessboard_color",
+    "pair_vertices",
+    "snake_order_array",
+    "pair_index_arrays",
+    "Coloring",
+    "Pair",
+]
 
 
 def chessboard_color(point: Sequence[int]) -> str:
@@ -82,19 +91,56 @@ def _snake_order(box: Box) -> List[Point]:
 
     Consecutive points of the returned list are lattice-adjacent, which is
     what makes the two-by-two grouping in :func:`pair_vertices` valid.
+    The walk is computed in batch (see :func:`snake_order_array`); the list
+    form is kept for the per-point callers.
     """
-    dim = box.dim
-    if dim == 1:
-        return [(c,) for c in range(box.lo[0], box.hi[0] + 1)]
-    inner_box = Box(box.lo[:-1], box.hi[:-1])
-    inner = _snake_order(inner_box)
-    points: List[Point] = []
-    last_axis = list(range(box.lo[-1], box.hi[-1] + 1))
-    for idx, prefix in enumerate(inner):
-        axis_values = last_axis if idx % 2 == 0 else list(reversed(last_axis))
-        for value in axis_values:
-            points.append(prefix + (value,))
-    return points
+    return [tuple(row) for row in snake_order_array(box).tolist()]
+
+
+def snake_order_array(box: Box) -> np.ndarray:
+    """All points of ``box`` in snake order, as an ``(n, dim)`` int array.
+
+    Axis-by-axis construction of the same boustrophedon walk
+    :func:`_snake_order` describes recursively: starting from the walk over
+    the first axis, every further axis is appended forward on even-index
+    prefixes and reversed on odd-index ones, so consecutive rows stay
+    lattice-adjacent.  Row ``i`` equals ``_snake_order(box)[i]`` exactly.
+    """
+    lo, hi = box.lo, box.hi
+    out = np.arange(lo[0], hi[0] + 1, dtype=np.int64).reshape(-1, 1)
+    for axis in range(1, box.dim):
+        k = hi[axis] - lo[axis] + 1
+        m = out.shape[0]
+        prefix = np.repeat(out, k, axis=0)
+        rows = np.tile(np.arange(lo[axis], hi[axis] + 1, dtype=np.int64), m).reshape(m, k)
+        rows[1::2] = rows[1::2, ::-1]
+        out = np.concatenate([prefix, rows.reshape(-1, 1)], axis=1)
+    return out
+
+
+def pair_index_arrays(
+    walk: np.ndarray, parity: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The black/white pairing of a snake walk, as index arrays.
+
+    Given the ``(n, dim)`` snake walk of a box (typically *relative*
+    coordinates, with ``parity`` carrying the coordinate-sum parity of the
+    box's true lower corner), returns ``(black, white)``: for each pair, the
+    walk-row index of its black and white vertex, grouped two-by-two along
+    the walk exactly as :func:`pair_vertices` does.  A leftover vertex of an
+    odd-sized box lands in the ``black`` slot with ``white == -1``.
+    """
+    n = walk.shape[0]
+    m = n // 2
+    a = np.arange(0, 2 * m, 2, dtype=np.int64)
+    b = a + 1
+    a_is_black = (walk[a].sum(axis=1) + parity) % 2 == 0
+    black = np.where(a_is_black, a, b)
+    white = np.where(a_is_black, b, a)
+    if n % 2 == 1:
+        black = np.append(black, n - 1)
+        white = np.append(white, -1)
+    return black, white
 
 
 class Coloring:
@@ -112,6 +158,25 @@ class Coloring:
         for pair in self.pairs:
             for vertex in pair.vertices():
                 self._pair_of[vertex] = pair
+
+    @classmethod
+    def from_pairs(cls, cube: Box, pairs: List[Pair]) -> "Coloring":
+        """Build a coloring from an already-computed pairing.
+
+        The batch fleet constructor computes the pairing of every cube in
+        one array pass (see :mod:`repro.vehicles.registry`); this
+        constructor skips the per-cube snake walk and just installs the
+        lookup dict.  ``pairs`` must be the exact :func:`pair_vertices`
+        pairing of ``cube`` -- callers own that invariant (the template
+        unit tests pin it against the reference walk).
+        """
+        self = cls.__new__(cls)
+        self.cube = cube
+        self.pairs = pairs
+        self._pair_of = {
+            vertex: pair for pair in pairs for vertex in pair.vertices()
+        }
+        return self
 
     def pair_of(self, point: Sequence[int]) -> Pair:
         """Return the pair containing ``point`` (must be inside the cube)."""

@@ -97,6 +97,29 @@ class CubeGrid:
         for index in itertools.product(*(range(c) for c in self.shape)):
             yield index, self.cube_box(index)
 
+    def cube_bounds(self, indices: Sequence[Sequence[int]]) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Batched cube corners: ``(los, his)`` arrays for many multi-indices.
+
+        Row ``i`` equals ``(cube_box(indices[i]).lo, cube_box(indices[i]).hi)``
+        -- including the clipping of boundary cubes to the window -- computed
+        in two broadcasted array operations instead of one Python loop per
+        cube.  The batch fleet constructor derives every cube's geometry
+        from this.
+        """
+        import numpy as np
+
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 2 or idx.shape[1] != self.dim:
+            raise ValueError("indices must be an (n, dim) array of cube multi-indices")
+        shape = np.asarray(self.shape, dtype=np.int64)
+        if len(idx) and ((idx < 0) | (idx >= shape)).any():
+            raise ValueError(f"cube index out of range {self.shape}")
+        lo = np.asarray(self.box.lo, dtype=np.int64)
+        hi = np.asarray(self.box.hi, dtype=np.int64)
+        los = lo + idx * self.side
+        his = np.minimum(los + self.side - 1, hi)
+        return los, his
+
     def cube_of(self, point: Sequence[int]) -> Box:
         """Return the cube box containing ``point``."""
         return self.cube_box(self.cube_index(point))

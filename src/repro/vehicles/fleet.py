@@ -18,7 +18,7 @@ replacements -- happens through messages between the vehicles themselves.
 from __future__ import annotations
 
 import bisect
-import functools
+import gc
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -35,23 +35,16 @@ from repro.grid.coloring import Coloring
 from repro.grid.cubes import CubeGrid, CubeHierarchy
 from repro.grid.lattice import Box, Point, manhattan
 from repro.vehicles.monitoring import hierarchical_watch_ring, watch_ring_inverse
-from repro.vehicles.state import WorkingState
+from repro.vehicles.registry import (
+    FleetRegistry,
+    STATE_ACTIVE,
+    adjacency_template,
+    coloring_for_cube,
+    pairing_template,
+)
 from repro.vehicles.vehicle import VehicleProcess
 
 __all__ = ["FleetConfig", "Fleet"]
-
-
-@functools.lru_cache(maxsize=8192)
-def _coloring_for_box(box: Box) -> Coloring:
-    """One shared :class:`Coloring` per cube box.
-
-    Colorings are immutable after construction (pairs, lookup dict, box),
-    and building one walks the whole cube in snake order -- a measurable
-    share of fleet construction on scale-up workloads where the same cube
-    geometry recurs across runs.  Caching is what makes repeated
-    ``run_online`` calls (sweeps, benchmarks) pay the pairing cost once.
-    """
-    return Coloring(box)
 
 
 @dataclass(frozen=True)
@@ -120,7 +113,7 @@ class Fleet:
         self,
         demand: DemandMap,
         omega: float,
-        config: FleetConfig = FleetConfig(),
+        config: Optional[FleetConfig] = None,
         *,
         rng: Optional[np.random.Generator] = None,
         failure_plan: Optional[FailurePlan] = None,
@@ -130,6 +123,12 @@ class Fleet:
             raise ValueError("cannot build a fleet for an empty demand map")
         if omega <= 0:
             raise ValueError("omega must be positive")
+        if config is None:
+            # In-body default: a ``FleetConfig()`` default *argument* would
+            # be evaluated once at import time and shared by every fleet --
+            # harmless only as long as the config stays frozen, and a trap
+            # the moment anyone adds a mutable field.
+            config = FleetConfig()
         self.demand = demand
         self.omega = float(omega)
         self.config = config
@@ -151,6 +150,12 @@ class Fleet:
         #: The dyadic coarsening of the cube partition -- the escalation
         #: geometry of cross-cube replacement searches.
         self.hierarchy = CubeHierarchy(self.cube_grid)
+        #: The flat-array core: dense vehicle indices, contiguous state
+        #: arrays, and the batch-construction scaffolding (see
+        #: :mod:`repro.vehicles.registry`).  Must exist before any
+        #: :class:`VehicleProcess` is created -- vehicles allocate their
+        #: live-state slots in it.
+        self.flat = FleetRegistry(self.window)
         self.colorings: Dict[Tuple[int, ...], Coloring] = {}
         self.vehicles: Dict[Point, VehicleProcess] = {}
         #: pair black vertex -> identity of the vehicle currently responsible.
@@ -197,48 +202,129 @@ class Fleet:
     # ------------------------------------------------------------------ #
 
     def _cubes_with_demand(self) -> List[Tuple[int, ...]]:
-        support = self.demand.support()
-        lo = np.array(self.window.lo)
-        indices = (np.array(support) - lo) // self.cube_side
-        return sorted({tuple(int(i) for i in row) for row in indices})
+        support = self.demand.support_array()
+        lo = np.asarray(self.window.lo, dtype=np.int64)
+        indices = (support - lo) // self.cube_side
+        # np.unique over rows sorts lexicographically -- the same order the
+        # historical sorted-set-of-tuples produced.
+        return [tuple(row) for row in np.unique(indices, axis=0).tolist()]
 
     def _build_vehicles(self) -> None:
+        """Construct every cube's vehicles from batched array computation.
+
+        All per-cube structure (snake pairing, neighbor graphs, initial
+        activity, watch targets) comes from the shape/parity templates of
+        :mod:`repro.vehicles.registry`, computed once per distinct cube
+        geometry instead of once per cube; absolute vertex tuples are
+        materialized with one broadcasted add + ``tolist`` pass per
+        template group.  Creation order -- cubes sorted, vertices
+        lexicographic -- and every produced structure are identical to the
+        historical per-vehicle loops (pinned by the template unit tests
+        and the flat-core byte-identity goldens).
+        """
+        # Construction allocates O(fleet) small objects in one burst; the
+        # generational GC otherwise triggers dozens of collections that
+        # rescan the growing object graph (measured at ~half of 10^4-vehicle
+        # construction time).  Nothing built here is garbage, so defer
+        # collection until the burst is over.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._build_vehicles_inner()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _build_vehicles_inner(self) -> None:
         radius = self.config.neighbor_radius
-        for index in self._cubes_with_demand():
-            cube = self.cube_grid.cube_box(index)
-            coloring = _coloring_for_box(cube)
+        indices = self._cubes_with_demand()
+        registry = self.flat
+        los, his = self.cube_grid.cube_bounds(indices)
+        shapes = (his - los + 1).tolist()
+        parities = (los.sum(axis=1) % 2).tolist()
+        keys = [(tuple(s), int(p)) for s, p in zip(shapes, parities)]
+        lo_tuples = [tuple(row) for row in los.tolist()]
+        hi_tuples = [tuple(row) for row in his.tolist()]
+
+        # Materialize all vertex tuples group-by-group: cubes of one
+        # (shape, parity) class are translates of a single template.
+        by_key: Dict[Tuple[Tuple[int, ...], int], List[int]] = {}
+        for position, key in enumerate(keys):
+            by_key.setdefault(key, []).append(position)
+        verts_of_cube: List[List[Point]] = [None] * len(indices)  # type: ignore[list-item]
+        coords_of_cube: List[np.ndarray] = [None] * len(indices)  # type: ignore[list-item]
+        for key, positions in by_key.items():
+            template = pairing_template(*key)
+            k = template.size
+            block = template.rel[None, :, :] + los[positions, None, :]
+            flat = list(map(tuple, block.reshape(-1, self.dim).tolist()))
+            coords = block.reshape(-1, self.dim)
+            for j, position in enumerate(positions):
+                verts_of_cube[position] = flat[j * k : (j + 1) * k]
+                coords_of_cube[position] = coords[j * k : (j + 1) * k]
+
+        capacity = self.config.capacity
+        done_threshold = self.config.done_threshold
+        vehicles = self.vehicles
+        network = self.network
+        pair_registry = self.registry
+        for position, index in enumerate(indices):
+            key = keys[position]
+            template = pairing_template(*key)
+            neighbor_lists = adjacency_template(key[0], radius)
+            verts = verts_of_cube[position]
+            coloring = coloring_for_cube(
+                lo_tuples[position], hi_tuples[position], verts=verts
+            )
             self.colorings[index] = coloring
-            vertices = list(cube.points())
-            self._cube_members[index] = sorted(vertices)
-            for pair in coloring.pairs:
-                self._pair_cube[pair.black] = index
-                self._pair_of_position[pair.black] = pair.black
-                if pair.white is not None:
-                    self._pair_of_position[pair.white] = pair.black
-            for vertex in vertices:
-                initially_active = coloring.initially_active(vertex)
-                neighbors = [
-                    other
-                    for other in vertices
-                    if other != vertex
-                    and manhattan(other, vertex) <= radius
-                ]
-                peers = [other for other in vertices if other != vertex]
+            self._cube_members[index] = list(verts)
+            base, pair_keys = registry.add_cube(
+                index, template, verts, coords_of_cube[position]
+            )
+            whites = [
+                verts[w] if w >= 0 else None for w in template.pair_white_list
+            ]
+            self._pair_cube.update(dict.fromkeys(pair_keys, index))
+            pair_of_position = self._pair_of_position
+            pair_of_position.update(zip(pair_keys, pair_keys))
+            pair_of_position.update(
+                (white, black)
+                for white, black in zip(whites, pair_keys)
+                if white is not None
+            )
+            active_flags = template.active_list
+            vertex_pair = template.vertex_pair_list
+            monitored_lex = template.monitored_list
+            cube_vehicles = []
+            for i, vertex in enumerate(verts):
+                initially_active = active_flags[i]
+                pair_key = pair_keys[vertex_pair[i]] if initially_active else None
+                monitored = (
+                    verts[monitored_lex[i]]
+                    if initially_active and monitored_lex[i] >= 0
+                    else None
+                )
                 vehicle = VehicleProcess(
                     vertex,
                     cube_index=index,
                     coloring=coloring,
                     initially_active=initially_active,
-                    capacity=self.config.capacity,
-                    neighbors=neighbors,
+                    capacity=capacity,
+                    neighbors=[verts[j] for j in neighbor_lists[i]],
                     fleet=self,
-                    done_threshold=self.config.done_threshold,
-                    cube_peers=peers,
+                    done_threshold=done_threshold,
+                    cube_peers=verts[:i] + verts[i + 1 :],
+                    index=base + i,
+                    pair_key=pair_key,
+                    monitored_pair=monitored,
                 )
-                self.vehicles[vertex] = vehicle
-                self.network.register(vehicle)
+                vehicles[vertex] = vehicle
+                cube_vehicles.append(vehicle)
                 if initially_active:
-                    self.registry[coloring.pair_of(vertex).black] = vertex
+                    pair_registry[pair_key] = vertex
+            network.register_all(cube_vehicles)
+        registry.finalize()
 
     # ------------------------------------------------------------------ #
     # protocol plumbing (called by vehicles)
@@ -512,28 +598,35 @@ class Fleet:
     # ------------------------------------------------------------------ #
 
     def vehicle_energies(self) -> Dict[Point, float]:
-        """Energy used so far, per vehicle home vertex."""
-        return {home: v.energy_used for home, v in self.vehicles.items()}
+        """Energy used so far, per vehicle home vertex.
+
+        One pass over the registry's contiguous energy ledgers; the
+        per-element sums are the exact floating-point operation the
+        per-vehicle ``energy_used`` property performs, so the dictionary is
+        byte-identical to the historical per-object gather.
+        """
+        flat = self.flat
+        energies = [t + s for t, s in zip(flat.travel, flat.service)]
+        return dict(zip(flat.identities, energies))
 
     def max_energy_used(self) -> float:
         """The largest per-vehicle energy drawn so far."""
-        return max((v.energy_used for v in self.vehicles.values()), default=0.0)
+        flat = self.flat
+        return max((t + s for t, s in zip(flat.travel, flat.service)), default=0.0)
 
     def total_travel(self) -> float:
-        """Total travel energy across the fleet."""
-        return sum(v.travel_energy for v in self.vehicles.values())
+        """Total travel energy across the fleet (sequential sum -- the same
+        float-addition order the per-object generator produced)."""
+        return sum(self.flat.travel)
 
     def total_service(self) -> float:
         """Total service energy across the fleet."""
-        return sum(v.service_energy for v in self.vehicles.values())
+        return sum(self.flat.service)
 
     def active_vehicle_count(self) -> int:
-        """Number of vehicles currently in the active working state."""
-        return sum(
-            1
-            for v in self.vehicles.values()
-            if v.status.working == WorkingState.ACTIVE
-        )
+        """Number of vehicles currently in the active working state (one
+        vectorized read of the registry's state array)."""
+        return int((self.flat.state_view() == STATE_ACTIVE).sum())
 
     def messages_sent(self) -> int:
         """Total protocol messages sent so far."""

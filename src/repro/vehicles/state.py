@@ -12,9 +12,9 @@ Figure 3.1 invariant still holds for the vehicle's own state.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import FrozenSet, Tuple
+from typing import Callable, FrozenSet, Optional, Tuple
 
 __all__ = ["WorkingState", "TransferState", "VehicleStatus", "VALID_STATES"]
 
@@ -81,6 +81,12 @@ class VehicleStatus:
 
     working: WorkingState = WorkingState.IDLE
     transfer: TransferState = TransferState.WAITING
+    #: Optional hook invoked with the new working state whenever it changes;
+    #: the fleet's flat-array registry uses it to keep its contiguous
+    #: working-state array in sync without touching the transition logic.
+    observer: Optional[Callable[[WorkingState], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if (self.working, self.transfer) not in VALID_STATES:
@@ -102,8 +108,11 @@ class VehicleStatus:
                 f"illegal transition {self.as_tuple()} -> {target} "
                 "(not an arrow of Figure 3.1)"
             )
+        changed = working != self.working
         self.working = working
         self.transfer = transfer
+        if changed and self.observer is not None:
+            self.observer(working)
 
     def set_transfer(self, transfer: TransferState) -> None:
         """Change only the message-transfer component."""

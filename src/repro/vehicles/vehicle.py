@@ -71,6 +71,10 @@ __all__ = ["VehicleProcess"]
 
 ENERGY_EPS = 1e-9
 
+#: Sentinel distinguishing "not passed" from an explicit ``None`` for the
+#: template-precomputed constructor arguments.
+_UNSET = object()
+
 
 class VehicleProcess(Process):
     """A single vehicle of the online protocol.
@@ -108,20 +112,41 @@ class VehicleProcess(Process):
         fleet: "Fleet",
         done_threshold: float = 2.0,
         cube_peers: Optional[List[Point]] = None,
+        index: Optional[int] = None,
+        pair_key: Optional[Point] = _UNSET,
+        monitored_pair: Optional[Point] = _UNSET,
     ) -> None:
         super().__init__(home)
-        self.home: Point = tuple(int(c) for c in home)
-        self.position: Point = self.home
+        if type(home) is tuple and all(type(c) is int for c in home):
+            self.home: Point = home
+        else:
+            self.home = tuple(int(c) for c in home)
+        #: Dense index into the fleet's flat state arrays (see
+        #: :class:`~repro.vehicles.registry.FleetRegistry`).  The batch
+        #: constructor supplies it with the slot pre-filled
+        #: (``add_cube``); stand-alone construction allocates one here.
+        #: Current position starts at the home slot either way.
+        registry = fleet.flat
+        if index is None:
+            index = registry.allocate_live_state(self.home, initially_active)
+        self._index = index
+        self._registry = registry
+
         self.cube_index = cube_index
         self.coloring = coloring
         self.capacity = capacity
-        self.neighbors = list(neighbors)
+        #: The constructor takes ownership of ``neighbors``/``cube_peers``
+        #: (the batch constructor builds a fresh list per vehicle; copying
+        #: them again was pure overhead at 10^4-vehicle scale).
+        self.neighbors = neighbors if type(neighbors) is list else list(neighbors)
         #: All other vehicles of the same cube.  Heartbeats and activation
         #: notices are broadcast cube-wide (communication is free in the
         #: thesis's model and a cube has constant diameter in omega), while
         #: the Phase I diffusing computation only uses the constant-radius
         #: ``neighbors`` graph, as in Algorithm 2.
-        self.cube_peers = list(cube_peers) if cube_peers is not None else list(neighbors)
+        if cube_peers is None:
+            cube_peers = list(self.neighbors)
+        self.cube_peers = cube_peers if type(cube_peers) is list else list(cube_peers)
         self.fleet = fleet
         self.done_threshold = done_threshold
         #: Scenario 3: a broken ("dead") vehicle can no longer move, serve or
@@ -132,19 +157,33 @@ class VehicleProcess(Process):
         self.status = VehicleStatus(
             working=WorkingState.ACTIVE if initially_active else WorkingState.IDLE,
             transfer=TransferState.WAITING,
+            observer=self._on_working_change,
         )
-        pair = coloring.pair_of(self.home)
         #: The black vertex of the pair this vehicle is responsible for
-        #: (``None`` while idle).
-        self.pair_key: Optional[Point] = pair.black if initially_active else None
+        #: (``None`` while idle).  The batch constructor passes the
+        #: template-computed values; the fallback derives them from the
+        #: coloring exactly as the loop constructor always did.
+        if pair_key is _UNSET:
+            pair = coloring.pair_of(self.home)
+            pair_key = pair.black if initially_active else None
+        self.pair_key = pair_key
         #: The pair this vehicle watches for heartbeats (monitoring scheme).
-        self.monitored_pair: Optional[Point] = (
-            watched_pair_key(coloring, pair.black) if initially_active else None
-        )
+        if monitored_pair is _UNSET:
+            self.monitored_pair = (
+                watched_pair_key(coloring, coloring.pair_of(self.home).black)
+                if initially_active
+                else None
+            )
+        else:
+            # Batch path: the watch slot is pre-initialized to -1, so only
+            # a real target needs the registry write (skips the property
+            # setter's dict lookup for the idle majority).
+            self._monitored_pair = monitored_pair
+            if monitored_pair is not None:
+                registry.watch[index] = registry.pair_id_of[monitored_pair]
 
-        # Energy ledger.
-        self.travel_energy = 0.0
-        self.service_energy = 0.0
+        # Energy ledger (lives in the registry's contiguous arrays; the
+        # attribute API below is a view).
         self.jobs_served = 0
 
         # Phase I bookkeeping (Algorithm 2 local data: num / par / child / init).
@@ -173,6 +212,60 @@ class VehicleProcess(Process):
         #: ``{"level", "pending", "candidates", "rounds"}`` -- the deficit
         #: counter and volunteer list of the star-shaped escalated round.
         self.escalations: Dict[ComputationTag, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+    # flat-array state (the object API is a view over the registry)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index(self) -> int:
+        """Dense index into the fleet's flat state arrays."""
+        return self._index
+
+    @property
+    def travel_energy(self) -> float:
+        """Travel energy spent so far (registry-backed)."""
+        return self._registry.travel[self._index]
+
+    @travel_energy.setter
+    def travel_energy(self, value: float) -> None:
+        self._registry.travel[self._index] = value
+
+    @property
+    def service_energy(self) -> float:
+        """Service energy spent so far (registry-backed)."""
+        return self._registry.service[self._index]
+
+    @service_energy.setter
+    def service_energy(self, value: float) -> None:
+        self._registry.service[self._index] = value
+
+    @property
+    def position(self) -> Point:
+        """Current lattice position (registry-backed)."""
+        return self._registry.positions[self._index]
+
+    @position.setter
+    def position(self, value: Point) -> None:
+        self._registry.positions[self._index] = value
+
+    @property
+    def monitored_pair(self) -> Optional[Point]:
+        """The pair this vehicle watches for heartbeats (registry-backed)."""
+        return self._monitored_pair
+
+    @monitored_pair.setter
+    def monitored_pair(self, value: Optional[Point]) -> None:
+        self._monitored_pair = value
+        registry = self._registry
+        registry.watch[self._index] = (
+            -1 if value is None else registry.pair_id_of.get(value, -1)
+        )
+
+    def _on_working_change(self, working: WorkingState) -> None:
+        """Observer installed on :class:`VehicleStatus`: mirrors the working
+        state into the registry's contiguous state array."""
+        self._registry.state[self._index] = self._registry.state_code(working)
 
     # ------------------------------------------------------------------ #
     # energy accounting
@@ -276,8 +369,9 @@ class VehicleProcess(Process):
             self.status.set_transfer(TransferState.WAITING)
             self._finish_own_computation(tag)
             return
-        for neighbor in self.neighbors:
-            self.send(neighbor, QueryMessage(tag, self.identity, destination, pair_key))
+        self.send_many(
+            self.neighbors, QueryMessage(tag, self.identity, destination, pair_key)
+        )
 
     # ------------------------------------------------------------------ #
     # message dispatch
@@ -327,11 +421,10 @@ class VehicleProcess(Process):
             self.status.set_transfer(TransferState.WAITING)
             self.send(sender, ReplyMessage(message.tag, self.identity, False))
             return
-        for neighbor in self.neighbors:
-            self.send(
-                neighbor,
-                QueryMessage(message.tag, self.identity, message.destination, message.pair_key),
-            )
+        self.send_many(
+            self.neighbors,
+            QueryMessage(message.tag, self.identity, message.destination, message.pair_key),
+        )
 
     def _on_reply(self, sender: Hashable, message: ReplyMessage) -> None:
         if message.tag != self.engaged_tag:
@@ -408,13 +501,12 @@ class VehicleProcess(Process):
         esc["pending"] = len(targets)
         esc["candidates"] = []
         esc["rounds"] = 0
-        for target in targets:
-            self.send(
-                target,
-                EscalateQuery(
-                    tag, self.identity, info["destination"], info["pair_key"], esc["level"]
-                ),
-            )
+        self.send_many(
+            targets,
+            EscalateQuery(
+                tag, self.identity, info["destination"], info["pair_key"], esc["level"]
+            ),
+        )
 
     def _on_escalate_query(self, sender: Hashable, message: EscalateQuery) -> None:
         """Answer a boundary query: can this vehicle take the far pair over?
@@ -566,8 +658,10 @@ class VehicleProcess(Process):
             # refuses must not inflate the escalation success counters.
             self.fleet.record_escalated_replacement(spare=False)
         self.fleet.on_activation(self.identity, message.pair_key)
-        for peer in self._activation_audience(message.pair_key):
-            self.send(peer, ActivationNotice(self.identity, message.pair_key, self.position))
+        self.send_many(
+            self._activation_audience(message.pair_key),
+            ActivationNotice(self.identity, message.pair_key, self.position),
+        )
 
     def _adopt_pair(self, message: MoveMessage) -> None:
         """Spare-battery adoption: an active vehicle takes a far pair *too*.
@@ -607,8 +701,10 @@ class VehicleProcess(Process):
             self.fleet.record_escalated_replacement(spare=True)
         self.fleet.on_adoption(self.identity, message.pair_key)
         self.fleet.on_activation(self.identity, message.pair_key)
-        for peer in self._activation_audience(message.pair_key):
-            self.send(peer, ActivationNotice(self.identity, message.pair_key, self.position))
+        self.send_many(
+            self._activation_audience(message.pair_key),
+            ActivationNotice(self.identity, message.pair_key, self.position),
+        )
 
     def _grace_new_watch(self, watched: Optional[Point]) -> None:
         """Reset the silence clock of a freshly acquired watch target.
@@ -726,8 +822,12 @@ class VehicleProcess(Process):
         if self.fleet.config.escalation:
             self._heartbeat_hierarchical(round_id, miss_threshold)
             return
-        for peer in self.cube_peers:
-            self.send(peer, ExistingMessage(self.identity, self.pair_key, round_id))
+        # The dominant message volume under monitoring: one cube-wide
+        # heartbeat broadcast per active vehicle per round, emitted as a
+        # single batch through the transport's fast path.
+        self.send_many(
+            self.cube_peers, ExistingMessage(self.identity, self.pair_key, round_id)
+        )
         if self.monitored_pair is None or self.monitored_pair == self.pair_key:
             return
         if self.engaged_tag is not None:
@@ -756,8 +856,10 @@ class VehicleProcess(Process):
         """
         answered = [self.pair_key] + self.adopted_pairs
         for pair_key in answered:
-            for peer in self.fleet.heartbeat_audience(pair_key, exclude=self.identity):
-                self.send(peer, ExistingMessage(self.identity, pair_key, round_id))
+            self.send_many(
+                self.fleet.heartbeat_audience(pair_key, exclude=self.identity),
+                ExistingMessage(self.identity, pair_key, round_id),
+            )
         if self.engaged_tag is not None or self.escalations:
             # Busy with another computation; re-check on the next round.
             return
@@ -787,6 +889,7 @@ class VehicleProcess(Process):
         still receive a (negative) reply and terminate.
         """
         self.broken = True
+        self._registry.broken[self._index] = 1
 
     def mark_repaired(self) -> None:
         """Churn rejoin: the broken vehicle is repaired in place.
@@ -796,6 +899,7 @@ class VehicleProcess(Process):
         simply becomes a healthy idle peer again.
         """
         self.broken = False
+        self._registry.broken[self._index] = 0
 
     # ------------------------------------------------------------------ #
     # diagnostics

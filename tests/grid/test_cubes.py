@@ -213,3 +213,34 @@ class TestCubeHierarchy:
             hierarchy.ancestor((0, 0), 5)
         with pytest.raises(ValueError):
             hierarchy.siblings((0, 0), 0)
+
+
+class TestCubeBounds:
+    """The batched corner computation must equal cube_box per index."""
+
+    @pytest.mark.parametrize(
+        "box, side",
+        [
+            (Box((0, 0), (9, 9)), 3),
+            (Box((1, 2), (7, 11)), 4),  # clipped boundary cubes
+            (Box((0,), (10,)), 3),
+            (Box((0, 0, 0), (5, 6, 7)), 2),
+        ],
+    )
+    def test_matches_cube_box(self, box, side):
+        import itertools
+
+        grid = CubeGrid(box, side)
+        indices = list(itertools.product(*(range(c) for c in grid.shape)))
+        los, his = grid.cube_bounds(indices)
+        for i, index in enumerate(indices):
+            cube = grid.cube_box(index)
+            assert tuple(los[i]) == cube.lo
+            assert tuple(his[i]) == cube.hi
+
+    def test_rejects_bad_indices(self):
+        grid = CubeGrid(Box((0, 0), (9, 9)), 3)
+        with pytest.raises(ValueError):
+            grid.cube_bounds([(0, 0, 0)])
+        with pytest.raises(ValueError):
+            grid.cube_bounds([(99, 0)])

@@ -1,0 +1,101 @@
+"""Byte-identity differential suite for the flat-array fleet core.
+
+The flat core (vectorized construction, indexed registry, batched
+dispatch) must change *nothing* the protocol can observe.  The goldens in
+``data/flat_core_goldens.json`` are blake2b hashes of the canonical
+``RunResult`` JSON of every scenario family x {plain, monitoring,
+escalation, lossy transport}, captured on the loop-based implementation
+immediately before the refactor; this suite asserts the current code
+reproduces every one of them bit for bit, and that the 10^3-vehicle
+scale-up preset stays byte-identical across worker pools (1 thread == 4
+threads == 4 processes).
+
+Regenerate the goldens (only after a deliberate, understood behavior
+change) with ``PYTHONPATH=src python tests/properties/make_flat_core_goldens.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentEngine, RunConfig, ScenarioSpec
+from repro.workloads.library import family_config
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "flat_core_goldens.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+SEED = 1
+PRESET = "small"
+
+#: Must mirror tests/properties/make_flat_core_goldens.py exactly.
+MODES = {
+    "plain": ("online", {}),
+    "monitoring": ("online-broken", {}),
+    "escalation": ("online", {"escalation": True}),
+    "lossy": (
+        "online",
+        {"transport": {"kind": "lossy", "params": {"loss": 0.05, "seed": 3}}},
+    ),
+}
+
+
+def _digest(result) -> str:
+    return hashlib.blake2b(
+        result.canonical_json().encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ExperimentEngine()
+
+
+class TestGoldenByteIdentity:
+    @pytest.mark.parametrize("key", sorted(GOLDENS))
+    def test_matches_pre_refactor_golden(self, key, engine):
+        family, label = key.rsplit("/", 1)
+        solver, overrides = MODES[label]
+        config = family_config(family, solver, seed=SEED, preset=PRESET, **overrides)
+        assert _digest(engine.run(config)) == GOLDENS[key], (
+            f"{key}: the flat-array core diverged from the pre-refactor "
+            "protocol behavior"
+        )
+
+    def test_goldens_cover_every_family_and_mode(self):
+        from repro.workloads.library import available_families
+
+        expected = {
+            f"{family}/{label}"
+            for family in available_families()
+            for label in MODES
+        }
+        assert set(GOLDENS) == expected
+
+
+class TestScaleUpWorkerDeterminism:
+    """1 thread == 4 threads == 4 processes on the 10^3-vehicle preset."""
+
+    @staticmethod
+    def _configs():
+        spec = ScenarioSpec.from_family("scale-up", seed=0, side=32, per_point=2.0)
+        return [
+            RunConfig(solver="online", scenario=spec, capacity="theorem"),
+            RunConfig(solver="online", scenario=spec, capacity="theorem", escalation=True),
+        ]
+
+    @pytest.fixture(scope="class")
+    def serial_payload(self):
+        engine = ExperimentEngine(workers=1)
+        return engine.results_payload(engine.run_many(self._configs()))
+
+    def test_four_threads_byte_identical(self, serial_payload):
+        engine = ExperimentEngine(workers=4)
+        assert engine.results_payload(engine.run_many(self._configs())) == serial_payload
+
+    def test_four_processes_byte_identical(self, serial_payload):
+        engine = ExperimentEngine(workers=4, use_processes=True)
+        assert engine.results_payload(engine.run_many(self._configs())) == serial_payload
