@@ -29,7 +29,6 @@ scales -- it is the quantity this PR's acceptance criterion tracks).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -39,6 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np
 
 from repro.core.online import run_online
+from repro.io.atomic import atomic_write_json
 from repro.vehicles.fleet import Fleet, FleetConfig
 from repro.workloads.arrivals import random_arrivals
 from repro.workloads.library import build_family_demand
@@ -109,7 +109,7 @@ def main(argv=None) -> int:
             + (f", {throughput:,.0f} events/sec" if throughput else "")
         )
 
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_json(report, args.out)
     print(f"wrote {args.out}")
     return 0
 

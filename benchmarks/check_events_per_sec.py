@@ -14,6 +14,12 @@ With ``--scale-report`` it additionally gates the ``10^4``-vehicle fleet
 ``construction_seconds_1e4`` ceiling -- same tolerance, inverted sense
 (construction regresses by getting *slower*).
 
+With ``--stream-report`` it gates the streaming-service throughput at the
+``10^3``-vehicle scale measured by ``bench_stream.py`` (the
+``BENCH_stream.json`` artifact) against the committed
+``stream_events_per_sec_1e3`` floor -- same tolerance -- and fails hard
+when the report's memory-flatness check (``memory.flat``) is false.
+
 The committed baseline (``benchmarks/bench_baseline.json``) is calibrated
 conservatively for shared CI runners, which are typically 2-3x slower than
 a development machine; the gate therefore catches order-of-magnitude event
@@ -22,12 +28,14 @@ storm, a de-vectorized construction loop), not single-digit noise.  After
 a deliberate performance change, refresh both numbers with::
 
     python benchmarks/check_events_per_sec.py bench-smoke.json \
-        --scale-report BENCH_fleet_scale.json --update
+        --scale-report BENCH_fleet_scale.json \
+        --stream-report BENCH_stream.json --update
 
 Usage::
 
     python benchmarks/check_events_per_sec.py REPORT.json \
         [--scale-report BENCH_fleet_scale.json] \
+        [--stream-report BENCH_stream.json] \
         [--baseline benchmarks/bench_baseline.json] \
         [--out BENCH_events_per_sec.json] \
         [--tolerance 0.2] [--update]
@@ -76,6 +84,18 @@ def extract_construction_seconds(scale_report: dict) -> float:
     return float(entry["construction_seconds"])
 
 
+def extract_stream_metrics(stream_report: dict) -> tuple:
+    """(events/sec at 1e3, memory-flat flag) from a bench_stream.py report."""
+    entry = stream_report.get("scales", {}).get("1e3")
+    memory = stream_report.get("memory")
+    if entry is None or "events_per_sec" not in entry or memory is None:
+        raise SystemExit(
+            "stream report carries no 1e3 events_per_sec / memory section; "
+            "run: python benchmarks/bench_stream.py --quick --out BENCH_stream.json"
+        )
+    return float(entry["events_per_sec"]), bool(memory.get("flat"))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="pytest-benchmark JSON report path")
@@ -83,6 +103,11 @@ def main(argv=None) -> int:
         "--scale-report",
         default=None,
         help="bench_scale.py JSON artifact; enables the construction-time gate",
+    )
+    parser.add_argument(
+        "--stream-report",
+        default=None,
+        help="bench_stream.py JSON artifact; enables the streaming-service gate",
     )
     parser.add_argument(
         "--baseline",
@@ -114,12 +139,20 @@ def main(argv=None) -> int:
         construction = extract_construction_seconds(
             json.loads(Path(args.scale_report).read_text())
         )
+    stream = None
+    stream_flat = True
+    if args.stream_report is not None:
+        stream, stream_flat = extract_stream_metrics(
+            json.loads(Path(args.stream_report).read_text())
+        )
 
     baseline_path = Path(args.baseline)
     if args.update:
         refreshed = {"benchmark": GATED_BENCHMARK, "events_per_sec": measured}
         if construction is not None:
             refreshed["construction_seconds_1e4"] = construction
+        if stream is not None:
+            refreshed["stream_events_per_sec_1e3"] = stream
         if baseline_path.exists():
             # Preserve calibration notes and any other extra keys.
             previous = json.loads(baseline_path.read_text())
@@ -128,6 +161,8 @@ def main(argv=None) -> int:
         print(f"baseline updated: {measured:.0f} events/sec -> {baseline_path}")
         if construction is not None:
             print(f"baseline updated: {construction:.4f}s construction (1e4)")
+        if stream is not None:
+            print(f"baseline updated: {stream:.0f} stream events/sec (1e3)")
         return 0
 
     baseline_payload = json.loads(baseline_path.read_text())
@@ -175,9 +210,36 @@ def main(argv=None) -> int:
             f"(baseline {float(ceiling_base):.4f}, ceiling {ceiling:.4f}) -> {cstatus}"
         )
 
-    artifact["pass"] = passed and construction_passed
+    stream_passed = True
+    if stream is not None:
+        stream_base = baseline_payload.get("stream_events_per_sec_1e3")
+        if stream_base is None:
+            raise SystemExit(
+                "--stream-report given but the baseline carries no "
+                "stream_events_per_sec_1e3; refresh it with --update"
+            )
+        stream_floor = float(stream_base) * (1.0 - args.tolerance)
+        stream_passed = stream >= stream_floor and stream_flat
+        artifact.update(
+            {
+                "stream_events_per_sec_1e3": stream,
+                "baseline_stream_events_per_sec_1e3": float(stream_base),
+                "floor_stream_events_per_sec_1e3": stream_floor,
+                "stream_memory_flat": stream_flat,
+                "stream_pass": stream_passed,
+            }
+        )
+        sstatus = "ok" if stream_passed else "REGRESSION"
+        print(
+            f"streaming service (1e3): {stream:.0f} events/sec "
+            f"(baseline {float(stream_base):.0f}, floor {stream_floor:.0f}), "
+            f"memory {'flat' if stream_flat else 'GROWING'} -> {sstatus}"
+        )
+
+    overall = passed and construction_passed and stream_passed
+    artifact["pass"] = overall
     Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
-    return 0 if passed and construction_passed else 1
+    return 0 if overall else 1
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ from repro.api.registry import (
     unregister_solver,
 )
 from repro.api.result import RunResult
+from repro.api.service import ServiceConfig, ServiceResult
 from repro.api.solvers import BUILTIN_SOLVERS
 
 __all__ = [
@@ -56,6 +57,8 @@ __all__ = [
     "RunConfig",
     "RunResult",
     "ScenarioSpec",
+    "ServiceConfig",
+    "ServiceResult",
     "Solver",
     "SolverEntry",
     "TransportSpec",

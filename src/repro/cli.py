@@ -128,7 +128,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="profile the solve under cProfile and print the top-20 "
-        "cumulative entries to stderr (perf work starts from data)",
+        "cumulative entries to stderr (perf work starts from data; "
+        "composes with --metrics-out streaming runs)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        help="write windowed metrics as JSON lines to this path; routes the "
+        "online solvers through the streaming service harness "
+        "(byte-identical to the batch run)",
+    )
+    run.add_argument(
+        "--window",
+        type=_positive_int,
+        default=1000,
+        help="jobs per metrics window (with --metrics-out; default 1000)",
     )
 
     sweep = subparsers.add_parser(
@@ -208,6 +221,125 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(online)
     _add_run_arguments(online, engine=False)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the fleet as a long-lived streaming service (constant "
+        "memory, windowed metrics, checkpoint/resume, live state)",
+    )
+    source = serve.add_mutually_exclusive_group(required=False)
+    source.add_argument(
+        "--scenario",
+        choices=_workload_names(),
+        help="a built-in paper scenario or a scenario family",
+    )
+    source.add_argument(
+        "--demand-json",
+        help="path to a demand map serialized with repro.io.serialize",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="total jobs to stream (omit for an endless stream bounded "
+        "by --duration)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop dispatching after this simulation time",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="run-RNG seed")
+    serve.add_argument(
+        "--omega", type=float, default=None, help="cube parameter (default: omega_c)"
+    )
+    serve.add_argument(
+        "--capacity",
+        default=None,
+        help='per-vehicle battery: a number, "unbounded", or the default '
+        "Lemma 3.3.1 theorem capacity",
+    )
+    serve.add_argument(
+        "--recovery-rounds",
+        type=int,
+        default=0,
+        help="heartbeat rounds the monitoring loop may spend recovering a job",
+    )
+    serve.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="X,Y",
+        help="home vertex of a vehicle broken from the start (repeatable)",
+    )
+    serve.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="X,Y",
+        help="home vertex of a vehicle that never initiates diffusing "
+        "computations (repeatable)",
+    )
+    serve.add_argument(
+        "--monitoring",
+        action="store_true",
+        help="enable the heartbeat monitoring loop (implied by --crash, "
+        "--suppress, or --recovery-rounds)",
+    )
+    serve.add_argument(
+        "--hand-back",
+        action="store_true",
+        help="revived vehicles reclaim pairs their adopters hold "
+        "(proactive load shedding)",
+    )
+    serve.add_argument(
+        "--window",
+        type=_positive_int,
+        default=1000,
+        help="jobs per metrics window (default 1000)",
+    )
+    serve.add_argument(
+        "--lookahead",
+        type=_positive_int,
+        default=64,
+        help="arrivals scheduled ahead of the clock (default 64)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="W",
+        help="write a checkpoint every W metrics windows (needs --checkpoint)",
+    )
+    serve.add_argument(
+        "--checkpoint", help="checkpoint path (atomically replaced each write)"
+    )
+    serve.add_argument(
+        "--resume",
+        metavar="SNAPSHOT",
+        help="continue from a checkpoint (workload flags come from the "
+        "snapshot's embedded config)",
+    )
+    serve.add_argument(
+        "--state-out", help="live-state JSON path (atomically rewritten every window)"
+    )
+    serve.add_argument("--log-out", help="append-only JSONL milestone log path")
+    serve.add_argument(
+        "--metrics-out", help="append each metrics window as one JSON line here"
+    )
+    serve.add_argument(
+        "--stop-after-checkpoints",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop right after the Nth checkpoint (deterministic kill, for "
+        "resume demonstrations)",
+    )
+    serve.add_argument(
+        "--json", dest="json_out", help="write the ServiceResult to this path"
+    )
+    _add_transport_arguments(serve)
     return parser
 
 
@@ -485,6 +617,16 @@ def _command_run(args: argparse.Namespace) -> int:
         recovery_rounds=args.recovery_rounds,
         params=_parse_params(args.param),
     )
+    if args.metrics_out:
+        if args.solver not in _TRANSPORT_SOLVERS:
+            print(
+                f"error: --metrics-out streams through the service harness and "
+                f"only applies to {', '.join(_TRANSPORT_SOLVERS)}, "
+                f"not {args.solver!r}",
+                file=sys.stderr,
+            )
+            return 2
+        return _command_run_streaming(args, config)
     engine = _engine(args)
     if getattr(args, "profile", False):
         import cProfile
@@ -509,6 +651,152 @@ def _command_run(args: argparse.Namespace) -> int:
             detail.add_row(key, value)
         print()
         print(detail.render())
+    if args.json_out:
+        save_json(result.to_json(), args.json_out)
+    return 0 if result.feasible else 1
+
+
+def _service_summary(result) -> Table:
+    table = Table("Service run", ["quantity", "value"])
+    table.add_row("jobs served / dispatched", f"{result.jobs_served}/{result.jobs_total}")
+    table.add_row("feasible", result.feasible)
+    table.add_row("windows closed", result.windows)
+    table.add_row("checkpoints written", result.checkpoints_written)
+    table.add_row("resumed / interrupted", f"{result.resumed} / {result.interrupted}")
+    table.add_row("max per-vehicle energy", result.max_vehicle_energy)
+    table.add_row("protocol messages", result.messages)
+    table.add_row("transport", result.transport)
+    table.add_row("sim time", result.sim_time)
+    table.add_row("result hash", result.result_hash()[:16])
+    return table
+
+
+def _command_run_streaming(args: argparse.Namespace, config: RunConfig) -> int:
+    """``run --metrics-out``: the same online run, through the service harness.
+
+    Finite sequences stream byte-identically to the batch driver, so the
+    printed numbers match a plain ``run`` exactly -- this path merely adds
+    the windowed-metrics JSONL (and still composes with ``--profile``).
+    """
+    from repro.api.service import ServiceConfig
+    from repro.service import run_service
+
+    if config.param("engine", "events") != "events":
+        print("error: --metrics-out requires the events engine", file=sys.stderr)
+        return 2
+    jobs = config.scenario.jobs()
+    if len(jobs) == 0:
+        print("error: the workload is empty; nothing to stream", file=sys.stderr)
+        return 2
+    broken = config.solver == "online-broken"
+    failures = config.failures
+    if broken and (failures is None or failures.is_empty()):
+        print(
+            "error: the online-broken solver needs a non-empty failures spec",
+            file=sys.stderr,
+        )
+        return 2
+    service_config = ServiceConfig.from_demand(
+        jobs.demand_map(),
+        omega=config.omega,
+        capacity=config.capacity,
+        fleet={"monitoring": broken, "escalation": config.escalation},
+        recovery_rounds=config.recovery_rounds,
+        transport=config.effective_transport(),
+        churn=failures.churn_events() if broken else (),
+        dead_vehicles=failures.crashed if broken else (),
+        suppressed=failures.suppressed if broken else (),
+        partitions=failures.partitions if broken else (),
+        seed=config.scenario.seed,
+        window_jobs=args.window,
+    )
+
+    def execute():
+        return run_service(service_config, jobs.jobs, metrics_path=args.metrics_out)
+
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = execute()
+        finally:
+            profiler.disable()
+            pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+                "cumulative"
+            ).print_stats(20)
+    else:
+        result = execute()
+    print(_service_summary(result).render())
+    print(f"\nwrote {result.windows} metrics windows to {args.metrics_out}", file=sys.stderr)
+    if args.json_out:
+        save_json(result.to_json(), args.json_out)
+    return 0 if result.feasible else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.api.service import ServiceConfig
+    from repro.service import load_checkpoint, run_service
+    from repro.workloads.arrivals import streaming_arrivals
+
+    if args.jobs is None and args.duration is None:
+        print("error: serve needs --jobs N, --duration T, or both", file=sys.stderr)
+        return 2
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        print("error: --checkpoint-every needs --checkpoint PATH", file=sys.stderr)
+        return 2
+    outputs = dict(
+        duration=args.duration,
+        metrics_path=args.metrics_out,
+        state_path=args.state_out,
+        log_path=args.log_out,
+        checkpoint_path=args.checkpoint,
+        stop_after_checkpoints=args.stop_after_checkpoints,
+    )
+    if args.resume:
+        payload = load_checkpoint(args.resume)
+        config = ServiceConfig.from_json(payload["config"])
+        jobs = streaming_arrivals(config.demand(), jobs=args.jobs)
+        result = run_service(config, jobs, snapshot=payload, **outputs)
+    else:
+        if args.scenario is None and args.demand_json is None:
+            print(
+                "error: serve needs --scenario, --demand-json, or --resume",
+                file=sys.stderr,
+            )
+            return 2
+        demand = _legacy_demand(args)
+        crashed = tuple(_parse_point(p) for p in args.crash)
+        suppressed = tuple(_parse_point(p) for p in args.suppress)
+        monitoring = (
+            args.monitoring or bool(crashed or suppressed) or args.recovery_rounds > 0
+        )
+        fleet: Dict[str, Any] = {}
+        if monitoring:
+            fleet["monitoring"] = True
+        if args.escalation:
+            fleet["escalation"] = True
+        if args.hand_back:
+            fleet["hand_back"] = True
+        config = ServiceConfig.from_demand(
+            demand,
+            omega=args.omega,
+            capacity=_parse_capacity(args.capacity),
+            fleet=fleet,
+            recovery_rounds=args.recovery_rounds,
+            transport=_parse_transport(args),
+            dead_vehicles=crashed,
+            suppressed=suppressed,
+            seed=args.seed,
+            lookahead=args.lookahead,
+            window_jobs=args.window,
+            checkpoint_every=args.checkpoint_every,
+        )
+        jobs = streaming_arrivals(demand, jobs=args.jobs)
+        result = run_service(config, jobs, **outputs)
+    print(_service_summary(result).render())
     if args.json_out:
         save_json(result.to_json(), args.json_out)
     return 0 if result.feasible else 1
@@ -691,6 +979,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": lambda: _command_compare(args),
         "bounds": lambda: _command_bounds(args),
         "online": lambda: _command_online(args),
+        "serve": lambda: _command_serve(args),
     }
     command = commands.get(args.command)
     if command is None:  # pragma: no cover - argparse rejects unknown commands

@@ -55,7 +55,7 @@ from repro.distsim.transport import Transport, TransportSpec, build_transport
 from repro.grid.lattice import Point
 from repro.vehicles.fleet import Fleet, FleetConfig
 
-__all__ = ["OnlineResult", "run_online", "ONLINE_ENGINES"]
+__all__ = ["OnlineResult", "run_online", "provision_fleet", "ONLINE_ENGINES"]
 
 CapacitySpec = Union[None, float, Literal["theorem"]]
 
@@ -211,6 +211,145 @@ def _churn_hooks(fleet: Fleet):
     return leave, join
 
 
+def provision_fleet(
+    demand: DemandMap,
+    *,
+    omega: float,
+    capacity: CapacitySpec = "theorem",
+    config: Optional[FleetConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    failure_plan: Optional[FailurePlan] = None,
+    dead_vehicles: Optional[Iterable[Sequence[int]]] = None,
+    transport: Optional[Transport] = None,
+    escalation: Optional[bool] = None,
+) -> Tuple[Fleet, FleetConfig, Optional[float], float]:
+    """Build the fleet a driver runs against, exactly as :func:`run_online` does.
+
+    ``omega`` must already be resolved (``run_online`` memoizes ``omega_c``
+    per sequence; a streaming caller computes it from the demand map once).
+    Returns ``(fleet, fleet_config, provisioned, theorem_capacity)`` --
+    construction order and the dead-vehicle crash sweep are shared with the
+    batch path so a service run provisions a byte-identical fleet.
+    """
+    theorem_capacity = online_upper_bound_factor(demand.dim) * omega
+
+    if capacity == "theorem":
+        provisioned: Optional[float] = theorem_capacity
+    else:
+        provisioned = capacity  # a float or None
+
+    base = config if config is not None else FleetConfig()
+    overrides: Dict[str, object] = {"capacity": provisioned}
+    if escalation is not None:
+        overrides["escalation"] = bool(escalation)
+    fleet_config = dataclasses.replace(base, **overrides)
+    fleet = Fleet(
+        demand,
+        omega,
+        fleet_config,
+        rng=rng,
+        failure_plan=failure_plan,
+        transport=transport,
+    )
+    if dead_vehicles is not None:
+        # Scenario 3: these vehicles are dead from the start -- they cannot
+        # move, serve, or heartbeat, but their radios still relay protocol
+        # messages (communication is free in the thesis's model), so the
+        # monitoring loop can replace them.  Points that host no vehicle in
+        # this run are ignored.
+        for identity in sorted({tuple(int(c) for c in p) for p in dead_vehicles}):
+            if identity in fleet.vehicles:
+                fleet.crash_vehicle(identity)
+    return fleet, fleet_config, provisioned, theorem_capacity
+
+
+def _schedule_churn(
+    fleet: Fleet,
+    churn: Sequence[ChurnSpec],
+    plan: FailurePlan,
+    churn_applied: Set[ChurnSpec],
+) -> None:
+    """Schedule every not-yet-applied churn event on the fleet's clock.
+
+    Specs already in ``churn_applied`` are skipped (a resumed run re-schedules
+    only its remaining churn); the rest are pushed in the canonical
+    ``(time, vertex, action)`` order so same-time events keep their relative
+    sequence across batch, streaming, and resumed runs.
+    """
+    simulator = fleet.simulator
+    leave, join = _churn_hooks(fleet)
+    for spec in sorted(churn, key=lambda e: (e.time, e.vertex, e.action)):
+        if spec in churn_applied:
+            continue
+
+        def _churn_event(spec: ChurnSpec = spec) -> None:
+            plan.set_time(simulator.now)
+            apply_churn([spec], simulator.now, churn_applied, leave=leave, join=join)
+
+        simulator.schedule_at(spec.time, _churn_event, kind="churn")
+
+
+def _arrival_logic(
+    fleet: Fleet,
+    fleet_config: FleetConfig,
+    plan: FailurePlan,
+    recovery_rounds: int,
+    record,
+):
+    """The event-mode per-job service logic, shared by batch and streaming.
+
+    Returns ``make_handler(index, job)`` producing the zero-argument arrival
+    action the calendar queue executes.  ``record(index, job, latency)`` is
+    called once per *successfully served* job -- immediately on delivery
+    (latency 0) or from the recovery retry (latency = retry delay); a job
+    whose retry also fails is never recorded.
+    """
+    simulator = fleet.simulator
+
+    def _heartbeat() -> None:
+        fleet.run_heartbeat_round(settle=False)
+
+    def _arrival(index: int, job) -> None:
+        plan.set_time(simulator.now)
+        if fleet.deliver_job(job.position, job.energy, settle=False):
+            record(index, job, simulator.now - job.time)
+            if fleet_config.monitoring:
+                _heartbeat()
+            return
+        if recovery_rounds > 0 and fleet_config.monitoring:
+            # Recovery must happen *on the clock*: each heartbeat round is a
+            # scheduled event so its protocol messages (watch initiations,
+            # Phase I/II replacements) are delivered before the retry fires
+            # -- all strictly before the next arrival at +1.  The whole
+            # recovery window goes to the calendar queue as one batch.
+            spacing = 0.5 / recovery_rounds
+            now = simulator.now
+            simulator.schedule_batch(
+                (
+                    (now + spacing * round_index, _heartbeat)
+                    for round_index in range(1, recovery_rounds + 1)
+                ),
+                kind="heartbeat",
+            )
+
+            def _retry(index: int = index, job=job) -> None:
+                if fleet.retry_job(job.position, job.energy, settle=False):
+                    record(index, job, simulator.now - job.time)
+
+            simulator.schedule(0.7, _retry, kind="retry")
+            simulator.schedule(0.8, _heartbeat, kind="heartbeat")
+        elif fleet_config.monitoring:
+            _heartbeat()
+
+    def make_handler(index: int, job):
+        def _handler() -> None:
+            _arrival(index, job)
+
+        return _handler
+
+    return make_handler
+
+
 def _run_rounds(
     fleet: Fleet,
     fleet_config: FleetConfig,
@@ -275,59 +414,16 @@ def _run_events(
     simulator = fleet.simulator
     served: List[bool] = [False] * len(jobs)
     churn_applied: Set[ChurnSpec] = set()
-    leave, join = _churn_hooks(fleet)
+    _schedule_churn(fleet, churn, plan, churn_applied)
 
-    for spec in sorted(churn, key=lambda e: (e.time, e.vertex, e.action)):
-        def _churn_event(spec: ChurnSpec = spec) -> None:
-            plan.set_time(simulator.now)
-            apply_churn([spec], simulator.now, churn_applied, leave=leave, join=join)
+    def record(index: int, job, latency: float) -> None:
+        served[index] = True
 
-        simulator.schedule_at(spec.time, _churn_event, kind="churn")
-
-    def _heartbeat() -> None:
-        fleet.run_heartbeat_round(settle=False)
-
-    def _arrival(index: int, job) -> None:
-        plan.set_time(simulator.now)
-        if fleet.deliver_job(job.position, job.energy, settle=False):
-            served[index] = True
-            if fleet_config.monitoring:
-                _heartbeat()
-            return
-        if recovery_rounds > 0 and fleet_config.monitoring:
-            # Recovery must happen *on the clock*: each heartbeat round is a
-            # scheduled event so its protocol messages (watch initiations,
-            # Phase I/II replacements) are delivered before the retry fires
-            # -- all strictly before the next arrival at +1.  The whole
-            # recovery window goes to the calendar queue as one batch.
-            spacing = 0.5 / recovery_rounds
-            now = simulator.now
-            simulator.schedule_batch(
-                (
-                    (now + spacing * round_index, _heartbeat)
-                    for round_index in range(1, recovery_rounds + 1)
-                ),
-                kind="heartbeat",
-            )
-
-            def _retry(index: int = index, job=job) -> None:
-                if fleet.retry_job(job.position, job.energy, settle=False):
-                    served[index] = True
-
-            simulator.schedule(0.7, _retry, kind="retry")
-            simulator.schedule(0.8, _heartbeat, kind="heartbeat")
-        elif fleet_config.monitoring:
-            _heartbeat()
-
-    def _make_handler(index: int, job):
-        def _handler() -> None:
-            _arrival(index, job)
-
-        return _handler
+    make_handler = _arrival_logic(fleet, fleet_config, plan, recovery_rounds, record)
 
     # The whole arrival sequence goes to the calendar queue in one call.
     simulator.schedule_batch(
-        ((job.time, _make_handler(index, job)) for index, job in enumerate(jobs)),
+        ((job.time, make_handler(index, job)) for index, job in enumerate(jobs)),
         kind="arrival",
     )
 
@@ -404,7 +500,6 @@ def run_online(
         return _empty_online_result(engine, kind)
 
     demand = jobs.demand_map()
-    dim = demand.dim
     memo = _omega_memo_entry(jobs)
     if omega is None:
         if "omega_c" not in memo:
@@ -415,35 +510,18 @@ def run_online(
     if "omega_star" not in memo:
         memo["omega_star"] = omega_star_cubes(demand).omega
     omega_star = memo["omega_star"]
-    theorem_capacity = online_upper_bound_factor(dim) * omega
 
-    if capacity == "theorem":
-        provisioned: Optional[float] = theorem_capacity
-    else:
-        provisioned = capacity  # a float or None
-
-    base = config if config is not None else FleetConfig()
-    overrides: Dict[str, object] = {"capacity": provisioned}
-    if escalation is not None:
-        overrides["escalation"] = bool(escalation)
-    fleet_config = dataclasses.replace(base, **overrides)
-    fleet = Fleet(
+    fleet, fleet_config, provisioned, theorem_capacity = provision_fleet(
         demand,
-        omega,
-        fleet_config,
+        omega=omega,
+        capacity=capacity,
+        config=config,
         rng=rng,
         failure_plan=failure_plan,
+        dead_vehicles=dead_vehicles,
         transport=transport_instance,
+        escalation=escalation,
     )
-    if dead_vehicles is not None:
-        # Scenario 3: these vehicles are dead from the start -- they cannot
-        # move, serve, or heartbeat, but their radios still relay protocol
-        # messages (communication is free in the thesis's model), so the
-        # monitoring loop can replace them.  Points that host no vehicle in
-        # this run are ignored.
-        for identity in sorted({tuple(int(c) for c in p) for p in dead_vehicles}):
-            if identity in fleet.vehicles:
-                fleet.crash_vehicle(identity)
 
     churn_events = tuple(churn) if churn is not None else ()
     driver = _run_events if engine == "events" else _run_rounds

@@ -26,6 +26,13 @@ class Process:
     kicked off.
     """
 
+    #: Whether :meth:`deliver` appends to :attr:`message_log`.  On by
+    #: default (tests and debugging rely on the log); a long-lived service
+    #: run sets it ``False`` per process so memory stays constant over an
+    #: unbounded message stream.  The flag only gates the *recording* --
+    #: dispatch to :meth:`on_message` is unchanged.
+    log_messages: bool = True
+
     def __init__(self, identity: Hashable) -> None:
         self.identity = identity
         self._network: Optional["Network"] = None
@@ -72,7 +79,8 @@ class Process:
 
     def deliver(self, sender: Hashable, message: Any) -> None:
         """Entry point used by the network; records and dispatches the message."""
-        self.message_log.append((sender, message))
+        if self.log_messages:
+            self.message_log.append((sender, message))
         self.on_message(sender, message)
 
     # ------------------------------------------------------------------ #

@@ -1,5 +1,6 @@
 """Serialization helpers (JSON round-trips for workloads, plans, results)."""
 
+from repro.io.atomic import atomic_write_json, atomic_write_text
 from repro.io.serialize import (
     demand_from_json,
     demand_to_json,
@@ -12,6 +13,8 @@ from repro.io.serialize import (
 )
 
 __all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
     "demand_to_json",
     "demand_from_json",
     "jobs_to_json",

@@ -1,0 +1,59 @@
+"""Atomic file writes: temp-file-then-rename, so readers never see torn files.
+
+The service harness rewrites its live-state file on a cadence while an
+external dashboard polls it, and checkpoints must never be half-written if
+the process dies mid-write.  POSIX ``rename(2)`` within one filesystem is
+atomic, so the pattern is: write the full payload to a uniquely named
+temporary file *in the destination directory* (same filesystem), flush and
+fsync it, then ``os.replace`` it over the destination.  A concurrent reader
+observes either the old complete file or the new complete file -- never a
+prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(text: str, path: PathLike) -> None:
+    """Write ``text`` to ``path`` atomically (write-temp-then-rename).
+
+    The temporary file lives in the destination's directory so the final
+    ``os.replace`` never crosses a filesystem boundary (cross-device renames
+    are not atomic).  On any failure the temporary file is removed and the
+    destination is left untouched.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(payload: Any, path: PathLike, *, indent: int = 2) -> None:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    Keys are sorted so repeated writes of equal payloads are byte-identical
+    (the artifacts stay diff-able, matching :func:`repro.io.serialize.save_json`).
+    """
+    atomic_write_text(json.dumps(payload, indent=indent, sort_keys=True), path)

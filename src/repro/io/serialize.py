@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Union
 
 from repro.core.demand import DemandMap, Job, JobSequence
 from repro.core.plan import ServicePlan, VehicleRoute
+from repro.io.atomic import atomic_write_json
 
 __all__ = [
     "demand_to_json",
@@ -133,8 +134,12 @@ def run_result_from_json(payload: Dict[str, Any]) -> "Any":
 
 
 def save_json(payload: Dict[str, Any], path: PathLike) -> None:
-    """Write a JSON payload to disk (pretty-printed, stable key order)."""
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    """Write a JSON payload to disk (pretty-printed, stable key order).
+
+    The write is atomic (temp-file-then-rename via :mod:`repro.io.atomic`),
+    so a concurrent reader or a crash mid-write never leaves a torn file.
+    """
+    atomic_write_json(payload, path)
 
 
 def load_json(path: PathLike) -> Dict[str, Any]:

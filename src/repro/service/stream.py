@@ -1,0 +1,240 @@
+"""The streaming arrival driver: bounded look-ahead over an unbounded job stream.
+
+The batch event driver (:func:`repro.core.online._run_events`) pushes the
+*entire* job sequence to the calendar queue up front -- O(jobs) memory
+before the first event fires.  :class:`StreamDriver` keeps only a bounded
+look-ahead window of scheduled arrivals (default 64) and refills it as
+arrivals fire, so memory is independent of stream length; the per-job
+service logic itself is *shared* with the batch driver
+(:func:`repro.core.online._arrival_logic`), which is what makes the two
+byte-identical on finite sequences.
+
+Execution interleaving
+----------------------
+The driver advances the simulator in hops: for each upcoming arrival at
+time ``t`` it first drains every event *strictly before* ``t`` (to the
+largest float below ``t``), then invokes the control callback -- the
+harness's clean point for window closes, checkpoints, and state-store
+rewrites -- and then executes the ``t`` bucket.  Events pop in
+``(time, sequence)`` order exactly as in a batch run; the only divergence
+is sequence numbering when a *protocol message* lands at exactly a future
+arrival's timestamp, which requires a message delay at least as large as
+the inter-arrival gap -- outside the thesis's standing assumption (delays
+small against the gap), and irrelevant to every shipped configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.core.online import _arrival_logic, _schedule_churn
+from repro.distsim.failures import ChurnSpec, FailurePlan
+from repro.vehicles.fleet import Fleet, FleetConfig
+
+__all__ = ["StreamDriver"]
+
+#: Event kinds that may be pending at a clean checkpointable boundary:
+#: both are reconstructed from the config + snapshot on resume.  Anything
+#: else (an in-flight message, a recovery heartbeat, a retry) is transient
+#: protocol state the snapshot format deliberately does not capture.
+_CLEAN_KINDS = frozenset({"arrival", "churn"})
+
+
+class StreamDriver:
+    """Runs a fleet against a lazily produced job stream.
+
+    Parameters
+    ----------
+    jobs:
+        Any iterable of :class:`~repro.core.demand.Job` with strictly
+        increasing times (validated incrementally).  May be infinite when
+        ``duration`` bounds the run.
+    lookahead:
+        Arrivals scheduled ahead of the clock.  Correctness does not depend
+        on the value (1 and 10^6 give byte-identical runs); it only bounds
+        harness memory.
+    duration:
+        Stop dispatching once the next arrival would fire after this
+        simulation time; pending look-ahead arrivals are cancelled and the
+        network drains to quiescence.
+    on_arrival / on_served:
+        Metrics hooks: ``on_arrival(index, job)`` at dispatch,
+        ``on_served(index, job, latency)`` on successful service.
+    control:
+        Called with the driver at every inter-arrival boundary (all events
+        strictly before the next arrival executed) and once after the final
+        drain (``driver.finished`` is then ``True``).
+    start_consumed / pending / churn_applied:
+        Resume plumbing (see :mod:`repro.service.checkpoint`): the number
+        of jobs already pulled from the *original* stream, the not-yet
+        dispatched ``(index, job)`` arrivals to re-schedule, and the churn
+        specs already applied.  ``jobs`` must already be advanced past the
+        consumed prefix.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        fleet_config: FleetConfig,
+        plan: FailurePlan,
+        jobs: Iterable[Any],
+        *,
+        recovery_rounds: int = 0,
+        churn: Sequence[ChurnSpec] = (),
+        lookahead: int = 64,
+        duration: Optional[float] = None,
+        on_arrival: Optional[Callable[[int, Any], None]] = None,
+        on_served: Optional[Callable[[int, Any, float], None]] = None,
+        control: Optional[Callable[["StreamDriver"], None]] = None,
+        on_primed: Optional[Callable[["StreamDriver"], None]] = None,
+        start_consumed: int = 0,
+        pending: Sequence[Tuple[int, Any]] = (),
+        churn_applied: Optional[Set[ChurnSpec]] = None,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be at least 1, got {lookahead}")
+        self.fleet = fleet
+        self.fleet_config = fleet_config
+        self.plan = plan
+        self.churn = tuple(churn)
+        self.lookahead = lookahead
+        self.duration = duration
+        self.on_arrival = on_arrival
+        self.on_served = on_served
+        self.control = control
+        self.on_primed = on_primed
+        self._ready = False
+        self.consumed = start_consumed
+        self.dispatched = start_consumed - len(pending)
+        self.served = 0
+        self.finished = False
+        self.churn_applied: Set[ChurnSpec] = (
+            churn_applied if churn_applied is not None else set()
+        )
+        self._iterator: Iterator[Any] = iter(jobs)
+        self._exhausted = False
+        self._pending_resume = tuple(pending)
+        self._last_time = max((job.time for _, job in pending), default=-math.inf)
+        self.window: Deque[Tuple[int, Any, Any]] = deque()
+        self._make_handler = _arrival_logic(
+            fleet, fleet_config, plan, recovery_rounds, self._record
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection (used by the harness's control callback)
+    # ------------------------------------------------------------------ #
+
+    def at_clean_point(self) -> bool:
+        """Whether every pending event is reconstructible from a snapshot.
+
+        True between arrivals once the network has drained; transient
+        protocol events (messages still in flight because the delay spans
+        an arrival gap, recovery heartbeats, retransmit waits) defer the
+        checkpoint to the next boundary.
+        """
+        return all(event.kind in _CLEAN_KINDS for event in self.fleet.simulator.queue)
+
+    def pending_arrivals(self) -> list:
+        """The scheduled-but-not-dispatched ``(index, job)`` look-ahead."""
+        return [(index, job) for index, job, _ in self.window]
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def _record(self, index: int, job: Any, latency: float) -> None:
+        self.served += 1
+        if self.on_served is not None:
+            self.on_served(index, job, latency)
+
+    def _schedule_arrival(self, index: int, job: Any) -> None:
+        serve = self._make_handler(index, job)
+
+        def _fire(index: int = index, job: Any = job, serve=serve) -> None:
+            if self.window and self.window[0][0] == index:
+                self.window.popleft()
+            # Refill *before* serving: the look-ahead stays full while the
+            # service logic runs, and refilled arrivals take their queue
+            # sequence numbers ahead of this job's protocol messages --
+            # deterministic, and reproduced exactly by a resumed run.
+            self._refill()
+            self.dispatched += 1
+            if self.on_arrival is not None:
+                self.on_arrival(index, job)
+            serve()
+
+        event = self.fleet.simulator.schedule_at(job.time, _fire, kind="arrival")
+        self.window.append((index, job, event))
+
+    def _refill(self) -> None:
+        while not self._exhausted and len(self.window) < self.lookahead:
+            try:
+                job = next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+                return
+            if job.time <= self._last_time:
+                raise ValueError(
+                    f"job times must be strictly increasing: job {self.consumed} "
+                    f"arrives at {job.time} after {self._last_time}"
+                )
+            self._last_time = job.time
+            index = self.consumed
+            self.consumed += 1
+            self._schedule_arrival(index, job)
+
+    def prepare(self) -> None:
+        """Schedule churn and the initial look-ahead (idempotent).
+
+        Called implicitly by :meth:`run`; a resuming harness calls it
+        explicitly so it can overwrite the queue statistics with the
+        snapshot's values at exactly the right moment -- the ``on_primed``
+        hook fires after the snapshot's churn + pending arrivals are
+        re-pushed but *before* the look-ahead refills with new jobs, so
+        post-hook scheduling counts accrue exactly as in the uninterrupted
+        run.
+        """
+        if self._ready:
+            return
+        self._ready = True
+        # Churn first, then arrivals: same relative sequence order as the
+        # batch driver (and as any earlier leg of a resumed run).
+        _schedule_churn(self.fleet, self.churn, self.plan, self.churn_applied)
+        for index, job in self._pending_resume:
+            self._schedule_arrival(index, job)
+        self._pending_resume = ()
+        if self.on_primed is not None:
+            self.on_primed(self)
+        self._refill()
+
+    # ------------------------------------------------------------------ #
+    # the control loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> int:
+        """Drive the stream to completion; returns jobs served."""
+        simulator = self.fleet.simulator
+        self.prepare()
+        while self.window:
+            head_time = self.window[0][1].time
+            if self.duration is not None and head_time > self.duration:
+                for _, _, event in self.window:
+                    event.cancel()
+                self.window.clear()
+                self._exhausted = True
+                break
+            # Drain everything strictly before the arrival: the largest
+            # float below head_time is an exact, serializable boundary.
+            boundary = math.nextafter(head_time, -math.inf)
+            if simulator.now < boundary:
+                simulator.run(until=boundary)
+            if self.control is not None:
+                self.control(self)
+            simulator.run(until=head_time)
+        simulator.run_until_quiescent()
+        self.finished = True
+        if self.control is not None:
+            self.control(self)
+        return self.served

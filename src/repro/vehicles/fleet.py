@@ -42,6 +42,7 @@ from repro.vehicles.registry import (
     coloring_for_cube,
     pairing_template,
 )
+from repro.vehicles.state import WorkingState
 from repro.vehicles.vehicle import VehicleProcess
 
 __all__ = ["FleetConfig", "Fleet"]
@@ -86,6 +87,13 @@ class FleetConfig:
     #: keeps adopters from immediately going done themselves; it should
     #: exceed ``done_threshold`` by a comfortable service margin.
     escalation_reserve: float = 4.0
+    #: Proactive load shedding: when a crashed vehicle rejoins (churn) and
+    #: its pair is meanwhile held by an adopter, offer the pair back to the
+    #: revived owner through the legal escalated move order.  Long service
+    #: horizons accumulate adoption debt (one vehicle answering for many
+    #: pairs) that one revival can now retire.  Off by default: every
+    #: existing run keeps its golden hashes.
+    hand_back: bool = False
 
 
 @dataclass
@@ -104,6 +112,7 @@ class FleetStats:
     escalations_started: int = 0
     escalated_replacements: int = 0
     adoptions: int = 0
+    hand_backs: int = 0
 
 
 class Fleet:
@@ -480,6 +489,32 @@ class Fleet:
         self.stats.adoptions += 1
         self._insert_member(self._pair_cube[pair_key], identity)
 
+    def on_hand_back(self, identity: Point, pair_key: Point) -> None:
+        """A revived owner reclaimed its pair from an adopter.
+
+        Counted separately from ``replacements`` -- nothing was searched or
+        moved, responsibility just returned home -- so every result field a
+        golden hash covers is untouched by the hand-back protocol.
+        """
+        self.registry[pair_key] = identity
+        self.stats.hand_backs += 1
+
+    def on_adoption_released(self, identity: Point, pair_key: Point) -> None:
+        """An adopter dropped ``pair_key``: retire its residency in the
+        pair's cube unless something else still anchors it there (its own
+        pair, its home cube, or another adopted pair)."""
+        index = self._pair_cube[pair_key]
+        vehicle = self.vehicles[identity]
+        if vehicle.cube_index == index:
+            return
+        if self._pair_cube.get(vehicle.pair_key) == index:
+            return
+        if any(self._pair_cube.get(p) == index for p in vehicle.adopted_pairs):
+            return
+        members = self._cube_members.get(index)
+        if members is not None and identity in members:
+            members.remove(identity)
+
     def _insert_member(self, index: Tuple[int, ...], identity: Point) -> None:
         members = self._cube_members.setdefault(index, [])
         position = bisect.bisect_left(members, identity)
@@ -591,7 +626,34 @@ class Fleet:
         identity = tuple(int(c) for c in identity)
         if identity not in self.vehicles:
             raise KeyError(f"no vehicle at {identity}")
-        self.vehicles[identity].mark_repaired()
+        vehicle = self.vehicles[identity]
+        vehicle.mark_repaired()
+        if self.config.hand_back:
+            self._offer_hand_back(vehicle)
+
+    def _offer_hand_back(self, vehicle: VehicleProcess) -> None:
+        """Proactive load shedding on a churn rejoin (``config.hand_back``).
+
+        If the revived vehicle was active for a pair that an adopter is
+        meanwhile answering for, ask the adopter to offer the pair back:
+        the adopter sends the revived owner the legal escalated move order,
+        the owner's reclaim re-registers the pair and broadcasts an
+        activation notice, and the notice releases the adoption.  Every hop
+        is an ordinary protocol message, so the exchange is drop-safe under
+        a lossy transport: a lost order leaves the adopter serving (status
+        quo), a lost notice leaves the registry pointing at the owner while
+        the adopter redundantly heartbeats -- never an orphaned pair.
+        """
+        pair_key = vehicle.pair_key
+        if pair_key is None or vehicle.status.working != WorkingState.ACTIVE:
+            return
+        holder_identity = self.registry.get(pair_key)
+        if holder_identity is None or holder_identity == vehicle.identity:
+            return
+        holder = self.vehicles.get(holder_identity)
+        if holder is None or holder.broken or pair_key not in holder.adopted_pairs:
+            return
+        holder.offer_hand_back(pair_key, vehicle.identity)
 
     # ------------------------------------------------------------------ #
     # measurements

@@ -676,6 +676,23 @@ class VehicleProcess(Process):
             self.fleet.record_failed_replacement(message.pair_key)
             return
         if message.pair_key == self.pair_key or message.pair_key in self.adopted_pairs:
+            if (
+                self.fleet.config.hand_back
+                and message.pair_key == self.pair_key
+                and self.fleet.registered_vehicle(message.pair_key) != self.identity
+            ):
+                # Hand-back reclaim: the pair is this vehicle's *own* but
+                # the registry points at an adopter -- the order is the
+                # adopter offering it back after this vehicle's revival.
+                # No walk and no state transition (the owner never left
+                # active); re-register and announce, which releases the
+                # adoption at the adopter (see ``_on_activation_notice``).
+                self.fleet.on_hand_back(self.identity, message.pair_key)
+                self.send_many(
+                    self._activation_audience(message.pair_key),
+                    ActivationNotice(self.identity, message.pair_key, self.position),
+                )
+                return
             return  # duplicate move order for a pair it already answers for
         walk = manhattan(self.position, message.destination)
         if (
@@ -754,6 +771,30 @@ class VehicleProcess(Process):
     def _on_activation_notice(self, message: ActivationNotice) -> None:
         # A fresh activation counts as having just heard from that pair.
         self.last_heard[message.pair_key] = self.fleet.heartbeat_round
+        if (
+            self.fleet.config.hand_back
+            and message.pair_key in self.adopted_pairs
+            and message.sender != self.identity
+        ):
+            # Someone else (the revived owner, or a later replacement) now
+            # answers for a pair this vehicle adopted: shed the load.
+            self.adopted_pairs.remove(message.pair_key)
+            self.fleet.on_adoption_released(self.identity, message.pair_key)
+
+    def offer_hand_back(self, pair_key: Point, owner: Point) -> None:
+        """Offer an adopted pair back to its revived original owner.
+
+        Sent as the legal *escalated* move order -- the only arrow through
+        which an ACTIVE vehicle accepts responsibility for a pair -- and
+        addressed directly to the owner, so the existing Phase II endpoint
+        logic (``_on_move`` -> ``_adopt_pair``'s reclaim branch) handles it
+        without any new message type.
+        """
+        tag = (self.identity, self.fleet.next_computation_round())
+        self.send(
+            owner,
+            MoveMessage(tag, self.identity, pair_key, pair_key, escalated=True),
+        )
 
     def tick_search_timeout(self, timeout: int) -> None:
         """Abandon a diffusing computation stuck for ``timeout`` heartbeat rounds.

@@ -17,6 +17,7 @@ used in the experiments:
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import List, Optional
 
@@ -30,6 +31,7 @@ __all__ = [
     "random_arrivals",
     "alternating_arrivals",
     "bursty_arrivals",
+    "streaming_arrivals",
 ]
 
 
@@ -103,3 +105,30 @@ def bursty_arrivals(
     for index in order:
         positions.extend(bursts[index])
     return JobSequence.from_positions(positions)
+
+
+def streaming_arrivals(demand: DemandMap, *, jobs: Optional[int] = None):
+    """A lazy generator of unit jobs cycling the demand positions.
+
+    The long-horizon workload of the service harness: position ``k % P`` of
+    the demand's unit expansion receives job ``k`` at time ``k + 1`` (the
+    same ``from_positions`` clock every materialized ordering uses), so an
+    arbitrarily long run revisits the demand pattern forever without ever
+    materializing a :class:`~repro.core.demand.JobSequence`.  ``jobs=None``
+    streams forever (pair it with a run duration).  Deterministic: two
+    iterations over the same demand yield identical jobs, which is what
+    lets a resumed run reconstruct the remaining stream with
+    ``itertools.islice``.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    positions = _unit_positions(demand)
+    if not positions and (jobs is None or jobs > 0):
+        raise ValueError("cannot stream jobs from an empty demand map")
+    counter = range(jobs) if jobs is not None else itertools.count()
+    for index in counter:
+        yield Job(
+            time=float(index + 1),
+            position=positions[index % len(positions)],
+            energy=1.0,
+        )

@@ -1,0 +1,111 @@
+"""Windowed metrics: rollups equal batch totals, windows sum to the run.
+
+The recorder only *reads* fleet counters at window boundaries, so metrics
+must never perturb the event stream, and its rollup is read off the same
+cumulative counters the batch driver reports -- equality is exact, not
+approximate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.service import ServiceConfig
+from repro.core.demand import DemandMap
+from repro.core.online import run_online
+from repro.service import LatencyDigest, run_service
+from repro.workloads.arrivals import alternating_arrivals
+
+DEMAND = DemandMap({(0, 0): 4.0, (2, 1): 3.0, (5, 4): 2.0, (1, 6): 5.0})
+
+
+class TestRollupEqualsBatchTotals:
+    def test_rollup_matches_the_batch_counters(self):
+        jobs = alternating_arrivals(DEMAND)
+        batch = run_online(jobs)
+        service = run_service(
+            ServiceConfig.from_demand(DEMAND, window_jobs=3), list(jobs.jobs)
+        )
+        rollup = service.rollup
+        assert rollup["jobs_arrived"] == batch.jobs_total
+        assert rollup["jobs_served"] == batch.jobs_served
+        assert rollup["messages"] == batch.messages
+        assert rollup["replacements"] == batch.replacements
+        assert rollup["heartbeat_rounds"] == batch.heartbeat_rounds
+        assert rollup["max_vehicle_energy"] == batch.max_vehicle_energy
+        assert rollup["travel"] == batch.total_travel
+        assert rollup["service"] == batch.total_service
+
+    def test_window_deltas_sum_to_the_rollup(self, tmp_path):
+        jobs = alternating_arrivals(DEMAND)
+        metrics = tmp_path / "metrics.jsonl"
+        service = run_service(
+            ServiceConfig.from_demand(DEMAND, window_jobs=3),
+            list(jobs.jobs),
+            metrics_path=str(metrics),
+        )
+        lines = [json.loads(line) for line in metrics.read_text().splitlines()]
+        windows = [line for line in lines if line["type"] == "metrics_window"]
+        rollups = [line for line in lines if line["type"] == "metrics_rollup"]
+        assert len(windows) == service.windows
+        assert len(rollups) == 1
+        for name in ("jobs", "served", "messages", "replacements", "travel"):
+            total = sum(window[name] for window in windows)
+            key = {"jobs": "jobs_arrived", "served": "jobs_served"}.get(name, name)
+            assert total == pytest.approx(service.rollup[key])
+
+    def test_metrics_emission_does_not_perturb_the_run(self, tmp_path):
+        jobs = alternating_arrivals(DEMAND)
+        config = ServiceConfig.from_demand(DEMAND, window_jobs=3)
+        plain = run_service(config, list(jobs.jobs))
+        with_metrics = run_service(
+            config, list(jobs.jobs), metrics_path=str(tmp_path / "m.jsonl")
+        )
+        assert with_metrics.result_hash() == plain.result_hash()
+        assert with_metrics.fleet_digest == plain.fleet_digest
+
+    def test_window_records_have_latency_percentiles(self, tmp_path):
+        jobs = alternating_arrivals(DEMAND)
+        metrics = tmp_path / "metrics.jsonl"
+        run_service(
+            ServiceConfig.from_demand(DEMAND, window_jobs=4),
+            list(jobs.jobs),
+            metrics_path=str(metrics),
+        )
+        first = json.loads(metrics.read_text().splitlines()[0])
+        for key in ("latency_p50", "latency_p90", "latency_p99"):
+            assert key in first
+        assert first["latency_p50"] <= first["latency_p99"]
+
+
+class TestLatencyDigest:
+    def test_exact_on_small_inputs(self):
+        digest = LatencyDigest(capacity=8)
+        for value in (0.0, 0.0, 1.0, 2.0, 2.0, 2.0):
+            digest.add(value)
+        assert digest.quantile(0.0) == 0.0
+        assert digest.quantile(0.5) == 1.0
+        assert digest.quantile(1.0) == 2.0
+
+    def test_bounded_capacity_under_many_inserts(self):
+        digest = LatencyDigest(capacity=4)
+        for k in range(1000):
+            digest.add(float(k % 17))
+        assert len(digest.to_json()["centroids"]) <= 4
+        assert digest.count == 1000
+
+    def test_deterministic_and_json_round_trip(self):
+        first, second = LatencyDigest(capacity=4), LatencyDigest(capacity=4)
+        for k in range(100):
+            first.add(float(k % 7))
+            second.add(float(k % 7))
+        assert first.to_json() == second.to_json()
+        restored = LatencyDigest.from_json(first.to_json())
+        assert restored.to_json() == first.to_json()
+        assert restored.quantile(0.9) == first.quantile(0.9)
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            LatencyDigest(capacity=1)
