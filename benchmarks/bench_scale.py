@@ -67,6 +67,30 @@ def measure_construction(demand, repeat: int) -> dict:
     }
 
 
+def measure_quiescent(demand, rounds: int = 50) -> dict:
+    """Quiescent heartbeat rounds/sec on a failure-free fleet.
+
+    ``omega=1.0`` partitions the window into singleton cubes, so every
+    vehicle is active, peerless, and watchless -- a heartbeat round does
+    no protocol work at all.  What this measures is therefore the pure
+    idle-scan cost of the round loop: with the active-set registry path a
+    quiescent round touches only the (empty) engaged set plus one
+    vectorized sender read, so the figure tracks the O(active)-per-round
+    claim directly.
+    """
+    fleet = Fleet(demand, omega=1.0, config=FleetConfig(monitoring=True))
+    fleet.run_heartbeat_round()  # warm caches (index map, numpy views)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fleet.run_heartbeat_round()
+    elapsed = time.perf_counter() - start
+    return {
+        "quiescent_vehicles": len(fleet.vehicles),
+        "quiescent_rounds": rounds,
+        "quiescent_rounds_per_sec": rounds / elapsed if elapsed else 0.0,
+    }
+
+
 def measure_throughput(demand, seed: int = 0) -> dict:
     """Events/sec of one full events-engine online run."""
     jobs = random_arrivals(demand, np.random.default_rng(seed))
@@ -101,12 +125,18 @@ def main(argv=None) -> int:
         entry = measure_construction(demand, repeat)
         if label == "1e3" or not args.quick:
             entry.update(measure_throughput(demand))
+        if label == "1e4":
+            # Cheap even at 10^4 vehicles (that is the point), so it runs
+            # in --quick too and the CI gate tracks it every build.
+            entry.update(measure_quiescent(demand))
         report["scales"][label] = entry
         throughput = entry.get("events_per_sec")
+        quiescent = entry.get("quiescent_rounds_per_sec")
         print(
             f"{label}: {entry['vehicles']} vehicles, "
             f"construction {entry['construction_seconds']:.4f}s"
             + (f", {throughput:,.0f} events/sec" if throughput else "")
+            + (f", {quiescent:,.0f} quiescent rounds/sec" if quiescent else "")
         )
 
     atomic_write_json(report, args.out)

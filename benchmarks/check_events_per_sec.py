@@ -12,7 +12,10 @@ With ``--scale-report`` it additionally gates the ``10^4``-vehicle fleet
 *construction time* measured by ``bench_scale.py`` (the
 ``BENCH_fleet_scale.json`` artifact) against the committed
 ``construction_seconds_1e4`` ceiling -- same tolerance, inverted sense
-(construction regresses by getting *slower*).
+(construction regresses by getting *slower*) -- and the failure-free
+*quiescent heartbeat round* rate at the same scale against the committed
+``quiescent_rounds_per_sec_1e4`` floor (the idle-scan cost the active-set
+registry path is responsible for keeping O(active)).
 
 With ``--stream-report`` it gates the streaming-service throughput at the
 ``10^3``-vehicle scale measured by ``bench_stream.py`` (the
@@ -84,6 +87,18 @@ def extract_construction_seconds(scale_report: dict) -> float:
     return float(entry["construction_seconds"])
 
 
+def extract_quiescent_rounds(scale_report: dict) -> float:
+    """The gated scale's quiescent rounds/sec from a bench_scale.py report."""
+    entry = scale_report.get("scales", {}).get(GATED_SCALE)
+    if entry is None or "quiescent_rounds_per_sec" not in entry:
+        raise SystemExit(
+            f"scale report carries no quiescent_rounds_per_sec for scale "
+            f"{GATED_SCALE!r}; "
+            "run: python benchmarks/bench_scale.py --quick --out BENCH_fleet_scale.json"
+        )
+    return float(entry["quiescent_rounds_per_sec"])
+
+
 def extract_stream_metrics(stream_report: dict) -> tuple:
     """(events/sec at 1e3, memory-flat flag) from a bench_stream.py report."""
     entry = stream_report.get("scales", {}).get("1e3")
@@ -135,10 +150,11 @@ def main(argv=None) -> int:
     report = json.loads(Path(args.report).read_text())
     measured = extract_events_per_sec(report)
     construction = None
+    quiescent = None
     if args.scale_report is not None:
-        construction = extract_construction_seconds(
-            json.loads(Path(args.scale_report).read_text())
-        )
+        scale_payload = json.loads(Path(args.scale_report).read_text())
+        construction = extract_construction_seconds(scale_payload)
+        quiescent = extract_quiescent_rounds(scale_payload)
     stream = None
     stream_flat = True
     if args.stream_report is not None:
@@ -151,6 +167,8 @@ def main(argv=None) -> int:
         refreshed = {"benchmark": GATED_BENCHMARK, "events_per_sec": measured}
         if construction is not None:
             refreshed["construction_seconds_1e4"] = construction
+        if quiescent is not None:
+            refreshed["quiescent_rounds_per_sec_1e4"] = quiescent
         if stream is not None:
             refreshed["stream_events_per_sec_1e3"] = stream
         if baseline_path.exists():
@@ -161,6 +179,8 @@ def main(argv=None) -> int:
         print(f"baseline updated: {measured:.0f} events/sec -> {baseline_path}")
         if construction is not None:
             print(f"baseline updated: {construction:.4f}s construction (1e4)")
+        if quiescent is not None:
+            print(f"baseline updated: {quiescent:.0f} quiescent rounds/sec (1e4)")
         if stream is not None:
             print(f"baseline updated: {stream:.0f} stream events/sec (1e3)")
         return 0
@@ -210,6 +230,31 @@ def main(argv=None) -> int:
             f"(baseline {float(ceiling_base):.4f}, ceiling {ceiling:.4f}) -> {cstatus}"
         )
 
+    quiescent_passed = True
+    if quiescent is not None:
+        quiescent_base = baseline_payload.get("quiescent_rounds_per_sec_1e4")
+        if quiescent_base is None:
+            raise SystemExit(
+                "--scale-report given but the baseline carries no "
+                "quiescent_rounds_per_sec_1e4; refresh it with --update"
+            )
+        quiescent_floor = float(quiescent_base) * (1.0 - args.tolerance)
+        quiescent_passed = quiescent >= quiescent_floor
+        artifact.update(
+            {
+                "quiescent_rounds_per_sec_1e4": quiescent,
+                "baseline_quiescent_rounds_per_sec_1e4": float(quiescent_base),
+                "floor_quiescent_rounds_per_sec_1e4": quiescent_floor,
+                "quiescent_pass": quiescent_passed,
+            }
+        )
+        qstatus = "ok" if quiescent_passed else "REGRESSION"
+        print(
+            f"quiescent rounds (1e4): {quiescent:.0f} rounds/sec "
+            f"(baseline {float(quiescent_base):.0f}, floor {quiescent_floor:.0f}) "
+            f"-> {qstatus}"
+        )
+
     stream_passed = True
     if stream is not None:
         stream_base = baseline_payload.get("stream_events_per_sec_1e3")
@@ -236,7 +281,7 @@ def main(argv=None) -> int:
             f"memory {'flat' if stream_flat else 'GROWING'} -> {sstatus}"
         )
 
-    overall = passed and construction_passed and stream_passed
+    overall = passed and construction_passed and quiescent_passed and stream_passed
     artifact["pass"] = overall
     Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
     return 0 if overall else 1

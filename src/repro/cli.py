@@ -316,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", help="checkpoint path (atomically replaced each write)"
     )
     serve.add_argument(
+        "--keep-checkpoints",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="rotate checkpoints: keep the last K snapshots as numbered "
+        "siblings of --checkpoint instead of replacing a single file",
+    )
+    serve.add_argument(
         "--resume",
         metavar="SNAPSHOT",
         help="continue from a checkpoint (workload flags come from the "
@@ -747,12 +755,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.checkpoint is None:
         print("error: --checkpoint-every needs --checkpoint PATH", file=sys.stderr)
         return 2
+    if args.keep_checkpoints is not None and args.checkpoint is None:
+        print("error: --keep-checkpoints needs --checkpoint PATH", file=sys.stderr)
+        return 2
     outputs = dict(
         duration=args.duration,
         metrics_path=args.metrics_out,
         state_path=args.state_out,
         log_path=args.log_out,
         checkpoint_path=args.checkpoint,
+        keep_checkpoints=args.keep_checkpoints,
         stop_after_checkpoints=args.stop_after_checkpoints,
     )
     if args.resume:

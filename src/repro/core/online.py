@@ -309,9 +309,9 @@ def _arrival_logic(
     def _heartbeat() -> None:
         fleet.run_heartbeat_round(settle=False)
 
-    def _arrival(index: int, job) -> None:
+    def _arrival(index: int, job, pair_key) -> None:
         plan.set_time(simulator.now)
-        if fleet.deliver_job(job.position, job.energy, settle=False):
+        if fleet.deliver_job(job.position, job.energy, settle=False, pair_key=pair_key):
             record(index, job, simulator.now - job.time)
             if fleet_config.monitoring:
                 _heartbeat()
@@ -341,9 +341,9 @@ def _arrival_logic(
         elif fleet_config.monitoring:
             _heartbeat()
 
-    def make_handler(index: int, job):
+    def make_handler(index: int, job, pair_key=None):
         def _handler() -> None:
-            _arrival(index, job)
+            _arrival(index, job, pair_key)
 
         return _handler
 
@@ -421,9 +421,14 @@ def _run_events(
 
     make_handler = _arrival_logic(fleet, fleet_config, plan, recovery_rounds, record)
 
-    # The whole arrival sequence goes to the calendar queue in one call.
+    # The whole arrival sequence goes to the calendar queue in one call,
+    # pre-routed with a single vectorized position->pair lookup.
+    routed = fleet.route_positions([job.position for job in jobs])
     simulator.schedule_batch(
-        ((job.time, make_handler(index, job)) for index, job in enumerate(jobs)),
+        (
+            (job.time, make_handler(index, job, routed[index]))
+            for index, job in enumerate(jobs)
+        ),
         kind="arrival",
     )
 
@@ -499,8 +504,10 @@ def run_online(
         kind = transport_instance.kind if transport_instance is not None else "reliable"
         return _empty_online_result(engine, kind)
 
-    demand = jobs.demand_map()
     memo = _omega_memo_entry(jobs)
+    if "demand" not in memo:
+        memo["demand"] = jobs.demand_map()
+    demand = memo["demand"]
     if omega is None:
         if "omega_c" not in memo:
             memo["omega_c"] = omega_c(demand)

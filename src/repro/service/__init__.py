@@ -24,7 +24,9 @@ from repro.service.checkpoint import (
     capture_checkpoint,
     fleet_digest,
     load_checkpoint,
+    rotated_checkpoint_path,
     save_checkpoint,
+    save_rotated_checkpoint,
 )
 from repro.service.harness import resume_service, run_service
 from repro.service.metrics import LatencyDigest, MetricsRecorder
@@ -47,4 +49,6 @@ __all__ = [
     "resume_service",
     "run_service",
     "save_checkpoint",
+    "save_rotated_checkpoint",
+    "rotated_checkpoint_path",
 ]

@@ -31,6 +31,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.core.demand import Job
 from repro.distsim.failures import ChurnSpec
 from repro.io.serialize import load_json, save_json
 from repro.vehicles.fleet import Fleet
+from repro.vehicles.registry import WATCH_NEVER, WATCH_NONE
 from repro.vehicles.state import TransferState, WorkingState
 
 __all__ = [
@@ -46,6 +48,8 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "capture_checkpoint",
     "save_checkpoint",
+    "save_rotated_checkpoint",
+    "rotated_checkpoint_path",
     "load_checkpoint",
     "restore_fleet_state",
     "restore_transport_state",
@@ -261,6 +265,26 @@ def restore_fleet_state(fleet: Fleet, payload: Dict[str, Any]) -> None:
             vehicle.neighbors = [tuple(n) for n in residency["neighbors"]]
             vehicle.cube_peers = [tuple(p) for p in residency["cube_peers"]]
 
+    # The engaged set and the watch-heard mirror are not serialized (the
+    # snapshot format predates them); both are pure functions of the
+    # restored per-vehicle state, so rebuild them deterministically.
+    flat.engaged.clear()
+    for index, identity in enumerate(flat.identities):
+        vehicle = fleet.vehicles[identity]
+        if (
+            vehicle._engaged_tag is not None
+            or vehicle.escalations
+            or vehicle._engaged_rounds
+            or vehicle._engaged_tag_seen is not None
+        ):
+            flat.engaged.add(index)
+        monitored = vehicle._monitored_pair
+        flat.watch_heard[index] = (
+            WATCH_NONE
+            if monitored is None
+            else vehicle.last_heard.get(monitored, WATCH_NEVER)
+        )
+
     fleet.registry.clear()
     fleet.registry.update(
         (tuple(pair), tuple(identity)) for pair, identity in payload["registry"]
@@ -404,6 +428,41 @@ def capture_checkpoint(
 def save_checkpoint(payload: Dict[str, Any], path) -> None:
     """Write a snapshot atomically (:func:`repro.io.serialize.save_json`)."""
     save_json(payload, path)
+
+
+def rotated_checkpoint_path(path, ordinal: int) -> Path:
+    """The rotation slot for the snapshot taken after window ``ordinal``.
+
+    ``checkpoint.json`` at window 12 becomes ``checkpoint.w00000012.json``;
+    the zero-padded ordinal makes lexicographic order equal numeric order,
+    which is what keeps pruning deterministic.
+    """
+    path = Path(path)
+    return path.with_name(f"{path.stem}.w{ordinal:08d}{path.suffix}")
+
+
+def save_rotated_checkpoint(payload: Dict[str, Any], path, *, ordinal: int, keep: int) -> Path:
+    """Write a snapshot to its rotation slot and prune older slots.
+
+    The latest snapshot is *also* written to ``path`` itself, so every
+    resume flow that points at the un-numbered path keeps working; the
+    numbered siblings retain the last ``keep`` snapshots for resuming
+    from an older point (e.g. after a corrupted latest write).  Ordinals
+    are the recorder's window index -- monotonic across resumed legs, so
+    a resumed run rotates into fresh slots instead of colliding with the
+    previous leg's files.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be at least 1, got {keep}")
+    path = Path(path)
+    slot = rotated_checkpoint_path(path, ordinal)
+    save_json(payload, slot)
+    save_json(payload, path)
+    pattern = f"{path.stem}.w????????{path.suffix}"
+    slots = sorted(path.parent.glob(pattern))
+    for stale in slots[: max(0, len(slots) - keep)]:
+        stale.unlink()
+    return slot
 
 
 def load_checkpoint(source) -> Dict[str, Any]:

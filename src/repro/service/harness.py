@@ -43,6 +43,7 @@ from repro.service.checkpoint import (
     churn_applied_from_json,
     fleet_digest,
     load_checkpoint,
+    save_rotated_checkpoint,
     pending_jobs_from_json,
     restore_fleet_state,
     restore_transport_state,
@@ -92,6 +93,7 @@ def run_service(
     state_path: Optional[Union[str, Path]] = None,
     log_path: Optional[Union[str, Path]] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    keep_checkpoints: Optional[int] = None,
     stop_after_checkpoints: Optional[int] = None,
     snapshot: Optional[Union[str, Path, Dict[str, Any]]] = None,
 ) -> ServiceResult:
@@ -116,6 +118,11 @@ def run_service(
     checkpoint_path:
         Where checkpoints go (atomically replaced each time); requires
         ``config.checkpoint_every``.
+    keep_checkpoints:
+        Rotate instead of replace: keep the last K snapshots as numbered
+        siblings of ``checkpoint_path`` (``snap.w00000004.json`` for the
+        window-4 snapshot) with deterministic pruning, while the plain
+        path still tracks the latest.  Any retained slot resumes the run.
     stop_after_checkpoints:
         Stop the run right after writing this many checkpoints -- the
         deterministic stand-in for "the process was killed": the returned
@@ -126,6 +133,8 @@ def run_service(
         :func:`resume_service`).  Must have been taken under an identical
         config.
     """
+    if keep_checkpoints is not None and keep_checkpoints < 1:
+        raise ValueError(f"keep_checkpoints must be at least 1, got {keep_checkpoints}")
     resumed = snapshot is not None
     if resumed:
         snapshot = load_checkpoint(snapshot)
@@ -211,10 +220,16 @@ def run_service(
             and not driver.finished
             and driver.at_clean_point()
         ):
-            save_checkpoint(
-                capture_checkpoint(config, driver, rng=rng, recorder=recorder),
-                checkpoint_path,
-            )
+            payload = capture_checkpoint(config, driver, rng=rng, recorder=recorder)
+            if keep_checkpoints is not None:
+                save_rotated_checkpoint(
+                    payload,
+                    checkpoint_path,
+                    ordinal=recorder.window_index,
+                    keep=keep_checkpoints,
+                )
+            else:
+                save_checkpoint(payload, checkpoint_path)
             progress["checkpoints"] += 1
             progress["checkpoint_due"] = False
             store.log_event(

@@ -54,6 +54,11 @@ class LatencyDigest:
         self.capacity = capacity
         self._values: List[float] = []
         self._weights: List[float] = []
+        # Exact extremes: centroid merging weight-averages values, so the
+        # first/last centroid drift inward once the sketch saturates --
+        # p0/p100 must come from these, not from the centroid endpoints.
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
 
     @property
     def count(self) -> float:
@@ -63,6 +68,10 @@ class LatencyDigest:
     def add(self, value: float, weight: float = 1.0) -> None:
         """Fold one observation into the sketch."""
         value = float(value)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
         position = bisect.bisect_left(self._values, value)
         if position < len(self._values) and self._values[position] == value:
             self._weights[position] += weight
@@ -90,7 +99,9 @@ class LatencyDigest:
         if not self._values:
             return 0.0
         if q <= 0:
-            return self._values[0]
+            return self._min  # exact minimum, immune to centroid merging
+        if q >= 1:
+            return self._max  # exact maximum, immune to centroid merging
         target = q * self.count
         cumulative = 0.0
         for value, weight in zip(self._values, self._weights):
@@ -100,10 +111,14 @@ class LatencyDigest:
         return self._values[-1]
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "capacity": self.capacity,
             "centroids": [[v, w] for v, w in zip(self._values, self._weights)],
         }
+        if self._values:
+            payload["min"] = self._min
+            payload["max"] = self._max
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, Any]) -> "LatencyDigest":
@@ -111,6 +126,11 @@ class LatencyDigest:
         for value, weight in payload["centroids"]:
             digest._values.append(float(value))
             digest._weights.append(float(weight))
+        if digest._values:
+            # Pre-extremes snapshots carry no min/max; the centroid
+            # endpoints are the best (and historical) reconstruction.
+            digest._min = float(payload.get("min", digest._values[0]))
+            digest._max = float(payload.get("max", digest._values[-1]))
         return digest
 
 

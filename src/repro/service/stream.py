@@ -149,8 +149,8 @@ class StreamDriver:
         if self.on_served is not None:
             self.on_served(index, job, latency)
 
-    def _schedule_arrival(self, index: int, job: Any) -> None:
-        serve = self._make_handler(index, job)
+    def _schedule_arrival(self, index: int, job: Any, pair_key: Any = None) -> None:
+        serve = self._make_handler(index, job, pair_key)
 
         def _fire(index: int = index, job: Any = job, serve=serve) -> None:
             if self.window and self.window[0][0] == index:
@@ -169,21 +169,30 @@ class StreamDriver:
         self.window.append((index, job, event))
 
     def _refill(self) -> None:
-        while not self._exhausted and len(self.window) < self.lookahead:
+        # Pull the whole deficit off the stream first, then resolve the
+        # batch's pair keys with one vectorized registry lookup (the
+        # priming refill schedules a full look-ahead window; steady state
+        # usually refills one job and takes the scalar route).
+        fresh = []
+        while not self._exhausted and len(self.window) + len(fresh) < self.lookahead:
             try:
                 job = next(self._iterator)
             except StopIteration:
                 self._exhausted = True
-                return
+                break
             if job.time <= self._last_time:
                 raise ValueError(
                     f"job times must be strictly increasing: job {self.consumed} "
                     f"arrives at {job.time} after {self._last_time}"
                 )
             self._last_time = job.time
-            index = self.consumed
+            fresh.append((self.consumed, job))
             self.consumed += 1
-            self._schedule_arrival(index, job)
+        if not fresh:
+            return
+        routed = self.fleet.route_positions([job.position for _, job in fresh])
+        for (index, job), pair_key in zip(fresh, routed):
+            self._schedule_arrival(index, job, pair_key)
 
     def prepare(self) -> None:
         """Schedule churn and the initial look-ahead (idempotent).
@@ -202,8 +211,12 @@ class StreamDriver:
         # Churn first, then arrivals: same relative sequence order as the
         # batch driver (and as any earlier leg of a resumed run).
         _schedule_churn(self.fleet, self.churn, self.plan, self.churn_applied)
-        for index, job in self._pending_resume:
-            self._schedule_arrival(index, job)
+        if self._pending_resume:
+            routed = self.fleet.route_positions(
+                [job.position for _, job in self._pending_resume]
+            )
+            for (index, job), pair_key in zip(self._pending_resume, routed):
+                self._schedule_arrival(index, job, pair_key)
         self._pending_resume = ()
         if self.on_primed is not None:
             self.on_primed(self)

@@ -34,10 +34,12 @@ from repro.distsim.transport import Transport
 from repro.grid.coloring import Coloring
 from repro.grid.cubes import CubeGrid, CubeHierarchy
 from repro.grid.lattice import Box, Point, manhattan
+from repro.vehicles.messages import ExistingMessage
 from repro.vehicles.monitoring import hierarchical_watch_ring, watch_ring_inverse
 from repro.vehicles.registry import (
     FleetRegistry,
     STATE_ACTIVE,
+    WATCH_NEVER,
     adjacency_template,
     coloring_for_cube,
     pairing_template,
@@ -184,6 +186,10 @@ class Fleet:
         self.stats = FleetStats()
         self._computation_round = 0
         self._heartbeat_round = 0
+        #: Dense-index -> vehicle list backing the registry-native round
+        #: path (lazy; rebuilt if vehicles are added after construction).
+        self._by_index_cache: Optional[List[Optional[VehicleProcess]]] = None
+        self._by_index_count = -1
         #: Heartbeat round at which monitoring started (watchers treat pairs
         #: never heard from as having spoken at this round).
         self.monitoring_baseline = 0
@@ -278,6 +284,17 @@ class Fleet:
         vehicles = self.vehicles
         network = self.network
         pair_registry = self.registry
+        cube_bases = registry.add_cubes(
+            [
+                (
+                    index,
+                    pairing_template(*keys[position]),
+                    verts_of_cube[position],
+                    coords_of_cube[position],
+                )
+                for position, index in enumerate(indices)
+            ]
+        )
         for position, index in enumerate(indices):
             key = keys[position]
             template = pairing_template(*key)
@@ -288,9 +305,7 @@ class Fleet:
             )
             self.colorings[index] = coloring
             self._cube_members[index] = list(verts)
-            base, pair_keys = registry.add_cube(
-                index, template, verts, coords_of_cube[position]
-            )
+            base, pair_keys = cube_bases[position]
             whites = [
                 verts[w] if w >= 0 else None for w in template.pair_white_list
             ]
@@ -543,7 +558,36 @@ class Fleet:
             return None
         return self.vehicles[identity]
 
-    def deliver_job(self, position: Point, energy: float = 1.0, *, settle: bool = True) -> bool:
+    def route_positions(self, positions) -> List[Optional[Point]]:
+        """Whole-sequence arrival routing: positions -> pair black vertices.
+
+        One vectorized ``pair_ids_of`` lookup resolves the entire batch;
+        ``None`` marks positions no built cube covers (delivering those
+        falls back to the scalar path, which reports the historical
+        ``KeyError``).  The returned keys feed ``deliver_job(pair_key=...)``
+        so per-arrival dispatch skips the position->pair dict chain.
+        """
+        if not len(positions):
+            return []
+        flat = self.flat
+        keys = flat.pair_keys
+        if len(positions) <= 8:
+            # Steady-state streaming refills one arrival at a time; the
+            # scalar read beats a one-row numpy round-trip by ~20x (the
+            # property suite pins both paths to the same answers).
+            ids = [flat.pair_id_at(position) for position in positions]
+        else:
+            ids = flat.pair_ids_of(np.asarray(positions, dtype=np.int64)).tolist()
+        return [keys[i] if i >= 0 else None for i in ids]
+
+    def deliver_job(
+        self,
+        position: Point,
+        energy: float = 1.0,
+        *,
+        settle: bool = True,
+        pair_key: Optional[Point] = None,
+    ) -> bool:
         """Route one job to its pair's active vehicle.
 
         Returns whether the job was actually served.  The caller decides how
@@ -553,10 +597,15 @@ class Fleet:
         long enough for any protocol activity (Phase I/II) to complete.  The
         event-mode harness passes ``settle=False`` and lets the shared
         simulator process protocol messages in timestamp order between
-        arrival events instead.
+        arrival events instead.  ``pair_key`` short-circuits routing with a
+        pre-resolved pair (see :meth:`route_positions`).
         """
         self.stats.jobs_delivered += 1
-        vehicle = self.responsible_vehicle(position)
+        if pair_key is None:
+            vehicle = self.responsible_vehicle(position)
+        else:
+            identity = self.registry.get(pair_key)
+            vehicle = self.vehicles[identity] if identity is not None else None
         served = False
         if vehicle is not None and not vehicle.broken:
             served = vehicle.serve_job(tuple(int(c) for c in position), energy)
@@ -586,23 +635,109 @@ class Fleet:
     # monitoring
     # ------------------------------------------------------------------ #
 
+    def _vehicles_by_index(self) -> List[Optional[VehicleProcess]]:
+        """Dense-index -> vehicle lookup (``None`` for registry slots whose
+        vehicle was never registered with the fleet, e.g. stand-alone test
+        vehicles -- the historical dict loops never visited those either)."""
+        cached = self._by_index_cache
+        if (
+            cached is not None
+            and len(cached) == len(self.flat.positions)
+            and self._by_index_count == len(self.vehicles)
+        ):
+            return cached
+        by_index: List[Optional[VehicleProcess]] = [None] * len(self.flat.positions)
+        for vehicle in self.vehicles.values():
+            by_index[vehicle._index] = vehicle
+        self._by_index_cache = by_index
+        self._by_index_count = len(self.vehicles)
+        return by_index
+
     def run_heartbeat_round(self, *, settle: bool = True) -> None:
         """One monitoring round: every live active vehicle heartbeats.
 
-        Before the heartbeats, every vehicle's search-starvation clock
-        ticks: a diffusing computation stuck across
-        ``config.search_timeout_rounds`` rounds (possible only when the
-        transport lost or corrupted its replies) is abandoned through the
-        legal Figure 3.1 arrows, so the watch loop cannot deadlock.
+        Before the heartbeats, the search-starvation clocks tick: a
+        diffusing computation stuck across ``config.search_timeout_rounds``
+        rounds (possible only when the transport lost or corrupted its
+        replies) is abandoned through the legal Figure 3.1 arrows, so the
+        watch loop cannot deadlock.
+
+        The sweep is registry-native: only the engaged set (vehicles with
+        non-trivial search state -- for every other vehicle the tick is a
+        strict no-op) is ticked, and the round's sender set is one
+        vectorized read of the state/broken arrays, so a fully quiescent
+        round costs O(active) instead of two O(n) object walks.  Both
+        iterations run in ascending dense-index order -- the historical
+        dict order -- so message sequence numbers (and with them every
+        golden hash) are unchanged.
         """
         self._heartbeat_round += 1
         self.stats.heartbeat_rounds += 1
-        for vehicle in self.vehicles.values():
-            vehicle.tick_search_timeout(self.config.search_timeout_rounds)
-        for vehicle in self.vehicles.values():
-            vehicle.heartbeat(self._heartbeat_round, self.config.heartbeat_miss_threshold)
+        round_id = self._heartbeat_round
+        timeout = self.config.search_timeout_rounds
+        miss = self.config.heartbeat_miss_threshold
+        flat = self.flat
+        by_index = self._vehicles_by_index()
+        for index in sorted(flat.engaged):
+            vehicle = by_index[index]
+            if vehicle is not None:
+                vehicle.tick_search_timeout(timeout)
+        senders = np.nonzero(
+            (flat.state_view() == STATE_ACTIVE) & (flat.broken_view() == 0)
+        )[0]
+        if self.config.escalation:
+            # Hierarchical heartbeats carry adopted pairs and ring watch
+            # duties; their per-vehicle state does not vectorize, so every
+            # live active vehicle goes through the full object path.
+            for index in senders.tolist():
+                vehicle = by_index[index]
+                if vehicle is not None:
+                    vehicle.heartbeat(round_id, miss)
+        else:
+            self._plain_heartbeats(senders, round_id, miss, by_index)
         if settle:
             self.settle()
+
+    def _plain_heartbeats(
+        self,
+        senders: np.ndarray,
+        round_id: int,
+        miss: int,
+        by_index: List[Optional[VehicleProcess]],
+    ) -> None:
+        """Cube-local heartbeats with the miss check precomputed in bulk.
+
+        The watched-pair expiry test is a vectorized read of the registry's
+        watch-heard mirror; only vehicles whose watch *may* fire (or whose
+        mirror says so conservatively -- e.g. a vehicle watching its own
+        pair) take the full per-object ``heartbeat`` path, which re-checks
+        everything against authoritative state.  The rest emit exactly the
+        broadcast the full path would have sent -- same message, same
+        sequence position -- and nothing else.
+        """
+        flat = self.flat
+        heard = flat.watch_heard_view()[senders]
+        last = np.where(heard == WATCH_NEVER, self.monitoring_baseline, heard)
+        flagged = (round_id - last) >= miss
+        # An unflagged sender with no cube peers does nothing at all in the
+        # loop below; dropping those up front makes a fully quiescent round
+        # (singleton cubes, nothing watched) two vectorized reads instead
+        # of an O(n) object sweep.
+        live = flagged | (flat.peers_view()[senders] != 0)
+        if not live.all():
+            senders = senders[live]
+            flagged = flagged[live]
+        for position, index in enumerate(senders.tolist()):
+            vehicle = by_index[index]
+            if vehicle is None:
+                continue
+            if flagged[position]:
+                vehicle.heartbeat(round_id, miss)
+            elif vehicle.cube_peers:
+                vehicle.send_many(
+                    vehicle.cube_peers,
+                    ExistingMessage(vehicle.identity, vehicle.pair_key, round_id),
+                )
 
     def crash_vehicle(self, identity: Point) -> None:
         """Scenario 3: the vehicle breaks down and becomes dead.

@@ -54,6 +54,8 @@ __all__ = [
     "coloring_for_cube",
     "coloring_for_box",
     "FleetRegistry",
+    "WATCH_NONE",
+    "WATCH_NEVER",
 ]
 
 #: ``array('b')`` codes of the working states (see ``WorkingState``).
@@ -67,6 +69,18 @@ _STATE_CODES = {"idle": STATE_IDLE, "active": STATE_ACTIVE, "done": STATE_DONE}
 #: built for; 8 MB of int64.  Sparse demands over larger bounding windows
 #: use the dict fallback.
 _DENSE_WINDOW_CAP = 1_000_000
+
+#: ``watch_heard`` sentinel: the vehicle watches nothing, so the miss
+#: threshold can never fire.  Any real round id is far below ``2**62``.
+WATCH_NONE = 2**62
+#: ``watch_heard`` sentinel: the vehicle watches a pair but has never heard
+#: from it -- the expiry check substitutes the fleet's monitoring baseline.
+#: Stored ``last_heard`` round ids are always ``>= -1`` (every write site
+#: clamps against a prior value or a round id), so a large negative
+#: sentinel cannot collide with real data.
+WATCH_NEVER = -(2**62)
+
+_WATCH_NONE_BYTES = array("q", [WATCH_NONE]).tobytes()
 
 
 class PairingTemplate:
@@ -281,6 +295,23 @@ class FleetRegistry:
         self.broken = array("b")
         #: watch target as a pair id (``-1`` = watching nothing).
         self.watch = array("q")
+        #: last round the watched pair was heard from -- a mirror of each
+        #: vehicle's ``last_heard[monitored_pair]`` entry (``WATCH_NONE`` /
+        #: ``WATCH_NEVER`` sentinels), so the heartbeat round can compute
+        #: miss-threshold expiries as one vectorized read.
+        self.watch_heard = array("q")
+        #: 1 where the vehicle has cube peers to broadcast to, 0 where it
+        #: is alone in its cube.  Mirrors ``vehicle.cube_peers`` (written
+        #: by its setter on every reassignment); lets the plain heartbeat
+        #: round drop unflagged peerless senders -- strict no-ops -- before
+        #: the per-object loop.
+        self.peers = array("b")
+        #: dense indices of vehicles with non-trivial search state (an
+        #: engaged tag, live escalations, or a running search-timeout
+        #: clock).  Maintained incrementally by the vehicle state machine;
+        #: ``tick_search_timeout`` sweeps only these indices, so a fully
+        #: quiescent round costs O(engaged) instead of O(n).
+        self.engaged: set = set()
         #: current position per vehicle (tuples; reads must stay exact).
         self.positions: List[Point] = []
 
@@ -292,6 +323,7 @@ class FleetRegistry:
         self.pair_black: Optional[np.ndarray] = None
         self.pair_cube: Optional[np.ndarray] = None
         self._pos_pair: Optional[np.ndarray] = None
+        self._pair_window: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -310,40 +342,71 @@ class FleetRegistry:
         lexicographic order (the template's ``rel`` order translated), and
         ``coords`` the same vertices as a ``(k, dim)`` array view.
         """
+        return self.add_cubes([(index, template, verts, coords)])[0]
+
+    def add_cubes(
+        self,
+        entries: List[Tuple[Tuple[int, ...], PairingTemplate, List[Point], np.ndarray]],
+    ) -> List[Tuple[int, List[Point]]]:
+        """Register many cubes at once; returns one (base, pair keys) per entry.
+
+        Equivalent to calling :meth:`add_cube` per entry in order, but the
+        vertex/pair dict inserts, identity extends, and live-state array
+        fills happen as one bulk operation each instead of one per cube --
+        the per-cube overhead dominates construction when cubes are small
+        (a singleton-cube fleet is nothing *but* overhead).  Insertion
+        order within every dict and array is exactly the per-cube order,
+        so the registry contents are byte-identical.
+        """
+        results: List[Tuple[int, List[Point]]] = []
         base = len(self.identities)
-        cube_id = len(self.cube_slices)
-        self.cube_id_of[index] = cube_id
-        self.cube_slices.append((base, base + len(verts)))
-
-        self.index_of.update(zip(verts, range(base, base + len(verts))))
-        self.identities.extend(verts)
-
         pair_base = len(self.pair_keys)
-        pair_keys = [verts[b] for b in template.pair_black_list]
+        cube_id = len(self.cube_slices)
+        all_verts: List[Point] = []
+        all_pairs: List[Point] = []
+        state_chunks: List[bytes] = []
+        for index, template, verts, coords in entries:
+            k = len(verts)
+            self.cube_id_of[index] = cube_id
+            self.cube_slices.append((base, base + k))
+            pair_keys = [verts[b] for b in template.pair_black_list]
+            self._pair_cube_ids.extend([cube_id] * len(pair_keys))
+            self._vehicle_pair_chunks.append(template.pair_of_vertex + pair_base)
+            self._active_chunks.append(template.initially_active)
+            self._home_chunks.append(coords)
+            state_chunks.append(template.state_bytes)
+            all_verts.extend(verts)
+            all_pairs.extend(pair_keys)
+            results.append((base, pair_keys))
+            base += k
+            pair_base += len(pair_keys)
+            cube_id += 1
+
+        start = len(self.identities)
+        total = len(all_verts)
+        self.index_of.update(zip(all_verts, range(start, start + total)))
+        self.identities.extend(all_verts)
+        pair_start = len(self.pair_keys)
         self.pair_id_of.update(
-            zip(pair_keys, range(pair_base, pair_base + len(pair_keys)))
+            zip(all_pairs, range(pair_start, pair_start + len(all_pairs)))
         )
-        self.pair_keys.extend(pair_keys)
-        self._pair_cube_ids.extend([cube_id] * len(pair_keys))
+        self.pair_keys.extend(all_pairs)
 
-        self._vehicle_pair_chunks.append(template.pair_of_vertex + pair_base)
-        self._active_chunks.append(template.initially_active)
-        self._home_chunks.append(coords)
-
-        # Bulk live-state allocation for the cube's vehicles: zeroed energy
-        # ledgers, the template's initial working states, empty watch slots.
+        # Bulk live-state allocation for the cubes' vehicles: zeroed energy
+        # ledgers, the templates' initial working states, empty watch slots.
         # VehicleProcess then finds its slot pre-filled and skips the
         # per-vehicle append path entirely.
-        k = len(verts)
-        zeros = bytes(8 * k)
+        zeros = bytes(8 * total)
         self.travel.frombytes(zeros)
         self.service.frombytes(zeros)
-        self.state.frombytes(template.state_bytes)
-        self.broken.frombytes(bytes(k))
+        self.state.frombytes(b"".join(state_chunks))
+        self.broken.frombytes(bytes(total))
         # -1 in two's-complement int64 is all-ones bytes.
-        self.watch.frombytes(b"\xff" * (8 * k))
-        self.positions.extend(verts)
-        return base, pair_keys
+        self.watch.frombytes(b"\xff" * (8 * total))
+        self.watch_heard.frombytes(_WATCH_NONE_BYTES * total)
+        self.peers.frombytes(bytes(total))
+        self.positions.extend(all_verts)
+        return results
 
     def finalize(self) -> None:
         """Freeze the static topology into flat arrays."""
@@ -387,6 +450,10 @@ class FleetRegistry:
                 flat = np.ravel_multi_index(tuple((self.homes - lo).T), shape)
                 pos_pair[flat] = self.vehicle_pair
             self._pos_pair = pos_pair
+            # Cached (lo, hi, side_lengths) tuples: the scalar read is on
+            # the per-arrival streaming path, where re-deriving the
+            # side_lengths property per call is measurable.
+            self._pair_window = (window.lo, window.hi, shape)
         else:
             self._pos_pair = None
 
@@ -402,6 +469,8 @@ class FleetRegistry:
         self.state.append(STATE_ACTIVE if active else STATE_IDLE)
         self.broken.append(0)
         self.watch.append(-1)
+        self.watch_heard.append(WATCH_NONE)
+        self.peers.append(0)
         self.positions.append(home)
         return index
 
@@ -414,10 +483,9 @@ class FleetRegistry:
         if self._pos_pair is None:
             index = self.index_of.get(tuple(position))
             return -1 if index is None else int(self.vehicle_pair[index])
-        lo = self.window.lo
-        hi = self.window.hi
+        lo, hi, sides = self._pair_window
         flat = 0
-        for c, l, h, s in zip(position, lo, hi, self.window.side_lengths):
+        for c, l, h, s in zip(position, lo, hi, sides):
             if c < l or c > h:
                 return -1
             flat = flat * s + (c - l)
@@ -455,6 +523,18 @@ class FleetRegistry:
     def state_view(self) -> np.ndarray:
         """Zero-copy numpy view of the per-vehicle working-state codes."""
         return np.frombuffer(self.state, dtype=np.int8)
+
+    def broken_view(self) -> np.ndarray:
+        """Zero-copy numpy view of the per-vehicle broken flags."""
+        return np.frombuffer(self.broken, dtype=np.int8)
+
+    def watch_heard_view(self) -> np.ndarray:
+        """Zero-copy numpy view of the watched-pair last-heard rounds."""
+        return np.frombuffer(self.watch_heard, dtype=np.int64)
+
+    def peers_view(self) -> np.ndarray:
+        """Zero-copy numpy view of the has-cube-peers flags."""
+        return np.frombuffer(self.peers, dtype=np.int8)
 
     def state_code(self, working) -> int:
         """The array code of a :class:`~repro.vehicles.state.WorkingState`."""

@@ -62,6 +62,7 @@ from repro.vehicles.messages import (
     ReplyMessage,
 )
 from repro.vehicles.monitoring import watched_pair_key
+from repro.vehicles.registry import WATCH_NEVER, WATCH_NONE
 from repro.vehicles.state import TransferState, VehicleStatus, WorkingState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -147,6 +148,8 @@ class VehicleProcess(Process):
         if cube_peers is None:
             cube_peers = list(self.neighbors)
         self.cube_peers = cube_peers if type(cube_peers) is list else list(cube_peers)
+        # (The assignment above runs the ``cube_peers`` property setter,
+        # which mirrors the has-peers flag into the registry.)
         self.fleet = fleet
         self.done_threshold = done_threshold
         #: Scenario 3: a broken ("dead") vehicle can no longer move, serve or
@@ -167,6 +170,10 @@ class VehicleProcess(Process):
             pair = coloring.pair_of(self.home)
             pair_key = pair.black if initially_active else None
         self.pair_key = pair_key
+        # Monitoring bookkeeping: last heartbeat round heard per pair.
+        # (Created before the watch target below -- the ``monitored_pair``
+        # setter mirrors its entry into the registry's watch-heard array.)
+        self.last_heard: Dict[Point, int] = {}
         #: The pair this vehicle watches for heartbeats (monitoring scheme).
         if monitored_pair is _UNSET:
             self.monitored_pair = (
@@ -181,13 +188,16 @@ class VehicleProcess(Process):
             self._monitored_pair = monitored_pair
             if monitored_pair is not None:
                 registry.watch[index] = registry.pair_id_of[monitored_pair]
+                registry.watch_heard[index] = WATCH_NEVER
 
         # Energy ledger (lives in the registry's contiguous arrays; the
         # attribute API below is a view).
         self.jobs_served = 0
 
         # Phase I bookkeeping (Algorithm 2 local data: num / par / child / init).
-        self.engaged_tag: Optional[ComputationTag] = None
+        # (Assigned directly: the ``engaged_tag`` setter consults clock and
+        # escalation attributes that do not exist yet.)
+        self._engaged_tag: Optional[ComputationTag] = None
         self.last_tag: Optional[ComputationTag] = None
         self.parent: Optional[Hashable] = None
         self.child: Optional[Hashable] = None
@@ -196,8 +206,6 @@ class VehicleProcess(Process):
         #: destination and pair being replaced.
         self.initiated: Dict[ComputationTag, Dict[str, Point]] = {}
 
-        # Monitoring bookkeeping: last heartbeat round heard per pair.
-        self.last_heard: Dict[Point, int] = {}
         # Search-starvation clock: how many consecutive heartbeat rounds the
         # vehicle has been engaged in the same diffusing computation.
         self._engaged_tag_seen: Optional[ComputationTag] = None
@@ -261,6 +269,57 @@ class VehicleProcess(Process):
         registry.watch[self._index] = (
             -1 if value is None else registry.pair_id_of.get(value, -1)
         )
+        registry.watch_heard[self._index] = (
+            WATCH_NONE if value is None else self.last_heard.get(value, WATCH_NEVER)
+        )
+
+    @property
+    def cube_peers(self) -> List[Point]:
+        """All other vehicles of the same cube (broadcast audience).
+
+        The setter mirrors a has-peers flag into the registry so the plain
+        heartbeat round can drop peerless senders without touching the
+        object.  Reassignment-only contract: every residency change
+        (construction, rehoming, checkpoint restore) *replaces* the list;
+        nothing mutates it in place.
+        """
+        return self._cube_peers
+
+    @cube_peers.setter
+    def cube_peers(self, value: List[Point]) -> None:
+        self._cube_peers = value
+        self._registry.peers[self._index] = 1 if value else 0
+
+    @property
+    def engaged_tag(self) -> Optional[ComputationTag]:
+        """Tag of the diffusing computation this vehicle is engaged in.
+
+        The setter mirrors engagement into the registry's engaged set so
+        the per-round protocol sweep touches only vehicles with non-trivial
+        search state (see :meth:`~repro.vehicles.fleet.Fleet.run_heartbeat_round`).
+        """
+        return self._engaged_tag
+
+    @engaged_tag.setter
+    def engaged_tag(self, value: Optional[ComputationTag]) -> None:
+        self._engaged_tag = value
+        if value is not None:
+            self._registry.engaged.add(self._index)
+        else:
+            self._release_engaged_bit()
+
+    def _release_engaged_bit(self) -> None:
+        """Drop out of the registry's engaged set once *all* search state is
+        trivial: no engagement, no live escalations, and a zeroed
+        starvation clock.  A broken-but-engaged vehicle keeps its bit --
+        its clock must resume ticking after repair."""
+        if (
+            self._engaged_tag is None
+            and not self.escalations
+            and not self._engaged_rounds
+            and self._engaged_tag_seen is None
+        ):
+            self._registry.engaged.discard(self._index)
 
     def _on_working_change(self, working: WorkingState) -> None:
         """Observer installed on :class:`VehicleStatus`: mirrors the working
@@ -303,15 +362,29 @@ class VehicleProcess(Process):
         position = tuple(int(c) for c in position)
         walk = manhattan(self.position, position)
         needed = walk + energy
-        if not self._can_spend(needed):
+        # Hot path: the energy ledger lives in the registry's flat arrays;
+        # read/update it directly rather than through the per-field
+        # properties.  Expression order matches ``_can_spend`` /
+        # ``energy_remaining`` exactly: (travel + service) + needed and
+        # capacity - (travel + service).
+        registry = self._registry
+        index = self._index
+        capacity = self.capacity
+        travel = registry.travel
+        service = registry.service
+        if capacity is not None and not (
+            (travel[index] + service[index]) + needed <= capacity + ENERGY_EPS
+        ):
             # Cannot serve: declare done immediately so a replacement comes.
             self._become_done()
             return False
-        self.travel_energy += walk
-        self.service_energy += energy
+        travel[index] += walk
+        service[index] += energy
         self.position = position
         self.jobs_served += 1
-        if self.energy_remaining < self.done_threshold:
+        if capacity is not None and (
+            capacity - (travel[index] + service[index]) < self.done_threshold
+        ):
             self._become_done()
         return True
 
@@ -485,6 +558,7 @@ class VehicleProcess(Process):
             "candidates": [],
             "rounds": 0,
         }
+        self._registry.engaged.add(self._index)
         self.fleet.record_escalation_started(tag)
         self._escalate_next_level(tag)
 
@@ -494,6 +568,7 @@ class VehicleProcess(Process):
         info = self.initiated[tag]
         if esc["level"] >= len(esc["rings"]):
             del self.escalations[tag]
+            self._release_engaged_bit()
             self.fleet.record_failed_replacement(info["pair_key"])
             return
         targets = esc["rings"][esc["level"]]
@@ -581,6 +656,7 @@ class VehicleProcess(Process):
                 ),
             )
             del self.escalations[tag]
+            self._release_engaged_bit()
             self.send(
                 chosen,
                 MoveMessage(
@@ -740,6 +816,8 @@ class VehicleProcess(Process):
         current = self.fleet.heartbeat_round
         if self.last_heard.get(watched, -1) < current:
             self.last_heard[watched] = current
+            if watched == self._monitored_pair:
+                self._registry.watch_heard[self._index] = current
 
     def _activation_audience(self, pair_key: Point) -> List[Point]:
         """Who hears the activation notice for ``pair_key``.
@@ -766,11 +844,17 @@ class VehicleProcess(Process):
 
     def _on_existing(self, message: ExistingMessage) -> None:
         previous = self.last_heard.get(message.pair_key, -1)
-        self.last_heard[message.pair_key] = max(previous, message.round_id)
+        heard = max(previous, message.round_id)
+        self.last_heard[message.pair_key] = heard
+        if message.pair_key == self._monitored_pair:
+            self._registry.watch_heard[self._index] = heard
 
     def _on_activation_notice(self, message: ActivationNotice) -> None:
         # A fresh activation counts as having just heard from that pair.
-        self.last_heard[message.pair_key] = self.fleet.heartbeat_round
+        heard = self.fleet.heartbeat_round
+        self.last_heard[message.pair_key] = heard
+        if message.pair_key == self._monitored_pair:
+            self._registry.watch_heard[self._index] = heard
         if (
             self.fleet.config.hand_back
             and message.pair_key in self.adopted_pairs
@@ -819,6 +903,7 @@ class VehicleProcess(Process):
         if self.broken or self.engaged_tag is None:
             self._engaged_tag_seen = None
             self._engaged_rounds = 0
+            self._release_engaged_bit()
             return
         if self.engaged_tag == self._engaged_tag_seen:
             self._engaged_rounds += 1
@@ -831,6 +916,7 @@ class VehicleProcess(Process):
         self.engaged_tag = None
         self._engaged_tag_seen = None
         self._engaged_rounds = 0
+        self._release_engaged_bit()
         self.status.set_transfer(TransferState.WAITING)
         if tag in self.initiated:
             self._finish_own_computation(tag)
@@ -881,6 +967,7 @@ class VehicleProcess(Process):
         # failed to initiate) or dead.  Start a replacement on its behalf.
         self.fleet.record_watch_initiation(self.identity, self.monitored_pair)
         self.last_heard[self.monitored_pair] = round_id  # debounce
+        self._registry.watch_heard[self._index] = round_id
         self.start_replacement_search(
             destination=self.monitored_pair, pair_key=self.monitored_pair
         )
@@ -915,6 +1002,8 @@ class VehicleProcess(Process):
                 continue
             self.fleet.record_watch_initiation(self.identity, watched)
             self.last_heard[watched] = round_id  # debounce
+            if watched == self._monitored_pair:
+                self._registry.watch_heard[self._index] = round_id
             self.start_replacement_search(destination=watched, pair_key=watched)
             return  # one diffusing computation at a time
 

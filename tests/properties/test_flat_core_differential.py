@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.api import ExperimentEngine, RunConfig, ScenarioSpec
+from repro.vehicles.registry import WATCH_NEVER, WATCH_NONE
 from repro.workloads.library import family_config
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "flat_core_goldens.json"
@@ -49,14 +50,61 @@ def _digest(result) -> str:
     ).hexdigest()
 
 
+def _assert_active_set_invariants(fleet) -> None:
+    """The incremental engaged set / watch mirror equal ground truth.
+
+    The registry's ``engaged`` set and ``watch_heard`` array are maintained
+    incrementally at every protocol transition; after a full run they must
+    equal what a from-scratch recomputation off the vehicle objects gives
+    -- any drift means the quiescent fast path skipped (or re-visited) a
+    vehicle the per-object protocol would have handled differently.
+    """
+    flat = fleet.flat
+    expected = {
+        vehicle._index
+        for vehicle in fleet.vehicles.values()
+        if (
+            vehicle._engaged_tag is not None
+            or vehicle.escalations
+            or vehicle._engaged_rounds
+            or vehicle._engaged_tag_seen is not None
+        )
+    }
+    assert flat.engaged == expected, "incremental engaged set drifted"
+    for vehicle in fleet.vehicles.values():
+        monitored = vehicle._monitored_pair
+        heard = flat.watch_heard[vehicle._index]
+        if monitored is None:
+            assert heard == WATCH_NONE
+        else:
+            assert heard == vehicle.last_heard.get(monitored, WATCH_NEVER)
+
+
 @pytest.fixture(scope="module")
 def engine():
     return ExperimentEngine()
 
 
+@pytest.fixture
+def captured_fleets(monkeypatch):
+    """Record every fleet ``run_online`` provisions during the test."""
+    import repro.core.online as online
+
+    fleets = []
+    original = online.provision_fleet
+
+    def wrapper(*args, **kwargs):
+        out = original(*args, **kwargs)
+        fleets.append(out[0])
+        return out
+
+    monkeypatch.setattr(online, "provision_fleet", wrapper)
+    return fleets
+
+
 class TestGoldenByteIdentity:
     @pytest.mark.parametrize("key", sorted(GOLDENS))
-    def test_matches_pre_refactor_golden(self, key, engine):
+    def test_matches_pre_refactor_golden(self, key, engine, captured_fleets):
         family, label = key.rsplit("/", 1)
         solver, overrides = MODES[label]
         config = family_config(family, solver, seed=SEED, preset=PRESET, **overrides)
@@ -64,6 +112,9 @@ class TestGoldenByteIdentity:
             f"{key}: the flat-array core diverged from the pre-refactor "
             "protocol behavior"
         )
+        assert captured_fleets, "run_online never provisioned a fleet"
+        for fleet in captured_fleets:
+            _assert_active_set_invariants(fleet)
 
     def test_goldens_cover_every_family_and_mode(self):
         from repro.workloads.library import available_families

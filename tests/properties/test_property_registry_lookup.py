@@ -1,0 +1,110 @@
+"""Property tests: the registry's three position->pair lookup paths agree.
+
+``FleetRegistry`` answers "which pair covers this position?" three ways:
+the scalar dense-window read (``pair_id_at``, inclusive ``lo <= c <= hi``
+bounds), the vectorized batch read (``pair_ids_of``, half-open
+``0 <= offset < side_lengths`` bounds), and -- past
+``_DENSE_WINDOW_CAP`` -- a tuple-keyed dict fallback.  The bound styles
+are written differently (``c > hi`` vs ``offset < hi - lo + 1``) and the
+fallback is keyed on vehicle homes rather than window offsets, so this
+suite pins all three to the same answer on exactly the positions where
+they could diverge: window corners, one-off-the-edge probes, vehicle
+homes, and arbitrary interior/exterior points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.vehicles.registry as registry_module
+from repro.core.demand import DemandMap
+from repro.vehicles.fleet import Fleet, FleetConfig
+
+coordinate = st.integers(min_value=-8, max_value=8)
+demand_points = st.lists(
+    st.tuples(coordinate, coordinate), min_size=1, max_size=6, unique=True
+)
+probe_coordinate = st.integers(min_value=-12, max_value=12)
+extra_probes = st.lists(
+    st.tuples(probe_coordinate, probe_coordinate), min_size=0, max_size=10
+)
+
+
+def _fleet(points):
+    demand = DemandMap({point: 1.0 for point in points})
+    return Fleet(demand, omega=3.0, config=FleetConfig())
+
+
+def _fallback_fleet(points):
+    """Build the same fleet with the dense window disabled (dict path)."""
+    saved = registry_module._DENSE_WINDOW_CAP
+    registry_module._DENSE_WINDOW_CAP = 0
+    try:
+        return _fleet(points)
+    finally:
+        registry_module._DENSE_WINDOW_CAP = saved
+
+
+def _boundary_probes(flat):
+    """Window corners and one-off-the-edge positions on every axis."""
+    lo, hi = flat.window.lo, flat.window.hi
+    probes = [tuple(lo), tuple(hi), (lo[0], hi[1]), (hi[0], lo[1])]
+    for axis in range(len(lo)):
+        for base in (lo, hi):
+            for delta in (-1, 1):
+                probe = list(base)
+                probe[axis] += delta
+                probes.append(tuple(probe))
+    return probes
+
+
+class TestLookupPathEquivalence:
+    @given(demand_points, extra_probes)
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_vectorized_and_fallback_agree(self, points, probes):
+        dense = _fleet(points).flat
+        fallback = _fallback_fleet(points).flat
+        assert dense._pos_pair is not None
+        assert fallback._pos_pair is None
+        # Same construction order, so the pair tables are identical and
+        # pair ids are directly comparable across the two registries.
+        assert dense.pair_keys == fallback.pair_keys
+
+        all_probes = _boundary_probes(dense) + list(dense.identities) + probes
+        scalar_dense = [dense.pair_id_at(p) for p in all_probes]
+        scalar_fallback = [fallback.pair_id_at(p) for p in all_probes]
+        assert scalar_dense == scalar_fallback
+
+        batch = np.asarray(all_probes, dtype=np.int64)
+        assert dense.pair_ids_of(batch).tolist() == scalar_dense
+        assert fallback.pair_ids_of(batch).tolist() == scalar_dense
+
+    @given(demand_points)
+    @settings(max_examples=40, deadline=None)
+    def test_homes_resolve_to_the_routing_dict_answer(self, points):
+        fleet = _fleet(points)
+        flat = fleet.flat
+        for identity in flat.identities:
+            pid = flat.pair_id_at(identity)
+            expected = fleet.pair_key_of(identity)
+            assert flat.pair_keys[pid] == expected
+
+    def test_exact_window_edges(self):
+        # Deterministic pin of the historically divergent bound styles:
+        # hi itself is inside (inclusive), hi + 1 is outside on each axis.
+        flat = _fleet([(0, 0), (4, 3)]).flat
+        lo, hi = flat.window.lo, flat.window.hi
+        inside = [tuple(lo), tuple(hi)]
+        outside = [
+            (lo[0] - 1, lo[1]),
+            (lo[0], lo[1] - 1),
+            (hi[0] + 1, hi[1]),
+            (hi[0], hi[1] + 1),
+        ]
+        batch = np.asarray(inside + outside, dtype=np.int64)
+        ids = flat.pair_ids_of(batch).tolist()
+        for probe, pid in zip(inside + outside, ids):
+            assert flat.pair_id_at(probe) == pid
+        assert all(pid == -1 for pid in ids[len(inside) :])

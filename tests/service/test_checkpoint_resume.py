@@ -89,6 +89,63 @@ class TestResumeExactness:
         assert resumed.rollup["messages"] == full.rollup["messages"]
 
 
+class TestRotatingCheckpoints:
+    def _run_with_rotation(self, tmp_path, *, keep, stop_after=3):
+        config = ServiceConfig.from_demand(
+            QUIET_DEMAND, window_jobs=4, checkpoint_every=1
+        )
+        jobs = alternating_arrivals(QUIET_DEMAND)
+        snapshot = tmp_path / "snap.json"
+        partial = run_service(
+            config,
+            list(jobs.jobs),
+            checkpoint_path=str(snapshot),
+            keep_checkpoints=keep,
+            stop_after_checkpoints=stop_after,
+        )
+        return config, jobs, snapshot, partial
+
+    def test_retains_exactly_the_last_k_slots(self, tmp_path):
+        _, _, snapshot, partial = self._run_with_rotation(tmp_path, keep=2)
+        assert partial.interrupted and partial.checkpoints_written == 3
+        slots = sorted(tmp_path.glob("snap.w*.json"))
+        assert len(slots) == 2
+        # the plain path tracks the latest slot exactly
+        assert json.loads(snapshot.read_text()) == json.loads(slots[-1].read_text())
+
+    def test_pruning_is_deterministic_and_ordered(self, tmp_path):
+        _, _, _, _ = self._run_with_rotation(tmp_path, keep=1)
+        slots = sorted(tmp_path.glob("snap.w*.json"))
+        assert len(slots) == 1  # older slots were pruned as they rotated out
+
+    def test_resume_from_an_older_snapshot_is_exact(self, tmp_path):
+        config, jobs, _, partial = self._run_with_rotation(tmp_path, keep=3)
+        assert partial.checkpoints_written == 3
+        full = run_service(config, list(jobs.jobs))
+        slots = sorted(tmp_path.glob("snap.w*.json"))
+        assert len(slots) == 3
+        # every retained slot -- not just the latest -- replays to the
+        # uninterrupted run's exact result
+        for slot in slots:
+            resumed = resume_service(str(slot), list(jobs.jobs))
+            assert resumed.resumed and not resumed.interrupted
+            assert resumed.result_hash() == full.result_hash()
+            assert resumed.fleet_digest == full.fleet_digest
+
+    def test_rejects_degenerate_keep(self, tmp_path):
+        config = ServiceConfig.from_demand(
+            QUIET_DEMAND, window_jobs=4, checkpoint_every=1
+        )
+        jobs = alternating_arrivals(QUIET_DEMAND)
+        with pytest.raises(ValueError, match="keep_checkpoints"):
+            run_service(
+                config,
+                list(jobs.jobs),
+                checkpoint_path=str(tmp_path / "snap.json"),
+                keep_checkpoints=0,
+            )
+
+
 class TestSnapshotFormat:
     def _write_snapshot(self, tmp_path):
         config = ServiceConfig.from_demand(

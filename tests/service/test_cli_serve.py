@@ -88,6 +88,36 @@ class TestServe:
         assert resumed["result_hash"] == full["result_hash"]
         assert resumed["fleet_digest"] == full["fleet_digest"]
 
+    def test_keep_checkpoints_rotates_numbered_slots(self, tmp_path, demand_path):
+        snap = tmp_path / "snap.json"
+        code = main(
+            [
+                "serve",
+                "--demand-json", demand_path,
+                "--jobs", "16",
+                "--window", "4",
+                "--checkpoint", str(snap),
+                "--checkpoint-every", "1",
+                "--keep-checkpoints", "2",
+            ]
+        )
+        assert code == 0
+        slots = sorted(tmp_path.glob("snap.w*.json"))
+        assert len(slots) == 2
+        assert json.loads(snap.read_text()) == json.loads(slots[-1].read_text())
+
+    def test_keep_checkpoints_needs_a_checkpoint_path(self, demand_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--demand-json", demand_path,
+                "--jobs", "8",
+                "--keep-checkpoints", "2",
+            ]
+        )
+        assert code == 2
+        assert "--keep-checkpoints needs --checkpoint" in capsys.readouterr().err
+
     def test_serve_needs_a_horizon(self, demand_path, capsys):
         assert main(["serve", "--demand-json", demand_path]) == 2
         assert "--jobs" in capsys.readouterr().err

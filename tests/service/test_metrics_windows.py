@@ -109,3 +109,30 @@ class TestLatencyDigest:
     def test_rejects_degenerate_capacity(self):
         with pytest.raises(ValueError):
             LatencyDigest(capacity=1)
+
+    def test_p0_and_p100_are_exact_under_centroid_merging(self):
+        # Regression: at capacity the two closest centroids merge into a
+        # weight-averaged value, so the first centroid of {1,2,3,4,100} at
+        # capacity 4 is 1.5 -- quantile(0.0) must still return the true
+        # minimum, and quantile(1.0) the true maximum.
+        digest = LatencyDigest(capacity=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            digest.add(value)
+        assert digest.to_json()["centroids"][0][0] != 1.0  # merging happened
+        assert digest.quantile(0.0) == 1.0
+        assert digest.quantile(1.0) == 100.0
+
+    def test_extremes_survive_a_json_round_trip(self):
+        digest = LatencyDigest(capacity=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            digest.add(value)
+        restored = LatencyDigest.from_json(digest.to_json())
+        assert restored.quantile(0.0) == 1.0
+        assert restored.quantile(1.0) == 100.0
+        assert restored.to_json() == digest.to_json()
+
+    def test_legacy_payload_without_extremes_still_loads(self):
+        payload = {"capacity": 4, "centroids": [[1.5, 2.0], [3.5, 2.0]]}
+        restored = LatencyDigest.from_json(payload)
+        assert restored.quantile(0.0) == 1.5
+        assert restored.quantile(1.0) == 3.5
