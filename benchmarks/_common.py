@@ -1,0 +1,41 @@
+"""Shared bootstrap for the standalone benchmark scripts.
+
+Every ``bench_*.py`` that runs as a plain script (not under pytest) needs
+the same two pieces of boilerplate: put ``src/`` on ``sys.path`` so
+``import repro`` works without an installed package, and write its JSON
+report atomically so a killed CI job never leaves a truncated artifact.
+Both live here so the scripts stay about measurement, not plumbing.
+
+Import order matters: call :func:`bootstrap_src` *before* any ``repro``
+import in the script body::
+
+    from _common import bootstrap_src, emit_report
+
+    bootstrap_src()
+
+    from repro.core.online import run_online
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+#: The repository root (the directory holding ``src/`` and ``benchmarks/``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bootstrap_src() -> None:
+    """Make ``import repro`` resolve to the in-tree ``src/`` package."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def emit_report(report, path) -> None:
+    """Atomically write a benchmark report and announce the artifact path."""
+    bootstrap_src()
+    from repro.io.atomic import atomic_write_json
+
+    atomic_write_json(report, path)
+    print(f"wrote {path}")

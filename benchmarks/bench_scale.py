@@ -1,16 +1,29 @@
 #!/usr/bin/env python
-"""Fleet-scale benchmark: construction time and events/sec at 10^3/10^4.
+"""Fleet-scale benchmark: construction, events/sec, and sharded 10^5 runs.
 
 The flat-array fleet core (vectorized construction, indexed registry,
-batched dispatch) is aimed squarely at the ``10^4``-vehicle regime; this
-benchmark is its regression gate.  For each scale it measures
+batched dispatch) is aimed squarely at the ``10^4``-vehicle regime and the
+cube-sharded runner (:mod:`repro.distsim.sharding`) at ``10^5``; this
+benchmark is their regression gate.  For each scale it measures
 
 * **construction**: wall-clock of ``Fleet(...)`` for a scale-up demand
   (the full pipeline -- window planning, cube discovery, templates,
   vehicle objects, registries), best of ``--repeat`` runs;
 * **events/sec**: simulator-event throughput of a full ``run_online``
   events-engine run over a random arrival order of the same demand (the
-  number the bench-smoke CI gate tracks on the quick preset).
+  number the bench-smoke CI gate tracks on the quick preset);
+* **sharded events/sec** (``10^5`` tier only): the same run fanned out
+  over ``--shards`` worker processes via ``run_online(..., shards=N)``.
+  The scale-up family is shard-safe (reliable transport, no failures), so
+  the run takes the parallel isolated path: each worker owns a contiguous
+  block of cubes and never builds the global fleet.  Per-shard wall-clock
+  timings ride along, plus a *critical path* figure (coordinator time +
+  slowest shard) -- what the wall becomes once the host has at least as
+  many cores as shards; on fewer cores the pool serializes workers and
+  the wall number hides the speedup.
+
+Throughput runs skipped by ``--quick`` are recorded as ``null`` so report
+consumers can tell "not measured" from "missing key".
 
 Results go to ``BENCH_fleet_scale.json`` (uploaded as a CI artifact) and
 are gated against the committed ``benchmarks/bench_baseline.json`` by
@@ -19,11 +32,13 @@ are gated against the committed ``benchmarks/bench_baseline.json`` by
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scale.py [--quick] \
-        [--out BENCH_fleet_scale.json] [--repeat N]
+        [--out BENCH_fleet_scale.json] [--repeat N] [--shards N]
 
 ``--quick`` (the CI mode) runs one repetition fewer and skips the
-``10^4``-vehicle *throughput* run (construction is still measured at both
-scales -- it is the quantity this PR's acceptance criterion tracks).
+``10^4``-vehicle *throughput* run and the ``10^5`` *single-process*
+throughput run (the sharded ``10^5`` run still executes -- it is the
+quantity this PR's acceptance criterion tracks; construction is still
+measured at the ``10^3``/``10^4`` scales).
 """
 
 from __future__ import annotations
@@ -31,24 +46,35 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from _common import bootstrap_src, emit_report
+
+bootstrap_src()
 
 import numpy as np
 
 from repro.core.online import run_online
-from repro.io.atomic import atomic_write_json
 from repro.vehicles.fleet import Fleet, FleetConfig
 from repro.workloads.arrivals import random_arrivals
 from repro.workloads.library import build_family_demand
 
-#: side -> label: side 32 builds a ~10^3-vehicle fleet, side 100 ~10^4
-#: (one vehicle per vertex of every 3-cube with demand, plus slack rows).
+#: side -> label: side 32 builds a ~10^3-vehicle fleet, side 100 ~10^4.
 SCALES = {"1e3": 32, "1e4": 100}
+
+#: The 10^5 tier: side 320 builds a ~10^5-vehicle scale-up fleet.  Listed
+#: separately because it is only ever run through the sharded path plus
+#: (outside --quick) one single-process reference run -- constructing the
+#: global Fleet object at this scale is exactly what sharding avoids.
+SHARDED_SCALE = ("1e5", 320)
 
 #: The omega the scale-up family resolves to under default provisioning.
 OMEGA = 3.0
+
+#: Default worker-process count for the sharded tier.  Deliberately above
+#: typical CI core counts: per-shard fleets shrink superlinearly in cost
+#: (smaller event queues, registries, and caches), so modest oversharding
+#: is cheap and keeps the critical path short on any host.
+DEFAULT_SHARDS = 8
 
 
 def measure_construction(demand, repeat: int) -> dict:
@@ -91,20 +117,47 @@ def measure_quiescent(demand, rounds: int = 50) -> dict:
     }
 
 
-def measure_throughput(demand, seed: int = 0) -> dict:
-    """Events/sec of one full events-engine online run."""
+def measure_throughput(demand, seed: int = 0, shards: int = 1) -> dict:
+    """Events/sec of one full events-engine online run (optionally sharded)."""
     jobs = random_arrivals(demand, np.random.default_rng(seed))
     start = time.perf_counter()
-    result = run_online(jobs, capacity="theorem", config=FleetConfig(), engine="events")
+    result = run_online(
+        jobs, capacity="theorem", config=FleetConfig(), engine="events", shards=shards
+    )
     elapsed = time.perf_counter() - start
     if not result.feasible:
         raise SystemExit("scale benchmark run was infeasible; workload broken?")
-    return {
+    entry = {
         "jobs": result.jobs_total,
         "events_processed": result.events_processed,
         "events_per_sec": result.events_processed / elapsed if elapsed else 0.0,
         "run_seconds": elapsed,
     }
+    if shards > 1:
+        entry["shards"] = shards
+        timings = dict(result.shard_timings)
+        entry["shard_seconds"] = {
+            str(shard): round(seconds, 4) for shard, seconds in sorted(timings.items())
+        }
+        # Wall-clock with the worker serialization removed: coordinator
+        # time plus the slowest shard.  On a machine with >= shards cores
+        # the measured wall approaches this; on fewer cores the pool runs
+        # workers back to back and the wall number hides the speedup.
+        worker_total = sum(timings.values())
+        critical = max(elapsed - worker_total + max(timings.values()), 0.0)
+        entry["critical_path_seconds"] = critical
+        entry["critical_path_events_per_sec"] = (
+            result.events_processed / critical if critical else 0.0
+        )
+    return entry
+
+
+SKIPPED_THROUGHPUT = {
+    "jobs": None,
+    "events_processed": None,
+    "events_per_sec": None,
+    "run_seconds": None,
+}
 
 
 def main(argv=None) -> int:
@@ -116,6 +169,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeat", type=int, default=None, help="construction repetitions (default 5, quick 3)"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        help=f"worker processes for the 1e5 tier (default {DEFAULT_SHARDS})",
+    )
+    parser.add_argument(
+        "--shard-timings-out",
+        default=None,
+        help="also write the 1e5 tier's per-shard timing breakdown here",
+    )
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (3 if args.quick else 5)
 
@@ -125,6 +189,9 @@ def main(argv=None) -> int:
         entry = measure_construction(demand, repeat)
         if label == "1e3" or not args.quick:
             entry.update(measure_throughput(demand))
+        else:
+            # Skipped, not unmeasured-by-accident: consumers see null.
+            entry.update(SKIPPED_THROUGHPUT)
         if label == "1e4":
             # Cheap even at 10^4 vehicles (that is the point), so it runs
             # in --quick too and the CI gate tracks it every build.
@@ -139,8 +206,70 @@ def main(argv=None) -> int:
             + (f", {quiescent:,.0f} quiescent rounds/sec" if quiescent else "")
         )
 
-    atomic_write_json(report, args.out)
-    print(f"wrote {args.out}")
+    label, side = SHARDED_SCALE
+    demand = build_family_demand("scale-up", {"side": side, "per_point": 2.0})
+    sharded = measure_throughput(demand, shards=args.shards)
+    entry = {
+        "vehicles": None,  # the sharded path never builds the global fleet
+        "construction_seconds": None,
+        "sharded_events_per_sec": sharded["events_per_sec"],
+        "sharded_run_seconds": sharded["run_seconds"],
+        "shards": sharded["shards"],
+        "shard_seconds": sharded["shard_seconds"],
+        "critical_path_seconds": sharded["critical_path_seconds"],
+        "critical_path_events_per_sec": sharded["critical_path_events_per_sec"],
+        "jobs": sharded["jobs"],
+        "events_processed": sharded["events_processed"],
+    }
+    if args.quick:
+        entry.update(
+            {
+                "events_per_sec": None,
+                "run_seconds": None,
+                "speedup": None,
+                "critical_path_speedup": None,
+            }
+        )
+    else:
+        single = measure_throughput(demand)
+        entry["events_per_sec"] = single["events_per_sec"]
+        entry["run_seconds"] = single["run_seconds"]
+        entry["speedup"] = (
+            sharded["events_per_sec"] / single["events_per_sec"]
+            if single["events_per_sec"]
+            else None
+        )
+        entry["critical_path_speedup"] = (
+            sharded["critical_path_events_per_sec"] / single["events_per_sec"]
+            if single["events_per_sec"]
+            else None
+        )
+    report["scales"][label] = entry
+    print(
+        f"{label}: {entry['jobs']} jobs over {entry['shards']} shards, "
+        f"{entry['sharded_events_per_sec']:,.0f} sharded events/sec "
+        f"({entry['critical_path_events_per_sec']:,.0f} on the critical path)"
+        + (
+            f", {entry['events_per_sec']:,.0f} single-process "
+            f"(speedup {entry['speedup']:.2f}x wall, "
+            f"{entry['critical_path_speedup']:.2f}x critical path)"
+            if entry["events_per_sec"]
+            else ""
+        )
+    )
+
+    emit_report(report, args.out)
+    if args.shard_timings_out:
+        emit_report(
+            {
+                "scale": label,
+                "shards": entry["shards"],
+                "shard_seconds": entry["shard_seconds"],
+                "critical_path_seconds": entry["critical_path_seconds"],
+                "sharded_run_seconds": entry["sharded_run_seconds"],
+            },
+            args.shard_timings_out,
+        )
     return 0
 
 

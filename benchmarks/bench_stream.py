@@ -37,12 +37,12 @@ import resource
 import sys
 import time
 import tracemalloc
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from _common import bootstrap_src, emit_report
+
+bootstrap_src()
 
 from repro.api.service import ServiceConfig
-from repro.io.atomic import atomic_write_json
 from repro.service import run_service
 from repro.workloads.arrivals import streaming_arrivals
 from repro.workloads.library import build_family_demand
@@ -142,8 +142,7 @@ def main(argv=None) -> int:
         f"{'flat' if memory['flat'] else 'GROWING'}"
     )
 
-    atomic_write_json(report, args.out)
-    print(f"wrote {args.out}")
+    emit_report(report, args.out)
     return 0 if memory["flat"] else 1
 
 

@@ -23,6 +23,11 @@ With ``--stream-report`` it gates the streaming-service throughput at the
 ``stream_events_per_sec_1e3`` floor -- same tolerance -- and fails hard
 when the report's memory-flatness check (``memory.flat``) is false.
 
+``--scale-report`` also gates the cube-sharded ``10^5``-vehicle tier: the
+report's ``sharded_events_per_sec`` (wall-clock events/sec of the
+``run_online(..., shards=N)`` multi-process run) must clear the committed
+``sharded_events_per_sec_1e5`` floor.
+
 The committed baseline (``benchmarks/bench_baseline.json``) is calibrated
 conservatively for shared CI runners, which are typically 2-3x slower than
 a development machine; the gate therefore catches order-of-magnitude event
@@ -99,6 +104,17 @@ def extract_quiescent_rounds(scale_report: dict) -> float:
     return float(entry["quiescent_rounds_per_sec"])
 
 
+def extract_sharded_throughput(scale_report: dict) -> float:
+    """The 1e5 tier's sharded wall-clock events/sec from a bench_scale.py report."""
+    entry = scale_report.get("scales", {}).get("1e5")
+    if entry is None or "sharded_events_per_sec" not in entry:
+        raise SystemExit(
+            "scale report carries no sharded_events_per_sec for the 1e5 tier; "
+            "run: python benchmarks/bench_scale.py --quick --out BENCH_fleet_scale.json"
+        )
+    return float(entry["sharded_events_per_sec"])
+
+
 def extract_stream_metrics(stream_report: dict) -> tuple:
     """(events/sec at 1e3, memory-flat flag) from a bench_stream.py report."""
     entry = stream_report.get("scales", {}).get("1e3")
@@ -151,10 +167,12 @@ def main(argv=None) -> int:
     measured = extract_events_per_sec(report)
     construction = None
     quiescent = None
+    sharded = None
     if args.scale_report is not None:
         scale_payload = json.loads(Path(args.scale_report).read_text())
         construction = extract_construction_seconds(scale_payload)
         quiescent = extract_quiescent_rounds(scale_payload)
+        sharded = extract_sharded_throughput(scale_payload)
     stream = None
     stream_flat = True
     if args.stream_report is not None:
@@ -169,6 +187,8 @@ def main(argv=None) -> int:
             refreshed["construction_seconds_1e4"] = construction
         if quiescent is not None:
             refreshed["quiescent_rounds_per_sec_1e4"] = quiescent
+        if sharded is not None:
+            refreshed["sharded_events_per_sec_1e5"] = sharded
         if stream is not None:
             refreshed["stream_events_per_sec_1e3"] = stream
         if baseline_path.exists():
@@ -181,6 +201,8 @@ def main(argv=None) -> int:
             print(f"baseline updated: {construction:.4f}s construction (1e4)")
         if quiescent is not None:
             print(f"baseline updated: {quiescent:.0f} quiescent rounds/sec (1e4)")
+        if sharded is not None:
+            print(f"baseline updated: {sharded:.0f} sharded events/sec (1e5)")
         if stream is not None:
             print(f"baseline updated: {stream:.0f} stream events/sec (1e3)")
         return 0
@@ -255,6 +277,31 @@ def main(argv=None) -> int:
             f"-> {qstatus}"
         )
 
+    sharded_passed = True
+    if sharded is not None:
+        sharded_base = baseline_payload.get("sharded_events_per_sec_1e5")
+        if sharded_base is None:
+            raise SystemExit(
+                "--scale-report given but the baseline carries no "
+                "sharded_events_per_sec_1e5; refresh it with --update"
+            )
+        sharded_floor = float(sharded_base) * (1.0 - args.tolerance)
+        sharded_passed = sharded >= sharded_floor
+        artifact.update(
+            {
+                "sharded_events_per_sec_1e5": sharded,
+                "baseline_sharded_events_per_sec_1e5": float(sharded_base),
+                "floor_sharded_events_per_sec_1e5": sharded_floor,
+                "sharded_pass": sharded_passed,
+            }
+        )
+        shstatus = "ok" if sharded_passed else "REGRESSION"
+        print(
+            f"sharded run (1e5): {sharded:.0f} events/sec "
+            f"(baseline {float(sharded_base):.0f}, floor {sharded_floor:.0f}) "
+            f"-> {shstatus}"
+        )
+
     stream_passed = True
     if stream is not None:
         stream_base = baseline_payload.get("stream_events_per_sec_1e3")
@@ -281,7 +328,13 @@ def main(argv=None) -> int:
             f"memory {'flat' if stream_flat else 'GROWING'} -> {sstatus}"
         )
 
-    overall = passed and construction_passed and quiescent_passed and stream_passed
+    overall = (
+        passed
+        and construction_passed
+        and quiescent_passed
+        and sharded_passed
+        and stream_passed
+    )
     artifact["pass"] = overall
     Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
     return 0 if overall else 1

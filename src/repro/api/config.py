@@ -482,6 +482,10 @@ class RunConfig:
     escalation: bool = False
     #: Heartbeat rounds the monitoring loop may spend recovering a job.
     recovery_rounds: int = 0
+    #: Cube-aligned shards to partition the run into (online family only;
+    #: see :mod:`repro.distsim.sharding`).  Results are byte-identical to
+    #: the single-shard run by construction.
+    shards: int = 1
     #: Solver-specific parameters, stored as a sorted tuple of pairs so the
     #: config stays hashable; pass a dict, it is normalized on construction.
     params: Tuple[Tuple[str, Any], ...] = ()
@@ -512,6 +516,14 @@ class RunConfig:
         if not isinstance(self.recovery_rounds, int) or self.recovery_rounds < 0:
             raise ConfigError(
                 f"recovery_rounds must be a non-negative integer, got {self.recovery_rounds!r}"
+            )
+        if (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise ConfigError(
+                f"shards must be a positive integer, got {self.shards!r}"
             )
         if self.failures is not None and not isinstance(self.failures, FailureSpec):
             raise ConfigError(f"failures must be a FailureSpec, got {self.failures!r}")
@@ -596,6 +608,11 @@ class RunConfig:
         # historical content hash (and hence its disk-cache entries).
         if self.escalation:
             payload["escalation"] = True
+        # Same hash-preserving rule: the default shards=1 stays unserialized
+        # (a sharded run produces byte-identical results, but it is still a
+        # different execution plan, so shards>1 earns its own cache entry).
+        if self.shards != 1:
+            payload["shards"] = self.shards
         return payload
 
     @classmethod
@@ -612,6 +629,7 @@ class RunConfig:
             transport=payload.get("transport"),
             escalation=payload.get("escalation", False),
             recovery_rounds=payload.get("recovery_rounds", 0),
+            shards=payload.get("shards", 1),
             params=payload.get("params", ()),
         )
 

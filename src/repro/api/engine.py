@@ -20,18 +20,20 @@ the engine tests assert.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import Table
 from repro.api.config import CapacitySpec, RunConfig, ScenarioSpec
 from repro.api.registry import get_solver
 from repro.api.result import RunResult
+from repro.api.service import ServiceConfig, ServiceResult
 
 __all__ = ["EngineStats", "ExperimentEngine", "config_matrix"]
 
@@ -104,6 +106,26 @@ def _solve_payload(payload: str) -> str:
     return result.canonical_json()
 
 
+def _solve_service_payload(payload: str) -> str:
+    """Process-pool entrypoint for service runs, mirroring :func:`_solve_payload`.
+
+    The payload carries the serialized :class:`ServiceConfig` plus the job
+    count: a service config deliberately owns no arrival ordering, so the
+    engine pins the stream to the deterministic ``streaming_arrivals``
+    expansion of the config's demand -- making the run, like a ``RunConfig``
+    run, a pure function of the payload.
+    """
+    import repro.api  # noqa: F401 - registers the built-in solvers
+
+    from repro.service import run_service
+    from repro.workloads.arrivals import streaming_arrivals
+
+    spec = json.loads(payload)
+    config = ServiceConfig.from_json(spec["config"])
+    jobs = streaming_arrivals(config.demand(), jobs=spec["jobs"])
+    return run_service(config, jobs).canonical_json()
+
+
 class ExperimentEngine:
     """Run batches of configs with caching, workers, and progress reporting."""
 
@@ -124,6 +146,7 @@ class ExperimentEngine:
         self.stats = EngineStats()
         self._stats_lock = threading.Lock()
         self._memory_cache: Dict[str, RunResult] = {}
+        self._service_cache: Dict[str, ServiceResult] = {}
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -158,9 +181,42 @@ class ExperimentEngine:
     def clear_cache(self) -> None:
         """Drop the in-memory cache and delete on-disk cache entries."""
         self._memory_cache.clear()
+        self._service_cache.clear()
         if self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
                 path.unlink()
+
+    @staticmethod
+    def _service_key(config: ServiceConfig, jobs: int) -> str:
+        """Cache key of a service run: the config hash plus the job count.
+
+        The stream itself is pinned by the engine (``streaming_arrivals`` of
+        the config's demand), so the pair fully determines the result.  The
+        ``service-`` prefix keeps disk entries disjoint from RunConfig ones.
+        """
+        text = json.dumps(
+            {"config_hash": config.config_hash(), "jobs": jobs}, sort_keys=True
+        )
+        return "service-" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _cached_service(self, key: str) -> Optional[ServiceResult]:
+        hit = self._service_cache.get(key)
+        if hit is not None:
+            self.stats.memory_cache_hits += 1
+            return hit
+        path = self._cache_path(key)
+        if path is not None and path.exists():
+            result = ServiceResult.from_json(json.loads(path.read_text()))
+            self._service_cache[key] = result
+            self.stats.disk_cache_hits += 1
+            return result
+        return None
+
+    def _store_service(self, key: str, result: ServiceResult) -> None:
+        self._service_cache[key] = result
+        path = self._cache_path(key)
+        if path is not None:
+            path.write_text(result.canonical_json())
 
     # ------------------------------------------------------------------ #
     # execution
@@ -255,6 +311,103 @@ class ExperimentEngine:
         if self.use_processes:
             return ProcessPoolExecutor(max_workers=self.workers)
         return ThreadPoolExecutor(max_workers=self.workers)
+
+    # ------------------------------------------------------------------ #
+    # service runs
+    # ------------------------------------------------------------------ #
+
+    def run_service(self, config: ServiceConfig, jobs: int) -> ServiceResult:
+        """Execute one service config over ``jobs`` streamed arrivals (cache-aware).
+
+        The stream is the deterministic ``streaming_arrivals`` expansion of
+        the config's demand, so -- exactly like :meth:`run` -- the result is
+        a pure function of ``(config, jobs)`` and caches under their key.
+        """
+        key = self._service_key(config, jobs)
+        cached = self._cached_service(key)
+        if cached is not None:
+            return cached
+        result = self._execute_service(config, jobs)
+        self._store_service(key, result)
+        return result
+
+    def _execute_service(self, config: ServiceConfig, jobs: int) -> ServiceResult:
+        # Imported lazily: the api package must stay importable without the
+        # service package (the dependency arrow points service -> api).
+        from repro.service import run_service
+        from repro.workloads.arrivals import streaming_arrivals
+
+        result = run_service(config, streaming_arrivals(config.demand(), jobs=jobs))
+        with self._stats_lock:
+            self.stats.executed += 1
+        return result
+
+    def run_service_many(
+        self, items: Sequence[Tuple[ServiceConfig, int]]
+    ) -> List[ServiceResult]:
+        """Fan ``(config, jobs)`` service runs out exactly like :meth:`run_many`.
+
+        Duplicates are solved once, results preserve input order, and the
+        batch is byte-identical regardless of worker count or pool type --
+        the same determinism contract ``RunConfig`` sweeps have.
+        """
+        items = list(items)
+        keys = [self._service_key(config, jobs) for config, jobs in items]
+        results: List[Optional[ServiceResult]] = [None] * len(items)
+
+        pending: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            cached = self._cached_service(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.setdefault(key, []).append(index)
+
+        def deliver(key: str, result: ServiceResult) -> None:
+            self._store_service(key, result)
+            for index in pending[key]:
+                results[index] = result
+
+        if not pending:
+            return [result for result in results if result is not None]
+
+        unique = [(key, items[indices[0]]) for key, indices in pending.items()]
+        if self.workers == 1:
+            for key, (config, jobs) in unique:
+                deliver(key, self._execute_service(config, jobs))
+        else:
+            with self._executor() as pool:
+                if self.use_processes:
+                    payloads = [
+                        json.dumps(
+                            {"config": config.to_json(), "jobs": jobs}, sort_keys=True
+                        )
+                        for _, (config, jobs) in unique
+                    ]
+                    for (key, _), text in zip(
+                        unique, pool.map(_solve_service_payload, payloads)
+                    ):
+                        with self._stats_lock:
+                            self.stats.executed += 1
+                        deliver(key, ServiceResult.from_json(json.loads(text)))
+                else:
+                    futures = [
+                        (key, pool.submit(self._execute_service, config, jobs))
+                        for key, (config, jobs) in unique
+                    ]
+                    for key, future in futures:
+                        deliver(key, future.result())
+
+        return [result for result in results if result is not None]
+
+    @staticmethod
+    def service_results_payload(results: Iterable[ServiceResult]) -> str:
+        """The deterministic artifact for a service batch (one JSON document)."""
+        return json.dumps(
+            {"type": "service_results", "results": [r.to_json() for r in results]},
+            sort_keys=True,
+            indent=2,
+        )
 
     # ------------------------------------------------------------------ #
     # reporting

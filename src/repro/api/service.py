@@ -105,6 +105,10 @@ class ServiceConfig:
     checkpoint_every: Optional[int] = None
     #: Windows retained in the live-state file.
     keep_windows: int = 8
+    #: Cube-aligned shards (see :mod:`repro.distsim.sharding`): the
+    #: streaming harness classifies protocol traffic against the shard
+    #: plan; physical results stay byte-identical to ``shards=1``.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "demand_entries", _normalize_entries(self.demand_entries))
@@ -158,6 +162,12 @@ class ServiceConfig:
             raise ConfigError("checkpoint_every must be a positive integer or None")
         if not isinstance(self.keep_windows, int) or self.keep_windows < 1:
             raise ConfigError("keep_windows must be a positive integer")
+        if (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise ConfigError(f"shards must be a positive integer, got {self.shards!r}")
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -233,6 +243,10 @@ class ServiceConfig:
                 {"start": p.start, "end": p.end, "axis": p.axis, "boundary": p.boundary}
                 for p in self.partitions
             ]
+        # Hash-preserving: the default shards=1 stays unserialized so every
+        # pre-sharding config keeps its historical content hash.
+        if self.shards != 1:
+            payload["shards"] = self.shards
         return payload
 
     @classmethod
@@ -256,6 +270,7 @@ class ServiceConfig:
             window_jobs=payload.get("window_jobs", 1000),
             checkpoint_every=payload.get("checkpoint_every"),
             keep_windows=payload.get("keep_windows", 8),
+            shards=payload.get("shards", 1),
         )
 
     def canonical_json(self) -> str:
@@ -345,6 +360,14 @@ class ServiceResult:
     interrupted: bool = False
     #: Per-window rollup totals (equal to the batch counters by construction).
     rollup: Dict[str, Any] = field(default_factory=dict)
+    #: Shard bookkeeping (excluded from ``result_hash`` like the other
+    #: harness-side fields: an N-shard run must hash identically to the
+    #: single-shard run -- that equality is the determinism contract).
+    shards: int = 1
+    #: Logical sends that crossed a shard boundary.
+    cross_shard_messages: int = 0
+    #: Lockstep window barriers the run advanced through.
+    window_barriers: int = 0
 
     def result_hash(self) -> str:
         """Stable hash of the physical outcome (see ``_HASHED_FIELDS``)."""
@@ -357,3 +380,14 @@ class ServiceResult:
         payload["type"] = "service_result"
         payload["result_hash"] = self.result_hash()
         return payload
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON text (sorted keys, no whitespace drift)."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ServiceResult":
+        if payload.get("type") != "service_result":
+            raise ConfigError("payload is not a serialized service result")
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in names})

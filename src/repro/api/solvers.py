@@ -173,6 +173,7 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         churn=churn,
         engine=engine,
         transport=transport,
+        shards=config.shards,
     )
     extras = {
         "theorem_capacity": result.theorem_capacity,

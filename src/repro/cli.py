@@ -143,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000,
         help="jobs per metrics window (with --metrics-out; default 1000)",
     )
+    run.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="partition the run into N cube-aligned shards (online solvers "
+        "only; results are byte-identical to --shards 1)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario x solver x seed matrix through the engine"
@@ -343,6 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stop right after the Nth checkpoint (deterministic kill, for "
         "resume demonstrations)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="classify protocol traffic against an N-shard cube partition "
+        "(bookkeeping only; results are byte-identical to --shards 1)",
     )
     serve.add_argument(
         "--json", dest="json_out", help="write the ServiceResult to this path"
@@ -606,6 +620,13 @@ def _command_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards > 1 and args.solver not in _TRANSPORT_SOLVERS:
+        print(
+            f"error: --shards only applies to the message-passing solvers "
+            f"({', '.join(_TRANSPORT_SOLVERS)}), not {args.solver!r}",
+            file=sys.stderr,
+        )
+        return 2
     failures = _parse_failures(
         args, scenario if args.solver == "online-broken" else None
     )
@@ -623,6 +644,7 @@ def _command_run(args: argparse.Namespace) -> int:
         transport=transport,
         escalation=args.escalation,
         recovery_rounds=args.recovery_rounds,
+        shards=args.shards,
         params=_parse_params(args.param),
     )
     if args.metrics_out:
@@ -675,6 +697,10 @@ def _service_summary(result) -> Table:
     table.add_row("protocol messages", result.messages)
     table.add_row("transport", result.transport)
     table.add_row("sim time", result.sim_time)
+    if result.shards > 1:
+        table.add_row("shards", result.shards)
+        table.add_row("cross-shard messages", result.cross_shard_messages)
+        table.add_row("window barriers", result.window_barriers)
     table.add_row("result hash", result.result_hash()[:16])
     return table
 
@@ -717,6 +743,7 @@ def _command_run_streaming(args: argparse.Namespace, config: RunConfig) -> int:
         partitions=failures.partitions if broken else (),
         seed=config.scenario.seed,
         window_jobs=args.window,
+        shards=config.shards,
     )
 
     def execute():
@@ -805,6 +832,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             lookahead=args.lookahead,
             window_jobs=args.window,
             checkpoint_every=args.checkpoint_every,
+            shards=args.shards,
         )
         jobs = streaming_arrivals(demand, jobs=args.jobs)
         result = run_service(config, jobs, **outputs)

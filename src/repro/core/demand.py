@@ -241,6 +241,21 @@ class Job:
         if not math.isfinite(self.time):
             raise ValueError("job time must be finite")
 
+    @classmethod
+    def trusted(cls, time: float, position: Point, energy: float = 1.0) -> "Job":
+        """Construct without re-validation.
+
+        ``position`` must already be a tuple of ints and the fields valid
+        -- the fast path for callers rebuilding jobs that were valid
+        ``Job`` objects before serialization (e.g. sharded workers), where
+        the per-job ``__post_init__`` sweep dominates at 10^5 jobs.
+        """
+        job = object.__new__(cls)
+        object.__setattr__(job, "time", time)
+        object.__setattr__(job, "position", position)
+        object.__setattr__(job, "energy", energy)
+        return job
+
 
 @dataclass
 class JobSequence:
@@ -263,6 +278,18 @@ class JobSequence:
         return JobSequence(
             [Job(time=float(i + 1), position=tuple(p)) for i, p in enumerate(positions)]
         )
+
+    @staticmethod
+    def from_sorted(jobs: List[Job]) -> "JobSequence":
+        """Wrap an already strictly-increasing job list without re-sorting.
+
+        The monotonicity check in ``__post_init__`` is skipped too -- for
+        callers holding a subsequence of an existing (validated) sequence,
+        such as sharded workers receiving their per-shard job slice.
+        """
+        sequence = JobSequence.__new__(JobSequence)
+        sequence.jobs = jobs
+        return sequence
 
     def __len__(self) -> int:
         return len(self.jobs)

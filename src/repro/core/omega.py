@@ -48,6 +48,7 @@ __all__ = [
     "omega_star_exhaustive",
     "omega_star_cubes",
     "omega_c",
+    "demand_cube_maxima",
     "example_square_bound",
     "example_line_bound",
     "example_point_bound",
@@ -176,11 +177,27 @@ def _candidate_sides(demand: DemandMap, max_side: Optional[int]) -> List[int]:
     return list(range(1, max(extent, 1) + 1))
 
 
+def demand_cube_maxima(demand: DemandMap) -> Dict[int, float]:
+    """Sliding-window cube-demand maxima for every side up to the extent.
+
+    ``maxima[side]`` is the largest total demand inside any axis-aligned
+    ``side``-cube.  This is the one expensive pass both
+    :func:`omega_star_cubes` and :func:`omega_c` are built on; callers that
+    need both quantities (``run_online`` resolves them back to back on
+    every provisioning) compute it once and pass it to each via their
+    ``maxima`` parameter instead of paying the sweep twice.
+    """
+    if demand.is_empty():
+        return {}
+    return max_cube_sums(demand.as_dict(), _candidate_sides(demand, None))
+
+
 def omega_star_cubes(
     demand: DemandMap,
     *,
     max_side: Optional[int] = None,
     return_region: bool = False,
+    maxima: Optional[Dict[int, float]] = None,
 ) -> OmegaResult:
     """``max_T omega_T`` over all axis-aligned cubes ``T`` (Corollary 2.2.6).
 
@@ -200,6 +217,9 @@ def omega_star_cubes(
     return_region:
         When true, also locate and return a maximizing cube (a second pass
         over positions for the winning side).
+    maxima:
+        Precomputed :func:`demand_cube_maxima` of this demand (must cover
+        every candidate side); omitted, the sweep runs here.
     """
     if demand.is_empty():
         return OmegaResult(0.0, None)
@@ -210,7 +230,8 @@ def omega_star_cubes(
     # For each side, the cube with the largest contained demand maximizes
     # omega among cubes of that side (the neighborhood size only depends on
     # the side), so the sliding-window maximum per side suffices.
-    maxima = max_cube_sums(demand_dict, sides)
+    if maxima is None:
+        maxima = max_cube_sums(demand_dict, sides)
     for side in sides:
         total = maxima[side]
         if total <= 0:
@@ -242,7 +263,12 @@ def _locate_best_cube(demand: DemandMap, side: int, target_total: float) -> Regi
     raise RuntimeError("failed to locate the maximizing cube (numerical drift?)")
 
 
-def omega_c(demand: DemandMap, *, max_side: Optional[int] = None) -> float:
+def omega_c(
+    demand: DemandMap,
+    *,
+    max_side: Optional[int] = None,
+    maxima: Optional[Dict[int, float]] = None,
+) -> float:
     """The cube fixed-point quantity of Corollary 2.2.7.
 
     The corollary defines ``omega_c`` as the smallest ``omega`` with
@@ -253,7 +279,10 @@ def omega_c(demand: DemandMap, *, max_side: Optional[int] = None) -> float:
     brackets ``(s - 1, s]`` and takes the smallest feasible value.
 
     ``omega_c <= max_T omega_T`` always holds (see the corollary's proof);
-    both sandwich ``W_off`` up to the same constants.
+    both sandwich ``W_off`` up to the same constants.  ``maxima`` takes a
+    precomputed :func:`demand_cube_maxima` of this demand to skip the
+    sliding-window sweep (it only needs sides up to the support extent;
+    larger cubes contain the full demand).
     """
     if demand.is_empty():
         return 0.0
@@ -272,7 +301,8 @@ def omega_c(demand: DemandMap, *, max_side: Optional[int] = None) -> float:
     limit = max(extent, feasible_side)
     if max_side is not None:
         limit = min(limit, max_side)
-    maxima = max_cube_sums(demand.as_dict(), range(1, min(extent, limit) + 1))
+    if maxima is None:
+        maxima = max_cube_sums(demand.as_dict(), range(1, min(extent, limit) + 1))
     best: Optional[float] = None
     for side in range(1, limit + 1):
         cube_max = maxima[side] if side <= extent else total

@@ -49,9 +49,20 @@ import numpy as np
 
 from repro.core.demand import DemandMap, JobSequence
 from repro.core.offline import online_upper_bound_factor
-from repro.core.omega import omega_c, omega_star_cubes
+from repro.core.omega import demand_cube_maxima, omega_c, omega_star_cubes
+from repro.core.plan import plan_window
 from repro.distsim.failures import ChurnSpec, FailurePlan, apply_churn
+from repro.distsim.sharding import (
+    ShardMailbox,
+    ShardMonitor,
+    ShardPlan,
+    lockstep_window,
+    merge_shard_results,
+    run_lockstep,
+    run_parallel,
+)
 from repro.distsim.transport import Transport, TransportSpec, build_transport
+from repro.grid.cubes import CubeGrid, CubeHierarchy
 from repro.grid.lattice import Point
 from repro.vehicles.fleet import Fleet, FleetConfig
 
@@ -139,6 +150,15 @@ class OnlineResult:
     escalated_replacements: int = 0
     #: Far pairs adopted by active vehicles with spare battery.
     adoptions: int = 0
+    #: Shards the run was partitioned into (1 = single-process).
+    shards: int = 1
+    #: Logical sends that crossed a shard boundary (always 0 unsharded, and
+    #: 0 in the parallel isolated mode, which requires zero boundary traffic).
+    cross_shard_messages: int = 0
+    #: Lockstep window barriers the coordinator advanced through.
+    window_barriers: int = 0
+    #: Wall-clock seconds per worker shard (parallel isolated mode only).
+    shard_timings: Dict[int, float] = field(default_factory=dict)
 
     @property
     def online_to_offline_ratio(self) -> float:
@@ -222,6 +242,7 @@ def provision_fleet(
     dead_vehicles: Optional[Iterable[Sequence[int]]] = None,
     transport: Optional[Transport] = None,
     escalation: Optional[bool] = None,
+    window=None,
 ) -> Tuple[Fleet, FleetConfig, Optional[float], float]:
     """Build the fleet a driver runs against, exactly as :func:`run_online` does.
 
@@ -230,6 +251,10 @@ def provision_fleet(
     Returns ``(fleet, fleet_config, provisioned, theorem_capacity)`` --
     construction order and the dead-vehicle crash sweep are shared with the
     batch path so a service run provisions a byte-identical fleet.
+
+    ``window`` overrides the planned lattice window: a sharded worker
+    building a sub-fleet over a restricted demand passes the global run's
+    window so cube geometry matches the single-process run.
     """
     theorem_capacity = online_upper_bound_factor(demand.dim) * omega
 
@@ -250,6 +275,7 @@ def provision_fleet(
         rng=rng,
         failure_plan=failure_plan,
         transport=transport,
+        window=window,
     )
     if dead_vehicles is not None:
         # Scenario 3: these vehicles are dead from the start -- they cannot
@@ -401,8 +427,14 @@ def _run_events(
     recovery_rounds: int,
     churn: Sequence[ChurnSpec],
     plan: FailurePlan,
+    *,
+    run=None,
 ) -> int:
     """The event driver: arrivals and failure windows on the simulator clock.
+
+    ``run`` overrides the final drain: the sharded lockstep coordinator
+    passes a callable executing the same events through window barriers
+    (``run(simulator)`` instead of ``run_until_quiescent``).
 
     Each job becomes an arrival event at its ``job.time``; churn events are
     scheduled at their own times; the failure clock tracks the simulation
@@ -432,8 +464,175 @@ def _run_events(
         kind="arrival",
     )
 
-    simulator.run_until_quiescent()
+    if run is None:
+        simulator.run_until_quiescent()
+    else:
+        run(simulator)
     return sum(served)
+
+
+def _parallel_shardable(
+    transport: Union[Transport, TransportSpec, str, None],
+    transport_instance: Optional[Transport],
+    config: Optional[FleetConfig],
+    rng: Optional[np.random.Generator],
+    failure_plan: Optional[FailurePlan],
+    dead_vehicles: Optional[Iterable[Sequence[int]]],
+    recovery_rounds: int,
+    churn_events: Sequence[ChurnSpec],
+    escalation: Optional[bool],
+) -> bool:
+    """Whether a sharded run may use the multi-process isolated mode.
+
+    The isolated mode requires every shard to be a closed sub-simulation:
+    no shared RNG stream (jitter delays and loss draws are consumed in
+    global send order), no cross-cube protocol traffic (monitoring watch
+    rings and escalation cross cube -- and hence potentially shard --
+    boundaries), no failure injection whose clock couples shards, and a
+    transport that is both stateless per edge (``Transport.shardable``) and
+    rebuildable inside a worker process (``None``, a kind name, or a
+    :class:`TransportSpec` -- not a caller-owned instance).  Everything
+    else falls back to the lockstep mode, which is exact for every
+    configuration.
+    """
+    if rng is not None or failure_plan is not None or dead_vehicles is not None:
+        return False
+    if recovery_rounds != 0 or churn_events:
+        return False
+    monitoring = config.monitoring if config is not None else False
+    if escalation is not None:
+        escalated = bool(escalation)
+    else:
+        escalated = config.escalation if config is not None else False
+    if monitoring or escalated:
+        return False
+    if transport is None:
+        # The legacy default channel with rng=None: a fixed-delay reliable
+        # transport, rebuilt identically by each worker's Network.
+        return True
+    if not isinstance(transport, (str, TransportSpec)):
+        return False
+    return transport_instance is not None and transport_instance.shardable
+
+
+def _run_online_parallel(
+    jobs: JobSequence,
+    demand: DemandMap,
+    omega: float,
+    omega_star: float,
+    capacity: CapacitySpec,
+    config: Optional[FleetConfig],
+    transport: Union[TransportSpec, str, None],
+    transport_instance: Optional[Transport],
+    shards: int,
+) -> OnlineResult:
+    """The multi-process isolated mode: one worker sub-fleet per shard.
+
+    The coordinator replicates the single-process geometry (cube side,
+    planned window, hierarchy) *without* building the global fleet, splits
+    demand and jobs by owning shard, and fans the shard payloads out to
+    worker processes; :func:`merge_shard_results` reassembles the per-cube
+    state segments in global creation order so the merged result is
+    byte-identical to the unsharded run.
+    """
+    base = config if config is not None else FleetConfig()
+    cube_side = max(1, int(math.ceil(omega)))
+    window = plan_window(demand, cube_side)
+    grid = CubeGrid(window, cube_side)
+    hierarchy = CubeHierarchy(grid)
+
+    # Cube membership and shard routing, vectorized: a scalar
+    # ``grid.cube_index`` per point costs more than the worker runs at the
+    # 10^5 scale.  Points and job positions reduce to cube multi-indices in
+    # one array op each, and a dense cube-lattice lookup table turns
+    # cube -> shard into a single fancy-index.
+    entries = demand.as_dict()
+    lo = np.asarray(window.lo, dtype=np.int64)
+    points = np.asarray(list(entries), dtype=np.int64)
+    point_cubes = (points - lo) // cube_side
+    occupied = {tuple(row) for row in np.unique(point_cubes, axis=0).tolist()}
+    plan = ShardPlan(hierarchy, shards, cubes=occupied)
+
+    lut_shape = tuple(
+        (hi - low) // cube_side + 1 for low, hi in zip(window.lo, window.hi)
+    )
+    shard_lut = np.zeros(lut_shape, dtype=np.int64)
+    for shard in range(shards):
+        for index in plan.cubes_of(shard):
+            shard_lut[index] = shard
+
+    theorem_capacity = online_upper_bound_factor(demand.dim) * omega
+    provisioned: Optional[float] = (
+        theorem_capacity if capacity == "theorem" else capacity
+    )
+
+    transport_payload: Union[Dict[str, object], str, None]
+    if isinstance(transport, TransportSpec):
+        transport_payload = transport.to_json()
+    else:
+        transport_payload = transport
+
+    point_shards = shard_lut[tuple(point_cubes.T)].tolist()
+    entries_by_shard: List[List[Tuple[Point, float]]] = [[] for _ in range(shards)]
+    for (point, value), shard in zip(entries.items(), point_shards):
+        entries_by_shard[shard].append((point, value))
+
+    job_positions = np.asarray([job.position for job in jobs], dtype=np.int64)
+    job_cubes = (job_positions - lo) // cube_side
+    job_shards = shard_lut[tuple(job_cubes.T)].tolist()
+    jobs_by_shard: List[List[Tuple[float, Point, float]]] = [[] for _ in range(shards)]
+    for job, shard in zip(jobs, job_shards):
+        jobs_by_shard[shard].append((job.time, job.position, job.energy))
+
+    payloads = [
+        {
+            "shard": shard,
+            "entries": entries_by_shard[shard],
+            "dim": demand.dim,
+            "window_lo": window.lo,
+            "window_hi": window.hi,
+            "omega": float(omega),
+            "capacity": provisioned,
+            "config": base,
+            "transport": transport_payload,
+            "jobs": jobs_by_shard[shard],
+        }
+        for shard in range(shards)
+        if entries_by_shard[shard]
+    ]
+    merged = merge_shard_results(run_parallel(payloads))
+
+    return OnlineResult(
+        jobs_total=len(jobs),
+        jobs_served=merged["served"],
+        feasible=merged["served"] == len(jobs),
+        max_vehicle_energy=merged["max_energy"],
+        total_travel=merged["total_travel"],
+        total_service=merged["total_service"],
+        omega=float(omega),
+        omega_star=omega_star,
+        capacity=provisioned,
+        theorem_capacity=theorem_capacity,
+        replacements=merged["replacements"],
+        searches=merged["searches"],
+        failed_replacements=merged["failed_replacements"],
+        messages=merged["messages"],
+        heartbeat_rounds=merged["heartbeat_rounds"],
+        vehicle_energies=merged["vehicle_energies"],
+        engine="events",
+        events_processed=merged["events"],
+        sim_time=merged["sim_time"],
+        transport=(
+            transport_instance.kind if transport_instance is not None else "reliable"
+        ),
+        messages_dropped=merged["messages_dropped"],
+        messages_corrupted=merged["messages_corrupted"],
+        escalation=False,
+        shards=shards,
+        window_barriers=0,
+        cross_shard_messages=0,
+        shard_timings=merged["timings"],
+    )
 
 
 def run_online(
@@ -450,6 +649,7 @@ def run_online(
     engine: str = "events",
     transport: Union[Transport, TransportSpec, str, None] = None,
     escalation: Optional[bool] = None,
+    shards: int = 1,
 ) -> OnlineResult:
     """Run the online strategy on a job sequence.
 
@@ -496,9 +696,20 @@ def run_online(
         hierarchy (cross-cube replacement; see
         :class:`~repro.vehicles.fleet.FleetConfig`).  ``None`` keeps the
         ``config``'s setting.
+    shards:
+        Partition the run into this many cube-aligned shards (see
+        :mod:`repro.distsim.sharding`).  The result is byte-identical to
+        the ``shards=1`` run: shard-safe configurations fan out to one
+        worker process per shard (the fast path), everything else runs the
+        single global fleet through lockstep window barriers, counting
+        cross-shard traffic.  Requires ``engine="events"``.
     """
     if engine not in ONLINE_ENGINES:
         raise ValueError(f"engine must be one of {ONLINE_ENGINES}, got {engine!r}")
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ValueError(f"shards must be a positive integer, got {shards!r}")
+    if shards > 1 and engine != "events":
+        raise ValueError("sharded runs require engine='events'")
     transport_instance = build_transport(transport)
     if len(jobs) == 0:
         kind = transport_instance.kind if transport_instance is not None else "reliable"
@@ -508,15 +719,46 @@ def run_online(
     if "demand" not in memo:
         memo["demand"] = jobs.demand_map()
     demand = memo["demand"]
+    # omega_c and omega_star share one sliding-window sweep (the dominant
+    # provisioning cost at the 10^5-vehicle scale), memoized per sequence.
+    if (omega is None and "omega_c" not in memo) or "omega_star" not in memo:
+        if "cube_maxima" not in memo:
+            memo["cube_maxima"] = demand_cube_maxima(demand)
     if omega is None:
         if "omega_c" not in memo:
-            memo["omega_c"] = omega_c(demand)
+            memo["omega_c"] = omega_c(demand, maxima=memo["cube_maxima"])
         omega = memo["omega_c"]
     if omega <= 0:
         raise ValueError("omega must be positive for a non-empty job sequence")
     if "omega_star" not in memo:
-        memo["omega_star"] = omega_star_cubes(demand).omega
+        memo["omega_star"] = omega_star_cubes(
+            demand, maxima=memo["cube_maxima"]
+        ).omega
     omega_star = memo["omega_star"]
+
+    churn_events = tuple(churn) if churn is not None else ()
+    if shards > 1 and _parallel_shardable(
+        transport,
+        transport_instance,
+        config,
+        rng,
+        failure_plan,
+        dead_vehicles,
+        recovery_rounds,
+        churn_events,
+        escalation,
+    ):
+        return _run_online_parallel(
+            jobs,
+            demand,
+            omega,
+            omega_star,
+            capacity,
+            config,
+            transport,
+            transport_instance,
+            shards,
+        )
 
     fleet, fleet_config, provisioned, theorem_capacity = provision_fleet(
         demand,
@@ -530,11 +772,45 @@ def run_online(
         escalation=escalation,
     )
 
-    churn_events = tuple(churn) if churn is not None else ()
-    driver = _run_events if engine == "events" else _run_rounds
-    served_count = driver(
-        fleet, fleet_config, jobs, recovery_rounds, churn_events, fleet.failure_plan
-    )
+    monitor: Optional[ShardMonitor] = None
+    barrier_count = 0
+    if shards > 1:
+        # Lockstep mode: one global fleet, advanced through conservative
+        # time windows; cross-shard sends are ledgered and exchanged at
+        # each barrier.  The executed event order is untouched, so every
+        # physical result byte matches the unsharded run.
+        shard_plan = ShardPlan(
+            fleet.hierarchy, shards, cubes=list(fleet.flat.cube_id_of)
+        )
+        mailbox = ShardMailbox()
+        monitor = ShardMonitor(
+            shard_plan, fleet.cube_grid.cube_index, fleet.simulator, mailbox
+        )
+        fleet.network.shard_monitor = monitor
+        window_length = lockstep_window(
+            fleet.network.transport, fleet_config.message_delay
+        )
+
+        def _lockstep_run(simulator) -> None:
+            nonlocal barrier_count
+            _executed, barrier_count = run_lockstep(
+                simulator, window_length, mailbox=mailbox
+            )
+
+        served_count = _run_events(
+            fleet,
+            fleet_config,
+            jobs,
+            recovery_rounds,
+            churn_events,
+            fleet.failure_plan,
+            run=_lockstep_run,
+        )
+    else:
+        driver = _run_events if engine == "events" else _run_rounds
+        served_count = driver(
+            fleet, fleet_config, jobs, recovery_rounds, churn_events, fleet.failure_plan
+        )
 
     return OnlineResult(
         jobs_total=len(jobs),
@@ -563,4 +839,7 @@ def run_online(
         escalations=fleet.stats.escalations_started,
         escalated_replacements=fleet.stats.escalated_replacements,
         adoptions=fleet.stats.adoptions,
+        shards=shards,
+        cross_shard_messages=monitor.cross_shard if monitor is not None else 0,
+        window_barriers=barrier_count,
     )

@@ -182,6 +182,35 @@ class Simulator:
             self.clock.advance(until)
         return executed
 
+    def run_window(self, until: float, *, max_events: Optional[int] = None) -> int:
+        """Run every event with ``time <= until`` without padding the clock.
+
+        Identical to ``run(until=until)`` except that when the queue drains
+        before the bound, the clock stays at the *last executed event*
+        instead of jumping to ``until``.  This is the primitive the sharded
+        lockstep coordinator advances windows with: a barrier must not
+        disturb ``sim_time`` (the final clock reading is part of the
+        byte-identity contract), so empty tail time inside a window is
+        never consumed.
+        """
+        executed = 0
+        queue = self.queue
+        stats = queue.stats
+        while True:
+            limit = None if max_events is None else max_events - executed
+            batch = queue.pop_batch(until=until, limit=limit)
+            if not batch:
+                break
+            self.clock.advance(batch[0].time)
+            for event in batch:
+                if event.cancelled:
+                    stats.cancelled_skipped += 1
+                    continue
+                stats.executed += 1
+                executed += 1
+                event.action()
+        return executed
+
     def run_until_quiescent(self, *, max_events: int = 10_000_000) -> int:
         """Run until no events remain; guards against runaway protocols."""
         executed = self.run(max_events=max_events)

@@ -84,6 +84,12 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Optional observer invoked once per logical send, *before* any
+        #: drop decision: ``shard_monitor(sender, destination, message)``.
+        #: The sharded coordinator installs one to classify traffic as
+        #: intra- vs cross-shard; ``None`` (the default) costs nothing on
+        #: the hot path beyond one attribute read.
+        self.shard_monitor = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -131,6 +137,8 @@ class Network:
         if destination not in self._processes:
             raise KeyError(f"unknown destination {destination!r}")
         self.messages_sent += 1
+        if self.shard_monitor is not None:
+            self.shard_monitor(sender, destination, message)
         if self.failure_plan.should_drop(sender, destination, message):
             self.messages_dropped += 1
             return
@@ -170,6 +178,7 @@ class Network:
             return
         plan = self.failure_plan
         processes = self._processes
+        monitor = self.shard_monitor
 
         def make_deliver(destination: Hashable) -> Any:
             def _deliver() -> None:
@@ -187,6 +196,8 @@ class Network:
                 if destination not in processes:
                     raise KeyError(f"unknown destination {destination!r}")
                 self.messages_sent += 1
+                if monitor is not None:
+                    monitor(sender, destination, message)
                 if plan.should_drop(sender, destination, message) or plan.is_crashed(
                     destination
                 ):

@@ -160,6 +160,35 @@ class Transport:
         return message
 
     # ------------------------------------------------------------------ #
+    # sharding contract
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shardable(self) -> bool:
+        """Whether per-shard instances reproduce the single-process run.
+
+        A transport is shardable when its latency is a *pure function of
+        the edge* -- no stream state consumed in global send order -- so
+        splitting the fleet across independent simulators cannot perturb
+        any delivery time.  Stream-coupled models (lossy, corrupting,
+        shared-RNG jitter) are not: their draws depend on the interleaved
+        global send sequence, which only the single-process (or lockstep)
+        run produces.  Conservative default: not shardable.
+        """
+        return False
+
+    def min_latency(self) -> float:
+        """A lower bound on the delay of any message this transport carries.
+
+        The sharded coordinator derives its conservative window length from
+        this bound: a message sent inside a window ``[kW, (k+1)W)`` with
+        ``W <= min_latency`` cannot be delivered before the next window
+        barrier, so exchanging boundary traffic at barriers preserves the
+        global delivery order.  The base transport is instantaneous.
+        """
+        return 0.0
+
+    # ------------------------------------------------------------------ #
     # delivery scheduling
     # ------------------------------------------------------------------ #
 
@@ -290,6 +319,15 @@ class ReliableTransport(Transport):
             return self.delay
         return None
 
+    @property
+    def shardable(self) -> bool:
+        # A fixed delay is a pure edge function; a callable may close over
+        # anything (including shared state), so it stays off the shard path.
+        return type(self) is ReliableTransport and not callable(self.delay)
+
+    def min_latency(self) -> float:
+        return 0.0 if callable(self.delay) else float(self.delay)
+
 
 def _edge_unit(seed: int, sender: Hashable, destination: Hashable) -> float:
     """A deterministic uniform-ish value in ``[0, 1)`` per directed edge.
@@ -328,6 +366,13 @@ class LatencyTransport(Transport):
 
     def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
         return self.delay + self.jitter * _edge_unit(self.seed, sender, destination)
+
+    @property
+    def shardable(self) -> bool:
+        return True  # pure edge function: no stream consumed
+
+    def min_latency(self) -> float:
+        return self.delay
 
 
 class DistanceLatencyTransport(Transport):
@@ -374,6 +419,13 @@ class DistanceLatencyTransport(Transport):
             return self.delay
         return self.delay + self.per_step * distance
 
+    @property
+    def shardable(self) -> bool:
+        return True  # pure edge function: no stream consumed
+
+    def min_latency(self) -> float:
+        return self.delay
+
 
 class LossyTransport(Transport):
     """Seeded i.i.d. message loss on top of a fixed delay.
@@ -406,6 +458,11 @@ class LossyTransport(Transport):
 
     def drops(self, sender: Hashable, destination: Hashable, message: Any) -> bool:
         return bool(self._rng.random() < self.loss)
+
+    def min_latency(self) -> float:
+        # Not shardable (the loss stream is consumed in global send order),
+        # but the lockstep coordinator still windows on the delay floor.
+        return self.delay
 
 
 class CorruptingTransport(Transport):
@@ -484,6 +541,9 @@ class CorruptingTransport(Transport):
                 message, destination=self._drift_point(message.destination)
             )
         return dataclass_replace(message, pair_key=self._drift_point(message.pair_key))
+
+    def min_latency(self) -> float:
+        return self.delay
 
 
 class RetransmitTransport(Transport):
@@ -567,6 +627,16 @@ class RetransmitTransport(Transport):
         wait, self._pending_wait = self._pending_wait, 0.0
         return wait + float(self.inner.latency(sender, destination, message))
 
+    @property
+    def shardable(self) -> bool:
+        # Shardable exactly when the inner channel is: a lossless shardable
+        # inner never consumes a stream through ``drops``, so the wrapper
+        # adds no send-order coupling of its own.
+        return self.inner.shardable
+
+    def min_latency(self) -> float:
+        return self.inner.min_latency()
+
 
 class RandomJitterTransport(Transport):
     """The historical randomized-delay model: uniform on ``[d/2, 3d/2]``.
@@ -589,6 +659,9 @@ class RandomJitterTransport(Transport):
 
     def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
         return float(self._rng.uniform(self.delay / 2, 3 * self.delay / 2))
+
+    def min_latency(self) -> float:
+        return self.delay / 2  # uniform on [d/2, 3d/2]; never shardable
 
 
 # --------------------------------------------------------------------------- #

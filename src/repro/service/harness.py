@@ -37,6 +37,7 @@ import numpy as np
 from repro.api.service import ServiceConfig, ServiceResult
 from repro.core.omega import omega_c, omega_star_cubes
 from repro.core.online import provision_fleet
+from repro.distsim.sharding import ShardMailbox, ShardMonitor, ShardPlan
 from repro.distsim.transport import build_transport
 from repro.service.checkpoint import (
     capture_checkpoint,
@@ -150,6 +151,20 @@ def run_service(
     )
     plan = fleet.failure_plan
 
+    shard_monitor: Optional[ShardMonitor] = None
+    if config.shards > 1:
+        # The streaming driver already serializes execution on one clock, so
+        # sharding a service run is pure observation: classify every send
+        # against the cube shard plan and ledger the boundary traffic.  The
+        # physical run -- and hence result_hash/fleet_digest -- is untouched.
+        shard_plan = ShardPlan(
+            fleet.hierarchy, config.shards, cubes=list(fleet.flat.cube_id_of)
+        )
+        shard_monitor = ShardMonitor(
+            shard_plan, fleet.cube_grid.cube_index, fleet.simulator, ShardMailbox()
+        )
+        fleet.network.shard_monitor = shard_monitor
+
     metrics_handle: Optional[TextIO] = None
     if metrics_path is not None:
         metrics_handle = open(metrics_path, "a", encoding="utf-8")
@@ -197,9 +212,15 @@ def run_service(
         churn_applied = churn_applied_from_json(snapshot)
         jobs = itertools.islice(iter(jobs), start_consumed, None)
 
-    progress = {"checkpoints": 0, "checkpoint_due": False}
+    progress = {"checkpoints": 0, "checkpoint_due": False, "barriers": 0}
 
     def control(driver: StreamDriver) -> None:
+        if shard_monitor is not None:
+            # The driver pauses at an exact inter-arrival boundary here, so
+            # this is the service run's window barrier: exchange (drain) the
+            # boundary ledger, keeping its memory bounded on infinite streams.
+            if shard_monitor.mailbox.drain_until(fleet.simulator.now):
+                progress["barriers"] += 1
         closed = recorder.maybe_close_window(force=driver.finished)
         if closed is not None:
             store.log_event(
@@ -350,6 +371,11 @@ def run_service(
         resumed=resumed,
         interrupted=interrupted,
         rollup=rollup,
+        shards=config.shards,
+        cross_shard_messages=(
+            shard_monitor.cross_shard if shard_monitor is not None else 0
+        ),
+        window_barriers=progress["barriers"],
     )
 
 

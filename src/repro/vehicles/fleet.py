@@ -129,6 +129,7 @@ class Fleet:
         rng: Optional[np.random.Generator] = None,
         failure_plan: Optional[FailurePlan] = None,
         transport: Optional[Transport] = None,
+        window: Optional[Box] = None,
     ) -> None:
         if demand.is_empty():
             raise ValueError("cannot build a fleet for an empty demand map")
@@ -156,7 +157,14 @@ class Fleet:
             transport=transport,
         )
 
-        self.window: Box = plan_window(demand, self.cube_side)
+        #: The lattice window the cube partition tiles.  A sharded worker
+        #: passes the *global* run's window explicitly so its sub-fleet's
+        #: cube geometry (indices, level boxes, parities) matches the
+        #: single-process run exactly; ``plan_window`` over a restricted
+        #: demand would re-anchor the grid.
+        self.window: Box = (
+            window if window is not None else plan_window(demand, self.cube_side)
+        )
         self.cube_grid = CubeGrid(self.window, self.cube_side)
         #: The dyadic coarsening of the cube partition -- the escalation
         #: geometry of cross-cube replacement searches.
