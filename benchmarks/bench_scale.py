@@ -21,6 +21,17 @@ benchmark is their regression gate.  For each scale it measures
   slowest shard) -- what the wall becomes once the host has at least as
   many cores as shards; on fewer cores the pool serializes workers and
   the wall number hides the speedup.
+* **lockstep events/sec** (``10^4`` tier, ``lockstep_events_per_sec``):
+  a failure-mode run (crash sweep + partition + lossy transport) with
+  escalation on, which disqualifies parallel sharding and exercises the
+  windowed single-process lockstep fallback -- the committed
+  ``lockstep_events_per_sec_1e4`` floor gates it every build.
+* **parallel lockstep** (``10^5-failure`` tier): the same demand with a
+  sparse crash sweep and an *edge-keyed* lossy transport, eligible for
+  the multi-process parallel-lockstep engine (PR 9).  ``--quick`` runs
+  the sharded side only; the full mode adds the single-process lockstep
+  reference and the critical-path speedup (acceptance bar: >= 1.5x at
+  8 shards).
 
 Throughput runs skipped by ``--quick`` are recorded as ``null`` so report
 consumers can tell "not measured" from "missing key".
@@ -54,6 +65,8 @@ bootstrap_src()
 import numpy as np
 
 from repro.core.online import run_online
+from repro.distsim.failures import FailurePlan, PartitionSpec
+from repro.distsim.transport import TransportSpec
 from repro.vehicles.fleet import Fleet, FleetConfig
 from repro.workloads.arrivals import random_arrivals
 from repro.workloads.library import build_family_demand
@@ -152,6 +165,114 @@ def measure_throughput(demand, seed: int = 0, shards: int = 1) -> dict:
     return entry
 
 
+def _crash_plan(demand, every: int = 997) -> FailurePlan:
+    """A deterministic sparse crash sweep over the demand support."""
+    plan = FailurePlan()
+    for vertex in sorted(demand.support())[::every]:
+        plan.crash(tuple(int(c) for c in vertex))
+    return plan
+
+
+def measure_lockstep_throughput(demand, seed: int = 0, shards: int = 4) -> dict:
+    """Events/sec of the single-process *lockstep* engine on a failure config.
+
+    Escalation plus a global-stream lossy transport disqualify the run
+    from every multi-process path, so ``shards=4`` is forced through the
+    windowed lockstep fallback -- the engine whose per-window barrier and
+    adaptive-horizon overhead this figure gates (the transport's 0.02
+    delay makes nearly every event its own conservative window, the worst
+    case).  The mode and first disqualifying reason are recorded so the
+    number can never silently become a parallel-path measurement.
+    """
+    jobs = random_arrivals(demand, np.random.default_rng(seed))
+    plan = _crash_plan(demand)
+    plan.add_partition(
+        PartitionSpec(
+            start=len(jobs) * 0.25, end=len(jobs) * 0.5, axis=0, boundary=50
+        )
+    )
+    transport = TransportSpec(
+        kind="lossy", params={"loss": 0.05, "delay": 0.02, "seed": 3}
+    )
+    start = time.perf_counter()
+    result = run_online(
+        jobs,
+        omega=OMEGA,
+        config=FleetConfig(escalation=True),
+        failure_plan=plan,
+        transport=transport,
+        shards=shards,
+    )
+    elapsed = time.perf_counter() - start
+    if result.shard_mode != "lockstep":
+        raise SystemExit(
+            f"lockstep benchmark ran in mode {result.shard_mode!r}; the "
+            "failure+lossy+escalation config should force the fallback"
+        )
+    return {
+        "lockstep_events_per_sec": (
+            result.events_processed / elapsed if elapsed else 0.0
+        ),
+        "lockstep_run_seconds": elapsed,
+        "lockstep_events_processed": result.events_processed,
+        "lockstep_window_barriers": result.window_barriers,
+        "lockstep_mode": result.shard_mode,
+        "lockstep_mode_reason": result.shard_mode_reason,
+    }
+
+
+def measure_failure_throughput(demand, seed: int = 0, shards: int = 1) -> dict:
+    """Events/sec of a failure+lossy run through the parallel lockstep engine.
+
+    The config (sparse crash sweep, edge-keyed lossy transport, no
+    escalation) is exactly the class PR 9 parallelizes: every shard's
+    protocol traffic is cube-local, so ``shards=N`` takes the
+    ``parallel-lockstep`` multi-process path while ``shards=1`` runs the
+    reference single-process lockstep it must beat.
+    """
+    jobs = random_arrivals(demand, np.random.default_rng(seed))
+    transport = TransportSpec(
+        kind="lossy",
+        params={"loss": 0.05, "delay": 0.02, "seed": 3, "stream": "edge"},
+    )
+    start = time.perf_counter()
+    result = run_online(
+        jobs,
+        omega=OMEGA,
+        config=FleetConfig(),
+        failure_plan=_crash_plan(demand),
+        transport=transport,
+        shards=shards,
+    )
+    elapsed = time.perf_counter() - start
+    entry = {
+        "jobs": result.jobs_total,
+        "events_processed": result.events_processed,
+        "events_per_sec": result.events_processed / elapsed if elapsed else 0.0,
+        "run_seconds": elapsed,
+        "mode": result.shard_mode,
+        "window_barriers": result.window_barriers,
+    }
+    if shards > 1:
+        if result.shard_mode != "parallel-lockstep":
+            raise SystemExit(
+                f"failure benchmark ran in mode {result.shard_mode!r} "
+                f"({result.shard_mode_reason}); expected parallel-lockstep"
+            )
+        timings = dict(result.shard_timings)
+        entry["shards"] = shards
+        entry["shard_seconds"] = {
+            str(shard): round(seconds, 4) for shard, seconds in sorted(timings.items())
+        }
+        worker_total = sum(timings.values())
+        critical = max(elapsed - worker_total + max(timings.values()), 0.0)
+        entry["critical_path_seconds"] = critical
+        entry["critical_path_events_per_sec"] = (
+            result.events_processed / critical if critical else 0.0
+        )
+    return entry
+
+
 SKIPPED_THROUGHPUT = {
     "jobs": None,
     "events_processed": None,
@@ -180,6 +301,11 @@ def main(argv=None) -> int:
         default=None,
         help="also write the 1e5 tier's per-shard timing breakdown here",
     )
+    parser.add_argument(
+        "--lockstep-windows-out",
+        default=None,
+        help="also write per-window barrier counts for the lockstep tiers here",
+    )
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (3 if args.quick else 5)
 
@@ -196,6 +322,9 @@ def main(argv=None) -> int:
             # Cheap even at 10^4 vehicles (that is the point), so it runs
             # in --quick too and the CI gate tracks it every build.
             entry.update(measure_quiescent(demand))
+            # The windowed lockstep fallback engine, gated every build via
+            # the committed lockstep_events_per_sec_1e4 floor.
+            entry.update(measure_lockstep_throughput(demand))
         report["scales"][label] = entry
         throughput = entry.get("events_per_sec")
         quiescent = entry.get("quiescent_rounds_per_sec")
@@ -258,6 +387,53 @@ def main(argv=None) -> int:
         )
     )
 
+    # The parallel-lockstep tier: the same 10^5 demand with a sparse crash
+    # sweep and an edge-keyed lossy transport -- the failure class PR 9
+    # parallelizes.  --quick runs the sharded side only; the full mode adds
+    # the single-process lockstep reference and the critical-path speedup
+    # the acceptance criterion tracks (>= 1.5x at 8 shards).
+    failure_label = f"{label}-failure"
+    failure_sharded = measure_failure_throughput(demand, shards=args.shards)
+    failure_entry = dict(failure_sharded)
+    if args.quick:
+        failure_entry.update(
+            {
+                "single_events_per_sec": None,
+                "single_run_seconds": None,
+                "speedup": None,
+                "critical_path_speedup": None,
+            }
+        )
+    else:
+        single = measure_failure_throughput(demand, shards=1)
+        failure_entry["single_events_per_sec"] = single["events_per_sec"]
+        failure_entry["single_run_seconds"] = single["run_seconds"]
+        failure_entry["speedup"] = (
+            failure_sharded["events_per_sec"] / single["events_per_sec"]
+            if single["events_per_sec"]
+            else None
+        )
+        failure_entry["critical_path_speedup"] = (
+            failure_sharded["critical_path_events_per_sec"]
+            / single["events_per_sec"]
+            if single["events_per_sec"]
+            else None
+        )
+    report["scales"][failure_label] = failure_entry
+    print(
+        f"{failure_label}: {failure_entry['jobs']} jobs over "
+        f"{failure_entry['shards']} shards (parallel lockstep), "
+        f"{failure_entry['events_per_sec']:,.0f} events/sec "
+        f"({failure_entry['critical_path_events_per_sec']:,.0f} on the "
+        "critical path)"
+        + (
+            f", {failure_entry['single_events_per_sec']:,.0f} single-process "
+            f"(critical-path speedup {failure_entry['critical_path_speedup']:.2f}x)"
+            if failure_entry["single_events_per_sec"]
+            else ""
+        )
+    )
+
     emit_report(report, args.out)
     if args.shard_timings_out:
         emit_report(
@@ -269,6 +445,29 @@ def main(argv=None) -> int:
                 "sharded_run_seconds": entry["sharded_run_seconds"],
             },
             args.shard_timings_out,
+        )
+    if args.lockstep_windows_out:
+        # Per-window barrier counts for the conservative engines: how many
+        # synchronization points each mode actually crossed this run --
+        # the observable the adaptive (Chandy-Misra horizon) windows are
+        # meant to shrink.
+        lockstep_1e4 = report["scales"]["1e4"]
+        emit_report(
+            {
+                "lockstep_1e4": {
+                    "window_barriers": lockstep_1e4["lockstep_window_barriers"],
+                    "events_processed": lockstep_1e4["lockstep_events_processed"],
+                    "mode": lockstep_1e4["lockstep_mode"],
+                    "mode_reason": lockstep_1e4["lockstep_mode_reason"],
+                },
+                f"parallel_lockstep_{failure_label}": {
+                    "window_barriers": failure_entry["window_barriers"],
+                    "shards": failure_entry["shards"],
+                    "events_processed": failure_entry["events_processed"],
+                    "mode": failure_entry["mode"],
+                },
+            },
+            args.lockstep_windows_out,
         )
     return 0
 

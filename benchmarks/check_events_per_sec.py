@@ -26,7 +26,13 @@ when the report's memory-flatness check (``memory.flat``) is false.
 ``--scale-report`` also gates the cube-sharded ``10^5``-vehicle tier: the
 report's ``sharded_events_per_sec`` (wall-clock events/sec of the
 ``run_online(..., shards=N)`` multi-process run) must clear the committed
-``sharded_events_per_sec_1e5`` floor.
+``sharded_events_per_sec_1e5`` floor.  It likewise gates the windowed
+*lockstep fallback* engine at the ``10^4`` scale: the report's
+``lockstep_events_per_sec`` (a failure + lossy + escalation config, which
+disqualifies parallel sharding and forces single-process lockstep) must
+clear the committed ``lockstep_events_per_sec_1e4`` floor -- this is the
+cheap every-build proxy for the parallel-lockstep critical path measured
+at ``10^5`` in the full (non-quick) bench mode.
 
 The committed baseline (``benchmarks/bench_baseline.json``) is calibrated
 conservatively for shared CI runners, which are typically 2-3x slower than
@@ -55,6 +61,8 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+from _common import write_summary
 
 #: The benchmark whose throughput the gate tracks.
 GATED_BENCHMARK = "bench_online_driver_events_per_sec[events]"
@@ -115,6 +123,18 @@ def extract_sharded_throughput(scale_report: dict) -> float:
     return float(entry["sharded_events_per_sec"])
 
 
+def extract_lockstep_throughput(scale_report: dict) -> float:
+    """The 1e4 tier's lockstep-fallback events/sec from a bench_scale.py report."""
+    entry = scale_report.get("scales", {}).get(GATED_SCALE)
+    if entry is None or "lockstep_events_per_sec" not in entry:
+        raise SystemExit(
+            f"scale report carries no lockstep_events_per_sec for scale "
+            f"{GATED_SCALE!r}; "
+            "run: python benchmarks/bench_scale.py --quick --out BENCH_fleet_scale.json"
+        )
+    return float(entry["lockstep_events_per_sec"])
+
+
 def extract_stream_metrics(stream_report: dict) -> tuple:
     """(events/sec at 1e3, memory-flat flag) from a bench_stream.py report."""
     entry = stream_report.get("scales", {}).get("1e3")
@@ -168,11 +188,13 @@ def main(argv=None) -> int:
     construction = None
     quiescent = None
     sharded = None
+    lockstep = None
     if args.scale_report is not None:
         scale_payload = json.loads(Path(args.scale_report).read_text())
         construction = extract_construction_seconds(scale_payload)
         quiescent = extract_quiescent_rounds(scale_payload)
         sharded = extract_sharded_throughput(scale_payload)
+        lockstep = extract_lockstep_throughput(scale_payload)
     stream = None
     stream_flat = True
     if args.stream_report is not None:
@@ -189,6 +211,8 @@ def main(argv=None) -> int:
             refreshed["quiescent_rounds_per_sec_1e4"] = quiescent
         if sharded is not None:
             refreshed["sharded_events_per_sec_1e5"] = sharded
+        if lockstep is not None:
+            refreshed["lockstep_events_per_sec_1e4"] = lockstep
         if stream is not None:
             refreshed["stream_events_per_sec_1e3"] = stream
         if baseline_path.exists():
@@ -203,6 +227,8 @@ def main(argv=None) -> int:
             print(f"baseline updated: {quiescent:.0f} quiescent rounds/sec (1e4)")
         if sharded is not None:
             print(f"baseline updated: {sharded:.0f} sharded events/sec (1e5)")
+        if lockstep is not None:
+            print(f"baseline updated: {lockstep:.0f} lockstep events/sec (1e4)")
         if stream is not None:
             print(f"baseline updated: {stream:.0f} stream events/sec (1e3)")
         return 0
@@ -302,6 +328,31 @@ def main(argv=None) -> int:
             f"-> {shstatus}"
         )
 
+    lockstep_passed = True
+    if lockstep is not None:
+        lockstep_base = baseline_payload.get("lockstep_events_per_sec_1e4")
+        if lockstep_base is None:
+            raise SystemExit(
+                "--scale-report given but the baseline carries no "
+                "lockstep_events_per_sec_1e4; refresh it with --update"
+            )
+        lockstep_floor = float(lockstep_base) * (1.0 - args.tolerance)
+        lockstep_passed = lockstep >= lockstep_floor
+        artifact.update(
+            {
+                "lockstep_events_per_sec_1e4": lockstep,
+                "baseline_lockstep_events_per_sec_1e4": float(lockstep_base),
+                "floor_lockstep_events_per_sec_1e4": lockstep_floor,
+                "lockstep_pass": lockstep_passed,
+            }
+        )
+        lstatus = "ok" if lockstep_passed else "REGRESSION"
+        print(
+            f"lockstep fallback (1e4): {lockstep:.0f} events/sec "
+            f"(baseline {float(lockstep_base):.0f}, floor {lockstep_floor:.0f}) "
+            f"-> {lstatus}"
+        )
+
     stream_passed = True
     if stream is not None:
         stream_base = baseline_payload.get("stream_events_per_sec_1e3")
@@ -333,10 +384,15 @@ def main(argv=None) -> int:
         and construction_passed
         and quiescent_passed
         and sharded_passed
+        and lockstep_passed
         and stream_passed
     )
     artifact["pass"] = overall
-    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    if out_path.name.startswith("BENCH_"):
+        # Fold the gate verdicts into the consolidated per-run summary.
+        write_summary(out_path.parent)
     return 0 if overall else 1
 
 

@@ -174,6 +174,7 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         engine=engine,
         transport=transport,
         shards=config.shards,
+        shard_workers=config.param("shard_workers", None),
     )
     extras = {
         "theorem_capacity": result.theorem_capacity,
@@ -200,6 +201,15 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         extras["suppressed_vehicles"] = len(config.failures.suppressed)
         extras["partition_windows"] = len(config.failures.partitions)
         extras["churn_events"] = len(config.failures.churn)
+    if config.shards > 1:
+        # Sharded runs record which execution mode actually ran (and, on a
+        # lockstep fallback, the first disqualifying feature) so bench
+        # numbers can't silently be misread as parallel.  Guarded behind
+        # shards > 1: unsharded extras -- and their golden hashes -- are
+        # untouched.
+        extras["shard_mode"] = result.shard_mode
+        if result.shard_mode_reason:
+            extras["shard_mode_reason"] = result.shard_mode_reason
     return RunResult(
         solver=config.solver,
         scenario=config.scenario.name,

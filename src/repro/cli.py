@@ -150,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the run into N cube-aligned shards (online solvers "
         "only; results are byte-identical to --shards 1)",
     )
+    run.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap the worker-process pool for sharded runs (default: one "
+        "process per shard); results are identical at any worker count",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario x solver x seed matrix through the engine"
@@ -354,9 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shards",
         type=_positive_int,
-        default=1,
+        default=None,
         help="classify protocol traffic against an N-shard cube partition "
-        "(bookkeeping only; results are byte-identical to --shards 1)",
+        "(bookkeeping only; results are byte-identical to --shards 1).  "
+        "With --resume this overrides the snapshot's shard count: a "
+        "checkpoint taken under N shards resumes under M shards to the "
+        "same hashes",
     )
     serve.add_argument(
         "--json", dest="json_out", help="write the ServiceResult to this path"
@@ -633,6 +644,9 @@ def _command_run(args: argparse.Namespace) -> int:
     if transport is not None and failures is not None and failures.transport is not None:
         # An explicit --transport overrides the family failure plan's own.
         failures = failures.without_transport()
+    params = _parse_params(args.param)
+    if args.shard_workers is not None:
+        params["shard_workers"] = args.shard_workers
     config = RunConfig(
         solver=args.solver,
         scenario=scenario,
@@ -645,7 +659,7 @@ def _command_run(args: argparse.Namespace) -> int:
         escalation=args.escalation,
         recovery_rounds=args.recovery_rounds,
         shards=args.shards,
-        params=_parse_params(args.param),
+        params=params,
     )
     if args.metrics_out:
         if args.solver not in _TRANSPORT_SOLVERS:
@@ -699,6 +713,9 @@ def _service_summary(result) -> Table:
     table.add_row("sim time", result.sim_time)
     if result.shards > 1:
         table.add_row("shards", result.shards)
+        # The streaming driver serializes execution on one clock, so a
+        # sharded service run is always observational lockstep.
+        table.add_row("shard mode", "lockstep (single clock)")
         table.add_row("cross-shard messages", result.cross_shard_messages)
         table.add_row("window barriers", result.window_barriers)
     table.add_row("result hash", result.result_hash()[:16])
@@ -797,6 +814,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.resume:
         payload = load_checkpoint(args.resume)
         config = ServiceConfig.from_json(payload["config"])
+        if args.shards is not None:
+            # Observational sharding: resuming an N-shard checkpoint under
+            # M shards reaches the same result_hash / fleet_digest.
+            config = config.replace(shards=args.shards)
         jobs = streaming_arrivals(config.demand(), jobs=args.jobs)
         result = run_service(config, jobs, snapshot=payload, **outputs)
     else:
@@ -832,7 +853,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             lookahead=args.lookahead,
             window_jobs=args.window,
             checkpoint_every=args.checkpoint_every,
-            shards=args.shards,
+            shards=args.shards if args.shards is not None else 1,
         )
         jobs = streaming_arrivals(demand, jobs=args.jobs)
         result = run_service(config, jobs, **outputs)

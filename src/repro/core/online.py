@@ -40,6 +40,8 @@ be compared against.
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import logging
 import math
 import weakref
 from dataclasses import dataclass, field
@@ -52,10 +54,16 @@ from repro.core.offline import online_upper_bound_factor
 from repro.core.omega import demand_cube_maxima, omega_c, omega_star_cubes
 from repro.core.plan import plan_window
 from repro.distsim.failures import ChurnSpec, FailurePlan, apply_churn
+from repro.distsim.parallel_lockstep import (
+    merge_parallel_lockstep_results,
+    parallel_lockstep_eligibility,
+    run_parallel_lockstep,
+)
 from repro.distsim.sharding import (
     ShardMailbox,
     ShardMonitor,
     ShardPlan,
+    cross_shard_edge_latencies,
     lockstep_window,
     merge_shard_results,
     run_lockstep,
@@ -67,6 +75,10 @@ from repro.grid.lattice import Point
 from repro.vehicles.fleet import Fleet, FleetConfig
 
 __all__ = ["OnlineResult", "run_online", "provision_fleet", "ONLINE_ENGINES"]
+
+#: Sharded-run mode selection is logged here (satellite: bench numbers must
+#: be attributable to the mode that actually ran).
+_LOG = logging.getLogger("repro.distsim.sharding")
 
 CapacitySpec = Union[None, float, Literal["theorem"]]
 
@@ -157,8 +169,15 @@ class OnlineResult:
     cross_shard_messages: int = 0
     #: Lockstep window barriers the coordinator advanced through.
     window_barriers: int = 0
-    #: Wall-clock seconds per worker shard (parallel isolated mode only).
+    #: Wall-clock seconds per worker shard (multi-process modes only).
     shard_timings: Dict[int, float] = field(default_factory=dict)
+    #: Which sharded execution mode ran: ``""`` (unsharded), ``"parallel"``
+    #: (PR 8 isolated workers), ``"parallel-lockstep"`` (multi-process
+    #: failure-mode engine), or ``"lockstep"`` (single-process windows).
+    shard_mode: str = ""
+    #: The first disqualifying feature that forced the lockstep fallback
+    #: (empty when a multi-process mode ran, or when unsharded).
+    shard_mode_reason: str = ""
 
     @property
     def online_to_offline_ratio(self) -> float:
@@ -429,12 +448,22 @@ def _run_events(
     plan: FailurePlan,
     *,
     run=None,
+    foreign_times: Sequence[float] = (),
 ) -> int:
     """The event driver: arrivals and failure windows on the simulator clock.
 
     ``run`` overrides the final drain: the sharded lockstep coordinator
     passes a callable executing the same events through window barriers
     (``run(simulator)`` instead of ``run_until_quiescent``).
+
+    ``foreign_times`` are arrival times of jobs owned by *other* shards in
+    a parallel lockstep run: each becomes a *tick* event replaying the
+    reference arrival's fleet-wide bookkeeping prefix -- advance the
+    failure clock, and (when monitoring) run the global heartbeat round
+    over this fleet's vehicles -- so the worker's clocks and round numbers
+    match the single-process run event for event.  Ticks join the arrival
+    batch in one merged time-sorted schedule, putting them first in their
+    time bucket exactly as the arrivals they mirror are in the reference.
 
     Each job becomes an arrival event at its ``job.time``; churn events are
     scheduled at their own times; the failure clock tracks the simulation
@@ -456,13 +485,29 @@ def _run_events(
     # The whole arrival sequence goes to the calendar queue in one call,
     # pre-routed with a single vectorized position->pair lookup.
     routed = fleet.route_positions([job.position for job in jobs])
-    simulator.schedule_batch(
-        (
-            (job.time, make_handler(index, job, routed[index]))
-            for index, job in enumerate(jobs)
-        ),
-        kind="arrival",
+    arrival_entries = (
+        (job.time, make_handler(index, job, routed[index]))
+        for index, job in enumerate(jobs)
     )
+    if foreign_times:
+
+        def _tick() -> None:
+            # The bookkeeping prefix/suffix of a foreign shard's arrival
+            # (mirrors ``_arrival_logic``): failure clock, then the global
+            # heartbeat round -- recovery_rounds == 0 is an eligibility
+            # precondition, so the round runs unconditionally.
+            plan.set_time(simulator.now)
+            if fleet_config.monitoring:
+                fleet.run_heartbeat_round(settle=False)
+
+        entries = heapq.merge(
+            arrival_entries,
+            ((time, _tick) for time in foreign_times),
+            key=lambda entry: entry[0],
+        )
+    else:
+        entries = arrival_entries
+    simulator.schedule_batch(entries, kind="arrival")
 
     if run is None:
         simulator.run_until_quiescent()
@@ -515,6 +560,73 @@ def _parallel_shardable(
     return transport_instance is not None and transport_instance.shardable
 
 
+class _ShardPartition:
+    """The shared geometry split of the multi-process modes.
+
+    Replicates the single-process geometry (cube side, planned window,
+    hierarchy) *without* building the global fleet, then splits demand
+    entries and jobs by owning shard.  Cube membership and shard routing
+    are vectorized: a scalar ``grid.cube_index`` per point costs more than
+    the worker runs at the 10^5 scale, so points and job positions reduce
+    to cube multi-indices in one array op each, and a dense cube-lattice
+    lookup table turns cube -> shard into a single fancy-index.
+    """
+
+    def __init__(
+        self, jobs: JobSequence, demand: DemandMap, omega: float, shards: int
+    ) -> None:
+        self.shards = shards
+        self.cube_side = max(1, int(math.ceil(omega)))
+        self.window = plan_window(demand, self.cube_side)
+        grid = CubeGrid(self.window, self.cube_side)
+        hierarchy = CubeHierarchy(grid)
+
+        entries = demand.as_dict()
+        self._lo = np.asarray(self.window.lo, dtype=np.int64)
+        points = np.asarray(list(entries), dtype=np.int64)
+        point_cubes = (points - self._lo) // self.cube_side
+        occupied = {tuple(row) for row in np.unique(point_cubes, axis=0).tolist()}
+        self.plan = ShardPlan(hierarchy, shards, cubes=occupied)
+
+        lut_shape = tuple(
+            (hi - low) // self.cube_side + 1
+            for low, hi in zip(self.window.lo, self.window.hi)
+        )
+        self.shard_lut = np.zeros(lut_shape, dtype=np.int64)
+        for shard in range(shards):
+            for index in self.plan.cubes_of(shard):
+                self.shard_lut[index] = shard
+
+        point_shards = self.shard_lut[tuple(point_cubes.T)].tolist()
+        self.entries_by_shard: List[List[Tuple[Point, float]]] = [
+            [] for _ in range(shards)
+        ]
+        for (point, value), shard in zip(entries.items(), point_shards):
+            self.entries_by_shard[shard].append((point, value))
+
+        job_positions = np.asarray([job.position for job in jobs], dtype=np.int64)
+        job_cubes = (job_positions - self._lo) // self.cube_side
+        self.job_shards: List[int] = self.shard_lut[tuple(job_cubes.T)].tolist()
+        self.jobs_by_shard: List[List[Tuple[float, Point, float]]] = [
+            [] for _ in range(shards)
+        ]
+        for job, shard in zip(jobs, self.job_shards):
+            self.jobs_by_shard[shard].append((job.time, job.position, job.energy))
+
+    def shard_of_vertex(self, vertex: Sequence[int], default: int) -> int:
+        """The shard owning a lattice vertex's cube (``default`` off-grid)."""
+        try:
+            cube = tuple(
+                (int(c) - int(low)) // self.cube_side
+                for c, low in zip(vertex, self.window.lo)
+            )
+            if any(c < 0 for c in cube):
+                return default
+            return int(self.shard_lut[cube])
+        except (IndexError, TypeError, ValueError):
+            return default
+
+
 def _run_online_parallel(
     jobs: JobSequence,
     demand: DemandMap,
@@ -525,41 +637,22 @@ def _run_online_parallel(
     transport: Union[TransportSpec, str, None],
     transport_instance: Optional[Transport],
     shards: int,
+    workers: Optional[int] = None,
 ) -> OnlineResult:
     """The multi-process isolated mode: one worker sub-fleet per shard.
 
-    The coordinator replicates the single-process geometry (cube side,
-    planned window, hierarchy) *without* building the global fleet, splits
-    demand and jobs by owning shard, and fans the shard payloads out to
-    worker processes; :func:`merge_shard_results` reassembles the per-cube
-    state segments in global creation order so the merged result is
+    The coordinator splits demand and jobs by owning shard
+    (:class:`_ShardPartition`) and fans the shard payloads out to worker
+    processes; :func:`merge_shard_results` reassembles the per-cube state
+    segments in global creation order so the merged result is
     byte-identical to the unsharded run.
     """
     base = config if config is not None else FleetConfig()
-    cube_side = max(1, int(math.ceil(omega)))
-    window = plan_window(demand, cube_side)
-    grid = CubeGrid(window, cube_side)
-    hierarchy = CubeHierarchy(grid)
-
-    # Cube membership and shard routing, vectorized: a scalar
-    # ``grid.cube_index`` per point costs more than the worker runs at the
-    # 10^5 scale.  Points and job positions reduce to cube multi-indices in
-    # one array op each, and a dense cube-lattice lookup table turns
-    # cube -> shard into a single fancy-index.
-    entries = demand.as_dict()
-    lo = np.asarray(window.lo, dtype=np.int64)
-    points = np.asarray(list(entries), dtype=np.int64)
-    point_cubes = (points - lo) // cube_side
-    occupied = {tuple(row) for row in np.unique(point_cubes, axis=0).tolist()}
-    plan = ShardPlan(hierarchy, shards, cubes=occupied)
-
-    lut_shape = tuple(
-        (hi - low) // cube_side + 1 for low, hi in zip(window.lo, window.hi)
-    )
-    shard_lut = np.zeros(lut_shape, dtype=np.int64)
-    for shard in range(shards):
-        for index in plan.cubes_of(shard):
-            shard_lut[index] = shard
+    # The run-level escalation override is resolved *before* pickling: a
+    # worker provisions straight from this config, so it must already
+    # carry the setting the reference fleet would run with.
+    base = dataclasses.replace(base, escalation=False)
+    split = _ShardPartition(jobs, demand, omega, shards)
 
     theorem_capacity = online_upper_bound_factor(demand.dim) * omega
     provisioned: Optional[float] = (
@@ -572,35 +665,23 @@ def _run_online_parallel(
     else:
         transport_payload = transport
 
-    point_shards = shard_lut[tuple(point_cubes.T)].tolist()
-    entries_by_shard: List[List[Tuple[Point, float]]] = [[] for _ in range(shards)]
-    for (point, value), shard in zip(entries.items(), point_shards):
-        entries_by_shard[shard].append((point, value))
-
-    job_positions = np.asarray([job.position for job in jobs], dtype=np.int64)
-    job_cubes = (job_positions - lo) // cube_side
-    job_shards = shard_lut[tuple(job_cubes.T)].tolist()
-    jobs_by_shard: List[List[Tuple[float, Point, float]]] = [[] for _ in range(shards)]
-    for job, shard in zip(jobs, job_shards):
-        jobs_by_shard[shard].append((job.time, job.position, job.energy))
-
     payloads = [
         {
             "shard": shard,
-            "entries": entries_by_shard[shard],
+            "entries": split.entries_by_shard[shard],
             "dim": demand.dim,
-            "window_lo": window.lo,
-            "window_hi": window.hi,
+            "window_lo": split.window.lo,
+            "window_hi": split.window.hi,
             "omega": float(omega),
             "capacity": provisioned,
             "config": base,
             "transport": transport_payload,
-            "jobs": jobs_by_shard[shard],
+            "jobs": split.jobs_by_shard[shard],
         }
         for shard in range(shards)
-        if entries_by_shard[shard]
+        if split.entries_by_shard[shard]
     ]
-    merged = merge_shard_results(run_parallel(payloads))
+    merged = merge_shard_results(run_parallel(payloads, workers=workers))
 
     return OnlineResult(
         jobs_total=len(jobs),
@@ -632,6 +713,148 @@ def _run_online_parallel(
         window_barriers=0,
         cross_shard_messages=0,
         shard_timings=merged["timings"],
+        shard_mode="parallel",
+    )
+
+
+def _run_online_parallel_lockstep(
+    jobs: JobSequence,
+    demand: DemandMap,
+    omega: float,
+    omega_star: float,
+    capacity: CapacitySpec,
+    config: Optional[FleetConfig],
+    transport: Union[TransportSpec, str, None],
+    transport_instance: Optional[Transport],
+    shards: int,
+    *,
+    failure_plan: Optional[FailurePlan],
+    dead_vehicles: Optional[Iterable[Sequence[int]]],
+    churn_events: Sequence[ChurnSpec],
+    escalation: Optional[bool],
+    workers: Optional[int] = None,
+) -> OnlineResult:
+    """The multi-process failure-mode engine: parallel lockstep workers.
+
+    Extends the isolated mode to monitoring, crashes, suppression,
+    partitions, and churn (see :mod:`repro.distsim.parallel_lockstep` for
+    the structural argument).  Beyond the demand/job split, each payload
+    carries the pickled failure plan, the full dead-vehicle and churn
+    lists (foreign entries no-op), and -- when the run needs fleet-wide
+    clock/round replication (monitoring or timed partitions) -- the
+    arrival times of every *other* shard's jobs, replayed as tick events.
+    Workers free-run through one conservative window (infinite Chandy-Misra
+    lookahead: the eligible class has zero outbound boundary edges) and the
+    merge corrects the replicated bookkeeping, so the result is
+    byte-identical to the single-process run at any worker count.
+    """
+    base = config if config is not None else FleetConfig()
+    if escalation is not None:
+        base = dataclasses.replace(base, escalation=bool(escalation))
+    split = _ShardPartition(jobs, demand, omega, shards)
+
+    theorem_capacity = online_upper_bound_factor(demand.dim) * omega
+    provisioned: Optional[float] = (
+        theorem_capacity if capacity == "theorem" else capacity
+    )
+
+    transport_payload: Union[Dict[str, object], str, None]
+    if isinstance(transport, TransportSpec):
+        transport_payload = transport.to_json()
+    else:
+        transport_payload = transport
+
+    spawned = [
+        shard for shard in range(shards) if split.entries_by_shard[shard]
+    ]
+    first_spawned = spawned[0] if spawned else 0
+    partitions = failure_plan.partitions if failure_plan is not None else []
+    # Clock/round replication is needed exactly when some fleet-wide state
+    # advances inside arrival events: the heartbeat round counter
+    # (monitoring) or the failure clock consulted by partition windows.
+    replicate = bool(base.monitoring) or bool(partitions)
+
+    churn_sorted = tuple(
+        sorted(churn_events, key=lambda e: (e.time, e.vertex, e.action))
+    )
+    churn_owner = [
+        split.shard_of_vertex(spec.vertex, first_spawned) for spec in churn_sorted
+    ]
+    dead = (
+        sorted({tuple(int(c) for c in p) for p in dead_vehicles})
+        if dead_vehicles is not None
+        else None
+    )
+
+    job_times = [job.time for job in jobs]
+    payloads = []
+    for shard in spawned:
+        if replicate:
+            foreign_times = [
+                time
+                for time, owner in zip(job_times, split.job_shards)
+                if owner != shard
+            ]
+        else:
+            foreign_times = []
+        payloads.append(
+            {
+                "shard": shard,
+                "entries": split.entries_by_shard[shard],
+                "dim": demand.dim,
+                "window_lo": split.window.lo,
+                "window_hi": split.window.hi,
+                "omega": float(omega),
+                "capacity": provisioned,
+                "config": base,
+                "transport": transport_payload,
+                "jobs": split.jobs_by_shard[shard],
+                "foreign_times": foreign_times,
+                "failure_plan": failure_plan,
+                "dead": dead,
+                "churn": churn_sorted,
+                "churn_owned": sum(
+                    1 for owner in churn_owner if owner == shard
+                ),
+                "shard_lut": split.shard_lut,
+                "cube_side": split.cube_side,
+            }
+        )
+    merged = merge_parallel_lockstep_results(
+        run_parallel_lockstep(payloads, workers=workers)
+    )
+
+    return OnlineResult(
+        jobs_total=len(jobs),
+        jobs_served=merged["served"],
+        feasible=merged["served"] == len(jobs),
+        max_vehicle_energy=merged["max_energy"],
+        total_travel=merged["total_travel"],
+        total_service=merged["total_service"],
+        omega=float(omega),
+        omega_star=omega_star,
+        capacity=provisioned,
+        theorem_capacity=theorem_capacity,
+        replacements=merged["replacements"],
+        searches=merged["searches"],
+        failed_replacements=merged["failed_replacements"],
+        messages=merged["messages"],
+        heartbeat_rounds=merged["heartbeat_rounds"],
+        vehicle_energies=merged["vehicle_energies"],
+        engine="events",
+        events_processed=merged["events"],
+        sim_time=merged["sim_time"],
+        transport=(
+            transport_instance.kind if transport_instance is not None else "reliable"
+        ),
+        messages_dropped=merged["messages_dropped"],
+        messages_corrupted=merged["messages_corrupted"],
+        escalation=False,
+        shards=shards,
+        window_barriers=merged["window_barriers"],
+        cross_shard_messages=0,
+        shard_timings=merged["timings"],
+        shard_mode="parallel-lockstep",
     )
 
 
@@ -650,6 +873,7 @@ def run_online(
     transport: Union[Transport, TransportSpec, str, None] = None,
     escalation: Optional[bool] = None,
     shards: int = 1,
+    shard_workers: Optional[int] = None,
 ) -> OnlineResult:
     """Run the online strategy on a job sequence.
 
@@ -700,9 +924,20 @@ def run_online(
         Partition the run into this many cube-aligned shards (see
         :mod:`repro.distsim.sharding`).  The result is byte-identical to
         the ``shards=1`` run: shard-safe configurations fan out to one
-        worker process per shard (the fast path), everything else runs the
-        single global fleet through lockstep window barriers, counting
-        cross-shard traffic.  Requires ``engine="events"``.
+        worker process per shard (``"parallel"``), shard-*local* failure
+        configurations -- monitoring without escalation, crashes,
+        partitions, churn, edge-stream transports -- fan out through the
+        parallel lockstep engine (``"parallel-lockstep"``, see
+        :mod:`repro.distsim.parallel_lockstep`), and everything else runs
+        the single global fleet through lockstep window barriers, counting
+        cross-shard traffic.  The mode that ran (and, for the fallback,
+        the first disqualifying feature) is recorded on the result as
+        ``shard_mode`` / ``shard_mode_reason`` and logged under
+        ``repro.distsim.sharding``.  Requires ``engine="events"``.
+    shard_workers:
+        Concurrency cap for the multi-process modes (default: one process
+        per non-empty shard, up to the CPU count).  Results are identical
+        at any worker count.
     """
     if engine not in ONLINE_ENGINES:
         raise ValueError(f"engine must be one of {ONLINE_ENGINES}, got {engine!r}")
@@ -737,17 +972,42 @@ def run_online(
     omega_star = memo["omega_star"]
 
     churn_events = tuple(churn) if churn is not None else ()
-    if shards > 1 and _parallel_shardable(
-        transport,
-        transport_instance,
-        config,
-        rng,
-        failure_plan,
-        dead_vehicles,
-        recovery_rounds,
-        churn_events,
-        escalation,
-    ):
+    shard_mode = ""
+    shard_mode_reason = ""
+    if shards > 1:
+        if _parallel_shardable(
+            transport,
+            transport_instance,
+            config,
+            rng,
+            failure_plan,
+            dead_vehicles,
+            recovery_rounds,
+            churn_events,
+            escalation,
+        ):
+            shard_mode = "parallel"
+        else:
+            eligible, reason = parallel_lockstep_eligibility(
+                transport,
+                transport_instance,
+                config,
+                rng,
+                failure_plan,
+                recovery_rounds,
+                escalation,
+            )
+            if eligible:
+                shard_mode = "parallel-lockstep"
+            else:
+                shard_mode, shard_mode_reason = "lockstep", reason
+        _LOG.info(
+            "run_online shards=%d mode=%s%s",
+            shards,
+            shard_mode,
+            f" ({shard_mode_reason})" if shard_mode_reason else "",
+        )
+    if shard_mode == "parallel":
         return _run_online_parallel(
             jobs,
             demand,
@@ -758,6 +1018,24 @@ def run_online(
             transport,
             transport_instance,
             shards,
+            workers=shard_workers,
+        )
+    if shard_mode == "parallel-lockstep":
+        return _run_online_parallel_lockstep(
+            jobs,
+            demand,
+            omega,
+            omega_star,
+            capacity,
+            config,
+            transport,
+            transport_instance,
+            shards,
+            failure_plan=failure_plan,
+            dead_vehicles=dead_vehicles,
+            churn_events=churn_events,
+            escalation=escalation,
+            workers=shard_workers,
         )
 
     fleet, fleet_config, provisioned, theorem_capacity = provision_fleet(
@@ -787,14 +1065,30 @@ def run_online(
             shard_plan, fleet.cube_grid.cube_index, fleet.simulator, mailbox
         )
         fleet.network.shard_monitor = monitor
+        # The window floor comes from actual cross-shard edge latencies
+        # when the transport is a pure edge function (probing a
+        # stream-coupled transport would consume shared draws); otherwise
+        # from the transport's global min_latency / message-delay fallback.
+        # Lockstep windows are observational -- execution order never
+        # depends on them -- so the sampled floor is always safe here.
+        bound_transport = fleet.network.transport
+        probes = None
+        if bound_transport is not None and bound_transport.shardable:
+            probes = cross_shard_edge_latencies(
+                bound_transport, shard_plan, fleet._cube_members.get
+            )
         window_length = lockstep_window(
-            fleet.network.transport, fleet_config.message_delay
+            bound_transport, fleet_config.message_delay, edge_latencies=probes
         )
 
         def _lockstep_run(simulator) -> None:
             nonlocal barrier_count
+            # Adaptive conservative windows: each barrier sits one full
+            # lookahead past the pending frontier instead of on the fixed
+            # W-grid, so quiet stretches cross one barrier, not one per
+            # grid cell.
             _executed, barrier_count = run_lockstep(
-                simulator, window_length, mailbox=mailbox
+                simulator, window_length, mailbox=mailbox, horizon=window_length
             )
 
         served_count = _run_events(
@@ -842,4 +1136,6 @@ def run_online(
         shards=shards,
         cross_shard_messages=monitor.cross_shard if monitor is not None else 0,
         window_barriers=barrier_count,
+        shard_mode=shard_mode,
+        shard_mode_reason=shard_mode_reason,
     )

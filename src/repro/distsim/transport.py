@@ -188,6 +188,20 @@ class Transport:
         """
         return 0.0
 
+    def stream_state(self) -> Optional[Dict[str, Any]]:
+        """JSON-safe state of any keyed counter streams (hook).
+
+        Checkpoints capture numpy generator state separately (it predates
+        this hook); transports that keep *additional* stream state -- the
+        per-edge message counters of the ``stream="edge"`` modes -- export
+        it here so a resumed run continues every edge stream exactly where
+        it stopped.  ``None`` means nothing beyond the generator state.
+        """
+        return None
+
+    def restore_stream_state(self, state: Optional[Dict[str, Any]]) -> None:
+        """Restore what :meth:`stream_state` exported (hook)."""
+
     # ------------------------------------------------------------------ #
     # delivery scheduling
     # ------------------------------------------------------------------ #
@@ -343,6 +357,42 @@ def _edge_unit(seed: int, sender: Hashable, destination: Hashable) -> float:
     return int.from_bytes(digest, "little") / 2**64
 
 
+def _edge_stream_rng(
+    seed: int, salt: int, sender: Hashable, destination: Hashable, counter: int
+) -> np.random.Generator:
+    """The per-message generator of a per-edge keyed counter stream.
+
+    The stream split that makes loss/corruption shardable: randomness is
+    derived per ``(edge, purpose salt, seed, message counter)`` instead of
+    one generator consumed in global send order.  Every directed edge lives
+    inside exactly one shard (both endpoints answer at their home cubes),
+    and per-edge message order is deterministic, so per-shard replay
+    reproduces the single-process draws regardless of how sends from
+    different edges interleave.  Keyed blake2b keeps it process-stable.
+    """
+    key = (int(seed) & (2**64 - 1)).to_bytes(8, "little")
+    digest = hashlib.blake2b(
+        repr((salt, sender, destination, counter)).encode("utf-8"),
+        key=key,
+        digest_size=16,
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest, "little"))
+
+
+def _encode_edge_key(value: Any) -> Any:
+    """Tuples (arbitrarily nested) -> lists, for JSON-safe stream state."""
+    if isinstance(value, tuple):
+        return [_encode_edge_key(item) for item in value]
+    return value
+
+
+def _decode_edge_key(value: Any) -> Any:
+    """The inverse of :func:`_encode_edge_key` (lists -> tuples)."""
+    if isinstance(value, list):
+        return tuple(_decode_edge_key(item) for item in value)
+    return value
+
+
 class LatencyTransport(Transport):
     """Per-edge deterministic jitter: each directed link has a fixed latency.
 
@@ -430,39 +480,88 @@ class DistanceLatencyTransport(Transport):
 class LossyTransport(Transport):
     """Seeded i.i.d. message loss on top of a fixed delay.
 
-    Each send consumes one draw from the transport's own generator, in send
-    order -- deterministic per run because each run builds its transport
-    fresh from the spec, and the protocol's send sequence is itself
-    deterministic.
+    ``stream`` selects how loss draws are derived:
+
+    * ``"global"`` (the default, and the compat shim): each send consumes
+      one draw from the transport's own generator, in global send order --
+      deterministic per run, reproducing every pre-split hash, but *not*
+      shardable (the stream couples all edges together).
+    * ``"edge"``: each draw is derived per ``(edge, purpose, seed, message
+      counter)`` through a keyed counter stream
+      (:func:`_edge_stream_rng`).  Draws depend only on per-edge send
+      order, never on cross-edge interleaving, so per-shard sub-fleets
+      reproduce the single-process run bit for bit -- this is the mode the
+      multi-process parallel lockstep engine requires.
     """
 
     kind = "lossy"
 
-    def __init__(self, loss: float = 0.05, delay: float = 0.0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        loss: float = 0.05,
+        delay: float = 0.0,
+        seed: int = 0,
+        stream: str = "global",
+    ) -> None:
         super().__init__()
         loss, delay = float(loss), float(delay)
         if not 0.0 <= loss <= 1.0:
             raise ValueError(f"loss probability must lie in [0, 1], got {loss}")
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
+        if stream not in ("global", "edge"):
+            raise ValueError(f'stream must be "global" or "edge", got {stream!r}')
         self.loss = loss
         self.delay = delay
         self.seed = int(seed)
+        self.stream = stream
         self._reset_streams()
 
     def _reset_streams(self) -> None:
         self._rng = np.random.default_rng((self.seed, _LOSS_SALT))
+        self._edge_counts: Dict[Tuple[Hashable, Hashable], int] = {}
 
     def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
         return self.delay
 
     def drops(self, sender: Hashable, destination: Hashable, message: Any) -> bool:
+        if self.stream == "edge":
+            edge = (sender, destination)
+            counter = self._edge_counts.get(edge, 0)
+            self._edge_counts[edge] = counter + 1
+            rng = _edge_stream_rng(self.seed, _LOSS_SALT, sender, destination, counter)
+            return bool(rng.random() < self.loss)
         return bool(self._rng.random() < self.loss)
 
+    @property
+    def shardable(self) -> bool:
+        return self.stream == "edge"  # per-edge streams: no cross-edge coupling
+
     def min_latency(self) -> float:
-        # Not shardable (the loss stream is consumed in global send order),
-        # but the lockstep coordinator still windows on the delay floor.
+        # In global mode the loss stream is consumed in global send order
+        # (not shardable), but the lockstep coordinator still windows on
+        # the delay floor either way.
         return self.delay
+
+    def stream_state(self) -> Optional[Dict[str, Any]]:
+        if self.stream != "edge":
+            return None
+        return {
+            "edge_counts": [
+                [_encode_edge_key(edge), count]
+                for edge, count in sorted(
+                    self._edge_counts.items(), key=lambda item: repr(item[0])
+                )
+            ]
+        }
+
+    def restore_stream_state(self, state: Optional[Dict[str, Any]]) -> None:
+        if not state:
+            return
+        self._edge_counts = {
+            _decode_edge_key(edge): int(count)
+            for edge, count in state.get("edge_counts", [])
+        }
 
 
 class CorruptingTransport(Transport):
@@ -487,31 +586,49 @@ class CorruptingTransport(Transport):
     Every mutation preserves the message type and field types, so the
     damage is semantic, never structural: the state machine has to survive
     it through its own legal transitions.
+
+    ``stream`` mirrors :class:`LossyTransport`: ``"global"`` (default)
+    consumes the transport's own generator in global send order --
+    hash-compatible with every pre-split run; ``"edge"`` derives one fresh
+    generator per ``(edge, seed, protocol-message counter)`` so corruption
+    depends only on per-edge order and per-shard replay is exact.
     """
 
     kind = "corrupting"
 
-    def __init__(self, rate: float = 0.05, delay: float = 0.0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        rate: float = 0.05,
+        delay: float = 0.0,
+        seed: int = 0,
+        stream: str = "global",
+    ) -> None:
         super().__init__()
         rate, delay = float(rate), float(delay)
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"corruption rate must lie in [0, 1], got {rate}")
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
+        if stream not in ("global", "edge"):
+            raise ValueError(f'stream must be "global" or "edge", got {stream!r}')
         self.rate = rate
         self.delay = delay
         self.seed = int(seed)
+        self.stream = stream
         self._reset_streams()
 
     def _reset_streams(self) -> None:
         self._rng = np.random.default_rng((self.seed, _CORRUPT_SALT))
+        self._edge_counts: Dict[Tuple[Hashable, Hashable], int] = {}
 
     def latency(self, sender: Hashable, destination: Hashable, message: Any) -> float:
         return self.delay
 
-    def _drift_point(self, point: Tuple[int, ...]) -> Tuple[int, ...]:
-        axis = int(self._rng.integers(0, len(point)))
-        step = 1 if self._rng.random() < 0.5 else -1
+    def _drift_point(
+        self, rng: np.random.Generator, point: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        axis = int(rng.integers(0, len(point)))
+        step = 1 if rng.random() < 0.5 else -1
         return tuple(
             int(c) + (step if index == axis else 0) for index, c in enumerate(point)
         )
@@ -527,9 +644,21 @@ class CorruptingTransport(Transport):
 
         if not isinstance(message, (QueryMessage, ReplyMessage, MoveMessage)):
             return message
-        if self._rng.random() >= self.rate:
+        if self.stream == "edge":
+            # One derived generator serves every draw this message needs:
+            # the rate check and any mutation arms come from the same
+            # per-(edge, counter) stream, untouched by other edges.
+            edge = (sender, destination)
+            counter = self._edge_counts.get(edge, 0)
+            self._edge_counts[edge] = counter + 1
+            rng = _edge_stream_rng(
+                self.seed, _CORRUPT_SALT, sender, destination, counter
+            )
+        else:
+            rng = self._rng
+        if rng.random() >= self.rate:
             return message
-        arm = int(self._rng.integers(0, 3))
+        arm = int(rng.integers(0, 3))
         if isinstance(message, ReplyMessage):
             if arm == 0:
                 return dataclass_replace(message, tag=self._phantom_tag(message.tag))
@@ -538,12 +667,38 @@ class CorruptingTransport(Transport):
             return dataclass_replace(message, tag=self._phantom_tag(message.tag))
         if arm == 1:
             return dataclass_replace(
-                message, destination=self._drift_point(message.destination)
+                message, destination=self._drift_point(rng, message.destination)
             )
-        return dataclass_replace(message, pair_key=self._drift_point(message.pair_key))
+        return dataclass_replace(
+            message, pair_key=self._drift_point(rng, message.pair_key)
+        )
+
+    @property
+    def shardable(self) -> bool:
+        return self.stream == "edge"  # per-edge streams: no cross-edge coupling
 
     def min_latency(self) -> float:
         return self.delay
+
+    def stream_state(self) -> Optional[Dict[str, Any]]:
+        if self.stream != "edge":
+            return None
+        return {
+            "edge_counts": [
+                [_encode_edge_key(edge), count]
+                for edge, count in sorted(
+                    self._edge_counts.items(), key=lambda item: repr(item[0])
+                )
+            ]
+        }
+
+    def restore_stream_state(self, state: Optional[Dict[str, Any]]) -> None:
+        if not state:
+            return
+        self._edge_counts = {
+            _decode_edge_key(edge): int(count)
+            for edge, count in state.get("edge_counts", [])
+        }
 
 
 class RetransmitTransport(Transport):
@@ -637,6 +792,12 @@ class RetransmitTransport(Transport):
     def min_latency(self) -> float:
         return self.inner.min_latency()
 
+    def stream_state(self) -> Optional[Dict[str, Any]]:
+        return self.inner.stream_state()
+
+    def restore_stream_state(self, state: Optional[Dict[str, Any]]) -> None:
+        self.inner.restore_stream_state(state)
+
 
 class RandomJitterTransport(Transport):
     """The historical randomized-delay model: uniform on ``[d/2, 3d/2]``.
@@ -673,8 +834,8 @@ TRANSPORT_KINDS: Dict[str, Tuple[Callable[..., Transport], Tuple[str, ...]]] = {
     "reliable": (ReliableTransport, ("delay",)),
     "latency": (LatencyTransport, ("delay", "jitter", "seed")),
     "distance-latency": (DistanceLatencyTransport, ("delay", "per_step")),
-    "lossy": (LossyTransport, ("loss", "delay", "seed")),
-    "corrupting": (CorruptingTransport, ("rate", "delay", "seed")),
+    "lossy": (LossyTransport, ("loss", "delay", "seed", "stream")),
+    "corrupting": (CorruptingTransport, ("rate", "delay", "seed", "stream")),
     "retransmit": (RetransmitTransport, ("inner", "retries", "timeout")),
 }
 

@@ -199,6 +199,27 @@ class CubeHierarchy:
             raise ValueError(f"level must lie in [0, {self.levels}], got {level}")
         return tuple(i >> level for i in index)
 
+    def ancestors_array(self, indices, level: int):
+        """Vectorized :meth:`ancestor` over an ``(n, dim)`` index array.
+
+        Validates the whole batch at once and returns the ``(n, dim)``
+        int64 array of level-``level`` ancestor multi-indices.  This is
+        the bulk path shard planning uses: grouping ``10^5`` cubes one
+        ``ancestor()`` call at a time is pure Python overhead.
+        """
+        import numpy as np
+
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must lie in [0, {self.levels}], got {level}")
+        array = np.asarray(indices, dtype=np.int64)
+        if array.ndim != 2 or array.shape[1] != self.dim:
+            raise ValueError("cube index dimension mismatch")
+        if array.size and (
+            (array < 0).any() or (array >= np.asarray(self.grid.shape)).any()
+        ):
+            raise ValueError("cube index out of range")
+        return array >> level
+
     def level_box(self, index: Sequence[int], level: int) -> Box:
         """The (clipped) lattice box of the level-``level`` ancestor of ``index``."""
         base = self.ancestor(index, level)

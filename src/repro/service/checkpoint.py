@@ -331,6 +331,9 @@ def _transport_state(transport) -> Optional[Dict[str, Any]]:
     for name in ("retransmissions", "attempts_lost"):
         if hasattr(transport, name):
             payload[name] = getattr(transport, name)
+    streams = transport.stream_state() if hasattr(transport, "stream_state") else None
+    if streams is not None:
+        payload["streams"] = streams
     inner = getattr(transport, "inner", None)
     if inner is not None:
         payload["inner"] = _transport_state(inner)
@@ -355,6 +358,8 @@ def restore_transport_state(transport, payload: Optional[Dict[str, Any]]) -> Non
     for name in ("retransmissions", "attempts_lost"):
         if name in payload and hasattr(transport, name):
             setattr(transport, name, payload[name])
+    if "streams" in payload and hasattr(transport, "restore_stream_state"):
+        transport.restore_stream_state(payload["streams"])
     inner = getattr(transport, "inner", None)
     if inner is not None:
         restore_transport_state(inner, payload.get("inner"))

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, TextIO, Union
 
@@ -55,6 +56,8 @@ from repro.service.state_store import LiveStateStore, build_state
 from repro.service.stream import StreamDriver
 
 __all__ = ["run_service", "resume_service"]
+
+_LOG = logging.getLogger("repro.distsim.sharding")
 
 
 class _Interrupted(Exception):
@@ -140,7 +143,11 @@ def run_service(
     if resumed:
         snapshot = load_checkpoint(snapshot)
         snap_config = ServiceConfig.from_json(snapshot["config"])
-        if snap_config.config_hash() != config.config_hash():
+        # ``shards`` is an execution detail (observational on a service run):
+        # a checkpoint taken under N shards may resume under M shards and
+        # still reach the same result_hash / fleet_digest, so the identity
+        # check compares the configs with the shard count normalized away.
+        if snap_config.replace(shards=config.shards).config_hash() != config.config_hash():
             raise ValueError(
                 "snapshot was taken under a different service config "
                 f"({snap_config.config_hash()[:12]} != {config.config_hash()[:12]})"
@@ -153,6 +160,13 @@ def run_service(
 
     shard_monitor: Optional[ShardMonitor] = None
     if config.shards > 1:
+        # Satellite-2 transparency: serve is always single-clock lockstep
+        # (the streaming driver serializes execution), so say so.
+        _LOG.info(
+            "run_service shards=%d mode=lockstep "
+            "(streaming driver serializes execution on one clock)",
+            config.shards,
+        )
         # The streaming driver already serializes execution on one clock, so
         # sharding a service run is pure observation: classify every send
         # against the cube shard plan and ledger the boundary traffic.  The
@@ -382,15 +396,22 @@ def run_service(
 def resume_service(
     snapshot: Union[str, Path, Dict[str, Any]],
     jobs: Iterable[Any],
+    *,
+    shards: Optional[int] = None,
     **kwargs: Any,
 ) -> ServiceResult:
     """Continue a service run from a checkpoint.
 
     ``jobs`` is the *original* full stream (the harness skips the consumed
     prefix); everything else -- demand, fleet, transport, cadences -- comes
-    from the config embedded in the snapshot.  Keyword arguments are
-    forwarded to :func:`run_service` (output paths, ``duration``, ...).
+    from the config embedded in the snapshot.  ``shards`` overrides the
+    snapshot's shard count for the continued run (sharding is observational
+    on a service run, so a checkpoint taken under N shards resumes under M
+    shards to the same hashes).  Keyword arguments are forwarded to
+    :func:`run_service` (output paths, ``duration``, ...).
     """
     payload = load_checkpoint(snapshot)
     config = ServiceConfig.from_json(payload["config"])
+    if shards is not None:
+        config = config.replace(shards=shards)
     return run_service(config, jobs, snapshot=payload, **kwargs)

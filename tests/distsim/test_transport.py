@@ -402,3 +402,102 @@ class TestRetransmitTransport:
         mutated = transport.mutate("a", "b", message)
         assert isinstance(mutated, ReplyMessage)
         assert mutated != message
+
+
+class TestEdgeKeyedStreams:
+    """``stream="edge"``: draws keyed per edge, independent of interleaving.
+
+    The global stream (the default, and the pre-split behavior byte for
+    byte) consumes one generator in global send order, which couples every
+    edge together; the edge stream derives each draw from ``(edge, purpose,
+    seed, per-edge counter)`` so per-shard sub-fleets reproduce the
+    single-process decisions exactly -- the property the multi-process
+    parallel lockstep engine is built on.
+    """
+
+    EDGES = [("a", "b"), ("c", "d"), ((0, 0), (3, 1))]
+
+    def test_shardable_flags(self):
+        assert not LossyTransport().shardable
+        assert LossyTransport(stream="edge").shardable
+        assert not CorruptingTransport().shardable
+        assert CorruptingTransport(stream="edge").shardable
+
+    def test_invalid_stream_rejected(self):
+        with pytest.raises(ValueError, match="stream"):
+            LossyTransport(stream="per-edge")
+        with pytest.raises(ValueError, match="stream"):
+            CorruptingTransport(stream="shard")
+
+    def _decisions(self, transport, schedule):
+        """Run ``drops`` over (edge, count) bursts; return per-edge sequences."""
+        out = {edge: [] for edge in self.EDGES}
+        for edge, count in schedule:
+            for _ in range(count):
+                out[edge].append(transport.drops(edge[0], edge[1], None))
+        return out
+
+    def test_edge_stream_is_interleaving_independent(self):
+        round_robin = [(edge, 1) for _ in range(10) for edge in self.EDGES]
+        batched = [(edge, 10) for edge in self.EDGES]
+        first = self._decisions(LossyTransport(loss=0.4, seed=9, stream="edge"), round_robin)
+        second = self._decisions(LossyTransport(loss=0.4, seed=9, stream="edge"), batched)
+        assert first == second
+        assert any(any(seq) for seq in first.values())  # some drops happened
+
+    def test_global_stream_couples_edges(self):
+        round_robin = [(edge, 1) for _ in range(10) for edge in self.EDGES]
+        batched = [(edge, 10) for edge in self.EDGES]
+        first = self._decisions(LossyTransport(loss=0.4, seed=9), round_robin)
+        second = self._decisions(LossyTransport(loss=0.4, seed=9), batched)
+        assert first != second  # draws depend on the global send order
+
+    def test_spec_round_trip_preserves_stream(self):
+        spec = TransportSpec("lossy", {"loss": 0.2, "seed": 7, "stream": "edge"})
+        restored = TransportSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert restored == spec
+        assert restored.build().stream == "edge"
+        assert restored.build().shardable
+        corrupting = TransportSpec("corrupting", {"rate": 0.5, "stream": "edge"})
+        assert corrupting.build().shardable
+
+    def test_stream_state_round_trip(self):
+        transport = LossyTransport(loss=0.4, seed=9, stream="edge")
+        prefix = [(edge, 5) for edge in self.EDGES]
+        self._decisions(transport, prefix)
+        state = json.loads(json.dumps(transport.stream_state()))
+
+        resumed = LossyTransport(loss=0.4, seed=9, stream="edge")
+        resumed.restore_stream_state(state)
+        tail = [(edge, 5) for edge in self.EDGES]
+        assert self._decisions(resumed, tail) == self._decisions(transport, tail)
+
+    def test_global_stream_state_is_none(self):
+        assert LossyTransport().stream_state() is None
+        assert CorruptingTransport().stream_state() is None
+
+    def test_corrupting_edge_stream_interleaving_independent(self):
+        tag = ((0, 0), 1)
+
+        def mutations(order):
+            transport = CorruptingTransport(rate=1.0, seed=4, stream="edge")
+            transport.bind(Simulator())
+            out = {}
+            for edge in order:
+                message = ReplyMessage(tag, (0, 0), True)
+                out.setdefault(edge, []).append(
+                    transport.mutate(edge[0], edge[1], message)
+                )
+            return out
+
+        forward = mutations([("a", "b"), ("c", "d"), ("a", "b"), ("c", "d")])
+        reversed_ = mutations([("c", "d"), ("c", "d"), ("a", "b"), ("a", "b")])
+        assert forward == reversed_
+
+    def test_corrupting_counter_skips_non_protocol_messages(self):
+        transport = CorruptingTransport(rate=1.0, seed=4, stream="edge")
+        transport.bind(Simulator())
+        transport.mutate("a", "b", "heartbeat")
+        assert transport.stream_state() == {"edge_counts": []}
+        transport.mutate("a", "b", ReplyMessage(((0, 0), 1), (0, 0), True))
+        assert transport.stream_state() == {"edge_counts": [[["a", "b"], 1]]}

@@ -19,10 +19,12 @@ every mechanism:
 * **Engine fan-out** -- ``run_service_many`` is byte-identical across
   1 thread / 4 threads / 4 processes and dedupes duplicate configs.
 
-``config_hash`` is the one field allowed to differ between a ``shards=4``
-and a ``shards=1`` RunResult (the config serializes ``shards`` when > 1 --
-that is what keeps all pre-sharding hashes stable), so golden comparisons
-normalize it before hashing.
+``config_hash`` and the ``shard_mode`` / ``shard_mode_reason`` extras are
+the only fields allowed to differ between a ``shards=4`` and a
+``shards=1`` RunResult (the config serializes ``shards`` when > 1, and
+sharded runs record which execution mode actually ran -- that is what
+keeps all pre-sharding hashes stable), so golden comparisons normalize
+them before hashing.
 """
 
 from __future__ import annotations
@@ -85,7 +87,16 @@ class TestGoldenShardInvariance:
         ).replace(shards=SHARDS)
         result = engine.run(config)
         base_hash = config.replace(shards=1).config_hash()
-        normalized = dataclasses.replace(result, config_hash=base_hash)
+        # Shard bookkeeping (mode + fallback reason) is recorded in extras
+        # only when shards > 1; like config_hash it is normalized out --
+        # golden identity covers the physical result, not the execution
+        # mode that produced it.
+        extras = {
+            key: value
+            for key, value in result.extras_dict().items()
+            if not key.startswith("shard_mode")
+        }
+        normalized = dataclasses.replace(result, config_hash=base_hash, extras=extras)
         assert _digest(normalized) == GOLDENS[key], (
             f"{key}: a {SHARDS}-shard run diverged from the 1-shard golden"
         )
