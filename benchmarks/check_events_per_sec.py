@@ -23,6 +23,14 @@ With ``--stream-report`` it gates the streaming-service throughput at the
 ``stream_events_per_sec_1e3`` floor -- same tolerance -- and fails hard
 when the report's memory-flatness check (``memory.flat``) is false.
 
+With ``--gossip-report`` it gates the gossip failure detector measured by
+``bench_gossip.py`` (the ``BENCH_gossip.json`` artifact): the p99
+detection latency in heartbeat rounds at the ``10^3``-vehicle scale under
+10% loss must stay below the committed ``gossip_detection_rounds_1e3``
+ceiling (same tolerance, inverted sense -- detection regresses by getting
+*slower*), and the report's own ``within_bound`` flag (p99 against the
+``2 * log2(n) * miss`` epidemic-spread bound) must be true.
+
 ``--scale-report`` also gates the cube-sharded ``10^5``-vehicle tier: the
 report's ``sharded_events_per_sec`` (wall-clock events/sec of the
 ``run_online(..., shards=N)`` multi-process run) must clear the committed
@@ -50,6 +58,7 @@ Usage::
     python benchmarks/check_events_per_sec.py REPORT.json \
         [--scale-report BENCH_fleet_scale.json] \
         [--stream-report BENCH_stream.json] \
+        [--gossip-report BENCH_gossip.json] \
         [--baseline benchmarks/bench_baseline.json] \
         [--out BENCH_events_per_sec.json] \
         [--tolerance 0.2] [--update]
@@ -147,6 +156,17 @@ def extract_stream_metrics(stream_report: dict) -> tuple:
     return float(entry["events_per_sec"]), bool(memory.get("flat"))
 
 
+def extract_gossip_metrics(gossip_report: dict) -> tuple:
+    """(p99 detection rounds, within-bound flag) from a bench_gossip.py report."""
+    p99 = gossip_report.get("gossip_detection_rounds_p99")
+    if p99 is None or "within_bound" not in gossip_report:
+        raise SystemExit(
+            "gossip report carries no gossip_detection_rounds_p99 / within_bound; "
+            "run: python benchmarks/bench_gossip.py --quick --out BENCH_gossip.json"
+        )
+    return float(p99), bool(gossip_report["within_bound"])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="pytest-benchmark JSON report path")
@@ -159,6 +179,11 @@ def main(argv=None) -> int:
         "--stream-report",
         default=None,
         help="bench_stream.py JSON artifact; enables the streaming-service gate",
+    )
+    parser.add_argument(
+        "--gossip-report",
+        default=None,
+        help="bench_gossip.py JSON artifact; enables the detection-latency gate",
     )
     parser.add_argument(
         "--baseline",
@@ -201,6 +226,12 @@ def main(argv=None) -> int:
         stream, stream_flat = extract_stream_metrics(
             json.loads(Path(args.stream_report).read_text())
         )
+    gossip = None
+    gossip_within_bound = True
+    if args.gossip_report is not None:
+        gossip, gossip_within_bound = extract_gossip_metrics(
+            json.loads(Path(args.gossip_report).read_text())
+        )
 
     baseline_path = Path(args.baseline)
     if args.update:
@@ -215,6 +246,8 @@ def main(argv=None) -> int:
             refreshed["lockstep_events_per_sec_1e4"] = lockstep
         if stream is not None:
             refreshed["stream_events_per_sec_1e3"] = stream
+        if gossip is not None:
+            refreshed["gossip_detection_rounds_1e3"] = gossip
         if baseline_path.exists():
             # Preserve calibration notes and any other extra keys.
             previous = json.loads(baseline_path.read_text())
@@ -231,6 +264,8 @@ def main(argv=None) -> int:
             print(f"baseline updated: {lockstep:.0f} lockstep events/sec (1e4)")
         if stream is not None:
             print(f"baseline updated: {stream:.0f} stream events/sec (1e3)")
+        if gossip is not None:
+            print(f"baseline updated: {gossip:.1f} gossip detection rounds p99 (1e3)")
         return 0
 
     baseline_payload = json.loads(baseline_path.read_text())
@@ -379,6 +414,32 @@ def main(argv=None) -> int:
             f"memory {'flat' if stream_flat else 'GROWING'} -> {sstatus}"
         )
 
+    gossip_passed = True
+    if gossip is not None:
+        gossip_base = baseline_payload.get("gossip_detection_rounds_1e3")
+        if gossip_base is None:
+            raise SystemExit(
+                "--gossip-report given but the baseline carries no "
+                "gossip_detection_rounds_1e3; refresh it with --update"
+            )
+        gossip_ceiling = float(gossip_base) * (1.0 + args.tolerance)
+        gossip_passed = gossip <= gossip_ceiling and gossip_within_bound
+        artifact.update(
+            {
+                "gossip_detection_rounds_1e3": gossip,
+                "baseline_gossip_detection_rounds_1e3": float(gossip_base),
+                "ceiling_gossip_detection_rounds_1e3": gossip_ceiling,
+                "gossip_within_bound": gossip_within_bound,
+                "gossip_pass": gossip_passed,
+            }
+        )
+        gstatus = "ok" if gossip_passed else "REGRESSION"
+        print(
+            f"gossip detection (1e3): p99 {gossip:.1f} rounds "
+            f"(baseline {float(gossip_base):.1f}, ceiling {gossip_ceiling:.1f}), "
+            f"bound {'ok' if gossip_within_bound else 'EXCEEDED'} -> {gstatus}"
+        )
+
     overall = (
         passed
         and construction_passed
@@ -386,6 +447,7 @@ def main(argv=None) -> int:
         and sharded_passed
         and lockstep_passed
         and stream_passed
+        and gossip_passed
     )
     artifact["pass"] = overall
     out_path = Path(args.out)

@@ -23,10 +23,14 @@ from repro.baselines.greedy import greedy_nearest_vehicle_plan
 from repro.core.demand import DemandMap
 from repro.core.feasibility import audit_plan, minimal_feasible_capacity
 from repro.core.flows import min_self_radius_capacity
-from repro.core.offline import offline_bounds, upper_bound_factor
-from repro.core.omega import omega_star_exhaustive
+from repro.core.offline import (
+    offline_bounds,
+    online_upper_bound_factor,
+    upper_bound_factor,
+)
+from repro.core.omega import omega_c, omega_star_exhaustive
 
-__all__ = ["BoundsReport", "bounds_report"]
+__all__ = ["BoundsReport", "bounds_report", "escalation_capacity_bound"]
 
 #: Above this support size the exhaustive-subset and flow cross-checks are
 #: skipped (they exist to validate the scalable paths, not to run at scale).
@@ -73,6 +77,34 @@ class BoundsReport:
         if self.lower_bound == 0:
             return 1.0
         return self.best_upper_bound / self.lower_bound
+
+
+def escalation_capacity_bound(
+    demand: DemandMap,
+    *,
+    omega: Optional[float] = None,
+    reserve: float = 4.0,
+) -> float:
+    """Per-vehicle battery sufficient for escalated cross-cube replacement.
+
+    Lemma 3.3.1 provisions ``(4 * 3^l + l) * omega`` for the intra-cube
+    online protocol.  When a replacement search escalates through the cube
+    hierarchy, the adopter additionally travels from its own home to the
+    orphaned pair -- in the worst case the L1 diameter of the support's
+    bounding box.  ``reserve`` pads for the recovery-round hovering a
+    monitored takeover performs before re-serving abandoned jobs.
+
+    This is a *provisioning* bound (sufficient, not tight): the sparse
+    ``omega_c < 1`` differential scenarios use it instead of hand-tuned
+    capacities, so growing a scenario cannot silently starve the adopters.
+    """
+    if demand.is_empty():
+        return reserve
+    if omega is None:
+        omega = omega_c(demand)
+    box = demand.bounding_box()
+    diameter = float(sum(length - 1 for length in box.side_lengths))
+    return online_upper_bound_factor(demand.dim) * float(omega) + diameter + reserve
 
 
 def bounds_report(

@@ -157,6 +157,10 @@ class FailureSpec:
     partitions: Tuple[PartitionSpec, ...] = ()
     churn: Tuple[ChurnSpec, ...] = ()
     transport: Optional[TransportSpec] = None
+    #: Vehicles whose *failure detector* lies (gossip monitoring): they
+    #: report healthy pairs silent, suspect without evidence, and invert
+    #: attestations.  The quorum masks up to ``quorum - 1`` of them.
+    byzantine_watchers: Tuple[Point, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -164,6 +168,11 @@ class FailureSpec:
         )
         object.__setattr__(
             self, "suppressed", tuple(sorted(_normalize_point(p) for p in self.suppressed))
+        )
+        object.__setattr__(
+            self,
+            "byzantine_watchers",
+            tuple(sorted(_normalize_point(p) for p in self.byzantine_watchers)),
         )
         try:
             partitions = tuple(_normalize_partition(p) for p in self.partitions)
@@ -190,6 +199,7 @@ class FailureSpec:
             or self.partitions
             or self.churn
             or self.transport is not None
+            or self.byzantine_watchers
         )
 
     def without_transport(self) -> "FailureSpec":
@@ -210,6 +220,8 @@ class FailureSpec:
             plan.suppress_initiation(point)
         for window in self.partitions:
             plan.add_partition(window)
+        for point in self.byzantine_watchers:
+            plan.mark_byzantine_watcher(point)
         return plan
 
     def churn_events(self) -> Tuple[ChurnSpec, ...]:
@@ -233,6 +245,8 @@ class FailureSpec:
             ]
         if self.transport is not None:
             payload["transport"] = self.transport.to_json()
+        if self.byzantine_watchers:
+            payload["byzantine_watchers"] = [list(p) for p in self.byzantine_watchers]
         return payload
 
     @classmethod
@@ -243,6 +257,9 @@ class FailureSpec:
             partitions=tuple(payload.get("partitions", ())),
             churn=tuple(payload.get("churn", ())),
             transport=payload.get("transport"),
+            byzantine_watchers=tuple(
+                tuple(p) for p in payload.get("byzantine_watchers", ())
+            ),
         )
 
 

@@ -93,6 +93,9 @@ class ServiceConfig:
     dead_vehicles: Tuple[Point, ...] = ()
     #: Vehicles that never initiate their own computations (scenario 2).
     suppressed: Tuple[Point, ...] = ()
+    #: Vehicles whose failure detector lies (gossip monitoring; see
+    #: :attr:`repro.distsim.failures.FailurePlan.byzantine_watchers`).
+    byzantine_watchers: Tuple[Point, ...] = ()
     #: Timed network partitions.
     partitions: Tuple[PartitionSpec, ...] = ()
     #: Seed of the run RNG (jitter transport); ``None`` = deterministic delay.
@@ -150,6 +153,11 @@ class ServiceConfig:
         object.__setattr__(
             self, "suppressed", tuple(sorted(_normalize_point(p) for p in self.suppressed))
         )
+        object.__setattr__(
+            self,
+            "byzantine_watchers",
+            tuple(sorted(_normalize_point(p) for p in self.byzantine_watchers)),
+        )
         if self.seed is not None and (not isinstance(self.seed, int) or self.seed < 0):
             raise ConfigError(f"seed must be a non-negative integer, got {self.seed!r}")
         for name in ("lookahead", "window_jobs"):
@@ -203,6 +211,8 @@ class ServiceConfig:
             plan.suppress_initiation(point)
         for window in self.partitions:
             plan.add_partition(window)
+        for point in self.byzantine_watchers:
+            plan.mark_byzantine_watcher(point)
         return plan
 
     # ------------------------------------------------------------------ #
@@ -238,6 +248,8 @@ class ServiceConfig:
             payload["dead_vehicles"] = [list(p) for p in self.dead_vehicles]
         if self.suppressed:
             payload["suppressed"] = [list(p) for p in self.suppressed]
+        if self.byzantine_watchers:
+            payload["byzantine_watchers"] = [list(p) for p in self.byzantine_watchers]
         if self.partitions:
             payload["partitions"] = [
                 {"start": p.start, "end": p.end, "axis": p.axis, "boundary": p.boundary}
@@ -264,6 +276,9 @@ class ServiceConfig:
             churn=tuple(payload.get("churn", ())),
             dead_vehicles=tuple(tuple(p) for p in payload.get("dead_vehicles", ())),
             suppressed=tuple(tuple(p) for p in payload.get("suppressed", ())),
+            byzantine_watchers=tuple(
+                tuple(p) for p in payload.get("byzantine_watchers", ())
+            ),
             partitions=tuple(payload.get("partitions", ())),
             seed=payload.get("seed"),
             lookahead=payload.get("lookahead", 64),
@@ -368,6 +383,25 @@ class ServiceResult:
     cross_shard_messages: int = 0
     #: Lockstep window barriers the run advanced through.
     window_barriers: int = 0
+    #: Failure-detection mode: ``""``, ``"ring"`` or ``"gossip"``.  New
+    #: observability fields below are excluded from ``result_hash`` (the
+    #: explicit ``_HASHED_FIELDS`` tuple is unchanged), so pre-gossip
+    #: result hashes are untouched.
+    monitoring_mode: str = ""
+    #: Gossip mode: quorum collections opened.
+    suspicions: int = 0
+    #: Gossip mode: co-signatures granted.
+    attestations: int = 0
+    #: Gossip mode: attestation requests declined.
+    refused_attestations: int = 0
+    #: Gossip mode: suspicions raised against pairs that were alive.
+    false_suspicions: int = 0
+    #: Crashed pairs whose detection latency was measured.
+    detections: int = 0
+    #: Median detection latency in heartbeat rounds (0.0 when none).
+    detection_p50: float = 0.0
+    #: 99th-percentile detection latency in heartbeat rounds (0.0 when none).
+    detection_p99: float = 0.0
 
     def result_hash(self) -> str:
         """Stable hash of the physical outcome (see ``_HASHED_FIELDS``)."""

@@ -160,7 +160,30 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         dead_vehicles = config.failures.crashed
         churn = config.failures.churn_events()
         monitoring = True
-    fleet_config = FleetConfig(monitoring=monitoring, escalation=config.escalation)
+    # The monitoring param overrides the solver default: "ring" is the
+    # explicit spelling of the historical monitoring loop (same booleans,
+    # same hashes), "gossip" opts into the epidemic detector -- on the
+    # failure-free solver too, so ring/gossip equivalence is testable.
+    monitoring_param = config.param("monitoring", None)
+    if monitoring_param is not None:
+        if monitoring_param == "ring":
+            monitoring = True
+        elif monitoring_param == "gossip":
+            monitoring = "gossip"
+        else:
+            raise ConfigError(
+                f"monitoring param must be 'ring' or 'gossip', got {monitoring_param!r}"
+            )
+    try:
+        fleet_config = FleetConfig(
+            monitoring=monitoring,
+            escalation=config.escalation,
+            gossip_fanout=config.param("gossip_fanout", 2),
+            suspicion_threshold=config.param("suspicion_threshold", 2),
+            quorum=config.param("quorum", 2),
+        )
+    except ValueError as error:
+        raise ConfigError(str(error)) from None
     result = run_online(
         jobs,
         omega=config.omega,
@@ -201,6 +224,22 @@ def _run_online_family(config: RunConfig, *, broken: bool) -> RunResult:
         extras["suppressed_vehicles"] = len(config.failures.suppressed)
         extras["partition_windows"] = len(config.failures.partitions)
         extras["churn_events"] = len(config.failures.churn)
+        if config.failures.byzantine_watchers:
+            extras["byzantine_watchers"] = len(config.failures.byzantine_watchers)
+    # Gossip-mode counters and the detection-latency digest only appear
+    # when opted into (the gossip detector, or the ``detection_latency``
+    # param on a ring run) -- default-config extras, and with them every
+    # golden hash, are byte-identical to the pre-gossip runs.
+    if result.monitoring_mode == "gossip":
+        extras["monitoring_mode"] = "gossip"
+        extras["suspicions"] = result.suspicions
+        extras["attestations"] = result.attestations
+        extras["refused_attestations"] = result.refused_attestations
+        extras["false_suspicions"] = result.false_suspicions
+    if result.monitoring_mode == "gossip" or config.param("detection_latency", False):
+        extras["detections"] = result.detections
+        extras["detection_p50"] = result.detection_p50
+        extras["detection_p99"] = result.detection_p99
     if config.shards > 1:
         # Sharded runs record which execution mode actually ran (and, on a
         # lockstep fallback, the first disqualifying feature) so bench

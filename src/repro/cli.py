@@ -158,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the worker-process pool for sharded runs (default: one "
         "process per shard); results are identical at any worker count",
     )
+    _add_monitoring_arguments(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario x solver x seed matrix through the engine"
@@ -298,9 +299,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--monitoring",
-        action="store_true",
-        help="enable the heartbeat monitoring loop (implied by --crash, "
-        "--suppress, or --recovery-rounds)",
+        nargs="?",
+        const="ring",
+        choices=["ring", "gossip"],
+        default=None,
+        help="enable the failure-detection loop (implied by --crash, "
+        '--suppress, or --recovery-rounds): "ring" (the bare-flag '
+        'default) is the Section 3.2.5 heartbeat ring, "gossip" the '
+        "epidemic detector with quorum-attested replacement",
+    )
+    serve.add_argument(
+        "--gossip-fanout",
+        type=_positive_int,
+        default=None,
+        metavar="F",
+        help="peers each vehicle gossips its digest to per round "
+        "(gossip monitoring only; default 2)",
+    )
+    serve.add_argument(
+        "--suspicion-threshold",
+        type=_positive_int,
+        default=None,
+        metavar="S",
+        help="independent silent reports needed before a watcher opens a "
+        "suspicion (gossip monitoring only; default 2)",
+    )
+    serve.add_argument(
+        "--quorum",
+        type=_positive_int,
+        default=None,
+        metavar="Q",
+        help="co-signatures a watcher must collect before initiating "
+        "replacement (gossip monitoring only; default 2)",
+    )
+    serve.add_argument(
+        "--byzantine-watcher",
+        action="append",
+        default=[],
+        metavar="X,Y",
+        help="home vertex of a vehicle whose failure-detection role lies "
+        "(repeatable; the gossip quorum masks up to quorum-1 of these)",
     )
     serve.add_argument(
         "--hand-back",
@@ -447,6 +485,52 @@ def _add_run_arguments(parser: argparse.ArgumentParser, *, engine: bool = True) 
     _add_transport_arguments(parser)
 
 
+def _add_monitoring_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--monitoring",
+        choices=["ring", "gossip"],
+        default=None,
+        help="failure-detection mode for the message-passing solvers: "
+        '"ring" is the Section 3.2.5 heartbeat ring (the default when '
+        'failures are modelled), "gossip" opts into the epidemic '
+        "detector with quorum-attested replacement",
+    )
+    parser.add_argument(
+        "--gossip-fanout",
+        type=_positive_int,
+        default=None,
+        metavar="F",
+        help="peers each vehicle gossips its digest to per round "
+        "(gossip monitoring only; default 2)",
+    )
+    parser.add_argument(
+        "--suspicion-threshold",
+        type=_positive_int,
+        default=None,
+        metavar="S",
+        help="independent silent reports needed before a watcher opens a "
+        "suspicion (gossip monitoring only; default 2)",
+    )
+    parser.add_argument(
+        "--quorum",
+        type=_positive_int,
+        default=None,
+        metavar="Q",
+        help="co-signatures a watcher must collect before initiating "
+        "replacement (gossip monitoring only; default 2, at most the "
+        "suspicion threshold)",
+    )
+    parser.add_argument(
+        "--byzantine-watcher",
+        action="append",
+        default=[],
+        metavar="X,Y",
+        help="home vertex of a vehicle whose failure-detection role lies "
+        "(reports every pair silent, inverts attestations; repeatable; "
+        "the quorum masks up to quorum-1 of these)",
+    )
+
+
 def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--transport",
@@ -485,8 +569,13 @@ def _parse_failures(
 ) -> Optional[FailureSpec]:
     crashed = tuple(_parse_point(p) for p in getattr(args, "crash", []))
     suppressed = tuple(_parse_point(p) for p in getattr(args, "suppress", []))
-    if crashed or suppressed:
-        return FailureSpec(crashed=crashed, suppressed=suppressed)
+    byzantine = tuple(
+        _parse_point(p) for p in getattr(args, "byzantine_watcher", [])
+    )
+    if crashed or suppressed or byzantine:
+        return FailureSpec(
+            crashed=crashed, suppressed=suppressed, byzantine_watchers=byzantine
+        )
     if scenario is not None and scenario.family is not None:
         # No explicit failure flags: fall back to the scenario family's own
         # failure plan (outage regions, churn schedules, partition windows),
@@ -638,6 +727,32 @@ def _command_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    gossip_knobs = {
+        "--gossip-fanout": args.gossip_fanout,
+        "--suspicion-threshold": args.suspicion_threshold,
+        "--quorum": args.quorum,
+    }
+    monitoring_flags = (
+        args.monitoring is not None
+        or any(value is not None for value in gossip_knobs.values())
+        or bool(args.byzantine_watcher)
+    )
+    if monitoring_flags and args.solver not in _TRANSPORT_SOLVERS:
+        print(
+            f"error: --monitoring and the gossip flags only apply to the "
+            f"message-passing solvers ({', '.join(_TRANSPORT_SOLVERS)}), "
+            f"not {args.solver!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.monitoring != "gossip":
+        given = [flag for flag, value in gossip_knobs.items() if value is not None]
+        if given:
+            print(
+                f"error: {', '.join(given)} need --monitoring gossip",
+                file=sys.stderr,
+            )
+            return 2
     failures = _parse_failures(
         args, scenario if args.solver == "online-broken" else None
     )
@@ -647,6 +762,16 @@ def _command_run(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     if args.shard_workers is not None:
         params["shard_workers"] = args.shard_workers
+    # Monitoring flags ride the params channel: absent flags leave the
+    # params dict (and hence every existing config hash) untouched.
+    if args.monitoring is not None:
+        params["monitoring"] = args.monitoring
+    if args.gossip_fanout is not None:
+        params["gossip_fanout"] = args.gossip_fanout
+    if args.suspicion_threshold is not None:
+        params["suspicion_threshold"] = args.suspicion_threshold
+    if args.quorum is not None:
+        params["quorum"] = args.quorum
     config = RunConfig(
         solver=args.solver,
         scenario=scenario,
@@ -830,12 +955,39 @@ def _command_serve(args: argparse.Namespace) -> int:
         demand = _legacy_demand(args)
         crashed = tuple(_parse_point(p) for p in args.crash)
         suppressed = tuple(_parse_point(p) for p in args.suppress)
-        monitoring = (
-            args.monitoring or bool(crashed or suppressed) or args.recovery_rounds > 0
-        )
+        byzantine = tuple(_parse_point(p) for p in args.byzantine_watcher)
+        gossip_knobs = {
+            "gossip_fanout": args.gossip_fanout,
+            "suspicion_threshold": args.suspicion_threshold,
+            "quorum": args.quorum,
+        }
+        monitoring = args.monitoring
+        if monitoring is None and (
+            crashed or suppressed or byzantine or args.recovery_rounds > 0
+        ):
+            monitoring = "ring"
+        if monitoring != "gossip":
+            given = [
+                "--" + name.replace("_", "-")
+                for name, value in gossip_knobs.items()
+                if value is not None
+            ]
+            if given:
+                print(
+                    f"error: {', '.join(given)} need --monitoring gossip",
+                    file=sys.stderr,
+                )
+                return 2
         fleet: Dict[str, Any] = {}
-        if monitoring:
+        if monitoring == "ring":
+            # The historical boolean spelling: checkpoints and config
+            # hashes of pre-gossip ring runs stay byte-identical.
             fleet["monitoring"] = True
+        elif monitoring == "gossip":
+            fleet["monitoring"] = "gossip"
+            for name, value in gossip_knobs.items():
+                if value is not None:
+                    fleet[name] = value
         if args.escalation:
             fleet["escalation"] = True
         if args.hand_back:
@@ -849,6 +1001,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             transport=_parse_transport(args),
             dead_vehicles=crashed,
             suppressed=suppressed,
+            byzantine_watchers=byzantine,
             seed=args.seed,
             lookahead=args.lookahead,
             window_jobs=args.window,

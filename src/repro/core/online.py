@@ -178,6 +178,25 @@ class OnlineResult:
     #: The first disqualifying feature that forced the lockstep fallback
     #: (empty when a multi-process mode ran, or when unsharded).
     shard_mode_reason: str = ""
+    #: Failure-detection mode the run used: ``""`` (monitoring off),
+    #: ``"ring"`` (Section 3.2.5 single-watcher loop) or ``"gossip"``
+    #: (epidemic detector with quorum-attested replacement).
+    monitoring_mode: str = ""
+    #: Gossip mode: quorum collections opened (SuspectMessage broadcasts).
+    suspicions: int = 0
+    #: Gossip mode: co-signatures granted by attesters.
+    attestations: int = 0
+    #: Gossip mode: attestation requests declined (withheld signatures).
+    refused_attestations: int = 0
+    #: Gossip mode: suspicions raised against pairs that were in fact alive.
+    false_suspicions: int = 0
+    #: Crashed pairs whose detection latency was measured (crash tick to
+    #: first attested replacement initiation, in heartbeat rounds).
+    detections: int = 0
+    #: Median detection latency in heartbeat rounds (0.0 when none).
+    detection_p50: float = 0.0
+    #: 99th-percentile detection latency in heartbeat rounds (0.0 when none).
+    detection_p99: float = 0.0
 
     @property
     def online_to_offline_ratio(self) -> float:
@@ -855,6 +874,11 @@ def _run_online_parallel_lockstep(
         cross_shard_messages=0,
         shard_timings=merged["timings"],
         shard_mode="parallel-lockstep",
+        # Gossip never qualifies for this mode (fleet-wide digest fanout
+        # crosses shards), so monitoring here is always off or ring.
+        # Detection-latency digests are a single-fleet measurement; the
+        # multi-process modes report zero detections by design.
+        monitoring_mode="ring" if base.monitoring else "",
     )
 
 
@@ -1138,4 +1162,22 @@ def run_online(
         window_barriers=barrier_count,
         shard_mode=shard_mode,
         shard_mode_reason=shard_mode_reason,
+        monitoring_mode=(
+            "gossip"
+            if fleet_config.monitoring == "gossip"
+            else ("ring" if fleet_config.monitoring else "")
+        ),
+        suspicions=fleet.stats.suspicions,
+        attestations=fleet.stats.attestations,
+        refused_attestations=fleet.stats.refused_attestations,
+        false_suspicions=fleet.stats.false_suspicions,
+        detections=int(fleet.detection_digest.count),
+        detection_p50=(
+            fleet.detection_digest.quantile(0.5) if fleet.detection_digest.count else 0.0
+        ),
+        detection_p99=(
+            fleet.detection_digest.quantile(0.99)
+            if fleet.detection_digest.count
+            else 0.0
+        ),
     )

@@ -112,6 +112,13 @@ class FailurePlan:
     partition_dropped_count: int = 0
     #: Current failure-clock time (advanced by the harness, never by the plan).
     clock: float = 0.0
+    #: Byzantine *watchers* (gossip monitoring): alive vehicles whose
+    #: failure-detection behavior lies -- they report every pair silent,
+    #: suspect regardless of evidence, and invert their attestations
+    #: (forging grants for healthy pairs, withholding for dead ones).
+    #: Job service and Phase I/II behavior stay honest; only the detector
+    #: is faulty.  The quorum masks up to ``quorum - 1`` of these.
+    byzantine_watchers: Set[Hashable] = field(default_factory=set)
 
     # ------------------------------------------------------------------ #
     # crash failures
@@ -140,6 +147,18 @@ class FailurePlan:
     def is_initiation_suppressed(self, identity: Hashable) -> bool:
         """Whether the process must not self-initiate protocol actions."""
         return identity in self.initiation_suppressed
+
+    # ------------------------------------------------------------------ #
+    # Byzantine watchers (gossip monitoring)
+    # ------------------------------------------------------------------ #
+
+    def mark_byzantine_watcher(self, identity: Hashable) -> None:
+        """Make ``identity``'s failure detector lie (see field docstring)."""
+        self.byzantine_watchers.add(identity)
+
+    def is_byzantine_watcher(self, identity: Hashable) -> bool:
+        """Whether the process's failure-detection behavior is Byzantine."""
+        return identity in self.byzantine_watchers
 
     # ------------------------------------------------------------------ #
     # partitions and the failure clock

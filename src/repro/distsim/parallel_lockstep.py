@@ -99,6 +99,12 @@ def parallel_lockstep_eligibility(
             False,
             "escalation: cross-cube replacement migrates vehicles between shards",
         )
+    if (config.monitoring if config is not None else False) == "gossip":
+        return (
+            False,
+            "gossip monitoring: digest fanout targets fleet-wide peers, so "
+            "every round generates cross-cube (hence cross-shard) traffic",
+        )
     if recovery_rounds != 0:
         return (
             False,

@@ -124,6 +124,27 @@ def _vehicle_entry(fleet: Fleet, index: int, vehicle) -> Dict[str, Any]:
         ]
     if vehicle.status.transfer != TransferState.WAITING:
         entry["transfer"] = vehicle.status.transfer.value
+    if vehicle._gossip_counter:
+        entry["gossip_counter"] = vehicle._gossip_counter
+    if vehicle.gossip_reports:
+        entry["gossip_reports"] = [
+            [
+                list(pair),
+                [[list(reporter), round_id] for reporter, round_id in sorted(reporters.items())],
+            ]
+            for pair, reporters in sorted(vehicle.gossip_reports.items())
+        ]
+    if vehicle.pending_suspicions:
+        entry["pending_suspicions"] = [
+            [
+                list(pair),
+                {
+                    "granted": [list(g) for g in sorted(pending["granted"])],
+                    "round": pending["round"],
+                },
+            ]
+            for pair, pending in sorted(vehicle.pending_suspicions.items())
+        ]
     original_pair = fleet.flat.pair_keys[fleet.flat.vehicle_pair[index]]
     if vehicle.pair_key != original_pair:
         # Takeovers may have rehomed the vehicle; its communication graph
@@ -169,6 +190,10 @@ def _fleet_state(fleet: Fleet) -> Dict[str, Any]:
         "computation_round": fleet._computation_round,
         "heartbeat_round": fleet._heartbeat_round,
         "monitoring_baseline": fleet.monitoring_baseline,
+        "crash_rounds": [
+            [list(pair), round_id] for pair, round_id in sorted(fleet._crash_rounds.items())
+        ],
+        "detection_digest": fleet.detection_digest.to_json(),
         "vehicles": vehicles,
     }
 
@@ -212,6 +237,9 @@ def restore_fleet_state(fleet: Fleet, payload: Dict[str, Any]) -> None:
         vehicle._engaged_rounds = 0
         vehicle.adopted_pairs = []
         vehicle.escalations = {}
+        vehicle._gossip_counter = 0
+        vehicle.gossip_reports = {}
+        vehicle.pending_suspicions = {}
 
     for index_str, entry in payload["vehicles"].items():
         vehicle = fleet.vehicles[flat.identities[int(index_str)]]
@@ -258,6 +286,22 @@ def restore_fleet_state(fleet: Fleet, payload: Dict[str, Any]) -> None:
             }
         if "transfer" in entry:
             vehicle.status.transfer = TransferState(entry["transfer"])
+        vehicle._gossip_counter = entry.get("gossip_counter", 0)
+        if "gossip_reports" in entry:
+            vehicle.gossip_reports = {
+                tuple(pair): {
+                    tuple(reporter): round_id for reporter, round_id in reporters
+                }
+                for pair, reporters in entry["gossip_reports"]
+            }
+        if "pending_suspicions" in entry:
+            vehicle.pending_suspicions = {
+                tuple(pair): {
+                    "granted": {tuple(g) for g in pending["granted"]},
+                    "round": pending["round"],
+                }
+                for pair, pending in entry["pending_suspicions"]
+            }
         if "residency" in entry:
             residency = entry["residency"]
             vehicle.cube_index = tuple(residency["cube_index"])
@@ -299,6 +343,13 @@ def restore_fleet_state(fleet: Fleet, payload: Dict[str, Any]) -> None:
     fleet._computation_round = payload["computation_round"]
     fleet._heartbeat_round = payload["heartbeat_round"]
     fleet.monitoring_baseline = payload["monitoring_baseline"]
+    fleet._crash_rounds = {
+        tuple(pair): round_id for pair, round_id in payload.get("crash_rounds", ())
+    }
+    if "detection_digest" in payload:
+        from repro.service.metrics import LatencyDigest
+
+        fleet.detection_digest = LatencyDigest.from_json(payload["detection_digest"])
 
 
 def fleet_digest(fleet: Fleet) -> str:
@@ -422,6 +473,9 @@ def capture_checkpoint(
             "dropped_count": plan.dropped_count,
             "partition_dropped_count": plan.partition_dropped_count,
             "clock": plan.clock,
+            "byzantine_watchers": sorted(
+                [list(p) for p in plan.byzantine_watchers]
+            ),
         },
         "fleet": _fleet_state(fleet),
     }

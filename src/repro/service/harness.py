@@ -218,6 +218,9 @@ def run_service(
         plan.dropped_count = plan_state["dropped_count"]
         plan.partition_dropped_count = plan_state["partition_dropped_count"]
         plan.clock = plan_state["clock"]
+        plan.byzantine_watchers = {
+            tuple(p) for p in plan_state.get("byzantine_watchers", ())
+        }
         if "metrics" in snapshot:
             recorder.restore_state(snapshot["metrics"])
         start_consumed = snapshot["jobs"]["consumed"]
@@ -390,6 +393,24 @@ def run_service(
             shard_monitor.cross_shard if shard_monitor is not None else 0
         ),
         window_barriers=progress["barriers"],
+        monitoring_mode=(
+            "gossip"
+            if fleet.config.monitoring == "gossip"
+            else ("ring" if fleet.config.monitoring else "")
+        ),
+        suspicions=fleet.stats.suspicions,
+        attestations=fleet.stats.attestations,
+        refused_attestations=fleet.stats.refused_attestations,
+        false_suspicions=fleet.stats.false_suspicions,
+        detections=int(fleet.detection_digest.count),
+        detection_p50=(
+            fleet.detection_digest.quantile(0.5) if fleet.detection_digest.count else 0.0
+        ),
+        detection_p99=(
+            fleet.detection_digest.quantile(0.99)
+            if fleet.detection_digest.count
+            else 0.0
+        ),
     )
 
 

@@ -67,8 +67,13 @@ class FleetConfig:
     message_delay: float = 0.01
     #: Remaining energy below which an active vehicle declares itself done.
     done_threshold: float = 2.0
-    #: Whether the Section 3.2.5 monitoring loop is running.
-    monitoring: bool = False
+    #: Failure-detection mode.  ``False`` disables monitoring; ``True`` or
+    #: ``"ring"`` run the Section 3.2.5 single-watcher monitoring loop
+    #: (byte-identical -- ``"ring"`` is the readable spelling); ``"gossip"``
+    #: runs the epidemic detector with quorum-attested replacement (see
+    #: :mod:`repro.vehicles.gossip`).  Truthiness is preserved, so every
+    #: ``if config.monitoring`` site keeps its historical meaning.
+    monitoring: object = False
     #: Heartbeat rounds a watcher waits before initiating a replacement on
     #: behalf of a silent pair.
     heartbeat_miss_threshold: int = 3
@@ -96,6 +101,37 @@ class FleetConfig:
     #: pairs) that one revival can now retire.  Off by default: every
     #: existing run keeps its golden hashes.
     hand_back: bool = False
+    #: Gossip mode: digest recipients per vehicle per round (epidemic
+    #: fanout; O(log n) spread at any constant >= 1).
+    gossip_fanout: int = 2
+    #: Gossip mode: distinct silence reporters required before a watcher
+    #: even *suspects* a pair (1 restores single-observer sensitivity).
+    suspicion_threshold: int = 2
+    #: Gossip mode: granted co-signatures (beyond the watcher's own view)
+    #: required before a suspected pair's replacement search starts.  The
+    #: attested takeover masks up to ``quorum - 1`` Byzantine watchers.
+    quorum: int = 2
+
+    def __post_init__(self) -> None:
+        if self.monitoring not in (False, True, "ring", "gossip"):
+            raise ValueError(
+                "monitoring must be False, True, 'ring' or 'gossip', "
+                f"got {self.monitoring!r}"
+            )
+        for name in ("gossip_fanout", "suspicion_threshold", "quorum"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.quorum > self.suspicion_threshold:
+            raise ValueError(
+                f"quorum ({self.quorum}) must not exceed suspicion_threshold "
+                f"({self.suspicion_threshold}): a suspicion that cannot gather "
+                "enough independent reports can never gather more co-signers"
+            )
+        if self.monitoring == "gossip" and self.escalation:
+            raise ValueError(
+                "monitoring='gossip' does not compose with escalation mode yet"
+            )
 
 
 @dataclass
@@ -115,6 +151,15 @@ class FleetStats:
     escalated_replacements: int = 0
     adoptions: int = 0
     hand_backs: int = 0
+    #: Gossip mode: quorum collections opened (SuspectMessage broadcasts).
+    suspicions: int = 0
+    #: Gossip mode: co-signatures granted by attesters.
+    attestations: int = 0
+    #: Gossip mode: attestation requests an attester declined (silence).
+    refused_attestations: int = 0
+    #: Gossip mode: suspicions raised against a pair whose registered
+    #: vehicle was in fact alive and active (ground-truth audit counter).
+    false_suspicions: int = 0
 
 
 class Fleet:
@@ -194,6 +239,21 @@ class Fleet:
         self.stats = FleetStats()
         self._computation_round = 0
         self._heartbeat_round = 0
+        #: Detection-latency observability: pair -> heartbeat round at
+        #: which its registered vehicle crashed, pending first (attested)
+        #: replacement initiation; resolved deltas accumulate in
+        #: ``detection_digest`` (heartbeat-round units, both ring and
+        #: gossip modes).
+        self._crash_rounds: Dict[Point, int] = {}
+        # Local import: ``repro.service`` imports this module at package
+        # init, so a top-level import here would be circular.  The metrics
+        # module itself has no ``repro`` imports at all.
+        from repro.service.metrics import LatencyDigest
+
+        self.detection_digest = LatencyDigest()
+        #: Sorted fleet-wide identities: the gossip peer-selection pool
+        #: (lazy; rebuilt if vehicles are added after construction).
+        self._gossip_candidates: Optional[List[Point]] = None
         #: Dense-index -> vehicle list backing the registry-native round
         #: path (lazy; rebuilt if vehicles are added after construction).
         self._by_index_cache: Optional[List[Optional[VehicleProcess]]] = None
@@ -386,6 +446,51 @@ class Fleet:
 
     def record_watch_initiation(self, identity: Point, pair_key: Point) -> None:
         self.stats.watch_initiations += 1
+        self._record_detection(pair_key)
+
+    def _record_detection(self, pair_key: Point) -> None:
+        """Close the detection-latency clock of a crashed pair (first
+        replacement initiation on its behalf; later retries don't count)."""
+        crashed = self._crash_rounds.pop(pair_key, None)
+        if crashed is not None:
+            self.detection_digest.add(float(self._heartbeat_round - crashed))
+
+    def record_suspicion(self, identity: Point, pair_key: Point) -> None:
+        """A watcher opened a quorum collection for ``pair_key``.
+
+        The ground-truth audit runs here: a suspicion against a pair whose
+        registered vehicle is alive and active is *false* -- the count the
+        quorum exists to keep out of the takeover path.
+        """
+        self.stats.suspicions += 1
+        registered = self.registry.get(pair_key)
+        vehicle = self.vehicles.get(registered) if registered is not None else None
+        if (
+            vehicle is not None
+            and not vehicle.broken
+            and vehicle.status.working == WorkingState.ACTIVE
+        ):
+            self.stats.false_suspicions += 1
+
+    def record_attestation(self, identity: Point, pair_key: Point, granted: bool) -> None:
+        if granted:
+            self.stats.attestations += 1
+        else:
+            self.stats.refused_attestations += 1
+
+    def gossip_candidates(self) -> List[Point]:
+        """Sorted fleet-wide identities: the deterministic gossip peer pool.
+
+        Broken vehicles stay in the pool (their radios still receive;
+        handlers guard), keeping peer selection a pure function of the
+        construction-time fleet -- identical at any worker or shard count
+        and across checkpoint restores.
+        """
+        cached = self._gossip_candidates
+        if cached is None or len(cached) != len(self.vehicles):
+            cached = sorted(self.vehicles)
+            self._gossip_candidates = cached
+        return cached
 
     def record_escalation_started(self, tag) -> None:
         self.stats.escalations_started += 1
@@ -701,6 +806,15 @@ class Fleet:
                 vehicle = by_index[index]
                 if vehicle is not None:
                     vehicle.heartbeat(round_id, miss)
+        elif self.config.monitoring == "gossip":
+            # The epidemic detector ticks every live vehicle, idle ones
+            # included: silence reporting and digest relaying need no pair
+            # of their own, and a cube whose crash left few active members
+            # still musters enough independent reporters and co-signers.
+            for index in np.nonzero(flat.broken_view() == 0)[0].tolist():
+                vehicle = by_index[index]
+                if vehicle is not None:
+                    vehicle.gossip_tick(round_id, miss)
         else:
             self._plain_heartbeats(senders, round_id, miss, by_index)
         if settle:
@@ -757,7 +871,17 @@ class Fleet:
         identity = tuple(int(c) for c in identity)
         if identity not in self.vehicles:
             raise KeyError(f"no vehicle at {identity}")
-        self.vehicles[identity].mark_broken()
+        vehicle = self.vehicles[identity]
+        # Start the detection-latency clock for every pair this vehicle
+        # answers for (its own plus any adoptions); initial-dead crashes
+        # land here at round 0, before monitoring starts.
+        pairs = ([vehicle.pair_key] if vehicle.pair_key is not None else []) + list(
+            vehicle.adopted_pairs
+        )
+        for pair_key in pairs:
+            if self.registry.get(pair_key) == identity:
+                self._crash_rounds.setdefault(pair_key, self._heartbeat_round)
+        vehicle.mark_broken()
 
     def revive_vehicle(self, identity: Point) -> None:
         """Churn rejoin: the broken vehicle at ``identity`` is repaired.
@@ -771,6 +895,10 @@ class Fleet:
             raise KeyError(f"no vehicle at {identity}")
         vehicle = self.vehicles[identity]
         vehicle.mark_repaired()
+        # A revival before detection cancels the latency clock: the pair
+        # is answered for again without any replacement having initiated.
+        for pair_key in [p for p in self._crash_rounds if self.registry.get(p) == identity]:
+            del self._crash_rounds[pair_key]
         if self.config.hand_back:
             self._offer_hand_back(vehicle)
 

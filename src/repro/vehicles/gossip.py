@@ -1,0 +1,85 @@
+"""Deterministic peer selection and digest helpers for gossip monitoring.
+
+The gossip failure detector (``FleetConfig.monitoring = "gossip"``)
+replaces the single-watcher timer of the Section 3.2.5 monitoring ring
+with three layers, following the tunable-fanout gossiping family of
+De Florio & Blondia and pod-style quorum attestation:
+
+1. **Epidemic freshness.** Every round each vehicle piggybacks a digest
+   of its most recently heard ``(pair_key, round)`` entries to ``fanout``
+   peers, so liveness information spreads in O(log n) rounds and survives
+   the lossy/corrupting transports (which only mutate protocol messages,
+   never digests).
+2. **Multi-reporter suspicion.** A pair is suspected only once
+   ``suspicion_threshold`` *distinct* vehicles have reported it silent --
+   reports travel inside the digests, deduplicated by reporter identity.
+3. **Quorum attestation.** The ring watcher collects ``quorum``
+   co-signatures (``SuspectMessage``/``AttestMessage``) before starting
+   the replacement search, masking up to ``quorum - 1`` Byzantine
+   watchers.
+
+Peer selection must be byte-identical at any worker, process, or shard
+count, so it never consults a shared RNG: each draw is keyed blake2b
+over ``(identity, per-vehicle counter, slot)``, a pure function of state
+that checkpoints and restores exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.grid.lattice import Point
+
+__all__ = ["GOSSIP_KEY", "GOSSIP_ENTRY_CAP", "select_peers", "freshest_entries"]
+
+#: Domain-separation key for the peer-selection hash.  Fixed forever:
+#: changing it would silently re-route every gossip run.
+GOSSIP_KEY = b"repro-gossip"
+
+#: Maximum number of ``(pair_key, round)`` freshness entries per digest.
+#: Caps digest size at O(1) per message regardless of fleet size; the
+#: freshest entries are the ones worth spreading.
+GOSSIP_ENTRY_CAP = 8
+
+
+def _draw(identity: Hashable, counter: int, slot: int, modulus: int) -> int:
+    """One deterministic draw in ``[0, modulus)`` keyed by vehicle state."""
+    payload = repr((identity, counter, slot)).encode("utf-8")
+    digest = hashlib.blake2b(payload, key=GOSSIP_KEY, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+def select_peers(
+    identity: Hashable,
+    counter: int,
+    candidates: Sequence[Hashable],
+    fanout: int,
+) -> List[Hashable]:
+    """Pick ``fanout`` gossip peers without replacement, deterministically.
+
+    ``candidates`` must be in a canonical (sorted) order shared by every
+    worker; the sender itself is excluded.  Sampling pops from a shrinking
+    pool so the same vehicle is never drawn twice in one round, and the
+    per-vehicle ``counter`` advances the stream between rounds -- two
+    vehicles (or two rounds) never share a draw sequence.
+    """
+    pool = [peer for peer in candidates if peer != identity]
+    chosen: List[Hashable] = []
+    for slot in range(min(fanout, len(pool))):
+        index = _draw(identity, counter, slot, len(pool))
+        chosen.append(pool.pop(index))
+    return chosen
+
+
+def freshest_entries(
+    last_heard: Dict[Point, int], cap: int = GOSSIP_ENTRY_CAP
+) -> Tuple[Tuple[Point, int], ...]:
+    """The ``cap`` freshest ``(pair_key, round)`` entries, canonically ordered.
+
+    Most recent round first, ties broken by pair key so the digest is a
+    pure function of the ``last_heard`` mapping (byte-identical across
+    dict insertion orders).
+    """
+    ranked = sorted(last_heard.items(), key=lambda item: (-item[1], item[0]))
+    return tuple(ranked[:cap])

@@ -29,6 +29,9 @@ __all__ = [
     "ActivationNotice",
     "EscalateQuery",
     "EscalateReply",
+    "GossipDigest",
+    "SuspectMessage",
+    "AttestMessage",
 ]
 
 #: ``(initiator identity, round number)`` -- uniquely names one diffusing
@@ -142,3 +145,53 @@ class EscalateReply:
     spare: bool = False
     level: int = 0
     position: Point = ()
+
+
+@dataclass(frozen=True)
+class GossipDigest:
+    """Epidemic digest piggybacked to ``fanout`` deterministic peers per round.
+
+    ``heard`` carries the sender's freshest ``(pair_key, round)`` entries
+    (capped, most recent first) so liveness information spreads in
+    O(log n) rounds even when direct heartbeats are lost.  ``silent``
+    carries silence reports ``(pair_key, reporter, report_round)``:
+    independent observations that a pair has been quiet past the miss
+    threshold.  Receivers max-merge ``heard`` and union ``silent``, so a
+    single report replicates without ever being double-counted -- the
+    reporter identity, not the carrying digest, is what suspicion tallies.
+    """
+
+    sender: Hashable
+    round_id: int
+    heard: Tuple[Tuple[Point, int], ...]
+    silent: Tuple[Tuple[Point, Point, int], ...]
+
+
+@dataclass(frozen=True)
+class SuspectMessage:
+    """A watcher's request for co-signatures before taking over a pair.
+
+    Sent cube-wide once ``suspicion_threshold`` independent silence
+    reports have accumulated.  The takeover itself waits for ``quorum``
+    granted :class:`AttestMessage` answers, so one lying or partitioned
+    watcher can no longer trigger a replacement on its own.
+    """
+
+    sender: Hashable
+    pair_key: Point
+    round_id: int
+
+
+@dataclass(frozen=True)
+class AttestMessage:
+    """A co-signature answering a :class:`SuspectMessage`.
+
+    Honest vehicles grant only when their *own* view of the pair is stale
+    past the miss threshold; a refusal is silence (no message), so a
+    Byzantine attester can withhold but never forge another's signature.
+    """
+
+    sender: Hashable
+    pair_key: Point
+    round_id: int
+    granted: bool = True

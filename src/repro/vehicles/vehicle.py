@@ -51,15 +51,19 @@ from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING
 from repro.distsim.process import Process
 from repro.grid.coloring import Coloring
 from repro.grid.lattice import Point, manhattan
+from repro.vehicles.gossip import freshest_entries, select_peers
 from repro.vehicles.messages import (
     ActivationNotice,
+    AttestMessage,
     ComputationTag,
     EscalateQuery,
     EscalateReply,
     ExistingMessage,
+    GossipDigest,
     MoveMessage,
     QueryMessage,
     ReplyMessage,
+    SuspectMessage,
 )
 from repro.vehicles.monitoring import watched_pair_key
 from repro.vehicles.registry import WATCH_NEVER, WATCH_NONE
@@ -220,6 +224,19 @@ class VehicleProcess(Process):
         #: ``{"level", "pending", "candidates", "rounds"}`` -- the deficit
         #: counter and volunteer list of the star-shaped escalated round.
         self.escalations: Dict[ComputationTag, Dict[str, Any]] = {}
+
+        # Gossip failure detection (``monitoring == "gossip"`` only; see
+        # :mod:`repro.vehicles.gossip`).
+        #: Per-vehicle draw counter keying deterministic peer selection.
+        self._gossip_counter = 0
+        #: Silence reports by pair: ``{pair_key: {reporter: report_round}}``.
+        #: Deduplicated by reporter identity, so a report replicating
+        #: through many digests still counts once toward suspicion.
+        self.gossip_reports: Dict[Point, Dict[Point, int]] = {}
+        #: Open quorum collections by suspected pair:
+        #: ``{pair_key: {"granted": set of co-signers, "round": last
+        #: SuspectMessage round}}``.
+        self.pending_suspicions: Dict[Point, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------ #
     # flat-array state (the object API is a view over the registry)
@@ -465,6 +482,12 @@ class VehicleProcess(Process):
             self._on_escalate_query(sender, message)
         elif isinstance(message, EscalateReply):
             self._on_escalate_reply(sender, message)
+        elif isinstance(message, GossipDigest):
+            self._on_gossip_digest(message)
+        elif isinstance(message, SuspectMessage):
+            self._on_suspect(message)
+        elif isinstance(message, AttestMessage):
+            self._on_attest(message)
         else:
             raise TypeError(f"unexpected message {message!r}")
 
@@ -843,6 +866,11 @@ class VehicleProcess(Process):
     # ------------------------------------------------------------------ #
 
     def _on_existing(self, message: ExistingMessage) -> None:
+        if self.fleet.config.monitoring == "gossip":
+            # Gossip mode routes freshness through the helper that also
+            # retires silence reports and pending suspicions.
+            self._gossip_note_heard(message.pair_key, message.round_id)
+            return
         previous = self.last_heard.get(message.pair_key, -1)
         heard = max(previous, message.round_id)
         self.last_heard[message.pair_key] = heard
@@ -864,6 +892,202 @@ class VehicleProcess(Process):
             # answers for a pair this vehicle adopted: shed the load.
             self.adopted_pairs.remove(message.pair_key)
             self.fleet.on_adoption_released(self.identity, message.pair_key)
+
+    # ------------------------------------------------------------------ #
+    # Gossip failure detection (monitoring == "gossip")
+    # ------------------------------------------------------------------ #
+
+    def gossip_tick(self, round_id: int, miss_threshold: int) -> None:
+        """One gossip round: heartbeat, report silence, spread digests,
+        and (for the ring watcher) escalate accumulated suspicion.
+
+        Runs for every live vehicle -- idle ones report and relay too --
+        so the detector keeps enough independent observers even in cubes
+        thinned out by crashes.
+        """
+        if self.broken:
+            return
+        fleet = self.fleet
+        active = self.status.working == WorkingState.ACTIVE
+        byzantine = fleet.failure_plan.is_byzantine_watcher(self.identity)
+        if active:
+            assert self.pair_key is not None
+            self.send_many(
+                self.cube_peers,
+                ExistingMessage(self.identity, self.pair_key, round_id),
+            )
+        self._gossip_report_silence(round_id, miss_threshold, byzantine)
+        self._gossip_send_digest(round_id)
+        if active:
+            self._gossip_check_suspicion(round_id, miss_threshold, byzantine)
+
+    def _gossip_note_heard(self, pair_key: Point, heard: int) -> None:
+        """Fresh liveness information for a pair: update ``last_heard``
+        (mirroring the registry's watch-heard array), retire silence
+        reports the freshness supersedes, and drop any open suspicion --
+        a pair that spoke is not dead."""
+        previous = self.last_heard.get(pair_key, -1)
+        if heard <= previous:
+            return
+        self.last_heard[pair_key] = heard
+        if pair_key == self._monitored_pair:
+            self._registry.watch_heard[self._index] = heard
+        reporters = self.gossip_reports.get(pair_key)
+        if reporters:
+            for reporter in [r for r, rnd in reporters.items() if rnd <= heard]:
+                del reporters[reporter]
+            if not reporters:
+                del self.gossip_reports[pair_key]
+        self.pending_suspicions.pop(pair_key, None)
+
+    def _cube_pair_keys(self) -> List[Point]:
+        """Black vertices of every pair of this vehicle's cube."""
+        return [pair.black for pair in self.coloring.pairs]
+
+    def _gossip_report_silence(
+        self, round_id: int, miss_threshold: int, byzantine: bool
+    ) -> None:
+        """Record a silence report for every cube pair quiet past the miss
+        threshold (a Byzantine watcher reports *every* pair silent -- the
+        false-suspicion injection the quorum must mask)."""
+        baseline = self.fleet.monitoring_baseline
+        for pair_key in self._cube_pair_keys():
+            if pair_key == self.pair_key:
+                continue
+            last = self.last_heard.get(pair_key, baseline)
+            stale = round_id - last >= miss_threshold
+            if byzantine:
+                stale = True
+            if not stale:
+                continue
+            reporters = self.gossip_reports.setdefault(pair_key, {})
+            reporters[self.identity] = round_id
+
+    def _gossip_send_digest(self, round_id: int) -> None:
+        """Piggyback freshness entries and silence reports to ``fanout``
+        deterministically drawn peers (keyed blake2b over the per-vehicle
+        counter -- byte-identical at any worker or shard count)."""
+        fleet = self.fleet
+        counter = self._gossip_counter
+        self._gossip_counter = counter + 1
+        peers = select_peers(
+            self.identity, counter, fleet.gossip_candidates(), fleet.config.gossip_fanout
+        )
+        if not peers:
+            return
+        silent = tuple(
+            (pair_key, reporter, reported)
+            for pair_key in sorted(self.gossip_reports)
+            for reporter, reported in sorted(self.gossip_reports[pair_key].items())
+        )
+        digest = GossipDigest(
+            self.identity, round_id, freshest_entries(self.last_heard), silent
+        )
+        self.send_many(peers, digest)
+
+    def _gossip_check_suspicion(
+        self, round_id: int, miss_threshold: int, byzantine: bool
+    ) -> None:
+        """Ring watcher's escalation: once ``suspicion_threshold`` distinct
+        reporters agree the watched pair is silent, open (or refresh) a
+        quorum collection by broadcasting a ``SuspectMessage``."""
+        fleet = self.fleet
+        watched = self.monitored_pair
+        if watched is None or watched == self.pair_key:
+            return
+        if self.engaged_tag is not None:
+            return
+        last = self.last_heard.get(watched, fleet.monitoring_baseline)
+        stale = round_id - last >= miss_threshold
+        if byzantine:
+            stale = True
+        if not stale:
+            return
+        reporters = set(self.gossip_reports.get(watched, ()))
+        reporters.add(self.identity)
+        if not byzantine and len(reporters) < fleet.config.suspicion_threshold:
+            return
+        pending = self.pending_suspicions.get(watched)
+        if pending is not None and round_id - pending["round"] < miss_threshold:
+            return  # collection in flight; give the co-signatures time
+        if pending is None:
+            # Granted signatures accumulate across re-sends: under a lossy
+            # channel each retry only needs to recover the missing ones.
+            pending = {"granted": set(), "round": round_id}
+            self.pending_suspicions[watched] = pending
+        else:
+            pending["round"] = round_id
+        fleet.record_suspicion(self.identity, watched)
+        self.send_many(
+            self.cube_peers, SuspectMessage(self.identity, watched, round_id)
+        )
+
+    def _on_gossip_digest(self, message: GossipDigest) -> None:
+        if self.broken:
+            return
+        for pair_key, heard in message.heard:
+            self._gossip_note_heard(pair_key, heard)
+        baseline = self.fleet.monitoring_baseline
+        for pair_key, reporter, reported in message.silent:
+            if pair_key == self.pair_key:
+                continue  # this vehicle *is* the pair: obviously alive
+            if reported <= self.last_heard.get(pair_key, baseline):
+                continue  # superseded: the pair has spoken since
+            reporters = self.gossip_reports.setdefault(pair_key, {})
+            if reported > reporters.get(reporter, -1):
+                reporters[reporter] = reported
+
+    def _on_suspect(self, message: SuspectMessage) -> None:
+        """Answer a co-signature request: grant only when this vehicle's
+        *own* view of the pair is stale (a Byzantine attester inverts --
+        forging grants for healthy pairs, withholding for dead ones)."""
+        if self.broken:
+            return
+        fleet = self.fleet
+        pair_key = message.pair_key
+        last = self.last_heard.get(pair_key, fleet.monitoring_baseline)
+        grant = message.round_id - last >= fleet.config.heartbeat_miss_threshold
+        if pair_key == self.pair_key:
+            grant = False  # asked to co-sign this vehicle's own death
+        if fleet.failure_plan.is_byzantine_watcher(self.identity):
+            grant = not grant
+        fleet.record_attestation(self.identity, pair_key, grant)
+        if grant:
+            self.send(
+                message.sender,
+                AttestMessage(self.identity, pair_key, message.round_id, True),
+            )
+        # A refusal is silence: signatures cannot be forged on another's
+        # behalf, so not sending *is* the refusal.
+
+    def _on_attest(self, message: AttestMessage) -> None:
+        """Collect a co-signature; with ``quorum`` distinct granters (and
+        the watcher's own view still stale) the attested replacement
+        search finally starts."""
+        if self.broken or not message.granted:
+            return
+        pair_key = message.pair_key
+        pending = self.pending_suspicions.get(pair_key)
+        if pending is None:
+            return  # resolved meanwhile (heartbeat arrived or takeover ran)
+        pending["granted"].add(message.sender)
+        fleet = self.fleet
+        if len(pending["granted"]) < fleet.config.quorum:
+            return
+        round_id = fleet.heartbeat_round
+        byzantine = fleet.failure_plan.is_byzantine_watcher(self.identity)
+        last = self.last_heard.get(pair_key, fleet.monitoring_baseline)
+        if not byzantine and round_id - last < fleet.config.heartbeat_miss_threshold:
+            # The pair spoke while signatures were in flight.
+            del self.pending_suspicions[pair_key]
+            return
+        if self.engaged_tag is not None:
+            return  # busy with another computation; the case stays open
+        del self.pending_suspicions[pair_key]
+        self.gossip_reports.pop(pair_key, None)
+        fleet.record_watch_initiation(self.identity, pair_key)
+        self._gossip_note_heard(pair_key, round_id)  # debounce
+        self.start_replacement_search(destination=pair_key, pair_key=pair_key)
 
     def offer_hand_back(self, pair_key: Point, owner: Point) -> None:
         """Offer an adopted pair back to its revived original owner.

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.bounds import escalation_capacity_bound
 from repro.api import ExperimentEngine, FailureSpec, RunConfig, ScenarioSpec
 from repro.core.demand import DemandMap
 from repro.core.omega import omega_c
@@ -56,7 +57,9 @@ def _sparse_config(name, demand, dead, *, escalation):
     return RunConfig(
         solver="online-broken",
         scenario=ScenarioSpec.from_demand(demand, name=name, order="sequential"),
-        capacity=30.0,
+        # Provisioned from the escalation-aware Lemma 3.3.1 bound instead
+        # of a hand-tuned constant: growing a scenario grows its battery.
+        capacity=escalation_capacity_bound(demand),
         failures=FailureSpec(crashed=tuple(dead)),
         escalation=escalation,
         recovery_rounds=6,
